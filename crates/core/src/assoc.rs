@@ -1,0 +1,218 @@
+//! The association matrix (paper §3.4, step 5).
+//!
+//! An N×M matrix relating the N major terms to the M anchoring topics:
+//!
+//! > *"the entries in the matrix being the conditional probabilities of
+//! > occupance, modified by the independent probability of occurrence"*
+//!
+//! We read that as `A[i][j] = P(tᵢ | tⱼ) · (1 − P(tⱼ))`: how strongly
+//! major term `i` co-occurs with topic `j`, discounted when topic `j` is
+//! so common that co-occurrence is uninformative. Probabilities are
+//! document-level: `P(tᵢ|tⱼ) = df(tᵢ ∧ tⱼ) / df(tⱼ)`.
+//!
+//! *"each process computes the association matrix for the terms associated
+//! with its dataset. The association matrices of all the processes are
+//! merged (MPI_Allreduce operation)"* — each rank counts co-occurrences
+//! over its own documents, the count matrices are allreduced, then every
+//! rank normalizes identically.
+
+use crate::index::InvertedIndex;
+use crate::scan::ScanOutput;
+use crate::topicality::TopicSelection;
+use crate::TermId;
+use perfmodel::WorkKind;
+use spmd::{Ctx, ReduceOp};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The merged, normalized association matrix (replicated on all ranks).
+#[derive(Debug, Clone)]
+pub struct AssociationMatrix {
+    /// Row-major N×M values.
+    pub values: Arc<Vec<f64>>,
+    /// N (rows, major terms).
+    pub n: usize,
+    /// M (columns, topics).
+    pub m: usize,
+    /// Major-term id → row index.
+    pub row_of: Arc<HashMap<TermId, usize>>,
+}
+
+impl AssociationMatrix {
+    /// The M-dimensional row of major term `t`, if `t` is a major term.
+    pub fn row(&self, t: TermId) -> Option<&[f64]> {
+        self.row_of
+            .get(&t)
+            .map(|&r| &self.values[r * self.m..(r + 1) * self.m])
+    }
+}
+
+/// Build the association matrix. Collective.
+pub fn build(
+    ctx: &Ctx,
+    scan: &ScanOutput,
+    index: &InvertedIndex,
+    topics: &TopicSelection,
+) -> AssociationMatrix {
+    let n = topics.major.len();
+    let m = topics.topics.len();
+    let row_of: HashMap<TermId, usize> = topics
+        .major
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| (t, i))
+        .collect();
+    let col_of: HashMap<TermId, usize> = topics
+        .topics
+        .iter()
+        .enumerate()
+        .map(|(j, &t)| (t, j))
+        .collect();
+
+    // Local document-level co-occurrence counts.
+    let mut cooc = vec![0.0f64; n * m];
+    let mut ops = 0u64;
+    for d in &scan.docs {
+        let distinct = d.distinct_terms();
+        ops += distinct.len() as u64;
+        let rows: Vec<usize> = distinct
+            .iter()
+            .filter_map(|(t, _)| row_of.get(t).copied())
+            .collect();
+        let cols: Vec<usize> = distinct
+            .iter()
+            .filter_map(|(t, _)| col_of.get(t).copied())
+            .collect();
+        ops += (rows.len() * cols.len()) as u64;
+        for &i in &rows {
+            for &j in &cols {
+                cooc[i * m + j] += 1.0;
+            }
+        }
+    }
+    ctx.charge(WorkKind::AssocOps, ops);
+
+    // Merge partial matrices (the paper's MPI_Allreduce).
+    let mut merged = ctx.allreduce_f64(cooc, ReduceOp::Sum);
+
+    // Normalize: P(t_i | t_j) * (1 - P(t_j)).
+    ctx.charge(WorkKind::Flops, (n * m) as u64);
+    let d_total = index.total_docs as f64;
+    for (j, &tj) in topics.topics.iter().enumerate() {
+        let df_j = index.df[tj as usize] as f64;
+        let p_j = if d_total > 0.0 { df_j / d_total } else { 0.0 };
+        let inv = if df_j > 0.0 { 1.0 / df_j } else { 0.0 };
+        for i in 0..n {
+            merged[i * m + j] *= inv * (1.0 - p_j);
+        }
+    }
+
+    AssociationMatrix {
+        values: Arc::new(merged),
+        n,
+        m,
+        row_of: Arc::new(row_of),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::index::invert;
+    use crate::scan::scan;
+    use crate::topicality::select_topics;
+    use corpus::CorpusSpec;
+    use spmd::Runtime;
+
+    fn corpus() -> corpus::SourceSet {
+        CorpusSpec {
+            source_bytes: 8 * 1024,
+            ..CorpusSpec::pubmed(48 * 1024, 9)
+        }
+        .generate()
+    }
+
+    fn build_matrix(p: usize) -> (usize, usize, Vec<f64>) {
+        let src = corpus();
+        let rt = Runtime::for_testing();
+        let mut res = rt.run(p, |ctx| {
+            let cfg = EngineConfig::for_testing();
+            let s = scan(ctx, &src, &cfg);
+            let idx = invert(ctx, &s, &cfg);
+            let topics = select_topics(ctx, &idx, &cfg, cfg.n_major, cfg.m_dims());
+            let am = build(ctx, &s, &idx, &topics);
+            (am.n, am.m, am.values.as_ref().clone())
+        });
+        res.results.remove(0)
+    }
+
+    #[test]
+    fn matrix_identical_across_p() {
+        let (n1, m1, v1) = build_matrix(1);
+        for p in [2, 4] {
+            let (n, m, v) = build_matrix(p);
+            assert_eq!((n, m), (n1, m1));
+            assert_eq!(v.len(), v1.len());
+            for (a, b) in v.iter().zip(&v1) {
+                assert!((a - b).abs() < 1e-9, "P={p}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn entries_are_probability_like() {
+        let (_, _, v) = build_matrix(2);
+        for &x in &v {
+            assert!((0.0..=1.0).contains(&x), "entry {x} out of range");
+        }
+        // The matrix must not be all-zero — topics co-occur with majors.
+        assert!(v.iter().any(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn topic_self_association_is_strong() {
+        // A topic term is also a major term (topics ⊂ major); its own
+        // column entry equals 1 - P(t_j), the maximum possible in that
+        // column.
+        let src = corpus();
+        let rt = Runtime::for_testing();
+        rt.run(2, |ctx| {
+            let cfg = EngineConfig::for_testing();
+            let s = scan(ctx, &src, &cfg);
+            let idx = invert(ctx, &s, &cfg);
+            let topics = select_topics(ctx, &idx, &cfg, cfg.n_major, cfg.m_dims());
+            let am = build(ctx, &s, &idx, &topics);
+            for (j, &tj) in topics.topics.iter().enumerate().take(5) {
+                let i = topics.major_rank(tj).expect("topic is a major term");
+                let self_assoc = am.values[i * am.m + j];
+                let expected = 1.0 - idx.df[tj as usize] as f64 / idx.total_docs as f64;
+                assert!(
+                    (self_assoc - expected).abs() < 1e-9,
+                    "self association {self_assoc} vs {expected}"
+                );
+                // And no other row in column j exceeds it.
+                for r in 0..am.n {
+                    assert!(am.values[r * am.m + j] <= self_assoc + 1e-9);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn row_lookup_matches_layout() {
+        let src = corpus();
+        let rt = Runtime::for_testing();
+        rt.run(2, |ctx| {
+            let cfg = EngineConfig::for_testing();
+            let s = scan(ctx, &src, &cfg);
+            let idx = invert(ctx, &s, &cfg);
+            let topics = select_topics(ctx, &idx, &cfg, cfg.n_major, cfg.m_dims());
+            let am = build(ctx, &s, &idx, &topics);
+            let t = topics.major[3];
+            let row = am.row(t).unwrap();
+            assert_eq!(row, &am.values[3 * am.m..4 * am.m]);
+            assert_eq!(am.row(u32::MAX), None);
+        });
+    }
+}

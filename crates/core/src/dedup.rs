@@ -1,0 +1,195 @@
+//! Near-duplicate detection over knowledge signatures.
+//!
+//! Document collections are full of near-copies (press-release reprints,
+//! crawl aliases, forwarded messages); IN-SPIRE surfaces them so analysts
+//! read one representative instead of twelve. The knowledge signatures
+//! make this cheap: near-duplicates have nearly identical signature
+//! vectors, and the k-means clustering has already bucketed candidates —
+//! only documents in the *same cluster* can plausibly exceed a high
+//! similarity threshold, so comparisons stay within clusters rather than
+//! O(n²) over the corpus.
+//!
+//! Each rank compares its own documents against same-cluster documents
+//! with a greater global id (so each pair is reported exactly once,
+//! rank-independently), fetching the peers' signatures from the global
+//! signature array — one-sided traffic the cost model charges like any
+//! other GA access.
+
+use crate::cluster::Clustering;
+use crate::linalg::dot;
+use crate::signature::Signatures;
+use crate::DocId;
+use perfmodel::WorkKind;
+use spmd::Ctx;
+
+/// One detected near-duplicate pair, `a < b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DuplicatePair {
+    pub a: DocId,
+    pub b: DocId,
+    /// Cosine similarity of the signatures, in `[0, 1]` for the engine's
+    /// non-negative signatures.
+    pub similarity: f64,
+}
+
+/// Find all same-cluster pairs with cosine similarity ≥ `threshold`.
+/// Collective; every rank receives the full, globally sorted list.
+pub fn find_near_duplicates(
+    ctx: &Ctx,
+    sigs: &Signatures,
+    clustering: &Clustering,
+    doc_base: DocId,
+    threshold: f64,
+) -> Vec<DuplicatePair> {
+    let m = sigs.m;
+    // Global assignment table (one u32 per document).
+    let assignments_global: Vec<Vec<u32>> =
+        ctx.allgather(clustering.assignments.clone(), (clustering.assignments.len() * 4) as u64);
+    let assignments: Vec<u32> = assignments_global.concat();
+
+    // Cluster → member doc ids (ascending).
+    let mut members: Vec<Vec<DocId>> = vec![Vec::new(); clustering.k.max(1)];
+    for (doc, &c) in assignments.iter().enumerate() {
+        if (c as usize) < members.len() {
+            members[c as usize].push(doc as DocId);
+        }
+    }
+
+    let mut local_pairs: Vec<DuplicatePair> = Vec::new();
+    let mut flops = 0u64;
+    for i in 0..sigs.n_local() {
+        let my_doc = doc_base + i as DocId;
+        let my_sig = sigs.row(i);
+        let my_norm = dot(my_sig, my_sig).sqrt();
+        if my_norm == 0.0 {
+            continue;
+        }
+        let c = assignments[my_doc as usize] as usize;
+        for &other in &members[c] {
+            if other <= my_doc {
+                continue;
+            }
+            // Fetch the peer's signature (local-block access when the
+            // peer is ours, one-sided otherwise).
+            let other_sig = sigs.global.get_row(ctx, other as usize);
+            let other_norm = dot(&other_sig, &other_sig).sqrt();
+            flops += 3 * m as u64;
+            if other_norm == 0.0 {
+                continue;
+            }
+            let cos = dot(my_sig, &other_sig) / (my_norm * other_norm);
+            if cos >= threshold {
+                local_pairs.push(DuplicatePair {
+                    a: my_doc,
+                    b: other,
+                    similarity: cos,
+                });
+            }
+        }
+    }
+    ctx.charge(WorkKind::Flops, flops);
+
+    // Assemble the global list on every rank.
+    let bytes = (local_pairs.len() * 24) as u64;
+    let all: Vec<Vec<DuplicatePair>> = ctx.allgather(local_pairs, bytes);
+    let mut out: Vec<DuplicatePair> = all.concat();
+    out.sort_by(|x, y| (x.a, x.b).cmp(&(y.a, y.b)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assoc;
+    use crate::cluster::cluster_documents;
+    use crate::config::EngineConfig;
+    use crate::index::invert;
+    use crate::scan::scan;
+    use crate::signature::generate;
+    use crate::topicality::select_topics;
+    use corpus::{CorpusSpec, Source, SourceSet};
+    use spmd::Runtime;
+
+    /// A corpus with a planted duplicate: the first record of the first
+    /// source is appended verbatim as an extra final source.
+    fn corpus_with_duplicate() -> (SourceSet, usize) {
+        let mut set = CorpusSpec::pubmed(96 * 1024, 99).generate();
+        let first = &set.sources[0];
+        let range = first.record_ranges()[0].clone();
+        let mut dup = first.data[range].to_vec();
+        dup.extend_from_slice(b"\n");
+        let total_before = set.total_records();
+        set.sources.push(Source {
+            name: "zz-duplicate.txt".into(),
+            data: dup,
+            format: corpus::FormatKind::Medline,
+        });
+        (set, total_before)
+    }
+
+    fn run_dedup(p: usize) -> (Vec<DuplicatePair>, DocId) {
+        let (src, n_before) = corpus_with_duplicate();
+        let rt = Runtime::for_testing();
+        let mut res = rt.run(p, |ctx| {
+            let cfg = EngineConfig::for_testing();
+            let s = scan(ctx, &src, &cfg);
+            let idx = invert(ctx, &s, &cfg);
+            let topics = select_topics(ctx, &idx, &cfg, cfg.n_major, cfg.m_dims());
+            let am = assoc::build(ctx, &s, &idx, &topics);
+            let sigs = generate(ctx, &s, &am);
+            let cl = cluster_documents(ctx, &sigs, s.doc_base, s.total_docs, &cfg);
+            find_near_duplicates(ctx, &sigs, &cl, s.doc_base, 0.999)
+        });
+        (res.results.remove(0), n_before as DocId)
+    }
+
+    #[test]
+    fn planted_duplicate_is_found() {
+        let (pairs, dup_doc) = run_dedup(3);
+        // The duplicate of doc 0 sits at the very end of the corpus.
+        let hit = pairs.iter().find(|p| p.a == 0 && p.b == dup_doc);
+        assert!(hit.is_some(), "missing planted pair in {pairs:?}");
+        assert!(hit.unwrap().similarity > 0.999);
+    }
+
+    #[test]
+    fn duplicate_detection_identical_across_p() {
+        let (p1, _) = run_dedup(1);
+        let (p4, _) = run_dedup(4);
+        assert_eq!(p1.len(), p4.len());
+        for (x, y) in p1.iter().zip(&p4) {
+            assert_eq!((x.a, x.b), (y.a, y.b));
+            assert!((x.similarity - y.similarity).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pairs_are_ordered_and_unique() {
+        let (pairs, _) = run_dedup(2);
+        for w in pairs.windows(2) {
+            assert!((w[0].a, w[0].b) < (w[1].a, w[1].b));
+        }
+        for p in &pairs {
+            assert!(p.a < p.b);
+            assert!((0.0..=1.0 + 1e-9).contains(&p.similarity));
+        }
+    }
+
+    #[test]
+    fn threshold_one_only_exact_copies() {
+        // With threshold slightly above 1.0, nothing can match.
+        let (src, _) = corpus_with_duplicate();
+        let rt = Runtime::for_testing();
+        let res = rt.run(2, |ctx| {
+            let cfg = EngineConfig::for_testing();
+            let s = scan(ctx, &src, &cfg);
+            let idx = invert(ctx, &s, &cfg);
+            let topics = select_topics(ctx, &idx, &cfg, cfg.n_major, cfg.m_dims());
+            let am = assoc::build(ctx, &s, &idx, &topics);
+            let sigs = generate(ctx, &s, &am);
+            let cl = cluster_documents(ctx, &sigs, s.doc_base, s.total_docs, &cfg);
+            find_near_duplicates(ctx, &sigs, &cl, s.doc_base, 1.0 + 1e-6).len()
+        });
+        assert!(res.results.iter().all(|&n| n == 0));
+    }
+}

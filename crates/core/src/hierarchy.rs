@@ -1,0 +1,295 @@
+//! Hierarchical (agglomerative) clustering.
+//!
+//! Paper §3.5: *"other types of clustering could be applied that would
+//! enable different means to explore the relationships of the data (e.g.,
+//! hierarchical clustering: single-link, complete, and various adaptive
+//! cutting approaches)"*. This module provides exactly those: agglomerative
+//! clustering with single, complete, and average linkage, plus fixed-k and
+//! adaptive (largest-gap) dendrogram cuts.
+//!
+//! In the parallel engine, hierarchical clustering runs as a second level
+//! over the k-means centroids (the classical scalable recipe: a
+//! fine-grained distributed k-means produces `k_fine` centroids, which
+//! every rank then agglomerates identically — no additional communication,
+//! deterministic everywhere). See
+//! [`EngineConfig::cluster_method`](crate::config::EngineConfig).
+
+use crate::linalg::dist2;
+
+/// Linkage criterion for merging clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linkage {
+    /// Minimum pairwise distance (chains).
+    Single,
+    /// Maximum pairwise distance (compact).
+    Complete,
+    /// Unweighted average pairwise distance (UPGMA).
+    Average,
+}
+
+/// One merge step: clusters `a` and `b` (ids; leaves are `0..n`, merge
+/// `i` creates id `n + i`) joined at `distance`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Merge {
+    pub a: usize,
+    pub b: usize,
+    pub distance: f64,
+}
+
+/// A full agglomeration history over `n_leaves` points.
+#[derive(Debug, Clone)]
+pub struct Dendrogram {
+    pub n_leaves: usize,
+    /// `n_leaves - 1` merges in non-decreasing distance order (for
+    /// single/complete/average linkage on a metric this holds by
+    /// construction of the greedy algorithm... up to inversions for
+    /// average linkage, which we tolerate).
+    pub merges: Vec<Merge>,
+}
+
+/// Agglomerate `n` points of dimension `m` (row-major) under `linkage`.
+///
+/// The classic O(n³)-worst-case greedy algorithm with a running distance
+/// matrix (Lance–Williams updates), entirely adequate for the centroid
+/// counts (tens to a few hundred) it is applied to. Ties break toward the
+/// lexicographically smallest `(a, b)` pair, so results are deterministic.
+pub fn agglomerate(points: &[f64], n: usize, m: usize, linkage: Linkage) -> Dendrogram {
+    assert_eq!(points.len(), n * m, "points must be n x m");
+    if n == 0 {
+        return Dendrogram {
+            n_leaves: 0,
+            merges: Vec::new(),
+        };
+    }
+    // dist[i][j] for active cluster ids; usize::MAX marks dead rows.
+    // Cluster ids: 0..n leaves, n..2n-1 merged.
+    let total = 2 * n - 1;
+    let mut active: Vec<bool> = vec![false; total];
+    let mut sizes: Vec<usize> = vec![0; total];
+    for i in 0..n {
+        active[i] = true;
+        sizes[i] = 1;
+    }
+    // Distance matrix over ids (triangular, grown as merges happen).
+    let mut dist = vec![f64::INFINITY; total * total];
+    let idx = |a: usize, b: usize| -> usize {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        lo * total + hi
+    };
+    for i in 0..n {
+        for j in (i + 1)..n {
+            dist[idx(i, j)] = dist2(&points[i * m..(i + 1) * m], &points[j * m..(j + 1) * m]).sqrt();
+        }
+    }
+
+    let mut merges = Vec::with_capacity(n - 1);
+    for step in 0..n.saturating_sub(1) {
+        // Find the closest active pair (deterministic tie-break).
+        let mut best = (f64::INFINITY, usize::MAX, usize::MAX);
+        let ids: Vec<usize> = (0..total).filter(|&i| active[i]).collect();
+        for (pi, &a) in ids.iter().enumerate() {
+            for &b in &ids[pi + 1..] {
+                let d = dist[idx(a, b)];
+                if d < best.0 || (d == best.0 && (a, b) < (best.1, best.2)) {
+                    best = (d, a, b);
+                }
+            }
+        }
+        let (d, a, b) = best;
+        let new_id = n + step;
+        merges.push(Merge { a, b, distance: d });
+        // Lance–Williams update of distances to the merged cluster.
+        for &c in &ids {
+            if c == a || c == b {
+                continue;
+            }
+            let dca = dist[idx(c, a)];
+            let dcb = dist[idx(c, b)];
+            let dnew = match linkage {
+                Linkage::Single => dca.min(dcb),
+                Linkage::Complete => dca.max(dcb),
+                Linkage::Average => {
+                    let (sa, sb) = (sizes[a] as f64, sizes[b] as f64);
+                    (sa * dca + sb * dcb) / (sa + sb)
+                }
+            };
+            dist[idx(c, new_id)] = dnew;
+        }
+        active[a] = false;
+        active[b] = false;
+        active[new_id] = true;
+        sizes[new_id] = sizes[a] + sizes[b];
+    }
+
+    Dendrogram { n_leaves: n, merges }
+}
+
+impl Dendrogram {
+    /// Leaf → cluster assignment after cutting to exactly `k` clusters
+    /// (the last `k - 1` merges are undone). Cluster labels are dense
+    /// `0..k`, ordered by smallest leaf id for determinism.
+    pub fn cut(&self, k: usize) -> Vec<u32> {
+        let n = self.n_leaves;
+        if n == 0 {
+            return Vec::new();
+        }
+        let k = k.clamp(1, n);
+        // Apply the first n - k merges with union-find.
+        let mut parent: Vec<usize> = (0..2 * n - 1).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let r = find(parent, parent[x]);
+                parent[x] = r;
+            }
+            parent[x]
+        }
+        for (i, mg) in self.merges.iter().take(n - k).enumerate() {
+            let new_id = n + i;
+            let ra = find(&mut parent, mg.a);
+            let rb = find(&mut parent, mg.b);
+            parent[ra] = new_id;
+            parent[rb] = new_id;
+        }
+        // Root of each leaf, relabeled densely by first appearance.
+        let mut label_of_root = std::collections::HashMap::new();
+        let mut out = Vec::with_capacity(n);
+        for leaf in 0..n {
+            let r = find(&mut parent, leaf);
+            let next = label_of_root.len() as u32;
+            let label = *label_of_root.entry(r).or_insert(next);
+            out.push(label);
+        }
+        out
+    }
+
+    /// Adaptive cut (§3.5's "adaptive cutting approaches"): cut at the
+    /// largest relative gap between consecutive merge distances, bounded
+    /// to `[min_k, max_k]` clusters. Falls back to `min_k` when the
+    /// dendrogram is too small or flat.
+    pub fn adaptive_cut(&self, min_k: usize, max_k: usize) -> Vec<u32> {
+        let n = self.n_leaves;
+        if n == 0 {
+            return Vec::new();
+        }
+        let min_k = min_k.clamp(1, n);
+        let max_k = max_k.clamp(min_k, n);
+        // Cutting before merge i leaves n - i clusters; k in [min_k, max_k]
+        // corresponds to merge indices [n - max_k, n - min_k].
+        let mut best = (0.0f64, min_k);
+        for k in min_k..=max_k {
+            let i = n - k; // first undone merge
+            if i == 0 || i >= self.merges.len() {
+                continue;
+            }
+            let before = self.merges[i - 1].distance.max(1e-12);
+            let gap = self.merges[i].distance / before;
+            if gap > best.0 {
+                best = (gap, k);
+            }
+        }
+        self.cut(best.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two tight blobs and one far outlier.
+    fn blobs() -> (Vec<f64>, usize) {
+        let pts = vec![
+            0.0, 0.0, //
+            0.1, 0.0, //
+            0.0, 0.1, //
+            5.0, 5.0, //
+            5.1, 5.0, //
+            5.0, 5.1, //
+            20.0, 20.0, //
+        ];
+        (pts, 7)
+    }
+
+    #[test]
+    fn cut_recovers_blobs_every_linkage() {
+        let (pts, n) = blobs();
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let d = agglomerate(&pts, n, 2, linkage);
+            assert_eq!(d.merges.len(), n - 1);
+            let labels = d.cut(3);
+            assert_eq!(labels[0], labels[1]);
+            assert_eq!(labels[1], labels[2]);
+            assert_eq!(labels[3], labels[4]);
+            assert_eq!(labels[4], labels[5]);
+            assert_ne!(labels[0], labels[3]);
+            assert_ne!(labels[0], labels[6]);
+            assert_ne!(labels[3], labels[6]);
+        }
+    }
+
+    #[test]
+    fn cut_k1_is_one_cluster_and_kn_is_all_singletons() {
+        let (pts, n) = blobs();
+        let d = agglomerate(&pts, n, 2, Linkage::Average);
+        assert!(d.cut(1).iter().all(|&l| l == 0));
+        let singles = d.cut(n);
+        let set: std::collections::HashSet<u32> = singles.iter().copied().collect();
+        assert_eq!(set.len(), n);
+    }
+
+    #[test]
+    fn adaptive_cut_finds_three_blobs() {
+        let (pts, n) = blobs();
+        let d = agglomerate(&pts, n, 2, Linkage::Complete);
+        let labels = d.adaptive_cut(2, 6);
+        let set: std::collections::HashSet<u32> = labels.iter().copied().collect();
+        assert_eq!(set.len(), 3, "labels {labels:?}");
+    }
+
+    #[test]
+    fn single_link_chains_where_complete_does_not() {
+        // A chain of points 1 apart, with one pair 1.5 apart at the end:
+        // single link merges the chain early; complete link keeps chain
+        // ends apart.
+        let pts: Vec<f64> = vec![0.0, 1.0, 2.0, 3.0, 4.0]
+            .into_iter()
+            .flat_map(|x| [x, 0.0])
+            .collect();
+        let single = agglomerate(&pts, 5, 2, Linkage::Single);
+        let complete = agglomerate(&pts, 5, 2, Linkage::Complete);
+        // Single link: every merge at distance 1.
+        assert!(single.merges.iter().all(|m| (m.distance - 1.0).abs() < 1e-9));
+        // Complete link: final merge spans the whole chain (distance 4).
+        let last = complete.merges.last().unwrap();
+        assert!((last.distance - 4.0).abs() < 1e-9, "{last:?}");
+    }
+
+    #[test]
+    fn merges_nondecreasing_for_single_and_complete() {
+        let (pts, n) = blobs();
+        for linkage in [Linkage::Single, Linkage::Complete] {
+            let d = agglomerate(&pts, n, 2, linkage);
+            for w in d.merges.windows(2) {
+                assert!(w[0].distance <= w[1].distance + 1e-12, "{linkage:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        // A perfect square: all nearest-neighbor distances equal.
+        let pts = vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 1.0, 1.0];
+        let a = agglomerate(&pts, 4, 2, Linkage::Single);
+        let b = agglomerate(&pts, 4, 2, Linkage::Single);
+        assert_eq!(a.merges, b.merges);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let d = agglomerate(&[], 0, 3, Linkage::Average);
+        assert!(d.merges.is_empty());
+        assert!(d.cut(1).is_empty());
+        let d1 = agglomerate(&[1.0, 2.0], 1, 2, Linkage::Average);
+        assert!(d1.merges.is_empty());
+        assert_eq!(d1.cut(1), vec![0]);
+    }
+}

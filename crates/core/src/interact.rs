@@ -1,0 +1,174 @@
+//! Analyst interaction: selection and drill-down.
+//!
+//! The paper's conclusion (§6) names this the next frontier: *"The next
+//! frontier of this work is the interactions associated with massive
+//! datasets within a visual analytics environment."* The core interaction
+//! in a ThemeView is *drill-down*: the analyst lassos a mountain (a region
+//! of the 2-D projection), and the system re-analyzes just those documents
+//! — a fresh topic space, clustering, and projection over the selection,
+//! revealing sub-themes the global view aggregates away.
+//!
+//! This module provides the selection primitives and the corpus-subsetting
+//! operation that feeds the selected documents back through the engine.
+//! The re-analysis itself is just [`run_engine`](crate::pipeline::run_engine)
+//! on the subset — the whole parallel pipeline is reused.
+
+use crate::DocId;
+use corpus::{Source, SourceSet};
+
+/// Documents whose 2-D coordinates fall inside an axis-aligned rectangle.
+pub fn select_rect(
+    coords: &[(f64, f64)],
+    min: (f64, f64),
+    max: (f64, f64),
+) -> Vec<DocId> {
+    coords
+        .iter()
+        .enumerate()
+        .filter(|(_, (x, y))| *x >= min.0 && *x <= max.0 && *y >= min.1 && *y <= max.1)
+        .map(|(i, _)| i as DocId)
+        .collect()
+}
+
+/// Documents within `radius` of `center` (the "lasso a mountain" gesture).
+pub fn select_radius(coords: &[(f64, f64)], center: (f64, f64), radius: f64) -> Vec<DocId> {
+    let r2 = radius * radius;
+    coords
+        .iter()
+        .enumerate()
+        .filter(|(_, (x, y))| {
+            let dx = x - center.0;
+            let dy = y - center.1;
+            dx * dx + dy * dy <= r2
+        })
+        .map(|(i, _)| i as DocId)
+        .collect()
+}
+
+/// Documents belonging to one cluster.
+pub fn select_cluster(assignments: &[u32], cluster: u32) -> Vec<DocId> {
+    assignments
+        .iter()
+        .enumerate()
+        .filter(|(_, &a)| a == cluster)
+        .map(|(i, _)| i as DocId)
+        .collect()
+}
+
+/// Build a corpus containing exactly the selected documents (global ids
+/// in engine document order), preserving source formats, for drill-down
+/// re-analysis.
+///
+/// `selected` need not be sorted; duplicates are ignored.
+pub fn subset_corpus(sources: &SourceSet, selected: &[DocId]) -> SourceSet {
+    let want: std::collections::HashSet<DocId> = selected.iter().copied().collect();
+    let mut out = Vec::new();
+    let mut next_id: DocId = 0;
+    for src in &sources.sources {
+        let mut data = Vec::new();
+        for range in src.record_ranges() {
+            if want.contains(&next_id) {
+                data.extend_from_slice(&src.data[range]);
+                // Re-insert the record separator the framer consumed.
+                match src.format {
+                    corpus::FormatKind::Medline => {
+                        if !data.ends_with(b"\n\n") {
+                            data.extend_from_slice(b"\n");
+                        }
+                    }
+                    corpus::FormatKind::TrecWeb | corpus::FormatKind::Message => {
+                        if !data.ends_with(b"\n") {
+                            data.extend_from_slice(b"\n");
+                        }
+                    }
+                }
+            }
+            next_id += 1;
+        }
+        if !data.is_empty() {
+            out.push(Source {
+                name: format!("{}.selection", src.name),
+                data,
+                format: src.format,
+            });
+        }
+    }
+    SourceSet { sources: out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::pipeline::run_engine;
+    use corpus::CorpusSpec;
+    use perfmodel::CostModel;
+    use std::sync::Arc;
+
+    #[test]
+    fn rect_and_radius_select_expected_points() {
+        let coords = vec![(0.0, 0.0), (1.0, 1.0), (5.0, 5.0), (-1.0, 0.5)];
+        assert_eq!(select_rect(&coords, (-0.5, -0.5), (1.5, 1.5)), vec![0, 1]);
+        assert_eq!(select_radius(&coords, (0.0, 0.0), 1.5), vec![0, 1, 3]);
+        assert!(select_rect(&coords, (10.0, 10.0), (11.0, 11.0)).is_empty());
+    }
+
+    #[test]
+    fn cluster_selection() {
+        let assignments = vec![0, 1, 1, 2, 1];
+        assert_eq!(select_cluster(&assignments, 1), vec![1, 2, 4]);
+        assert!(select_cluster(&assignments, 9).is_empty());
+    }
+
+    #[test]
+    fn subset_corpus_keeps_exactly_the_selection() {
+        let src = CorpusSpec::pubmed(64 * 1024, 17).generate();
+        let total = src.total_records();
+        assert!(total > 10);
+        let selected: Vec<DocId> = (0..total as DocId).step_by(3).collect();
+        let sub = subset_corpus(&src, &selected);
+        assert_eq!(sub.total_records(), selected.len());
+    }
+
+    #[test]
+    fn subset_preserves_record_content() {
+        let src = CorpusSpec::trec(64 * 1024, 18).generate();
+        let sub = subset_corpus(&src, &[0]);
+        assert_eq!(sub.total_records(), 1);
+        // The kept record parses identically to the original first record.
+        let orig_src = &src.sources[0];
+        let orig = orig_src.parse_record(orig_src.record_ranges()[0].clone());
+        let kept_src = &sub.sources[0];
+        let kept = kept_src.parse_record(kept_src.record_ranges()[0].clone());
+        assert_eq!(orig.fields, kept.fields);
+    }
+
+    #[test]
+    fn drill_down_reanalysis_runs_end_to_end() {
+        let src = CorpusSpec::pubmed(192 * 1024, 19).generate();
+        let cfg = EngineConfig::for_testing();
+        let top = run_engine(2, Arc::new(CostModel::zero()), &src, &cfg);
+        let master = top.master();
+        let assignments = master.all_assignments.as_ref().unwrap();
+        // Drill into the largest cluster.
+        let biggest = (0..master.cluster_sizes.len())
+            .max_by_key(|&c| master.cluster_sizes[c])
+            .unwrap() as u32;
+        let selected = select_cluster(assignments, biggest);
+        assert!(selected.len() > 5);
+        let sub = subset_corpus(&src, &selected);
+        let drill = run_engine(2, Arc::new(CostModel::zero()), &sub, &cfg);
+        let dm = drill.master();
+        assert_eq!(dm.summary.total_docs as usize, selected.len());
+        // The sub-analysis has its own themes and coordinates.
+        assert_eq!(dm.coords.as_ref().unwrap().len(), selected.len());
+    }
+
+    #[test]
+    fn empty_selection_empty_corpus() {
+        let src = CorpusSpec::pubmed(32 * 1024, 20).generate();
+        let sub = subset_corpus(&src, &[]);
+        assert_eq!(sub.total_records(), 0);
+        assert!(sub.sources.is_empty());
+    }
+}

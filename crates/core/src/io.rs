@@ -1,0 +1,192 @@
+//! Persistence of the engine's products.
+//!
+//! The paper names two outputs worth keeping (§2.1): *"Persist the
+//! knowledge signatures … These signatures comprise a valuable
+//! intermediate product of the text engine"* (step 7), and *"The 2-D
+//! document coordinates comprise the final primary product"* (step 9,
+//! written to a file by the master process). This module writes and reads
+//! both:
+//!
+//! * **Coordinates** — a CSV of `doc,x,y[,z],cluster`, the file the
+//!   ThemeView frontend consumes.
+//! * **Signatures** — a compact little-endian binary matrix with a small
+//!   header (magic, version, rows, cols), suitable for re-clustering
+//!   without re-scanning.
+
+use crate::DocId;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Magic bytes of the signature file format.
+const SIG_MAGIC: &[u8; 8] = b"INSPSIG1";
+
+/// Write the master's coordinate file: `doc,x,y,cluster` rows.
+pub fn write_coords_csv(
+    path: &Path,
+    coords: &[(f64, f64)],
+    assignments: Option<&[u32]>,
+) -> io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "doc,x,y,cluster")?;
+    for (i, (x, y)) in coords.iter().enumerate() {
+        let c = assignments.map(|a| a[i] as i64).unwrap_or(-1);
+        writeln!(f, "{i},{x:.9},{y:.9},{c}")?;
+    }
+    f.flush()
+}
+
+/// Read a coordinate file back: `(doc, x, y, cluster)` rows.
+pub fn read_coords_csv(path: &Path) -> io::Result<Vec<(DocId, f64, f64, i64)>> {
+    let text = std::fs::read_to_string(path)?;
+    let mut out = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        if ln == 0 {
+            if line != "doc,x,y,cluster" {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad header: {line}"),
+                ));
+            }
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 4 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected 4 fields in {line}"),
+            ));
+        }
+        let bad = |e: &dyn std::fmt::Display| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("{e} in {line}"))
+        };
+        let doc: DocId = fields[0].parse().map_err(|e| bad(&e))?;
+        let x: f64 = fields[1].parse().map_err(|e| bad(&e))?;
+        let y: f64 = fields[2].parse().map_err(|e| bad(&e))?;
+        let c: i64 = fields[3].parse().map_err(|e| bad(&e))?;
+        out.push((doc, x, y, c));
+    }
+    Ok(out)
+}
+
+/// Persist a row-major `rows × cols` signature matrix.
+pub fn write_signatures(path: &Path, rows: u64, cols: u32, data: &[f64]) -> io::Result<()> {
+    assert_eq!(data.len() as u64, rows * cols as u64, "shape mismatch");
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    f.write_all(SIG_MAGIC)?;
+    f.write_all(&rows.to_le_bytes())?;
+    f.write_all(&cols.to_le_bytes())?;
+    for v in data {
+        f.write_all(&v.to_le_bytes())?;
+    }
+    f.flush()
+}
+
+/// Load a signature matrix written by [`write_signatures`].
+pub fn read_signatures(path: &Path) -> io::Result<(u64, u32, Vec<f64>)> {
+    let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+    let mut magic = [0u8; 8];
+    f.read_exact(&mut magic)?;
+    if &magic != SIG_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a signature file",
+        ));
+    }
+    let mut b8 = [0u8; 8];
+    f.read_exact(&mut b8)?;
+    let rows = u64::from_le_bytes(b8);
+    let mut b4 = [0u8; 4];
+    f.read_exact(&mut b4)?;
+    let cols = u32::from_le_bytes(b4);
+    let n = rows
+        .checked_mul(cols as u64)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "shape overflow"))?;
+    let mut data = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        f.read_exact(&mut b8)?;
+        data.push(f64::from_le_bytes(b8));
+    }
+    // Trailing garbage is an error (truncation detection's mirror image).
+    if f.read(&mut [0u8; 1])? != 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "trailing bytes after signature matrix",
+        ));
+    }
+    Ok((rows, cols, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("inspire-io-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let path = tmp("coords.csv");
+        let coords = vec![(1.25, -3.5), (0.0, 0.000000001), (1e9, -1e-9)];
+        let assignments = vec![2u32, 0, 7];
+        write_coords_csv(&path, &coords, Some(&assignments)).unwrap();
+        let back = read_coords_csv(&path).unwrap();
+        assert_eq!(back.len(), 3);
+        for (i, (doc, x, y, c)) in back.iter().enumerate() {
+            assert_eq!(*doc as usize, i);
+            assert!((x - coords[i].0).abs() < 1e-6 * coords[i].0.abs().max(1.0));
+            assert!((y - coords[i].1).abs() < 1e-6);
+            assert_eq!(*c, assignments[i] as i64);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn coords_without_assignments_use_sentinel() {
+        let path = tmp("coords2.csv");
+        write_coords_csv(&path, &[(1.0, 2.0)], None).unwrap();
+        let back = read_coords_csv(&path).unwrap();
+        assert_eq!(back[0].3, -1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn signatures_roundtrip() {
+        let path = tmp("sigs.bin");
+        let data: Vec<f64> = (0..12).map(|i| i as f64 * 0.25 - 1.0).collect();
+        write_signatures(&path, 3, 4, &data).unwrap();
+        let (rows, cols, back) = read_signatures(&path).unwrap();
+        assert_eq!((rows, cols), (3, 4));
+        assert_eq!(back, data);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn signature_reader_rejects_garbage() {
+        let path = tmp("garbage.bin");
+        std::fs::write(&path, b"definitely not a signature file").unwrap();
+        assert!(read_signatures(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn signature_reader_rejects_truncation() {
+        let path = tmp("trunc.bin");
+        let data = vec![1.0f64; 8];
+        write_signatures(&path, 2, 4, &data).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        assert!(read_signatures(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn coords_reader_rejects_bad_header() {
+        let path = tmp("badhdr.csv");
+        std::fs::write(&path, "x,y\n1,2\n").unwrap();
+        assert!(read_coords_csv(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

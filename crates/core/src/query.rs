@@ -1,0 +1,403 @@
+//! Term lookup and simple ranked retrieval over the inverted index.
+//!
+//! The paper positions visual analytics as complementary to classical IR,
+//! but the engine's indices support lookup directly; this module exposes
+//! them for the example applications and tests (and mirrors what the
+//! production engine offers alongside the visualization pipeline).
+
+use crate::index::{InvertedIndex, Posting};
+use crate::scan::ScanOutput;
+use crate::{DocId, FieldId};
+use spmd::Ctx;
+use std::collections::HashMap;
+
+/// A boolean retrieval expression over terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// Documents containing the term (any field).
+    Term(String),
+    /// Documents containing the term within one named field.
+    FieldTerm(&'static str, String),
+    /// Intersection.
+    And(Vec<Query>),
+    /// Union.
+    Or(Vec<Query>),
+    /// Set difference: matches of the first operand minus the second's.
+    AndNot(Box<Query>, Box<Query>),
+}
+
+/// Postings for a term string, or empty when the term is unknown.
+pub fn lookup(ctx: &Ctx, scan: &ScanOutput, index: &InvertedIndex, term: &str) -> Vec<Posting> {
+    match scan.term_id(term) {
+        Some(t) => index.postings_of(ctx, t),
+        None => Vec::new(),
+    }
+}
+
+/// A ranked retrieval result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    pub doc: DocId,
+    pub score: f64,
+}
+
+/// Evaluate a boolean [`Query`] against the inverted index, returning the
+/// matching documents in ascending id order. Classic postings-merge
+/// evaluation: term postings are fetched once, deduplicated to document
+/// sets, and combined with sorted-set operations.
+pub fn evaluate(ctx: &Ctx, scan: &ScanOutput, index: &InvertedIndex, query: &Query) -> Vec<DocId> {
+    match query {
+        Query::Term(t) => docs_of(ctx, scan, index, t, None),
+        Query::FieldTerm(field, t) => {
+            let fid = crate::field_id(field);
+            docs_of(ctx, scan, index, t, fid)
+        }
+        Query::And(parts) => {
+            let mut sets: Vec<Vec<DocId>> = parts
+                .iter()
+                .map(|p| evaluate(ctx, scan, index, p))
+                .collect();
+            // Intersect smallest-first for efficiency.
+            sets.sort_by_key(|s| s.len());
+            let mut it = sets.into_iter();
+            let Some(mut acc) = it.next() else {
+                return Vec::new();
+            };
+            for s in it {
+                acc = intersect(&acc, &s);
+                if acc.is_empty() {
+                    break;
+                }
+            }
+            acc
+        }
+        Query::Or(parts) => {
+            let mut acc: Vec<DocId> = Vec::new();
+            for p in parts {
+                acc = union(&acc, &evaluate(ctx, scan, index, p));
+            }
+            acc
+        }
+        Query::AndNot(keep, drop) => {
+            let keep = evaluate(ctx, scan, index, keep);
+            let drop = evaluate(ctx, scan, index, drop);
+            difference(&keep, &drop)
+        }
+    }
+}
+
+/// Sorted distinct documents containing `term`, optionally restricted to
+/// one field — this is where the paper's *term-to-field* index pays off.
+fn docs_of(
+    ctx: &Ctx,
+    scan: &ScanOutput,
+    index: &InvertedIndex,
+    term: &str,
+    field: Option<FieldId>,
+) -> Vec<DocId> {
+    let Some(t) = scan.term_id(term) else {
+        return Vec::new();
+    };
+    let mut docs: Vec<DocId> = index
+        .postings_of(ctx, t)
+        .into_iter()
+        .filter(|p| field.is_none_or(|f| p.field == f))
+        .map(|p| p.doc)
+        .collect();
+    docs.dedup();
+    docs
+}
+
+fn intersect(a: &[DocId], b: &[DocId]) -> Vec<DocId> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+fn union(a: &[DocId], b: &[DocId]) -> Vec<DocId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        let take_a = j >= b.len() || (i < a.len() && a[i] <= b[j]);
+        if take_a {
+            if j < b.len() && i < a.len() && a[i] == b[j] {
+                j += 1;
+            }
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out
+}
+
+fn difference(a: &[DocId], b: &[DocId]) -> Vec<DocId> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() {
+        while j < b.len() && b[j] < a[i] {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != a[i] {
+            out.push(a[i]);
+        }
+        i += 1;
+    }
+    out
+}
+
+/// TF-IDF ranked retrieval for a free-text query (terms are tokenized with
+/// the same rules as indexing; unknown terms are ignored).
+pub fn search(
+    ctx: &Ctx,
+    scan: &ScanOutput,
+    index: &InvertedIndex,
+    query: &str,
+    top: usize,
+) -> Vec<Hit> {
+    let tokenizer = crate::tokenize::Tokenizer::default();
+    let mut terms = Vec::new();
+    tokenizer.tokenize_into(query, |t| terms.push(t.to_string()));
+
+    let d = index.total_docs as f64;
+    let mut scores: HashMap<DocId, f64> = HashMap::new();
+    for term in terms {
+        let Some(t) = scan.term_id(&term) else {
+            continue;
+        };
+        let df = index.df[t as usize] as f64;
+        if df == 0.0 {
+            continue;
+        }
+        let idf = ((d + 1.0) / (df + 1.0)).ln();
+        // Merge field postings per document.
+        let mut per_doc: HashMap<DocId, u32> = HashMap::new();
+        for p in index.postings_of(ctx, t) {
+            *per_doc.entry(p.doc).or_insert(0) += p.freq;
+        }
+        for (doc, freq) in per_doc {
+            *scores.entry(doc).or_insert(0.0) += (1.0 + (freq as f64).ln()) * idf;
+        }
+    }
+    let mut hits: Vec<Hit> = scores
+        .into_iter()
+        .map(|(doc, score)| Hit { doc, score })
+        .collect();
+    hits.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap().then(a.doc.cmp(&b.doc)));
+    hits.truncate(top);
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::index::invert;
+    use crate::scan::scan;
+    use corpus::CorpusSpec;
+    use spmd::Runtime;
+
+    fn corpus() -> corpus::SourceSet {
+        CorpusSpec {
+            source_bytes: 8 * 1024,
+            ..CorpusSpec::pubmed(48 * 1024, 61)
+        }
+        .generate()
+    }
+
+    #[test]
+    fn lookup_unknown_term_is_empty() {
+        let src = corpus();
+        let rt = Runtime::for_testing();
+        rt.run(2, |ctx| {
+            let cfg = EngineConfig::for_testing();
+            let s = scan(ctx, &src, &cfg);
+            let idx = invert(ctx, &s, &cfg);
+            assert!(lookup(ctx, &s, &idx, "qqqqq").is_empty());
+        });
+    }
+
+    #[test]
+    fn lookup_known_term_matches_df() {
+        let src = corpus();
+        let rt = Runtime::for_testing();
+        rt.run(2, |ctx| {
+            let cfg = EngineConfig::for_testing();
+            let s = scan(ctx, &src, &cfg);
+            let idx = invert(ctx, &s, &cfg);
+            // Pick a mid-frequency term from the vocabulary.
+            let t = (0..s.vocab_size())
+                .find(|&t| idx.df[t] >= 3)
+                .expect("some term with df >= 3");
+            let term = s.terms[t].clone();
+            let posts = lookup(ctx, &s, &idx, &term);
+            let mut docs: Vec<DocId> = posts.iter().map(|p| p.doc).collect();
+            docs.dedup();
+            assert_eq!(docs.len() as u32, idx.df[t]);
+        });
+    }
+
+    #[test]
+    fn search_ranks_matching_docs() {
+        let src = corpus();
+        let rt = Runtime::for_testing();
+        rt.run(2, |ctx| {
+            let cfg = EngineConfig::for_testing();
+            let s = scan(ctx, &src, &cfg);
+            let idx = invert(ctx, &s, &cfg);
+            let t = (0..s.vocab_size())
+                .max_by_key(|&t| idx.df[t])
+                .unwrap();
+            let term = s.terms[t].clone();
+            let hits = search(ctx, &s, &idx, &term, 10);
+            assert!(!hits.is_empty());
+            assert!(hits.len() <= 10);
+            for w in hits.windows(2) {
+                assert!(w[0].score >= w[1].score);
+            }
+        });
+    }
+
+    #[test]
+    fn set_operations_are_correct() {
+        assert_eq!(intersect(&[1, 3, 5, 7], &[3, 4, 5, 9]), vec![3, 5]);
+        assert_eq!(intersect(&[], &[1]), Vec::<DocId>::new());
+        assert_eq!(union(&[1, 3, 5], &[2, 3, 6]), vec![1, 2, 3, 5, 6]);
+        assert_eq!(union(&[], &[]), Vec::<DocId>::new());
+        assert_eq!(difference(&[1, 2, 3, 4], &[2, 4, 8]), vec![1, 3]);
+        assert_eq!(difference(&[], &[1]), Vec::<DocId>::new());
+    }
+
+    #[test]
+    fn boolean_queries_respect_set_algebra() {
+        let src = corpus();
+        let rt = Runtime::for_testing();
+        rt.run(2, |ctx| {
+            let cfg = EngineConfig::for_testing();
+            let s = scan(ctx, &src, &cfg);
+            let idx = invert(ctx, &s, &cfg);
+            // Two mid-frequency terms.
+            let mut picks = (0..s.vocab_size())
+                .filter(|&t| idx.df[t] >= 4 && (idx.df[t] as f64) < idx.total_docs as f64 * 0.5)
+                .map(|t| s.terms[t].clone());
+            let ta = picks.next().expect("term a");
+            let tb = picks.next().expect("term b");
+
+            let a = evaluate(ctx, &s, &idx, &Query::Term(ta.clone()));
+            let b = evaluate(ctx, &s, &idx, &Query::Term(tb.clone()));
+            let and = evaluate(
+                ctx,
+                &s,
+                &idx,
+                &Query::And(vec![Query::Term(ta.clone()), Query::Term(tb.clone())]),
+            );
+            let or = evaluate(
+                ctx,
+                &s,
+                &idx,
+                &Query::Or(vec![Query::Term(ta.clone()), Query::Term(tb.clone())]),
+            );
+            let not = evaluate(
+                ctx,
+                &s,
+                &idx,
+                &Query::AndNot(
+                    Box::new(Query::Term(ta.clone())),
+                    Box::new(Query::Term(tb.clone())),
+                ),
+            );
+            // |A∩B| + |A∪B| = |A| + |B|.
+            assert_eq!(and.len() + or.len(), a.len() + b.len());
+            // A \ B and A ∩ B partition A.
+            assert_eq!(not.len() + and.len(), a.len());
+            // Membership coherence.
+            for d in &and {
+                assert!(a.binary_search(d).is_ok() && b.binary_search(d).is_ok());
+            }
+            for d in &not {
+                assert!(a.binary_search(d).is_ok() && b.binary_search(d).is_err());
+            }
+            // Results sorted ascending.
+            for w in or.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        });
+    }
+
+    #[test]
+    fn field_scoped_query_narrower_than_global() {
+        let src = corpus();
+        let rt = Runtime::for_testing();
+        rt.run(2, |ctx| {
+            let cfg = EngineConfig::for_testing();
+            let s = scan(ctx, &src, &cfg);
+            let idx = invert(ctx, &s, &cfg);
+            // A frequent term appears in abstracts far more than titles.
+            let t = (0..s.vocab_size()).max_by_key(|&t| idx.df[t]).unwrap();
+            let term = s.terms[t].clone();
+            let all = evaluate(ctx, &s, &idx, &Query::Term(term.clone()));
+            let title_only =
+                evaluate(ctx, &s, &idx, &Query::FieldTerm("title", term.clone()));
+            assert!(title_only.len() <= all.len());
+            // Every title match is also a global match.
+            for d in &title_only {
+                assert!(all.binary_search(d).is_ok());
+            }
+            // Union over all indexed fields reconstructs the global set.
+            let by_fields = evaluate(
+                ctx,
+                &s,
+                &idx,
+                &Query::Or(vec![
+                    Query::FieldTerm("title", term.clone()),
+                    Query::FieldTerm("abstract", term.clone()),
+                    Query::FieldTerm("mesh", term.clone()),
+                    Query::FieldTerm("body", term.clone()),
+                ]),
+            );
+            assert_eq!(by_fields, all);
+        });
+    }
+
+    #[test]
+    fn empty_and_unknown_boolean_queries() {
+        let src = corpus();
+        let rt = Runtime::for_testing();
+        rt.run(1, |ctx| {
+            let cfg = EngineConfig::for_testing();
+            let s = scan(ctx, &src, &cfg);
+            let idx = invert(ctx, &s, &cfg);
+            assert!(evaluate(ctx, &s, &idx, &Query::And(vec![])).is_empty());
+            assert!(evaluate(ctx, &s, &idx, &Query::Or(vec![])).is_empty());
+            assert!(
+                evaluate(ctx, &s, &idx, &Query::Term("zz-unknown-zz".into())).is_empty()
+            );
+        });
+    }
+
+    #[test]
+    fn search_empty_query_no_hits() {
+        let src = corpus();
+        let rt = Runtime::for_testing();
+        rt.run(1, |ctx| {
+            let cfg = EngineConfig::for_testing();
+            let s = scan(ctx, &src, &cfg);
+            let idx = invert(ctx, &s, &cfg);
+            assert!(search(ctx, &s, &idx, "", 5).is_empty());
+            assert!(search(ctx, &s, &idx, "the and of", 5).is_empty());
+        });
+    }
+}

@@ -1,0 +1,414 @@
+//! Scan & Map: source partitioning, tokenization, forward indexing, and
+//! global vocabulary construction (paper §3.2).
+//!
+//! Each rank scans its byte-balanced share of the sources, tokenizes every
+//! indexed field, and builds the *forward index* (document → field → term
+//! counts). Unique terms are registered in the ARMCI-style distributed
+//! hashmap, which assigns global term IDs; a process-local cache keeps the
+//! remote insert traffic proportional to the number of *distinct* terms a
+//! rank encounters, not to the token count.
+//!
+//! After scanning, the forward index is published into two global arrays
+//! (offsets + packed entries) so that any rank can fetch any document's
+//! postings during the dynamically load-balanced inversion — this is the
+//! "stored in global arrays, so that they are globally accessible when
+//! processes exchange information during inverted file indexing" of §3.2.
+//!
+//! Finally the vocabulary is **canonicalized**: the distributed hashmap's
+//! arrival-order IDs depend on thread scheduling, so ranks collectively
+//! sort the vocabulary and remap to dense, lexicographic IDs. This makes
+//! every downstream stage bit-deterministic for a given corpus regardless
+//! of the processor count or scheduling, which the test suite relies on.
+
+use crate::config::EngineConfig;
+use crate::tokenize::Tokenizer;
+use crate::{DocId, FieldId, TermId};
+use corpus::{partition_contiguous, SourceSet};
+use ga::{DistHashMap, GlobalArray};
+use perfmodel::WorkKind;
+use spmd::Ctx;
+use std::collections::HashMap;
+
+/// Fields that are indexed (contribute terms). Identifier-like fields
+/// (pmid, docno, url, author) are framed but not indexed, as a production
+/// text engine would configure.
+pub const INDEXED_FIELDS: &[&str] = &["title", "abstract", "mesh", "body"];
+
+/// Pack a forward-index entry: term id (32 bits) | field (8) | freq (24).
+pub fn pack_entry(term: TermId, field: FieldId, freq: u32) -> u64 {
+    (term as u64) | ((field as u64) << 32) | ((freq.min(0xFF_FFFF) as u64) << 40)
+}
+
+/// Unpack a forward-index entry.
+pub fn unpack_entry(e: u64) -> (TermId, FieldId, u32) {
+    (
+        (e & 0xFFFF_FFFF) as TermId,
+        ((e >> 32) & 0xFF) as FieldId,
+        (e >> 40) as u32,
+    )
+}
+
+/// Per-field term counts of one document, sorted by term id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalField {
+    pub field: FieldId,
+    pub counts: Vec<(TermId, u32)>,
+}
+
+/// One scanned document owned by this rank.
+#[derive(Debug, Clone)]
+pub struct LocalDoc {
+    pub doc_id: DocId,
+    pub fields: Vec<LocalField>,
+    /// Accepted tokens in the document (all indexed fields).
+    pub tokens: u32,
+}
+
+impl LocalDoc {
+    /// Iterate `(term, freq)` aggregated over fields. Entries are emitted
+    /// in ascending term order per field; the same term may appear for
+    /// multiple fields.
+    pub fn term_freqs(&self) -> impl Iterator<Item = (TermId, u32)> + '_ {
+        self.fields
+            .iter()
+            .flat_map(|f| f.counts.iter().copied())
+    }
+
+    /// Distinct terms of the document (sorted, deduplicated across
+    /// fields), with total frequency.
+    pub fn distinct_terms(&self) -> Vec<(TermId, u32)> {
+        let mut m: HashMap<TermId, u32> = HashMap::new();
+        for (t, f) in self.term_freqs() {
+            *m.entry(t).or_insert(0) += f;
+        }
+        let mut v: Vec<(TermId, u32)> = m.into_iter().collect();
+        v.sort_unstable_by_key(|&(t, _)| t);
+        v
+    }
+}
+
+/// The result of the Scan & Map stage on one rank.
+pub struct ScanOutput {
+    /// This rank's documents, in corpus order.
+    pub docs: Vec<LocalDoc>,
+    /// Global id of `docs[0]`.
+    pub doc_base: DocId,
+    /// Total documents across all ranks.
+    pub total_docs: u32,
+    /// The distributed vocabulary map (original arrival-order ids).
+    pub vocab: DistHashMap,
+    /// Canonical vocabulary: `terms[canonical_id]`, lexicographically
+    /// sorted. All term ids in `docs` and the forward arrays are
+    /// canonical.
+    pub terms: std::sync::Arc<Vec<String>>,
+    /// Forward-index document offsets (length `total_docs + 1`).
+    pub fwd_offsets: GlobalArray<i64>,
+    /// Packed forward-index entries (term | field | freq).
+    pub fwd_data: GlobalArray<u64>,
+    /// Bytes of source data this rank scanned.
+    pub bytes_scanned: u64,
+    /// Accepted tokens this rank scanned.
+    pub tokens_scanned: u64,
+}
+
+impl ScanOutput {
+    /// Vocabulary size (canonical ids are dense `0..terms.len()`).
+    pub fn vocab_size(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Canonical id of `term`, if present.
+    pub fn term_id(&self, term: &str) -> Option<TermId> {
+        self.terms
+            .binary_search_by(|t| t.as_str().cmp(term))
+            .ok()
+            .map(|i| i as TermId)
+    }
+}
+
+/// Run Scan & Map. Collective: every rank calls with the same arguments.
+pub fn scan(ctx: &Ctx, sources: &SourceSet, cfg: &EngineConfig) -> ScanOutput {
+    let p = ctx.nprocs();
+    let tokenizer = Tokenizer::new(cfg.tokenizer.clone());
+    let indexed: Vec<FieldId> = INDEXED_FIELDS
+        .iter()
+        .map(|n| crate::field_id(n).expect("indexed field registered"))
+        .collect();
+
+    // Static byte-balanced partitioning of sources (§3.2).
+    let parts = partition_contiguous(&sources.sizes(), p);
+    let my_sources = parts[ctx.rank()].clone();
+
+    let vocab = DistHashMap::create(ctx);
+    let mut cache: HashMap<String, TermId> = HashMap::new();
+    let mut docs: Vec<LocalDoc> = Vec::new();
+    let mut bytes_scanned = 0u64;
+    let mut tokens_scanned = 0u64;
+
+    let mut field_counts: HashMap<TermId, u32> = HashMap::new();
+    for si in my_sources {
+        let source = &sources.sources[si];
+        bytes_scanned += source.data.len() as u64;
+        ctx.charge_scan_io(source.data.len() as u64);
+        ctx.charge(WorkKind::ScanBytes, source.data.len() as u64);
+        for range in source.record_ranges() {
+            let raw = source.parse_record(range);
+            let mut fields: Vec<LocalField> = Vec::new();
+            let mut doc_tokens = 0u32;
+            for (name, text) in &raw.fields {
+                let Some(fid) = crate::field_id(name) else {
+                    continue;
+                };
+                if !indexed.contains(&fid) {
+                    continue;
+                }
+                field_counts.clear();
+                let candidates = tokenizer.tokenize_into(text, |term| {
+                    let id = match cache.get(term) {
+                        Some(&id) => id,
+                        None => {
+                            let id = vocab.insert_or_get(ctx, term);
+                            cache.insert(term.to_string(), id);
+                            id
+                        }
+                    };
+                    *field_counts.entry(id).or_insert(0) += 1;
+                    doc_tokens += 1;
+                });
+                ctx.charge(WorkKind::TokenizeTerms, candidates);
+                if !field_counts.is_empty() {
+                    let mut counts: Vec<(TermId, u32)> =
+                        field_counts.drain().collect();
+                    counts.sort_unstable_by_key(|&(t, _)| t);
+                    fields.push(LocalField { field: fid, counts });
+                }
+            }
+            tokens_scanned += doc_tokens as u64;
+            docs.push(LocalDoc {
+                doc_id: 0, // assigned below
+                fields,
+                tokens: doc_tokens,
+            });
+        }
+    }
+
+    // Global document numbering.
+    let (doc_base, total_docs) = ctx.exscan_u64(docs.len() as u64);
+    for (i, d) in docs.iter_mut().enumerate() {
+        d.doc_id = (doc_base as usize + i) as DocId;
+    }
+
+    // Vocabulary is complete once everyone finished inserting.
+    ctx.barrier();
+
+    // Canonicalize: collectively sort the vocabulary and remap ids so the
+    // engine is deterministic under scheduling (see module docs).
+    let reverse = vocab.reverse_map_collective(ctx);
+    let mut terms: Vec<String> = reverse.into_iter().flatten().collect();
+    ctx.charge_vocab(
+        WorkKind::HashOps,
+        terms.len() as u64, // sort + remap table build
+    );
+    terms.sort_unstable();
+    let remap: HashMap<&str, TermId> = terms
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.as_str(), i as TermId))
+        .collect();
+    let old_to_new: HashMap<TermId, TermId> = cache
+        .iter()
+        .map(|(term, &old)| (old, remap[term.as_str()]))
+        .collect();
+    for d in &mut docs {
+        for f in &mut d.fields {
+            for (t, _) in &mut f.counts {
+                *t = old_to_new[t];
+            }
+            f.counts.sort_unstable_by_key(|&(t, _)| t);
+        }
+    }
+
+    // Publish the forward index into global arrays.
+    let my_entries: u64 = docs
+        .iter()
+        .map(|d| d.fields.iter().map(|f| f.counts.len() as u64).sum::<u64>())
+        .sum();
+    let (entry_base, total_entries) = ctx.exscan_u64(my_entries);
+    let fwd_offsets = GlobalArray::<i64>::create(ctx, total_docs as usize + 1);
+    let fwd_data = GlobalArray::<u64>::create(ctx, total_entries as usize);
+
+    let mut offsets = Vec::with_capacity(docs.len() + 1);
+    let mut entries = Vec::with_capacity(my_entries as usize);
+    let mut at = entry_base;
+    for d in &docs {
+        offsets.push(at as i64);
+        for f in &d.fields {
+            for &(t, c) in &f.counts {
+                entries.push(pack_entry(t, f.field, c));
+            }
+        }
+        at = entry_base + entries.len() as u64;
+    }
+    if !docs.is_empty() {
+        fwd_offsets.put(ctx, doc_base as usize, &offsets);
+        fwd_data.put(ctx, entry_base as usize, &entries);
+    }
+    if ctx.rank() == p - 1 {
+        fwd_offsets.put(ctx, total_docs as usize, &[total_entries as i64]);
+    }
+    ctx.barrier();
+
+    ScanOutput {
+        docs,
+        doc_base: doc_base as DocId,
+        total_docs: total_docs as u32,
+        vocab,
+        terms: std::sync::Arc::new(terms),
+        fwd_offsets,
+        fwd_data,
+        bytes_scanned,
+        tokens_scanned,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corpus::CorpusSpec;
+    use spmd::Runtime;
+
+    fn tiny_corpus() -> SourceSet {
+        CorpusSpec {
+            source_bytes: 8 * 1024,
+            ..CorpusSpec::pubmed(32 * 1024, 77)
+        }
+        .generate()
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for (t, f, c) in [(0u32, 0u8, 1u32), (123_456, 7, 999), (u32::MAX, 3, 0xFF_FFFF)] {
+            assert_eq!(unpack_entry(pack_entry(t, f, c)), (t, f, c));
+        }
+    }
+
+    #[test]
+    fn pack_saturates_freq() {
+        let (_, _, c) = unpack_entry(pack_entry(1, 1, u32::MAX));
+        assert_eq!(c, 0xFF_FFFF);
+    }
+
+    #[test]
+    fn doc_ids_are_dense_and_global() {
+        let corpus = tiny_corpus();
+        let rt = Runtime::for_testing();
+        let res = rt.run(4, |ctx| {
+            let out = scan(ctx, &corpus, &EngineConfig::for_testing());
+            (out.doc_base, out.docs.len() as u32, out.total_docs)
+        });
+        let total = res.results[0].2;
+        let mut expected_base = 0u32;
+        for (base, n, t) in res.results {
+            assert_eq!(base, expected_base);
+            assert_eq!(t, total);
+            expected_base += n;
+        }
+        assert_eq!(expected_base, total);
+    }
+
+    #[test]
+    fn vocabulary_identical_across_p() {
+        let corpus = tiny_corpus();
+        let rt = Runtime::for_testing();
+        let t1 = rt
+            .run(1, |ctx| {
+                scan(ctx, &corpus, &EngineConfig::for_testing()).terms.as_ref().clone()
+            })
+            .results
+            .remove(0);
+        for p in [2, 3, 5] {
+            let tp = rt
+                .run(p, |ctx| {
+                    scan(ctx, &corpus, &EngineConfig::for_testing()).terms.as_ref().clone()
+                })
+                .results
+                .remove(0);
+            assert_eq!(t1, tp, "vocabulary differs at P={p}");
+        }
+    }
+
+    #[test]
+    fn forward_arrays_reconstruct_documents() {
+        let corpus = tiny_corpus();
+        let rt = Runtime::for_testing();
+        rt.run(3, |ctx| {
+            let out = scan(ctx, &corpus, &EngineConfig::for_testing());
+            ctx.barrier();
+            // Read every rank's docs back through the global arrays and
+            // compare with the local structures via an allgather.
+            let offsets = out.fwd_offsets.get(ctx, 0..out.total_docs as usize + 1);
+            for d in &out.docs {
+                let lo = offsets[d.doc_id as usize] as usize;
+                let hi = offsets[d.doc_id as usize + 1] as usize;
+                let entries = out.fwd_data.get(ctx, lo..hi);
+                let mut expect = Vec::new();
+                for f in &d.fields {
+                    for &(t, c) in &f.counts {
+                        expect.push(pack_entry(t, f.field, c));
+                    }
+                }
+                assert_eq!(entries, expect, "doc {}", d.doc_id);
+            }
+        });
+    }
+
+    #[test]
+    fn term_lookup_by_string() {
+        let corpus = tiny_corpus();
+        let rt = Runtime::for_testing();
+        rt.run(2, |ctx| {
+            let out = scan(ctx, &corpus, &EngineConfig::for_testing());
+            // Every canonical id maps back to its term.
+            for (i, t) in out.terms.iter().enumerate().step_by(50) {
+                assert_eq!(out.term_id(t), Some(i as TermId));
+            }
+            assert_eq!(out.term_id("zz-not-a-term-zz"), None);
+        });
+    }
+
+    #[test]
+    fn terms_sorted_and_distinct() {
+        let corpus = tiny_corpus();
+        let rt = Runtime::for_testing();
+        rt.run(2, |ctx| {
+            let out = scan(ctx, &corpus, &EngineConfig::for_testing());
+            for w in out.terms.windows(2) {
+                assert!(w[0] < w[1], "terms must be strictly sorted");
+            }
+        });
+    }
+
+    #[test]
+    fn stopwords_absent_from_vocabulary() {
+        let corpus = tiny_corpus();
+        let rt = Runtime::for_testing();
+        rt.run(2, |ctx| {
+            let out = scan(ctx, &corpus, &EngineConfig::for_testing());
+            assert_eq!(out.term_id("the"), None);
+            assert_eq!(out.term_id("html"), None);
+        });
+    }
+
+    #[test]
+    fn tokens_counted() {
+        let corpus = tiny_corpus();
+        let rt = Runtime::for_testing();
+        let res = rt.run(2, |ctx| {
+            let out = scan(ctx, &corpus, &EngineConfig::for_testing());
+            let local_sum: u64 = out.docs.iter().map(|d| d.tokens as u64).sum();
+            assert_eq!(local_sum, out.tokens_scanned);
+            out.tokens_scanned
+        });
+        assert!(res.results.iter().sum::<u64>() > 1000);
+    }
+}

@@ -1,0 +1,42 @@
+//! Sequential reference execution.
+//!
+//! The parallel engine running on a single rank *is* a sequential
+//! execution of the identical algorithms (all collectives degenerate to
+//! copies, the task queue serves only its owner, every global array is
+//! one local block). This module packages that as an explicit oracle: the
+//! cross-crate tests assert that for every processor count the parallel
+//! engine reproduces [`run_sequential`]'s output.
+
+use crate::config::EngineConfig;
+use crate::pipeline::{run_engine, EngineOutput};
+use corpus::SourceSet;
+use perfmodel::CostModel;
+use std::sync::Arc;
+
+/// Run the pipeline sequentially (one rank, zero-cost model) and return
+/// the master output, which holds the full coordinate set.
+pub fn run_sequential(sources: &SourceSet, config: &EngineConfig) -> EngineOutput {
+    run_engine(1, Arc::new(CostModel::zero()), sources, config)
+        .outputs
+        .remove(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corpus::CorpusSpec;
+
+    #[test]
+    fn sequential_run_completes_with_full_outputs() {
+        let src = CorpusSpec {
+            source_bytes: 8 * 1024,
+            ..CorpusSpec::trec(64 * 1024, 8)
+        }
+        .generate();
+        let out = run_sequential(&src, &EngineConfig::for_testing());
+        let coords = out.coords.expect("sequential master holds coords");
+        assert_eq!(coords.len() as u32, out.summary.total_docs);
+        assert_eq!(out.assignments.len(), coords.len());
+        assert_eq!(out.doc_base, 0);
+    }
+}

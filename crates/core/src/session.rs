@@ -1,0 +1,288 @@
+//! The analyst session: a high-level facade over the whole system.
+//!
+//! The paper's §2 describes the analyst workflow the engine exists to
+//! serve: load a collection, see its themes, search and browse, select
+//! and drill down. [`Session`] packages that workflow as a library API so
+//! a frontend (or the `vaengine` CLI, or a test) doesn't have to
+//! orchestrate crates by hand:
+//!
+//! ```text
+//! let session = Session::analyze(corpus, &config, 8, model);
+//! session.themes();              // labeled clusters with sizes
+//! session.coords();              // the 2-D layout
+//! session.search("cardi...");    // ranked retrieval
+//! let sub = session.drill_down(&selection);  // a new Session
+//! ```
+//!
+//! Each drill-down produces a *new* session over the selected subset —
+//! the stack of sessions is the analyst's navigation history.
+
+use crate::config::EngineConfig;
+use crate::interact::{select_cluster, select_radius, select_rect, subset_corpus};
+use crate::pipeline::{run_engine, EngineOutput};
+use crate::query::{search as tfidf_search, Hit};
+use crate::scan::scan;
+use crate::index::invert;
+use crate::DocId;
+use corpus::SourceSet;
+use perfmodel::CostModel;
+use spmd::Runtime;
+use std::sync::Arc;
+
+/// One theme (cluster) as the analyst sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Theme {
+    pub cluster: u32,
+    pub size: u64,
+    /// Most characteristic topic terms, best first.
+    pub labels: Vec<String>,
+}
+
+/// A selection of documents for drill-down.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Selection {
+    /// Axis-aligned rectangle in layout space.
+    Rect { min: (f64, f64), max: (f64, f64) },
+    /// Circle in layout space (the "lasso a mountain" gesture).
+    Radius { center: (f64, f64), radius: f64 },
+    /// One theme.
+    Cluster(u32),
+    /// Explicit document ids.
+    Docs(Vec<DocId>),
+}
+
+/// An analyzed collection: the corpus plus the engine's products.
+pub struct Session {
+    sources: SourceSet,
+    config: EngineConfig,
+    nprocs: usize,
+    model: Arc<CostModel>,
+    master: EngineOutput,
+    virtual_time: f64,
+}
+
+impl Session {
+    /// Run the full pipeline over `sources` on `nprocs` simulated
+    /// processors.
+    pub fn analyze(
+        sources: SourceSet,
+        config: &EngineConfig,
+        nprocs: usize,
+        model: Arc<CostModel>,
+    ) -> Session {
+        let run = run_engine(nprocs, model.clone(), &sources, config);
+        let virtual_time = run.virtual_time;
+        let master = run.outputs.into_iter().next().expect("rank 0 output");
+        Session {
+            sources,
+            config: config.clone(),
+            nprocs,
+            model,
+            master,
+            virtual_time,
+        }
+    }
+
+    /// Number of documents in this session's collection.
+    pub fn n_docs(&self) -> usize {
+        self.master.summary.total_docs as usize
+    }
+
+    /// The 2-D document layout (in global document order).
+    pub fn coords(&self) -> &[(f64, f64)] {
+        self.master.coords.as_deref().expect("master holds coords")
+    }
+
+    /// Cluster assignment per document.
+    pub fn assignments(&self) -> &[u32] {
+        self.master
+            .all_assignments
+            .as_deref()
+            .expect("master holds assignments")
+    }
+
+    /// The discovered themes, largest first.
+    pub fn themes(&self) -> Vec<Theme> {
+        let mut out: Vec<Theme> = self
+            .master
+            .cluster_sizes
+            .iter()
+            .enumerate()
+            .filter(|(_, &size)| size > 0)
+            .map(|(c, &size)| Theme {
+                cluster: c as u32,
+                size,
+                labels: self.master.cluster_labels[c].clone(),
+            })
+            .collect();
+        out.sort_by_key(|t| std::cmp::Reverse(t.size));
+        out
+    }
+
+    /// Engine bookkeeping (dimensions, vocabulary, timings).
+    pub fn summary(&self) -> &crate::pipeline::EngineSummary {
+        &self.master.summary
+    }
+
+    /// Virtual seconds the analysis took on the modeled cluster.
+    pub fn virtual_time(&self) -> f64 {
+        self.virtual_time
+    }
+
+    /// Ranked retrieval against this session's collection.
+    ///
+    /// Reruns scan+index (the session does not pin the engine's internal
+    /// structures across the thread boundary); acceptable for interactive
+    /// corpus sizes, and exercised this way by the CLI.
+    pub fn search(&self, query: &str, top: usize) -> Vec<Hit> {
+        let rt = Runtime::new(self.model.clone());
+        let sources = &self.sources;
+        let config = &self.config;
+        let mut res = rt.run(self.nprocs.min(4), |ctx| {
+            let s = scan(ctx, sources, config);
+            let idx = invert(ctx, &s, config);
+            tfidf_search(ctx, &s, &idx, query, top)
+        });
+        res.results.remove(0)
+    }
+
+    /// Resolve a [`Selection`] to document ids.
+    pub fn select(&self, selection: &Selection) -> Vec<DocId> {
+        match selection {
+            Selection::Rect { min, max } => select_rect(self.coords(), *min, *max),
+            Selection::Radius { center, radius } => {
+                select_radius(self.coords(), *center, *radius)
+            }
+            Selection::Cluster(c) => select_cluster(self.assignments(), *c),
+            Selection::Docs(ids) => {
+                let n = self.n_docs() as DocId;
+                let mut ids: Vec<DocId> =
+                    ids.iter().copied().filter(|&d| d < n).collect();
+                ids.sort_unstable();
+                ids.dedup();
+                ids
+            }
+        }
+    }
+
+    /// Drill down: re-analyze the selected documents as their own
+    /// collection, returning the new (child) session.
+    ///
+    /// Returns `None` for an empty selection.
+    pub fn drill_down(&self, selection: &Selection) -> Option<Session> {
+        let docs = self.select(selection);
+        if docs.is_empty() {
+            return None;
+        }
+        let sub = subset_corpus(&self.sources, &docs);
+        Some(Session::analyze(
+            sub,
+            &self.config,
+            self.nprocs,
+            self.model.clone(),
+        ))
+    }
+
+    /// The underlying corpus (e.g., to persist a selection).
+    pub fn sources(&self) -> &SourceSet {
+        &self.sources
+    }
+
+    /// The master engine output, for advanced consumers.
+    pub fn output(&self) -> &EngineOutput {
+        &self.master
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corpus::CorpusSpec;
+
+    fn session() -> Session {
+        let sources = CorpusSpec::pubmed(192 * 1024, 777).generate();
+        Session::analyze(
+            sources,
+            &EngineConfig::for_testing(),
+            3,
+            Arc::new(CostModel::zero()),
+        )
+    }
+
+    #[test]
+    fn themes_ordered_and_consistent() {
+        let s = session();
+        let themes = s.themes();
+        assert!(!themes.is_empty());
+        for w in themes.windows(2) {
+            assert!(w[0].size >= w[1].size);
+        }
+        let total: u64 = themes.iter().map(|t| t.size).sum();
+        assert_eq!(total, s.n_docs() as u64);
+    }
+
+    #[test]
+    fn coords_and_assignments_cover_all_docs() {
+        let s = session();
+        assert_eq!(s.coords().len(), s.n_docs());
+        assert_eq!(s.assignments().len(), s.n_docs());
+    }
+
+    #[test]
+    fn search_returns_ranked_hits() {
+        let s = session();
+        // Search for a theme label — it must hit documents.
+        let term = s.themes()[0].labels[0].clone();
+        let hits = s.search(&term, 5);
+        assert!(!hits.is_empty());
+        for w in hits.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn drill_down_by_cluster_matches_theme_size() {
+        let s = session();
+        let theme = &s.themes()[0];
+        let child = s
+            .drill_down(&Selection::Cluster(theme.cluster))
+            .expect("non-empty selection");
+        assert_eq!(child.n_docs() as u64, theme.size);
+        // The child found its own sub-structure.
+        assert!(!child.themes().is_empty());
+    }
+
+    #[test]
+    fn drill_down_docs_selection_dedups_and_bounds() {
+        let s = session();
+        let picked = Selection::Docs(vec![0, 1, 1, 2, 9_999_999]);
+        let ids = s.select(&picked);
+        assert_eq!(ids, vec![0, 1, 2]);
+        let child = s.drill_down(&picked).unwrap();
+        assert_eq!(child.n_docs(), 3);
+    }
+
+    #[test]
+    fn empty_selection_yields_no_session() {
+        let s = session();
+        assert!(s
+            .drill_down(&Selection::Rect {
+                min: (1e9, 1e9),
+                max: (1e9 + 1.0, 1e9 + 1.0)
+            })
+            .is_none());
+    }
+
+    #[test]
+    fn nested_drill_down() {
+        let s = session();
+        let child = s
+            .drill_down(&Selection::Cluster(s.themes()[0].cluster))
+            .unwrap();
+        // Drill again into the child's largest theme.
+        let grandchild = child.drill_down(&Selection::Cluster(child.themes()[0].cluster));
+        if let Some(g) = grandchild {
+            assert!(g.n_docs() <= child.n_docs());
+        }
+    }
+}

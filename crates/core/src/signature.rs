@@ -1,0 +1,234 @@
+//! Knowledge signature (document vector) generation (paper §3.4, step 6).
+//!
+//! > *"Each process computes the knowledge signatures by cycling through
+//! > each record. For each term that exists in that record, we obtain the
+//! > row within the association matrix. These rows represent a term vector
+//! > that when linearly combined with other term vectors and then
+//! > normalized we form a signature of that record. During the linear
+//! > combination, each term vector is multiplied by the frequency of that
+//! > term within that record. … Each signature is normalized based on a
+//! > L1 Norm."*
+//!
+//! The module also implements the §4.2 observation: with too few
+//! dimensions *"many records had less than desirable signatures and some
+//! were null"*. [`SignatureStats`] counts null and weak signatures so the
+//! pipeline can apply the adaptive-dimensionality remedy (expand N and M
+//! and regenerate).
+
+use crate::assoc::AssociationMatrix;
+use crate::scan::ScanOutput;
+use ga::GlobalArray2D;
+use perfmodel::WorkKind;
+use spmd::{Ctx, ReduceOp};
+
+/// A signature with fewer than this many non-zero dimensions is "weak".
+pub const WEAK_DIMS: usize = 3;
+
+/// Quality statistics over all documents (globally reduced).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignatureStats {
+    pub total: u64,
+    /// Documents whose signature is identically zero (no major terms).
+    pub null: u64,
+    /// Documents with a non-null signature on fewer than [`WEAK_DIMS`]
+    /// dimensions.
+    pub weak: u64,
+}
+
+impl SignatureStats {
+    /// Fraction of documents with null-or-weak signatures.
+    pub fn weak_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            (self.null + self.weak) as f64 / self.total as f64
+        }
+    }
+}
+
+/// The signatures of this rank's documents plus the persisted global
+/// array (the engine's "valuable intermediate product", §2.1 step 7).
+pub struct Signatures {
+    /// Row-major `n_local × m` local signature block.
+    pub local: Vec<f64>,
+    /// Signature dimensionality (M). Can be zero when no terms qualified
+    /// as topics (degenerate corpora); documents still exist and project
+    /// to the origin.
+    pub m: usize,
+    /// Number of local documents (tracked explicitly so `m == 0` does not
+    /// lose them).
+    n_local: usize,
+    /// The global docs×M array holding every rank's signatures.
+    pub global: GlobalArray2D<f64>,
+    /// Global quality statistics.
+    pub stats: SignatureStats,
+}
+
+impl Signatures {
+    /// Signature of local document index `i` (empty slice when `m == 0`).
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.n_local);
+        &self.local[i * self.m..(i + 1) * self.m]
+    }
+
+    pub fn n_local(&self) -> usize {
+        self.n_local
+    }
+}
+
+/// Generate signatures for this rank's documents. Collective.
+pub fn generate(ctx: &Ctx, scan: &ScanOutput, am: &AssociationMatrix) -> Signatures {
+    let m = am.m;
+    let mut local = vec![0.0f64; scan.docs.len() * m];
+    let mut null = 0u64;
+    let mut weak = 0u64;
+    let mut flops = 0u64;
+
+    for (di, d) in scan.docs.iter().enumerate() {
+        let sig = &mut local[di * m..(di + 1) * m];
+        for (t, freq) in d.distinct_terms() {
+            if let Some(row) = am.row(t) {
+                let w = freq as f64;
+                for (s, &a) in sig.iter_mut().zip(row) {
+                    *s += w * a;
+                }
+                flops += 2 * m as u64;
+            }
+        }
+        // L1 normalization.
+        let l1: f64 = sig.iter().map(|x| x.abs()).sum();
+        flops += m as u64;
+        if l1 == 0.0 {
+            null += 1;
+        } else {
+            for s in sig.iter_mut() {
+                *s /= l1;
+            }
+            if sig.iter().filter(|&&x| x != 0.0).count() < WEAK_DIMS {
+                weak += 1;
+            }
+        }
+    }
+    ctx.charge(WorkKind::Flops, flops);
+
+    // Persist into the global signature array (step 7).
+    let global = GlobalArray2D::<f64>::create(ctx, scan.total_docs as usize, m);
+    if !scan.docs.is_empty() {
+        global.put_rows(ctx, scan.doc_base as usize, &local);
+    }
+    ctx.barrier();
+
+    // Global quality statistics.
+    let sums = ctx.allreduce_u64(vec![scan.docs.len() as u64, null, weak], ReduceOp::Sum);
+    let stats = SignatureStats {
+        total: sums[0],
+        null: sums[1],
+        weak: sums[2],
+    };
+
+    Signatures {
+        local,
+        m,
+        n_local: scan.docs.len(),
+        global,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assoc;
+    use crate::config::EngineConfig;
+    use crate::index::invert;
+    use crate::scan::scan;
+    use crate::topicality::select_topics;
+    use corpus::CorpusSpec;
+    use spmd::Runtime;
+
+    fn corpus() -> corpus::SourceSet {
+        CorpusSpec {
+            source_bytes: 8 * 1024,
+            ..CorpusSpec::pubmed(48 * 1024, 31)
+        }
+        .generate()
+    }
+
+    fn full_sigs(p: usize) -> (usize, Vec<f64>, SignatureStats) {
+        let src = corpus();
+        let rt = Runtime::for_testing();
+        let mut res = rt.run(p, |ctx| {
+            let cfg = EngineConfig::for_testing();
+            let s = scan(ctx, &src, &cfg);
+            let idx = invert(ctx, &s, &cfg);
+            let topics = select_topics(ctx, &idx, &cfg, cfg.n_major, cfg.m_dims());
+            let am = assoc::build(ctx, &s, &idx, &topics);
+            let sigs = generate(ctx, &s, &am);
+            ctx.barrier();
+            // Materialize the full matrix for comparison.
+            (sigs.m, sigs.global.to_vec_collective(ctx), sigs.stats)
+        });
+        res.results.remove(0)
+    }
+
+    #[test]
+    fn signatures_l1_normalized() {
+        let (m, all, _) = full_sigs(2);
+        let n_docs = all.len() / m;
+        let mut checked = 0;
+        for d in 0..n_docs {
+            let row = &all[d * m..(d + 1) * m];
+            let l1: f64 = row.iter().map(|x| x.abs()).sum();
+            if l1 > 0.0 {
+                assert!((l1 - 1.0).abs() < 1e-9, "doc {d} l1 {l1}");
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "no non-null signatures at all");
+    }
+
+    #[test]
+    fn signatures_identical_across_p() {
+        let (m1, v1, st1) = full_sigs(1);
+        for p in [2, 3] {
+            let (m, v, st) = full_sigs(p);
+            assert_eq!(m, m1);
+            assert_eq!(st, st1, "stats differ at P={p}");
+            assert_eq!(v.len(), v1.len());
+            for (i, (a, b)) in v.iter().zip(&v1).enumerate() {
+                assert!((a - b).abs() < 1e-9, "P={p} sig[{i}]: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn signatures_nonnegative() {
+        // Association entries are probabilities and frequencies are
+        // positive, so signatures live on the simplex.
+        let (_, v, _) = full_sigs(2);
+        assert!(v.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn stats_account_for_all_docs() {
+        let (m, v, st) = full_sigs(2);
+        assert_eq!(st.total as usize, v.len() / m);
+        assert!(st.null + st.weak <= st.total);
+    }
+
+    #[test]
+    fn weak_fraction_bounds() {
+        let s = SignatureStats {
+            total: 100,
+            null: 5,
+            weak: 15,
+        };
+        assert!((s.weak_fraction() - 0.2).abs() < 1e-12);
+        let empty = SignatureStats {
+            total: 0,
+            null: 0,
+            weak: 0,
+        };
+        assert_eq!(empty.weak_fraction(), 0.0);
+    }
+}

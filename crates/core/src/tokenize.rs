@@ -1,0 +1,178 @@
+//! Tokenization: field text → terms.
+//!
+//! §3.2: *"terms are separated by whitespaces (or any delimiters specified
+//! during configuration)"*. The tokenizer splits on non-alphanumeric
+//! characters, case-folds, and filters by length and a stopword list (the
+//! list includes HTML structural words so GOV2-style markup does not
+//! pollute the vocabulary).
+
+use std::collections::HashSet;
+
+/// English function words plus markup noise. Short (the engine's
+/// statistics reject high-df terms anyway); this list mainly keeps the
+/// vocabulary map small.
+const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "has", "have",
+    "he", "in", "is", "it", "its", "of", "on", "or", "that", "the", "this", "to", "was",
+    "were", "will", "with", "not", "they", "their", "we", "you", "all", "can", "her",
+    "his", "our", "than", "then", "there", "these", "which", "who", "would",
+    // Markup / web noise:
+    "html", "head", "body", "title", "div", "span", "href", "http", "https", "www",
+    "com", "gov", "org", "net", "img", "src", "br", "hr", "table", "tr", "td", "ul",
+    "li", "meta", "doc", "docno", "dochdr",
+];
+
+/// Tokenizer settings.
+#[derive(Debug, Clone)]
+pub struct TokenizerConfig {
+    /// Minimum term length in bytes.
+    pub min_len: usize,
+    /// Maximum term length in bytes (longer tokens are dropped as junk).
+    pub max_len: usize,
+    /// Drop terms that contain no alphabetic character (bare numbers).
+    pub require_alpha: bool,
+    /// Apply the stopword list.
+    pub filter_stopwords: bool,
+}
+
+impl Default for TokenizerConfig {
+    fn default() -> Self {
+        TokenizerConfig {
+            min_len: 3,
+            max_len: 40,
+            require_alpha: true,
+            filter_stopwords: true,
+        }
+    }
+}
+
+/// A configured tokenizer. Construct once per scan; holds the lowered
+/// stopword set.
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    config: TokenizerConfig,
+    stopwords: HashSet<&'static str>,
+}
+
+impl Tokenizer {
+    pub fn new(config: TokenizerConfig) -> Self {
+        let stopwords = if config.filter_stopwords {
+            STOPWORDS.iter().copied().collect()
+        } else {
+            HashSet::new()
+        };
+        Tokenizer { config, stopwords }
+    }
+
+    /// Tokenize `text`, invoking `emit` for each accepted term
+    /// (lowercased). Returns the number of raw token candidates examined
+    /// (for work accounting).
+    pub fn tokenize_into(&self, text: &str, mut emit: impl FnMut(&str)) -> u64 {
+        let mut candidates = 0u64;
+        let mut buf = String::with_capacity(24);
+        for raw in text.split(|c: char| !c.is_ascii_alphanumeric()) {
+            if raw.is_empty() {
+                continue;
+            }
+            candidates += 1;
+            if raw.len() < self.config.min_len || raw.len() > self.config.max_len {
+                continue;
+            }
+            if self.config.require_alpha && !raw.bytes().any(|b| b.is_ascii_alphabetic()) {
+                continue;
+            }
+            buf.clear();
+            for b in raw.bytes() {
+                buf.push(b.to_ascii_lowercase() as char);
+            }
+            if self.config.filter_stopwords && self.stopwords.contains(buf.as_str()) {
+                continue;
+            }
+            emit(&buf);
+        }
+        candidates
+    }
+
+    /// Collect accepted terms into a vector (test/diagnostic helper).
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        self.tokenize_into(text, |t| out.push(t.to_string()));
+        out
+    }
+}
+
+impl Default for Tokenizer {
+    fn default() -> Self {
+        Tokenizer::new(TokenizerConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_folds_case() {
+        let t = Tokenizer::default();
+        assert_eq!(
+            t.tokenize("Cardiomyopathy, HYPERTENSION; renal-failure."),
+            vec!["cardiomyopathy", "hypertension", "renal", "failure"]
+        );
+    }
+
+    #[test]
+    fn filters_stopwords_and_short_terms() {
+        let t = Tokenizer::default();
+        assert_eq!(
+            t.tokenize("the cat is on a mat with it"),
+            vec!["cat", "mat"]
+        );
+    }
+
+    #[test]
+    fn drops_bare_numbers_but_keeps_alphanumerics() {
+        let t = Tokenizer::default();
+        assert_eq!(t.tokenize("12345 il6 2024 p53kinase"), vec!["il6", "p53kinase"]);
+    }
+
+    #[test]
+    fn markup_words_filtered() {
+        let t = Tokenizer::default();
+        assert_eq!(
+            t.tokenize("<html><body>policy statute</body></html>"),
+            vec!["policy", "statute"]
+        );
+    }
+
+    #[test]
+    fn respects_disabled_stopwords() {
+        let t = Tokenizer::new(TokenizerConfig {
+            filter_stopwords: false,
+            ..Default::default()
+        });
+        assert!(t.tokenize("the cat").contains(&"the".to_string()));
+    }
+
+    #[test]
+    fn overlong_tokens_dropped() {
+        let t = Tokenizer::default();
+        let long = "x".repeat(50);
+        assert!(t.tokenize(&long).is_empty());
+    }
+
+    #[test]
+    fn candidate_count_includes_rejected() {
+        let t = Tokenizer::default();
+        let mut n = 0;
+        let candidates = t.tokenize_into("the 123 cat", |_| n += 1);
+        assert_eq!(candidates, 3);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn empty_text() {
+        let t = Tokenizer::default();
+        assert!(t.tokenize("").is_empty());
+        assert!(t.tokenize("... --- !!!").is_empty());
+    }
+}

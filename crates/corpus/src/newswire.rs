@@ -1,0 +1,173 @@
+//! Newswire / message-traffic corpus generation (mbox-framed messages).
+//!
+//! The paper's introduction motivates visual analytics with *"technical
+//! reports, web data, newswire feeds and message traffic"*. This flavour
+//! models the last one: short messages (tens of tokens), threaded —
+//! replies share the original's theme and subject, producing the strong
+//! burstiness characteristic of message traffic (long reply chains about
+//! one topic).
+
+use crate::record::{FormatKind, Source, SourceSet};
+use crate::themes::ThemeModel;
+use crate::vocab::Vocabulary;
+use crate::CorpusSpec;
+use rand::Rng;
+use rayon::prelude::*;
+
+/// Mean body length in tokens (messages are short).
+const BODY_MEAN: usize = 45;
+/// Probability that the next message continues the current thread.
+const REPLY_PROB: f64 = 0.6;
+
+struct Thread {
+    major: Option<usize>,
+    minor: Option<usize>,
+    subject: Vec<usize>,
+    replies: usize,
+}
+
+fn new_thread<R: Rng + ?Sized>(rng: &mut R, themes: &ThemeModel) -> Thread {
+    let (major, minor) = themes.pick_doc_themes(rng);
+    let subject_len = rng.random_range(3..7);
+    let subject = (0..subject_len)
+        .map(|_| themes.sample_token(rng, major, minor))
+        .collect();
+    Thread {
+        major,
+        minor,
+        subject,
+        replies: 0,
+    }
+}
+
+fn write_message<R: Rng + ?Sized>(
+    out: &mut String,
+    rng: &mut R,
+    thread: &Thread,
+    seq: usize,
+    vocab: &Vocabulary,
+    themes: &ThemeModel,
+) {
+    out.push_str("From analyst");
+    out.push_str(&(seq % 97).to_string());
+    out.push_str(" Mon Jan 5 0");
+    out.push_str(&(seq % 10).to_string());
+    out.push_str(":00:00 2004\nSubject:");
+    if thread.replies > 0 {
+        out.push_str(" re");
+    }
+    for &w in &thread.subject {
+        out.push(' ');
+        out.push_str(vocab.word(w));
+    }
+    out.push_str("\n\n");
+    let len = (BODY_MEAN as f64 * (0.4 + 1.2 * rng.random::<f64>())) as usize;
+    for i in 0..len.max(5) {
+        if i > 0 {
+            out.push(if i % 13 == 0 { '\n' } else { ' ' });
+        }
+        out.push_str(vocab.word(themes.sample_token(rng, thread.major, thread.minor)));
+    }
+    out.push('\n');
+}
+
+/// Generate a newswire/message-traffic [`SourceSet`] per `spec`.
+pub fn generate(spec: &CorpusSpec, vocab: &Vocabulary, themes: &ThemeModel) -> SourceSet {
+    let n_sources = spec.n_sources();
+    let sources: Vec<Source> = (0..n_sources)
+        .into_par_iter()
+        .map(|si| {
+            let mut rng = spec.rng_for_source(si);
+            let quota = spec.source_quota();
+            let mut data = String::with_capacity(quota as usize + 2048);
+            let mut thread = new_thread(&mut rng, themes);
+            let mut seq = si * 1000;
+            let slack = (quota / 4).max(512) as usize;
+            while (data.len() as u64) < quota {
+                let mut msg = String::new();
+                write_message(&mut msg, &mut rng, &thread, seq, vocab, themes);
+                if !data.is_empty() && data.len() + msg.len() > quota as usize + slack {
+                    break;
+                }
+                data.push_str(&msg);
+                seq += 1;
+                if rng.random::<f64>() < REPLY_PROB {
+                    thread.replies += 1;
+                } else {
+                    thread = new_thread(&mut rng, themes);
+                }
+            }
+            Source {
+                name: format!("traffic{si:04}.mbox"),
+                data: data.into_bytes(),
+                format: FormatKind::Message,
+            }
+        })
+        .collect();
+    SourceSet { sources }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_set() -> SourceSet {
+        CorpusSpec::newswire(96 * 1024, 5).generate()
+    }
+
+    #[test]
+    fn messages_parse_back() {
+        let set = small_set();
+        let mut n = 0;
+        for s in &set.sources {
+            for r in s.record_ranges() {
+                let doc = s.parse_record(r);
+                let names: Vec<&str> = doc.fields.iter().map(|(k, _)| *k).collect();
+                assert!(names.contains(&"author"));
+                assert!(names.contains(&"title"));
+                assert!(names.contains(&"body"));
+                n += 1;
+            }
+        }
+        assert!(n > 100, "expected many short messages, got {n}");
+    }
+
+    #[test]
+    fn messages_are_short() {
+        let set = small_set();
+        let stats = crate::CorpusStats::measure(&set);
+        assert!(
+            stats.mean_record_tokens < 80.0,
+            "mean {} too long for message traffic",
+            stats.mean_record_tokens
+        );
+    }
+
+    #[test]
+    fn threads_reuse_subjects() {
+        // Reply chains mean duplicate subjects (modulo the "re" prefix).
+        let set = small_set();
+        let s = &set.sources[0];
+        let mut subjects = Vec::new();
+        for r in s.record_ranges() {
+            let doc = s.parse_record(r);
+            if let Some((_, t)) = doc.fields.iter().find(|(k, _)| *k == "title") {
+                subjects.push(t.trim_start_matches("re ").to_string());
+            }
+        }
+        let distinct: std::collections::HashSet<&String> = subjects.iter().collect();
+        assert!(
+            distinct.len() * 3 < subjects.len() * 2,
+            "no threading: {} distinct of {}",
+            distinct.len(),
+            subjects.len()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = CorpusSpec::newswire(32 * 1024, 9).generate();
+        let b = CorpusSpec::newswire(32 * 1024, 9).generate();
+        assert_eq!(a.sources[0].data, b.sources[0].data);
+    }
+}

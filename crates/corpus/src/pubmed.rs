@@ -1,0 +1,225 @@
+//! PubMed-like corpus generation (MEDLINE tagged records).
+//!
+//! PubMed abstracts are *"consistent in both size and language type"*
+//! (§4.1): titles of 6–14 terms, abstracts clustered tightly around ~180
+//! terms (a clamped normal), a handful of MeSH-like subject headings drawn
+//! from the document's theme, and one author tag. Records use the MEDLINE
+//! tagged format parsed by [`crate::record`].
+
+use crate::record::{FormatKind, Source, SourceSet};
+use crate::themes::ThemeModel;
+use crate::vocab::Vocabulary;
+use crate::CorpusSpec;
+use rand::Rng;
+use rayon::prelude::*;
+
+/// Mean abstract length in terms.
+const ABSTRACT_MEAN: f64 = 180.0;
+/// Standard deviation of abstract length.
+const ABSTRACT_SD: f64 = 35.0;
+
+/// Sample from a clamped normal via Box–Muller (avoids extra deps).
+fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    mean + sd * z
+}
+
+/// Append one MEDLINE record to `out`.
+fn write_record<R: Rng + ?Sized>(
+    out: &mut String,
+    rng: &mut R,
+    pmid: u64,
+    vocab: &Vocabulary,
+    themes: &ThemeModel,
+) {
+    let (major, minor) = themes.pick_doc_themes(rng);
+    out.push_str("PMID- ");
+    out.push_str(&pmid.to_string());
+    out.push('\n');
+
+    out.push_str("TI  - ");
+    let title_len = rng.random_range(6..15);
+    for i in 0..title_len {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(vocab.word(themes.sample_token(rng, major, minor)));
+    }
+    out.push('\n');
+
+    out.push_str("AB  - ");
+    let ab_len = normal(rng, ABSTRACT_MEAN, ABSTRACT_SD).clamp(60.0, 400.0) as usize;
+    for i in 0..ab_len {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(vocab.word(themes.sample_token(rng, major, minor)));
+    }
+    out.push('\n');
+
+    out.push_str("MH  - ");
+    let n_mesh = rng.random_range(3..8);
+    for i in 0..n_mesh {
+        if i > 0 {
+            out.push_str("; ");
+        }
+        match major {
+            // MeSH headings come from the head of the document's theme.
+            Some(m) => {
+                let theme = &themes.themes[m];
+                let idx = rng.random_range(0..theme.len().min(40));
+                out.push_str(vocab.word(theme[idx]));
+            }
+            // Stray documents get generic headings.
+            None => out.push_str(vocab.word(themes.sample_token(rng, None, None))),
+        }
+    }
+    out.push('\n');
+
+    out.push_str("AU  - ");
+    out.push_str(vocab.word(rng.random_range(0..vocab.len().min(2000))));
+    out.push_str("\n\n");
+}
+
+/// Generate a PubMed-flavoured [`SourceSet`] per `spec`.
+pub fn generate(spec: &CorpusSpec, vocab: &Vocabulary, themes: &ThemeModel) -> SourceSet {
+    let n_sources = spec.n_sources();
+    let sources: Vec<Source> = (0..n_sources)
+        .into_par_iter()
+        .map(|si| {
+            let mut rng = spec.rng_for_source(si);
+            let quota = spec.source_quota();
+            let mut data = String::with_capacity(quota as usize + 4096);
+            let mut pmid = 1_000_000 + (si as u64) * 1_000_000;
+            let slack = (quota / 4).max(1024) as usize;
+            while (data.len() as u64) < quota {
+                let mut rec = String::new();
+                write_record(&mut rec, &mut rng, pmid, vocab, themes);
+                if !data.is_empty() && data.len() + rec.len() > quota as usize + slack {
+                    break;
+                }
+                data.push_str(&rec);
+                pmid += 1;
+            }
+            Source {
+                name: format!("medline{si:04}.txt"),
+                data: data.into_bytes(),
+                format: FormatKind::Medline,
+            }
+        })
+        .collect();
+    SourceSet { sources }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::Flavour;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_set() -> SourceSet {
+        CorpusSpec {
+            source_bytes: 32 * 1024,
+            ..CorpusSpec::pubmed(64 * 1024, 5)
+        }
+        .generate()
+    }
+
+    #[test]
+    fn records_parse_back() {
+        let set = small_set();
+        let mut n = 0;
+        for s in &set.sources {
+            for r in s.record_ranges() {
+                let doc = s.parse_record(r);
+                let names: Vec<&str> = doc.fields.iter().map(|(n, _)| *n).collect();
+                assert!(names.contains(&"pmid"));
+                assert!(names.contains(&"title"));
+                assert!(names.contains(&"abstract"));
+                assert!(names.contains(&"mesh"));
+                n += 1;
+            }
+        }
+        assert!(n > 20, "expected a few dozen records, got {n}");
+    }
+
+    #[test]
+    fn abstract_lengths_are_consistent() {
+        // The paper stresses PubMed's size consistency; check the
+        // coefficient of variation is modest.
+        let set = small_set();
+        let mut lens = Vec::new();
+        for s in &set.sources {
+            for r in s.record_ranges() {
+                let doc = s.parse_record(r);
+                if let Some((_, ab)) = doc.fields.iter().find(|(n, _)| *n == "abstract") {
+                    lens.push(ab.split_whitespace().count() as f64);
+                }
+            }
+        }
+        let mean = lens.iter().sum::<f64>() / lens.len() as f64;
+        let var = lens.iter().map(|l| (l - mean).powi(2)).sum::<f64>() / lens.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!(cv < 0.35, "abstract length CV too high: {cv}");
+        assert!((120.0..240.0).contains(&mean), "mean length {mean}");
+    }
+
+    #[test]
+    fn normal_sampler_reasonable() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let xs: Vec<f64> = (0..5000).map(|_| normal(&mut rng, 10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 10.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn pmids_unique_across_sources() {
+        let set = small_set();
+        let mut seen = std::collections::HashSet::new();
+        for s in &set.sources {
+            for r in s.record_ranges() {
+                let doc = s.parse_record(r);
+                let pmid = doc
+                    .fields
+                    .iter()
+                    .find(|(n, _)| *n == "pmid")
+                    .map(|(_, v)| v.to_string())
+                    .unwrap();
+                assert!(seen.insert(pmid.clone()), "duplicate pmid {pmid}");
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_terms_come_from_major_theme_head() {
+        let vocab = Vocabulary::synthesize(Flavour::Medical, 8000, 1);
+        let themes = ThemeModel::build(&vocab, 6, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut out = String::new();
+        write_record(&mut out, &mut rng, 1, &vocab, &themes);
+        // For themed documents, mesh words must belong to some theme's
+        // head region; generate several records so at least one is themed.
+        let mut out_many = out;
+        for pmid in 2..20 {
+            write_record(&mut out_many, &mut rng, pmid, &vocab, &themes);
+        }
+        let all_theme_heads: std::collections::HashSet<&str> = themes
+            .themes
+            .iter()
+            .flat_map(|t| t.iter().take(40).map(|&w| vocab.word(w)))
+            .collect();
+        let mut themed_records = 0;
+        for mesh_line in out_many.lines().filter(|l| l.starts_with("MH  -")) {
+            let all_head = mesh_line[6..]
+                .split("; ")
+                .all(|t| all_theme_heads.contains(t.trim()));
+            if all_head {
+                themed_records += 1;
+            }
+        }
+        assert!(themed_records >= 10, "only {themed_records} themed records");
+    }
+}

@@ -1,0 +1,379 @@
+//! Source files, record framing, and field parsing.
+//!
+//! The paper's data model (§2.1): *"A source is a collection of 'files' or
+//! 'documents' or 'records'. Each record is set of fields, and each field
+//! is a collection of terms."* A [`SourceSet`] is the corpus handed to the
+//! engine; the scanner frames each source into records and parses each
+//! record into named fields using the functions here.
+
+use std::ops::Range;
+
+/// On-disk record format of a source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FormatKind {
+    /// MEDLINE tagged format (PubMed-like): `TAG - value` lines, records
+    /// separated by blank lines.
+    Medline,
+    /// TREC web format (GOV2-like): `<DOC> … </DOC>` framing with DOCNO
+    /// and DOCHDR headers followed by HTML content.
+    TrecWeb,
+    /// Message traffic (mbox-like): records begin with a `From ` line,
+    /// followed by a `Subject:` header and the body.
+    Message,
+}
+
+/// One source "file".
+#[derive(Debug, Clone)]
+pub struct Source {
+    pub name: String,
+    pub data: Vec<u8>,
+    pub format: FormatKind,
+}
+
+/// A corpus: an ordered collection of sources.
+#[derive(Debug, Clone, Default)]
+pub struct SourceSet {
+    pub sources: Vec<Source>,
+}
+
+/// A parsed record: named fields with borrowed text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawDocument<'a> {
+    pub fields: Vec<(&'static str, &'a str)>,
+}
+
+impl Source {
+    /// Byte ranges of the records in this source.
+    pub fn record_ranges(&self) -> Vec<Range<usize>> {
+        let text = std::str::from_utf8(&self.data).expect("sources are UTF-8");
+        match self.format {
+            FormatKind::Medline => split_blank_separated(text),
+            FormatKind::TrecWeb => split_doc_tagged(text),
+            FormatKind::Message => split_mbox(text),
+        }
+    }
+
+    /// Parse the record at `range` into fields.
+    pub fn parse_record(&self, range: Range<usize>) -> RawDocument<'_> {
+        let text = std::str::from_utf8(&self.data[range]).expect("sources are UTF-8");
+        match self.format {
+            FormatKind::Medline => parse_medline(text),
+            FormatKind::TrecWeb => parse_trec(text),
+            FormatKind::Message => parse_message(text),
+        }
+    }
+}
+
+impl SourceSet {
+    pub fn total_bytes(&self) -> u64 {
+        self.sources.iter().map(|s| s.data.len() as u64).sum()
+    }
+
+    pub fn total_records(&self) -> usize {
+        self.sources.iter().map(|s| s.record_ranges().len()).sum()
+    }
+
+    /// Per-source sizes, for partitioning.
+    pub fn sizes(&self) -> Vec<u64> {
+        self.sources.iter().map(|s| s.data.len() as u64).collect()
+    }
+}
+
+/// Frame records separated by one or more blank lines.
+fn split_blank_separated(text: &str) -> Vec<Range<usize>> {
+    let bytes = text.as_bytes();
+    let mut ranges = Vec::new();
+    let mut start = 0usize;
+    let mut at = 0usize;
+    while at < bytes.len() {
+        // A record ends at "\n\n".
+        if bytes[at] == b'\n' && at + 1 < bytes.len() && bytes[at + 1] == b'\n' {
+            if at > start {
+                ranges.push(start..at + 1);
+            }
+            at += 2;
+            while at < bytes.len() && bytes[at] == b'\n' {
+                at += 1;
+            }
+            start = at;
+        } else {
+            at += 1;
+        }
+    }
+    if start < bytes.len() && bytes[start..].iter().any(|&b| b != b'\n') {
+        ranges.push(start..bytes.len());
+    }
+    ranges
+}
+
+/// Frame `<DOC> … </DOC>` records.
+fn split_doc_tagged(text: &str) -> Vec<Range<usize>> {
+    let mut ranges = Vec::new();
+    let mut at = 0usize;
+    while let Some(open_rel) = text[at..].find("<DOC>") {
+        let open = at + open_rel;
+        let Some(close_rel) = text[open..].find("</DOC>") else {
+            break;
+        };
+        let close = open + close_rel + "</DOC>".len();
+        ranges.push(open..close);
+        at = close;
+    }
+    ranges
+}
+
+/// Parse a MEDLINE record: `XXXX- value` tagged lines.
+fn parse_medline(text: &str) -> RawDocument<'_> {
+    let mut fields = Vec::new();
+    for line in text.lines() {
+        // Tags are 6 ASCII bytes ("PMID- ", "TI  - "); skip lines whose
+        // sixth byte is not a character boundary (non-ASCII junk).
+        if line.len() < 6 || !line.is_char_boundary(6) {
+            continue;
+        }
+        let (tag, rest) = line.split_at(6);
+        let name = match tag.trim_end_matches([' ', '-']) {
+            "PMID" => "pmid",
+            "TI" => "title",
+            "AB" => "abstract",
+            "MH" => "mesh",
+            "AU" => "author",
+            _ => continue,
+        };
+        fields.push((name, rest.trim()));
+    }
+    RawDocument { fields }
+}
+
+/// Parse a TREC web record: DOCNO, DOCHDR URL, and the HTML body.
+fn parse_trec(text: &str) -> RawDocument<'_> {
+    let mut fields = Vec::new();
+    if let Some(docno) = extract_between(text, "<DOCNO>", "</DOCNO>") {
+        fields.push(("docno", docno.trim()));
+    }
+    if let Some(hdr) = extract_between(text, "<DOCHDR>", "</DOCHDR>") {
+        fields.push(("url", hdr.trim()));
+    }
+    // The body is everything after the DOCHDR block (or after DOCNO when
+    // no header is present), up to the closing </DOC>.
+    let body_start = text
+        .find("</DOCHDR>")
+        .map(|i| i + "</DOCHDR>".len())
+        .or_else(|| text.find("</DOCNO>").map(|i| i + "</DOCNO>".len()))
+        .unwrap_or(0);
+    let body_end = text.rfind("</DOC>").unwrap_or(text.len());
+    if body_start < body_end {
+        fields.push(("body", text[body_start..body_end].trim()));
+    }
+    RawDocument { fields }
+}
+
+/// Frame mbox-style messages: a record starts at each line beginning
+/// with `From ` (the classic mbox envelope separator).
+fn split_mbox(text: &str) -> Vec<Range<usize>> {
+    let mut starts = Vec::new();
+    let bytes = text.as_bytes();
+    let mut at = 0usize;
+    while at < bytes.len() {
+        if text[at..].starts_with("From ") {
+            starts.push(at);
+        }
+        match bytes[at..].iter().position(|&b| b == b'\n') {
+            Some(nl) => at += nl + 1,
+            None => break,
+        }
+    }
+    let mut ranges = Vec::with_capacity(starts.len());
+    for (i, &s) in starts.iter().enumerate() {
+        let end = starts.get(i + 1).copied().unwrap_or(bytes.len());
+        ranges.push(s..end);
+    }
+    ranges
+}
+
+/// Parse a message: the envelope author, the `Subject:` header, and the
+/// body (everything after the first blank line).
+fn parse_message(text: &str) -> RawDocument<'_> {
+    let mut fields = Vec::new();
+    if let Some(envelope) = text.lines().next() {
+        if let Some(author) = envelope.strip_prefix("From ") {
+            let author = author.split_whitespace().next().unwrap_or("");
+            if !author.is_empty() {
+                fields.push(("author", author));
+            }
+        }
+    }
+    for line in text.lines().take(8) {
+        if let Some(subject) = line.strip_prefix("Subject:") {
+            fields.push(("title", subject.trim()));
+            break;
+        }
+    }
+    // Body: after the first blank line.
+    if let Some(pos) = text.find("\n\n") {
+        let body = text[pos + 2..].trim();
+        if !body.is_empty() {
+            fields.push(("body", body));
+        }
+    }
+    RawDocument { fields }
+}
+
+fn extract_between<'a>(text: &'a str, open: &str, close: &str) -> Option<&'a str> {
+    let start = text.find(open)? + open.len();
+    let end = start + text[start..].find(close)?;
+    Some(&text[start..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn medline_source() -> Source {
+        Source {
+            name: "pm0".into(),
+            format: FormatKind::Medline,
+            data: b"PMID- 1\nTI  - alpha beta\nAB  - gamma delta epsilon\nMH  - zeta; eta\n\n\
+PMID- 2\nTI  - second title\nAB  - second abstract text\n\n"
+                .to_vec(),
+        }
+    }
+
+    fn trec_source() -> Source {
+        Source {
+            name: "gx0".into(),
+            format: FormatKind::TrecWeb,
+            data: b"<DOC>\n<DOCNO>GX1</DOCNO>\n<DOCHDR>\nhttp://a.gov/x\n</DOCHDR>\n\
+<html><body>hello world words</body></html>\n</DOC>\n\
+<DOC>\n<DOCNO>GX2</DOCNO>\n<DOCHDR>\nhttp://b.gov/y\n</DOCHDR>\n<html>more text here</html>\n</DOC>\n"
+                .to_vec(),
+        }
+    }
+
+    #[test]
+    fn medline_framing_finds_both_records() {
+        let s = medline_source();
+        let r = s.record_ranges();
+        assert_eq!(r.len(), 2);
+        assert!(std::str::from_utf8(&s.data[r[0].clone()])
+            .unwrap()
+            .starts_with("PMID- 1"));
+        assert!(std::str::from_utf8(&s.data[r[1].clone()])
+            .unwrap()
+            .starts_with("PMID- 2"));
+    }
+
+    #[test]
+    fn medline_fields_parsed() {
+        let s = medline_source();
+        let r = s.record_ranges();
+        let doc = s.parse_record(r[0].clone());
+        let get = |n: &str| {
+            doc.fields
+                .iter()
+                .find(|(k, _)| *k == n)
+                .map(|(_, v)| *v)
+        };
+        assert_eq!(get("pmid"), Some("1"));
+        assert_eq!(get("title"), Some("alpha beta"));
+        assert_eq!(get("abstract"), Some("gamma delta epsilon"));
+        assert_eq!(get("mesh"), Some("zeta; eta"));
+    }
+
+    #[test]
+    fn trec_framing_finds_both_docs() {
+        let s = trec_source();
+        let r = s.record_ranges();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn trec_fields_parsed() {
+        let s = trec_source();
+        let r = s.record_ranges();
+        let doc = s.parse_record(r[0].clone());
+        let get = |n: &str| {
+            doc.fields
+                .iter()
+                .find(|(k, _)| *k == n)
+                .map(|(_, v)| *v)
+        };
+        assert_eq!(get("docno"), Some("GX1"));
+        assert_eq!(get("url"), Some("http://a.gov/x"));
+        assert!(get("body").unwrap().contains("hello world words"));
+    }
+
+    #[test]
+    fn empty_source_has_no_records() {
+        for format in [FormatKind::Medline, FormatKind::TrecWeb] {
+            let s = Source {
+                name: "e".into(),
+                data: Vec::new(),
+                format,
+            };
+            assert!(s.record_ranges().is_empty());
+        }
+    }
+
+    #[test]
+    fn truncated_trec_doc_ignored() {
+        let s = Source {
+            name: "t".into(),
+            format: FormatKind::TrecWeb,
+            data: b"<DOC><DOCNO>GX9</DOCNO> unterminated".to_vec(),
+        };
+        assert!(s.record_ranges().is_empty());
+    }
+
+    fn message_source() -> Source {
+        Source {
+            name: "mbox0".into(),
+            format: FormatKind::Message,
+            data: b"From analyst3 Mon Jan 5 08:00:00 2004\nSubject: quarterly threat summary\n\nBody words one two three.\nFrom analyst9 Mon Jan 5 09:12:00 2004\nSubject: re quarterly threat summary\n\nreply body text here.\n"
+                .to_vec(),
+        }
+    }
+
+    #[test]
+    fn mbox_framing_finds_both_messages() {
+        let s = message_source();
+        let r = s.record_ranges();
+        assert_eq!(r.len(), 2);
+        assert!(std::str::from_utf8(&s.data[r[1].clone()])
+            .unwrap()
+            .starts_with("From analyst9"));
+    }
+
+    #[test]
+    fn message_fields_parsed() {
+        let s = message_source();
+        let doc = s.parse_record(s.record_ranges()[0].clone());
+        let get = |n: &str| doc.fields.iter().find(|(k, _)| *k == n).map(|(_, v)| *v);
+        assert_eq!(get("author"), Some("analyst3"));
+        assert_eq!(get("title"), Some("quarterly threat summary"));
+        assert!(get("body").unwrap().contains("one two three"));
+    }
+
+    #[test]
+    fn mbox_without_body_still_frames() {
+        let s = Source {
+            name: "m".into(),
+            format: FormatKind::Message,
+            data: b"From someone\nSubject: headers only\n".to_vec(),
+        };
+        let r = s.record_ranges();
+        assert_eq!(r.len(), 1);
+        let doc = s.parse_record(r[0].clone());
+        assert!(doc.fields.iter().any(|(k, _)| *k == "title"));
+        assert!(!doc.fields.iter().any(|(k, _)| *k == "body"));
+    }
+
+    #[test]
+    fn sourceset_totals() {
+        let set = SourceSet {
+            sources: vec![medline_source(), trec_source()],
+        };
+        assert_eq!(set.total_records(), 4);
+        assert_eq!(set.total_bytes(), set.sizes().iter().sum::<u64>());
+    }
+}

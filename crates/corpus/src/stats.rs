@@ -1,0 +1,100 @@
+//! Corpus statistics, for tests, calibration, and experiment reporting.
+
+use crate::record::SourceSet;
+use std::collections::HashSet;
+
+/// Summary statistics of a generated corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusStats {
+    pub bytes: u64,
+    pub records: usize,
+    pub tokens: u64,
+    pub distinct_terms: usize,
+    pub mean_record_tokens: f64,
+    pub max_record_tokens: usize,
+}
+
+/// Simple alphanumeric tokenizer used only for measurement (the engine has
+/// its own configurable tokenizer).
+fn rough_tokens(text: &str) -> impl Iterator<Item = &str> {
+    text.split(|c: char| !c.is_ascii_alphanumeric())
+        .filter(|t| t.len() >= 2)
+}
+
+impl CorpusStats {
+    /// Measure a source set.
+    pub fn measure(set: &SourceSet) -> Self {
+        let mut records = 0usize;
+        let mut tokens = 0u64;
+        let mut distinct: HashSet<String> = HashSet::new();
+        let mut max_record = 0usize;
+        for s in &set.sources {
+            for r in s.record_ranges() {
+                records += 1;
+                let doc = s.parse_record(r);
+                let mut rec_tokens = 0usize;
+                for (_, text) in &doc.fields {
+                    for t in rough_tokens(text) {
+                        rec_tokens += 1;
+                        if !distinct.contains(t) {
+                            distinct.insert(t.to_ascii_lowercase());
+                        }
+                    }
+                }
+                tokens += rec_tokens as u64;
+                max_record = max_record.max(rec_tokens);
+            }
+        }
+        CorpusStats {
+            bytes: set.total_bytes(),
+            records,
+            tokens,
+            distinct_terms: distinct.len(),
+            mean_record_tokens: if records > 0 {
+                tokens as f64 / records as f64
+            } else {
+                0.0
+            },
+            max_record_tokens: max_record,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CorpusSpec;
+
+    #[test]
+    fn pubmed_stats_sane() {
+        let set = CorpusSpec::pubmed(96 * 1024, 21).generate();
+        let st = CorpusStats::measure(&set);
+        assert!(st.records > 30);
+        assert!(st.tokens > 5_000);
+        assert!(st.distinct_terms > 500);
+        assert!((100.0..260.0).contains(&st.mean_record_tokens));
+    }
+
+    #[test]
+    fn trec_more_skewed_than_pubmed() {
+        let pm = CorpusStats::measure(&CorpusSpec::pubmed(128 * 1024, 3).generate());
+        let tr = CorpusStats::measure(&CorpusSpec::trec(128 * 1024, 3).generate());
+        let pm_skew = pm.max_record_tokens as f64 / pm.mean_record_tokens;
+        let tr_skew = tr.max_record_tokens as f64 / tr.mean_record_tokens;
+        assert!(
+            tr_skew > 2.0 * pm_skew,
+            "TREC skew {tr_skew} should dwarf PubMed skew {pm_skew}"
+        );
+    }
+
+    #[test]
+    fn vocabulary_grows_sublinearly() {
+        // Heaps' law: doubling the corpus should much-less-than-double the
+        // distinct term count (closed vocab makes this even stronger).
+        let small = CorpusStats::measure(&CorpusSpec::pubmed(64 * 1024, 9).generate());
+        let large = CorpusStats::measure(&CorpusSpec::pubmed(256 * 1024, 9).generate());
+        let growth = large.distinct_terms as f64 / small.distinct_terms as f64;
+        let data_growth = large.bytes as f64 / small.bytes as f64;
+        assert!(growth < data_growth * 0.75, "vocab growth {growth} vs data {data_growth}");
+    }
+}

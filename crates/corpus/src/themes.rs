@@ -1,0 +1,199 @@
+//! Latent theme model for token generation.
+//!
+//! Real document collections have topical structure: a biomedical abstract
+//! about cardiology draws repeatedly from a cardiology-specific vocabulary
+//! on top of general language. That *burstiness* is precisely what the
+//! engine's Bookstein topicality measure detects, and the topical grouping
+//! is what k-means clustering and the ThemeView terrain recover. A plain
+//! Zipf stream would have neither, so documents are generated from a
+//! mixture model:
+//!
+//! * a **background** Zipf distribution over the whole vocabulary, and
+//! * `n_themes` **themes**, each a Zipf distribution over its own subset
+//!   of mid-frequency words (head words are too common to discriminate,
+//!   matching how real content-bearing words sit in the middle of the
+//!   frequency spectrum).
+//!
+//! Each document picks one dominant theme (and optionally a minor theme)
+//! and samples each token from theme or background according to a mixing
+//! ratio.
+
+use crate::vocab::Vocabulary;
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fraction of tokens drawn from the document's themes (vs background).
+pub const THEME_MIX: f64 = 0.45;
+/// Fraction of documents with no theme at all (off-topic strays — every
+/// real collection has them, and they are what produces the paper's
+/// null/weak signatures when the topic space is too small, §4.2).
+pub const STRAY_FRACTION: f64 = 0.08;
+/// Words per theme.
+pub const THEME_WORDS: usize = 400;
+
+/// A set of latent themes over a vocabulary.
+#[derive(Debug, Clone)]
+pub struct ThemeModel {
+    /// `topics[k]` lists the vocabulary ranks belonging to theme `k`,
+    /// most characteristic first.
+    pub themes: Vec<Vec<usize>>,
+    /// Within-theme rank distribution.
+    theme_zipf: Zipf,
+    /// Background distribution over the full vocabulary.
+    background: Zipf,
+}
+
+impl ThemeModel {
+    /// Build `n_themes` themes over `vocab`, deterministically from `seed`.
+    pub fn build(vocab: &Vocabulary, n_themes: usize, seed: u64) -> Self {
+        assert!(n_themes > 0, "need at least one theme");
+        let v = vocab.len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Candidate pool: mid-frequency ranks (skip the stopword-like head
+        // and the ultra-rare tail).
+        let lo = (v / 100).max(16).min(v.saturating_sub(1));
+        let hi = (v * 3 / 4).max(lo + 1).min(v);
+        let pool: Vec<usize> = (lo..hi).collect();
+        let words_per_theme = THEME_WORDS.min(pool.len() / n_themes.max(1)).max(1);
+        let mut themes = Vec::with_capacity(n_themes);
+        // Partition the pool by striding so themes overlap little.
+        let mut shuffled = pool;
+        // Fisher-Yates with the seeded RNG.
+        for i in (1..shuffled.len()).rev() {
+            let j = rng.random_range(0..=i);
+            shuffled.swap(i, j);
+        }
+        for k in 0..n_themes {
+            let start = k * words_per_theme;
+            let end = ((k + 1) * words_per_theme).min(shuffled.len());
+            themes.push(shuffled[start..end].to_vec());
+        }
+        ThemeModel {
+            themes,
+            theme_zipf: Zipf::new(words_per_theme, 0.8),
+            background: Zipf::new(v, 1.05),
+        }
+    }
+
+    pub fn n_themes(&self) -> usize {
+        self.themes.len()
+    }
+
+    /// Pick the dominant (and optional minor) theme for a new document.
+    /// Strays ([`STRAY_FRACTION`]) have no theme and draw purely from the
+    /// background.
+    pub fn pick_doc_themes<R: Rng + ?Sized>(&self, rng: &mut R) -> (Option<usize>, Option<usize>) {
+        if rng.random::<f64>() < STRAY_FRACTION {
+            return (None, None);
+        }
+        let major = rng.random_range(0..self.themes.len());
+        let minor = if rng.random::<f64>() < 0.3 {
+            Some(rng.random_range(0..self.themes.len()))
+        } else {
+            None
+        };
+        (Some(major), minor)
+    }
+
+    /// Sample one token (vocabulary rank) for a document with the given
+    /// themes.
+    pub fn sample_token<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        major: Option<usize>,
+        minor: Option<usize>,
+    ) -> usize {
+        let u: f64 = rng.random();
+        let Some(major) = major else {
+            return self.background.sample(rng);
+        };
+        if u < THEME_MIX {
+            let theme = match minor {
+                Some(m) if rng.random::<f64>() < 0.35 => m,
+                _ => major,
+            };
+            let words = &self.themes[theme];
+            let idx = self.theme_zipf.sample(rng).min(words.len() - 1);
+            words[idx]
+        } else {
+            self.background.sample(rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::Flavour;
+
+    fn model() -> (Vocabulary, ThemeModel) {
+        let v = Vocabulary::synthesize(Flavour::Medical, 8000, 3);
+        let t = ThemeModel::build(&v, 8, 4);
+        (v, t)
+    }
+
+    #[test]
+    fn themes_are_disjoint() {
+        let (_, t) = model();
+        let mut seen = std::collections::HashSet::new();
+        for theme in &t.themes {
+            for &w in theme {
+                assert!(seen.insert(w), "rank {w} in two themes");
+            }
+        }
+    }
+
+    #[test]
+    fn theme_words_are_mid_frequency() {
+        let (v, t) = model();
+        for theme in &t.themes {
+            for &w in theme {
+                assert!(w >= 16, "head rank {w} should not be thematic");
+                assert!(w < v.len());
+            }
+        }
+    }
+
+    #[test]
+    fn tokens_in_vocab_range() {
+        let (v, t) = model();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let (major, minor) = t.pick_doc_themes(&mut rng);
+            let tok = t.sample_token(&mut rng, major, minor);
+            assert!(tok < v.len());
+        }
+    }
+
+    #[test]
+    fn documents_of_same_theme_share_vocabulary() {
+        let (_, t) = model();
+        let mut rng = StdRng::seed_from_u64(2);
+        // Sample two documents from theme 0 and one from theme 5; theme-0
+        // docs must overlap more in theme words.
+        let doc = |theme: usize, rng: &mut StdRng| -> std::collections::HashSet<usize> {
+            (0..300)
+                .map(|_| t.sample_token(rng, Some(theme), None))
+                .collect()
+        };
+        let a = doc(0, &mut rng);
+        let b = doc(0, &mut rng);
+        let c = doc(5, &mut rng);
+        let theme0: std::collections::HashSet<usize> = t.themes[0].iter().copied().collect();
+        let ab: usize = a.intersection(&b).filter(|w| theme0.contains(w)).count();
+        let ac: usize = a.intersection(&c).filter(|w| theme0.contains(w)).count();
+        assert!(
+            ab > 3 * ac.max(1),
+            "same-theme overlap {ab} should dwarf cross-theme {ac}"
+        );
+    }
+
+    #[test]
+    fn deterministic_model() {
+        let v = Vocabulary::synthesize(Flavour::Web, 4000, 9);
+        let a = ThemeModel::build(&v, 5, 77);
+        let b = ThemeModel::build(&v, 5, 77);
+        assert_eq!(a.themes, b.themes);
+    }
+}

@@ -1,0 +1,131 @@
+//! Zipf-distributed sampling over ranked items.
+//!
+//! Term frequencies in natural-language text follow a Zipf law: the
+//! `r`-th most frequent word has probability proportional to `1 / r^s`
+//! with `s ≈ 1`. The sampler precomputes the cumulative distribution and
+//! draws by binary search, which is fast, exact, and deterministic given
+//! the caller's RNG.
+
+use rand::Rng;
+
+/// A Zipf sampler over ranks `0..n` (rank 0 most probable).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cumulative.push(acc);
+        }
+        let total = acc;
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the right edge.
+        *cumulative.last_mut().unwrap() = 1.0;
+        Zipf { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Probability mass of rank `r`.
+    pub fn pmf(&self, r: usize) -> f64 {
+        if r == 0 {
+            self.cumulative[0]
+        } else {
+            self.cumulative[r] - self.cumulative[r - 1]
+        }
+    }
+
+    /// Draw one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("no NaN"))
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(1000, 1.07);
+        let total: f64 = (0..z.len()).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_zero_most_probable() {
+        let z = Zipf::new(100, 1.0);
+        for r in 1..100 {
+            assert!(z.pmf(0) >= z.pmf(r));
+        }
+    }
+
+    #[test]
+    fn samples_within_range_and_skewed() {
+        let z = Zipf::new(50, 1.2);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = vec![0usize; 50];
+        for _ in 0..20_000 {
+            let r = z.sample(&mut rng);
+            assert!(r < 50);
+            counts[r] += 1;
+        }
+        // Head rank should dominate the tail rank decisively.
+        assert!(counts[0] > 10 * counts[49].max(1));
+        // Empirical mass of rank 0 should be near its pmf.
+        let emp = counts[0] as f64 / 20_000.0;
+        assert!((emp - z.pmf(0)).abs() < 0.02, "emp {emp} pmf {}", z.pmf(0));
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.pmf(r) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_rank_always_zero() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_ranks_rejected() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,369 @@
+//! One-dimensional block-distributed global arrays.
+
+use parking_lot::RwLock;
+use spmd::Ctx;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Physically distributed storage: one block per rank, individually locked
+/// so one-sided accesses to different blocks never contend.
+struct Storage<T> {
+    blocks: Vec<RwLock<Vec<T>>>,
+    /// `starts[r]` is the global index of the first element of rank `r`'s
+    /// block; `starts[nprocs]` == `len`.
+    starts: Vec<usize>,
+    len: usize,
+}
+
+/// A handle to a block-distributed 1-D array of `T`.
+///
+/// Created collectively by [`GlobalArray::create`]; every rank holds a
+/// clone of the same handle. All data-access methods take the caller's
+/// [`Ctx`] so the traffic is charged to the right virtual clock.
+pub struct GlobalArray<T> {
+    storage: Arc<Storage<T>>,
+}
+
+impl<T> Clone for GlobalArray<T> {
+    fn clone(&self) -> Self {
+        GlobalArray {
+            storage: self.storage.clone(),
+        }
+    }
+}
+
+/// Standard block distribution: the first `len % p` ranks get one extra
+/// element.
+pub fn block_starts(len: usize, p: usize) -> Vec<usize> {
+    let base = len / p;
+    let extra = len % p;
+    let mut starts = Vec::with_capacity(p + 1);
+    let mut at = 0;
+    for r in 0..p {
+        starts.push(at);
+        at += base + usize::from(r < extra);
+    }
+    starts.push(at);
+    debug_assert_eq!(at, len);
+    starts
+}
+
+impl<T: Copy + Default + Send + Sync + 'static> GlobalArray<T> {
+    /// Collective creation of a zero-initialized array of `len` elements
+    /// block-distributed over all ranks. Every rank must call this.
+    pub fn create(ctx: &Ctx, len: usize) -> Self {
+        let p = ctx.nprocs();
+        let handle = if ctx.rank() == 0 {
+            let starts = block_starts(len, p);
+            let blocks = (0..p)
+                .map(|r| RwLock::new(vec![T::default(); starts[r + 1] - starts[r]]))
+                .collect();
+            Some(GlobalArray {
+                storage: Arc::new(Storage { blocks, starts, len }),
+            })
+        } else {
+            None
+        };
+        ctx.broadcast(0, handle, 16)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.storage.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.storage.len == 0
+    }
+
+    /// The global index range owned by `rank` (the GA "distribution"
+    /// query — locality information the paper's §3.1 highlights).
+    pub fn distribution(&self, rank: usize) -> Range<usize> {
+        self.storage.starts[rank]..self.storage.starts[rank + 1]
+    }
+
+    /// Which rank owns global index `i`.
+    pub fn owner(&self, i: usize) -> usize {
+        debug_assert!(i < self.storage.len, "index {i} out of bounds");
+        // starts is sorted; binary search for the containing block.
+        match self.storage.starts.binary_search(&i) {
+            Ok(r) if r < self.storage.blocks.len() => r,
+            Ok(r) => r - 1,
+            Err(ins) => ins - 1,
+        }
+    }
+
+    /// For each block overlapping `range`, call `f(rank, global_sub_range,
+    /// local_offset)`.
+    fn for_blocks(&self, range: Range<usize>, mut f: impl FnMut(usize, Range<usize>, usize)) {
+        assert!(range.end <= self.storage.len, "range out of bounds");
+        if range.start >= range.end {
+            return;
+        }
+        let mut at = range.start;
+        while at < range.end {
+            let r = self.owner(at);
+            let block_end = self.storage.starts[r + 1];
+            let seg_end = range.end.min(block_end);
+            let local = at - self.storage.starts[r];
+            f(r, at..seg_end, local);
+            at = seg_end;
+        }
+    }
+
+    /// One-sided get of `range` into a fresh vector.
+    pub fn get(&self, ctx: &Ctx, range: Range<usize>) -> Vec<T> {
+        let mut out = Vec::with_capacity(range.len());
+        self.for_blocks(range, |r, seg, local| {
+            let bytes = (seg.len() * std::mem::size_of::<T>()) as u64;
+            ctx.charge_one_sided(bytes, r);
+            let block = self.storage.blocks[r].read();
+            out.extend_from_slice(&block[local..local + seg.len()]);
+        });
+        out
+    }
+
+    /// One-sided get of a single element.
+    pub fn get_one(&self, ctx: &Ctx, i: usize) -> T {
+        self.get(ctx, i..i + 1)[0]
+    }
+
+    /// One-sided put of `data` starting at global index `start`.
+    pub fn put(&self, ctx: &Ctx, start: usize, data: &[T]) {
+        self.for_blocks(start..start + data.len(), |r, seg, local| {
+            let bytes = (seg.len() * std::mem::size_of::<T>()) as u64;
+            ctx.charge_one_sided(bytes, r);
+            let mut block = self.storage.blocks[r].write();
+            let src = &data[seg.start - start..seg.end - start];
+            block[local..local + seg.len()].copy_from_slice(src);
+        });
+    }
+
+    /// Run `f` over this rank's own block (no copy, charged as local
+    /// access of the block's size).
+    pub fn with_local_mut<R>(&self, ctx: &Ctx, f: impl FnOnce(&mut [T]) -> R) -> R {
+        let r = ctx.rank();
+        let bytes =
+            ((self.storage.starts[r + 1] - self.storage.starts[r]) * std::mem::size_of::<T>()) as u64;
+        ctx.charge_one_sided(bytes, r);
+        let mut block = self.storage.blocks[r].write();
+        f(&mut block)
+    }
+
+    /// Read-only access to this rank's own block.
+    pub fn with_local<R>(&self, ctx: &Ctx, f: impl FnOnce(&[T]) -> R) -> R {
+        let r = ctx.rank();
+        let bytes =
+            ((self.storage.starts[r + 1] - self.storage.starts[r]) * std::mem::size_of::<T>()) as u64;
+        ctx.charge_one_sided(bytes, r);
+        let block = self.storage.blocks[r].read();
+        f(&block)
+    }
+
+    /// Collective: gather the full array contents on every rank (an
+    /// Allgather of the local blocks).
+    pub fn to_vec_collective(&self, ctx: &Ctx) -> Vec<T> {
+        let local: Vec<T> = {
+            let r = ctx.rank();
+            let block = self.storage.blocks[r].read();
+            block.clone()
+        };
+        let bytes = (local.len() * std::mem::size_of::<T>()) as u64;
+        let parts = ctx.allgather(local, bytes);
+        parts.concat()
+    }
+}
+
+impl<T> GlobalArray<T>
+where
+    T: Copy + Default + Send + Sync + 'static + std::ops::AddAssign,
+{
+    /// One-sided accumulate: `a[start..] += data`, element-wise. Each
+    /// block update is atomic with respect to other accumulates (the GA
+    /// `NGA_Acc` contract).
+    pub fn acc(&self, ctx: &Ctx, start: usize, data: &[T]) {
+        self.for_blocks(start..start + data.len(), |r, seg, local| {
+            let bytes = (seg.len() * std::mem::size_of::<T>()) as u64;
+            ctx.charge_one_sided(bytes, r);
+            let mut block = self.storage.blocks[r].write();
+            let src = &data[seg.start - start..seg.end - start];
+            for (dst, s) in block[local..local + seg.len()].iter_mut().zip(src) {
+                *dst += *s;
+            }
+        });
+    }
+}
+
+impl GlobalArray<i64> {
+    /// Atomic read-and-increment of element `i` by `delta`, returning the
+    /// previous value — GA's `NGA_Read_inc`, the primitive behind the
+    /// paper's dynamic load balancing.
+    pub fn read_inc(&self, ctx: &Ctx, i: usize, delta: i64) -> i64 {
+        let r = self.owner(i);
+        ctx.charge_remote_atomic(r);
+        let mut block = self.storage.blocks[r].write();
+        let local = i - self.storage.starts[r];
+        let old = block[local];
+        block[local] += delta;
+        old
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmd::Runtime;
+
+    #[test]
+    fn block_starts_cover_everything() {
+        for (len, p) in [(10usize, 3usize), (7, 7), (5, 8), (0, 4), (100, 1)] {
+            let s = block_starts(len, p);
+            assert_eq!(s.len(), p + 1);
+            assert_eq!(s[0], 0);
+            assert_eq!(s[p], len);
+            for w in s.windows(2) {
+                assert!(w[0] <= w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn put_get_roundtrip_across_blocks() {
+        let rt = Runtime::for_testing();
+        rt.run(4, |ctx| {
+            let a = GlobalArray::<u32>::create(ctx, 103);
+            if ctx.rank() == 0 {
+                let data: Vec<u32> = (0..103).collect();
+                a.put(ctx, 0, &data);
+            }
+            ctx.barrier();
+            let got = a.get(ctx, 0..103);
+            assert_eq!(got, (0..103).collect::<Vec<u32>>());
+            // Sub-range crossing block boundaries.
+            let mid = a.get(ctx, 20..80);
+            assert_eq!(mid, (20..80).collect::<Vec<u32>>());
+        });
+    }
+
+    #[test]
+    fn owner_matches_distribution() {
+        let rt = Runtime::for_testing();
+        rt.run(5, |ctx| {
+            let a = GlobalArray::<u8>::create(ctx, 37);
+            for r in 0..5 {
+                for i in a.distribution(r) {
+                    assert_eq!(a.owner(i), r, "index {i}");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn accumulate_sums_concurrent_contributions() {
+        let rt = Runtime::for_testing();
+        let res = rt.run(8, |ctx| {
+            let a = GlobalArray::<u64>::create(ctx, 50);
+            // Every rank accumulates 1 into every element.
+            a.acc(ctx, 0, &vec![1u64; 50]);
+            ctx.barrier();
+            a.get(ctx, 0..50)
+        });
+        for v in res.results {
+            assert_eq!(v, vec![8u64; 50]);
+        }
+    }
+
+    #[test]
+    fn read_inc_hands_out_unique_tickets() {
+        let rt = Runtime::for_testing();
+        let res = rt.run(6, |ctx| {
+            let a = GlobalArray::<i64>::create(ctx, 1);
+            let mut mine = Vec::new();
+            for _ in 0..100 {
+                mine.push(a.read_inc(ctx, 0, 1));
+            }
+            ctx.barrier();
+            (mine, a.get_one(ctx, 0))
+        });
+        let mut all: Vec<i64> = res.results.iter().flat_map(|(m, _)| m.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..600).collect::<Vec<i64>>());
+        for (_, total) in res.results {
+            assert_eq!(total, 600);
+        }
+    }
+
+    #[test]
+    fn local_access_sees_own_block_only() {
+        let rt = Runtime::for_testing();
+        let res = rt.run(4, |ctx| {
+            let a = GlobalArray::<u32>::create(ctx, 40);
+            let my = a.distribution(ctx.rank());
+            a.with_local_mut(ctx, |block| {
+                assert_eq!(block.len(), my.len());
+                for (off, v) in block.iter_mut().enumerate() {
+                    *v = (my.start + off) as u32;
+                }
+            });
+            ctx.barrier();
+            a.get(ctx, 0..40)
+        });
+        for v in res.results {
+            assert_eq!(v, (0..40u32).collect::<Vec<u32>>());
+        }
+    }
+
+    #[test]
+    fn to_vec_collective_agrees_with_get() {
+        let rt = Runtime::for_testing();
+        rt.run(3, |ctx| {
+            let a = GlobalArray::<u16>::create(ctx, 17);
+            if ctx.rank() == 1 {
+                a.put(ctx, 0, &(0..17).map(|i| i * 3).collect::<Vec<u16>>());
+            }
+            ctx.barrier();
+            let v = a.to_vec_collective(ctx);
+            assert_eq!(v, a.get(ctx, 0..17));
+        });
+    }
+
+    #[test]
+    fn remote_traffic_is_charged_local_is_cheaper() {
+        let rt = Runtime::new(Arc::new(perfmodel::CostModel::pnnl_2007()));
+        let res = rt.run(2, |ctx| {
+            let a = GlobalArray::<u64>::create(ctx, 1000);
+            ctx.barrier();
+            let t0 = ctx.now();
+            // Rank 0 reads its own block; rank 1 reads rank 0's block.
+            let _ = a.get(ctx, 0..500);
+            ctx.now() - t0
+        });
+        assert!(
+            res.results[1] > res.results[0],
+            "remote get must cost more: {:?}",
+            res.results
+        );
+    }
+
+    #[test]
+    fn empty_range_get_is_free_and_empty() {
+        let rt = Runtime::for_testing();
+        rt.run(2, |ctx| {
+            let a = GlobalArray::<u32>::create(ctx, 10);
+            assert!(a.get(ctx, 3..3).is_empty());
+        });
+    }
+
+    #[test]
+    fn len_smaller_than_nprocs() {
+        let rt = Runtime::for_testing();
+        rt.run(8, |ctx| {
+            let a = GlobalArray::<u32>::create(ctx, 3);
+            if ctx.rank() == 7 {
+                a.put(ctx, 0, &[9, 8, 7]);
+            }
+            ctx.barrier();
+            assert_eq!(a.get(ctx, 0..3), vec![9, 8, 7]);
+        });
+    }
+}

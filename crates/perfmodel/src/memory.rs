@@ -1,0 +1,136 @@
+//! Memory-pressure (thrashing) model.
+//!
+//! The paper observes (§4.2): *"in the case of 16GB PubMed data on 4
+//! processors, the performance is very low because this problem size is too
+//! large for a 4 processor case. Therefore, excessive cache misses, page
+//! faults, etc, degrade the overall performance."*
+//!
+//! We reproduce that anomaly with a smooth penalty applied to compute
+//! charges once a processor's working set exceeds its share of node memory.
+//! Below the threshold the factor is exactly 1; above it the factor grows
+//! quadratically in the oversubscription ratio, capped so a single bad
+//! configuration slows down by a bounded (but large) amount rather than
+//! diverging.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemoryModel {
+    /// Fraction of per-processor memory usable by the engine (the OS, file
+    /// cache, and buffers take the rest).
+    pub usable_fraction: f64,
+    /// Penalty strength: factor = 1 + strength * (ratio - 1)^2 for
+    /// working-set/usable ratios above 1.
+    pub strength: f64,
+    /// Upper bound on the factor.
+    pub max_factor: f64,
+    /// Expansion from corpus bytes to in-memory working set (indices,
+    /// postings, hash tables are several times the raw text).
+    pub working_set_expansion: f64,
+}
+
+impl MemoryModel {
+    /// Defaults tuned for the 2007 platform.
+    pub fn default_2007() -> Self {
+        MemoryModel {
+            usable_fraction: 0.85,
+            strength: 8.0,
+            max_factor: 40.0,
+            working_set_expansion: 1.2,
+        }
+    }
+
+    /// No memory pressure ever — for correctness-only tests.
+    pub fn disabled() -> Self {
+        MemoryModel {
+            usable_fraction: 1.0,
+            strength: 0.0,
+            max_factor: 1.0,
+            working_set_expansion: 1.0,
+        }
+    }
+
+    /// Multiplier for compute charges given a per-processor working set (in
+    /// bytes, nominal scale) and the memory available to that processor.
+    pub fn thrash_factor(&self, working_set_bytes: u64, memory_per_proc: u64) -> f64 {
+        let usable = memory_per_proc as f64 * self.usable_fraction;
+        if usable <= 0.0 {
+            return self.max_factor;
+        }
+        let ratio = working_set_bytes as f64 / usable;
+        if ratio <= 1.0 {
+            1.0
+        } else {
+            (1.0 + self.strength * (ratio - 1.0).powi(2)).min(self.max_factor)
+        }
+    }
+
+    /// Estimated per-processor working set for a corpus of `corpus_bytes`
+    /// split across `p` processors.
+    pub fn working_set(&self, corpus_bytes: u64, p: usize) -> u64 {
+        ((corpus_bytes as f64 / p.max(1) as f64) * self.working_set_expansion) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_penalty_when_fits() {
+        let m = MemoryModel::default_2007();
+        assert_eq!(m.thrash_factor(1 << 30, 4 << 30), 1.0);
+    }
+
+    #[test]
+    fn penalty_when_oversubscribed() {
+        let m = MemoryModel::default_2007();
+        let f = m.thrash_factor(16 << 30, 4 << 30);
+        assert!(f > 1.0);
+        assert!(f <= m.max_factor);
+    }
+
+    #[test]
+    fn penalty_monotone_in_working_set() {
+        let m = MemoryModel::default_2007();
+        let mem = 4u64 << 30;
+        let mut prev = 0.0;
+        for gb in [1u64, 4, 8, 16, 32, 64] {
+            let f = m.thrash_factor(gb << 30, mem);
+            assert!(f >= prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn penalty_capped() {
+        let m = MemoryModel::default_2007();
+        assert_eq!(m.thrash_factor(u64::MAX / 2, 1), m.max_factor);
+    }
+
+    #[test]
+    fn paper_anomaly_shape() {
+        // 16.44 GB PubMed: heavy penalty at P=4, mild-or-none at P=8+.
+        let m = MemoryModel::default_2007();
+        let corpus = (16.44 * (1u64 << 30) as f64) as u64;
+        let mem = 4u64 << 30; // per-proc share on the PNNL machine
+        let f4 = m.thrash_factor(m.working_set(corpus, 4), mem);
+        let f8 = m.thrash_factor(m.working_set(corpus, 8), mem);
+        let f16 = m.thrash_factor(m.working_set(corpus, 16), mem);
+        assert!(f4 > 2.0, "P=4 must thrash hard, got {f4}");
+        assert!(f8 < f4 / 2.0, "P=8 must be much better, got {f8} vs {f4}");
+        assert!(f16 <= f8);
+    }
+
+    #[test]
+    fn disabled_model_is_identity() {
+        let m = MemoryModel::disabled();
+        assert_eq!(m.thrash_factor(u64::MAX / 4, 1), 1.0);
+    }
+
+    #[test]
+    fn working_set_shrinks_with_p() {
+        let m = MemoryModel::default_2007();
+        assert!(m.working_set(1 << 30, 8) < m.working_set(1 << 30, 4));
+    }
+}

@@ -1,0 +1,183 @@
+//! Per-processor throughput for each kind of work the engine performs.
+//!
+//! The engine counts *real* work as it executes (bytes tokenized, postings
+//! scattered, floating-point operations in the numeric kernels) and the
+//! rate card converts those counts into virtual seconds on one 2007-era
+//! processor. The absolute values are calibrated so that the end-to-end
+//! pipeline lands in the same range as the paper's Figure 5 (tens of
+//! minutes for gigabytes of text on a handful of processors); the *shapes*
+//! of the scaling curves come from the algorithms themselves.
+
+use serde::{Deserialize, Serialize};
+
+/// Kinds of work the text engine performs, each metered separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkKind {
+    /// Raw bytes pushed through the scanner (record framing, charset walk).
+    ScanBytes,
+    /// Tokens produced by the tokenizer (case folding, delimiter logic,
+    /// per-token vocabulary lookup against the process-local cache).
+    TokenizeTerms,
+    /// Hash-table operations (local shard work of the distributed
+    /// vocabulary map; the network part of a remote op is charged
+    /// separately).
+    HashOps,
+    /// Postings moved during FAST-INV inversion (count pass + scatter pass
+    /// are both metered in postings).
+    InvertPostings,
+    /// Vocabulary terms scored by the Bookstein topicality measure.
+    TopicalityTerms,
+    /// Token-level updates while accumulating the association matrix.
+    AssocOps,
+    /// Floating-point operations in the numeric kernels (signature
+    /// generation, k-means, PCA, projection).
+    Flops,
+    /// Bulk local memory movement (local portion of global-array traffic).
+    MemoryBytes,
+}
+
+/// Throughputs, in units of work per second per processor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RateCard {
+    pub scan_bytes_per_s: f64,
+    pub tokenize_terms_per_s: f64,
+    pub hash_ops_per_s: f64,
+    pub invert_postings_per_s: f64,
+    pub topicality_terms_per_s: f64,
+    pub assoc_ops_per_s: f64,
+    pub flops_per_s: f64,
+    pub memory_bytes_per_s: f64,
+}
+
+impl RateCard {
+    /// Calibrated for a 1.5 GHz Itanium-2 running the text engine: sustained
+    /// rates for branchy string processing sit far below peak, and the
+    /// numeric kernels sustain on the order of 10^8 flop/s on this code.
+    pub fn itanium_2007() -> Self {
+        RateCard {
+            scan_bytes_per_s: 1.5e6,
+            tokenize_terms_per_s: 1.2e6,
+            hash_ops_per_s: 4.0e5,
+            invert_postings_per_s: 2.5e5,
+            topicality_terms_per_s: 1.5e5,
+            assoc_ops_per_s: 1.2e6,
+            flops_per_s: 1.2e8,
+            memory_bytes_per_s: 8.0e8,
+        }
+    }
+
+    /// Everything infinitely fast — for correctness-only tests.
+    pub fn zero() -> Self {
+        RateCard {
+            scan_bytes_per_s: f64::INFINITY,
+            tokenize_terms_per_s: f64::INFINITY,
+            hash_ops_per_s: f64::INFINITY,
+            invert_postings_per_s: f64::INFINITY,
+            topicality_terms_per_s: f64::INFINITY,
+            assoc_ops_per_s: f64::INFINITY,
+            flops_per_s: f64::INFINITY,
+            memory_bytes_per_s: f64::INFINITY,
+        }
+    }
+
+    /// A rate card uniformly `factor`× faster than this one — the single
+    /// knob for recalibrating absolute times against published numbers
+    /// without touching relative component costs.
+    pub fn scaled(&self, factor: f64) -> RateCard {
+        assert!(factor > 0.0, "speed factor must be positive");
+        RateCard {
+            scan_bytes_per_s: self.scan_bytes_per_s * factor,
+            tokenize_terms_per_s: self.tokenize_terms_per_s * factor,
+            hash_ops_per_s: self.hash_ops_per_s * factor,
+            invert_postings_per_s: self.invert_postings_per_s * factor,
+            topicality_terms_per_s: self.topicality_terms_per_s * factor,
+            assoc_ops_per_s: self.assoc_ops_per_s * factor,
+            flops_per_s: self.flops_per_s * factor,
+            memory_bytes_per_s: self.memory_bytes_per_s * factor,
+        }
+    }
+
+    fn rate(&self, kind: WorkKind) -> f64 {
+        match kind {
+            WorkKind::ScanBytes => self.scan_bytes_per_s,
+            WorkKind::TokenizeTerms => self.tokenize_terms_per_s,
+            WorkKind::HashOps => self.hash_ops_per_s,
+            WorkKind::InvertPostings => self.invert_postings_per_s,
+            WorkKind::TopicalityTerms => self.topicality_terms_per_s,
+            WorkKind::AssocOps => self.assoc_ops_per_s,
+            WorkKind::Flops => self.flops_per_s,
+            WorkKind::MemoryBytes => self.memory_bytes_per_s,
+        }
+    }
+
+    /// Seconds for `units` of `kind` on one processor.
+    pub fn seconds(&self, kind: WorkKind, units: u64) -> f64 {
+        let r = self.rate(kind);
+        if r.is_infinite() {
+            0.0
+        } else {
+            units as f64 / r
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_units_cost_nothing() {
+        let r = RateCard::itanium_2007();
+        for kind in [
+            WorkKind::ScanBytes,
+            WorkKind::TokenizeTerms,
+            WorkKind::HashOps,
+            WorkKind::InvertPostings,
+            WorkKind::TopicalityTerms,
+            WorkKind::AssocOps,
+            WorkKind::Flops,
+            WorkKind::MemoryBytes,
+        ] {
+            assert_eq!(r.seconds(kind, 0), 0.0);
+        }
+    }
+
+    #[test]
+    fn seconds_proportional_to_units() {
+        let r = RateCard::itanium_2007();
+        let a = r.seconds(WorkKind::Flops, 1_000);
+        let b = r.seconds(WorkKind::Flops, 3_000);
+        assert!((b / a - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_card_is_free() {
+        let r = RateCard::zero();
+        assert_eq!(r.seconds(WorkKind::InvertPostings, u64::MAX), 0.0);
+    }
+
+    #[test]
+    fn scaled_card_divides_times_uniformly() {
+        let base = RateCard::itanium_2007();
+        let fast = base.scaled(2.0);
+        for kind in [WorkKind::ScanBytes, WorkKind::Flops, WorkKind::HashOps] {
+            let t0 = base.seconds(kind, 1_000_000);
+            let t1 = fast.seconds(kind, 1_000_000);
+            assert!((t0 / t1 - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn scaled_rejects_nonpositive() {
+        RateCard::itanium_2007().scaled(0.0);
+    }
+
+    #[test]
+    fn string_work_slower_than_memcpy() {
+        let r = RateCard::itanium_2007();
+        assert!(
+            r.seconds(WorkKind::ScanBytes, 1000) > r.seconds(WorkKind::MemoryBytes, 1000)
+        );
+    }
+}

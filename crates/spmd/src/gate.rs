@@ -1,0 +1,161 @@
+//! Virtual-time claim ordering for shared work queues.
+//!
+//! The runtime executes ranks as preemptively-scheduled OS threads, but
+//! *cost* is virtual: a rank's clock advances only by modeled charges. A
+//! shared task queue drained in real-time order would therefore be
+//! nonsense — on a single host core one thread can empty the queue before
+//! its peers are scheduled at all, even though in virtual time those peers
+//! were idle and should have claimed work.
+//!
+//! [`VirtualGate`] restores the cluster semantics: a rank may claim the
+//! next task only when its virtual clock is the minimum among the ranks
+//! still drawing from the queue (ties break by rank id). This is exactly
+//! greedy list scheduling — what fixed-size chunking achieves on the real
+//! machine — and it makes load-balance results (paper Figure 9)
+//! independent of host scheduling.
+//!
+//! Protocol: every rank passes through [`VirtualGate::pace`] before each
+//! claim attempt and calls [`VirtualGate::leave`] when it stops claiming.
+//! A rank that is busy processing keeps its last published clock as a
+//! lower bound, so peers with later clocks wait for it — preserving the
+//! exact claim order of the modeled cluster.
+
+use crate::ctx::Ctx;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+struct GateState {
+    clocks: Vec<f64>,
+    active: Vec<bool>,
+}
+
+/// See the module documentation.
+pub struct VirtualGate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+impl VirtualGate {
+    /// Collective creation; all ranks start active.
+    pub fn create(ctx: &Ctx) -> Arc<VirtualGate> {
+        let p = ctx.nprocs();
+        let gate = if ctx.rank() == 0 {
+            Some(Arc::new(VirtualGate {
+                state: Mutex::new(GateState {
+                    clocks: vec![f64::NEG_INFINITY; p],
+                    active: vec![true; p],
+                }),
+                cv: Condvar::new(),
+            }))
+        } else {
+            None
+        };
+        ctx.broadcast(0, gate, 16)
+    }
+
+    /// Publish this rank's current clock and block until it holds the
+    /// minimum `(clock, rank)` among active ranks. On return the caller
+    /// is the unique rank allowed to claim the next task.
+    pub fn pace(&self, ctx: &Ctx) {
+        let me = ctx.rank();
+        let my_clock = ctx.now();
+        let mut st = self.state.lock();
+        st.clocks[me] = my_clock;
+        self.cv.notify_all();
+        while !Self::is_min(&st, me, my_clock) {
+            self.cv.wait(&mut st);
+        }
+    }
+
+    fn is_min(st: &GateState, me: usize, my_clock: f64) -> bool {
+        for r in 0..st.clocks.len() {
+            if r == me || !st.active[r] {
+                continue;
+            }
+            let other = (st.clocks[r], r);
+            if other < (my_clock, me) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Stop participating (the queue is exhausted for this rank).
+    pub fn leave(&self, ctx: &Ctx) {
+        let mut st = self.state.lock();
+        st.active[ctx.rank()] = false;
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Runtime;
+    use parking_lot::Mutex as PMutex;
+    use perfmodel::WorkKind;
+
+    #[test]
+    fn claims_follow_virtual_clock_order() {
+        // Each rank starts with a different virtual clock; tasks must be
+        // claimed in ascending clock order regardless of host scheduling.
+        let rt = Runtime::new(std::sync::Arc::new(perfmodel::CostModel::pnnl_2007()));
+        let claims: Arc<PMutex<Vec<(f64, usize)>>> = Arc::new(PMutex::new(Vec::new()));
+        let claims2 = claims.clone();
+        rt.run(4, move |ctx| {
+            // Stagger initial clocks: rank r starts at r seconds.
+            ctx.advance(ctx.rank() as f64);
+            let gate = VirtualGate::create(ctx);
+            // Each rank claims twice, working 10s per task.
+            for _ in 0..2 {
+                gate.pace(ctx);
+                claims2.lock().push((ctx.now(), ctx.rank()));
+                ctx.charge(WorkKind::Flops, 1_200_000_000); // 10 virtual s
+            }
+            gate.leave(ctx);
+            ctx.barrier();
+        });
+        let log = claims.lock();
+        assert_eq!(log.len(), 8);
+        for w in log.windows(2) {
+            assert!(
+                (w[0].0, w[0].1) <= (w[1].0, w[1].1),
+                "claims out of virtual order: {log:?}"
+            );
+        }
+        // First four claims are the four ranks in starting-clock order.
+        let first: Vec<usize> = log.iter().take(4).map(|&(_, r)| r).collect();
+        assert_eq!(first, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn leaving_unblocks_waiters() {
+        let rt = Runtime::for_testing();
+        rt.run(3, |ctx| {
+            let gate = VirtualGate::create(ctx);
+            if ctx.rank() == 0 {
+                // Rank 0 (lowest clock) claims once then leaves; others
+                // must then be able to pace through.
+                gate.pace(ctx);
+                gate.leave(ctx);
+            } else {
+                ctx.advance(ctx.rank() as f64);
+                gate.pace(ctx);
+                gate.leave(ctx);
+            }
+            ctx.barrier();
+        });
+    }
+
+    #[test]
+    fn single_rank_never_blocks() {
+        let rt = Runtime::for_testing();
+        rt.run(1, |ctx| {
+            let gate = VirtualGate::create(ctx);
+            for _ in 0..100 {
+                gate.pace(ctx);
+            }
+            gate.leave(ctx);
+        });
+    }
+}

@@ -1,0 +1,43 @@
+//! # spmd — a single-program-multiple-data runtime with virtual time
+//!
+//! The paper's engine is an SPMD program: `P` processes execute the same
+//! code on different partitions of the data, communicating through MPI
+//! collectives and one-sided Global Arrays operations. This crate provides
+//! that execution model on one machine:
+//!
+//! * [`Runtime::run`] spawns one OS thread per rank and hands each a
+//!   [`Ctx`]. The threads perform the *real* computation on their real data
+//!   partitions — nothing about the algorithms is simulated.
+//! * Each rank carries a **virtual clock** (seconds on the modeled 2007
+//!   cluster). Compute work advances only the local clock
+//!   ([`Ctx::charge`]); collectives synchronize clocks to the maximum
+//!   participant plus the modeled collective cost, exactly like a
+//!   discrete-event simulation driven by the real execution trace.
+//! * Collectives ([`Ctx::barrier`], [`Ctx::allreduce_f64`],
+//!   [`Ctx::broadcast`], [`Ctx::allgather`], [`Ctx::gather`], …) follow MPI
+//!   semantics: **every rank must call every collective in the same
+//!   order**. Results are combined in rank order, so the outcome is
+//!   deterministic regardless of thread scheduling.
+//! * [`Ctx::timers`] attribute virtual time to the paper's pipeline
+//!   components (scan, index, topic, AM, DocVec, ClusProj) so the harness
+//!   can regenerate Figures 6b, 7b and 8.
+//!
+//! The wall-clock/virtual-clock split is the substitution documented in
+//! DESIGN.md §2: the machine running this reproduction has a single core,
+//! so scaling curves must come from modeled time; correctness still comes
+//! from real execution.
+
+pub mod ctx;
+pub mod gate;
+pub mod rendezvous;
+pub mod runtime;
+pub mod stats;
+pub mod timer;
+
+pub use ctx::{Ctx, ReduceOp};
+pub use gate::VirtualGate;
+pub use runtime::{RunResult, Runtime};
+pub use stats::CommStats;
+pub use timer::{Component, Timers};
+
+pub use perfmodel::{CostModel, WorkKind};

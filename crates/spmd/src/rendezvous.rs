@@ -1,0 +1,261 @@
+//! Generation-counted rendezvous: the synchronization primitive under every
+//! collective.
+//!
+//! All `P` ranks deposit a value and their current virtual clock; the last
+//! arrival combines the deposits (in rank order, so results are
+//! deterministic) and computes the synchronized departure clock; everyone
+//! leaves with a shared `Arc` of the combined result. A generation counter
+//! lets the cell be reused for the next collective, and a poison flag turns
+//! a panicking rank into a prompt panic on every peer instead of a deadlock.
+
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::sync::Arc;
+
+type Slot = Option<Box<dyn Any + Send>>;
+
+struct State {
+    /// Collective sequence number, used to detect that a new round started.
+    generation: u64,
+    /// Deposits, indexed by rank.
+    slots: Vec<Slot>,
+    /// Virtual clocks at arrival, indexed by rank.
+    clocks: Vec<f64>,
+    arrived: usize,
+    departed: usize,
+    /// Combined result of the current generation.
+    result: Option<Arc<dyn Any + Send + Sync>>,
+    /// Departure clock of the current generation.
+    synced_clock: f64,
+    /// Set when some rank panicked; wakes and fails all waiters.
+    poisoned: bool,
+}
+
+/// The rendezvous cell shared by all ranks of one runtime.
+pub struct Rendezvous {
+    nprocs: usize,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Rendezvous {
+    pub fn new(nprocs: usize) -> Self {
+        Rendezvous {
+            nprocs,
+            state: Mutex::new(State {
+                generation: 0,
+                slots: (0..nprocs).map(|_| None).collect(),
+                clocks: vec![0.0; nprocs],
+                arrived: 0,
+                departed: 0,
+                result: None,
+                synced_clock: 0.0,
+                poisoned: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Mark the cell poisoned (a rank is unwinding) and wake everyone.
+    pub fn poison(&self) {
+        let mut st = self.state.lock();
+        st.poisoned = true;
+        self.cv.notify_all();
+    }
+
+    /// Execute one collective round.
+    ///
+    /// `value` is this rank's deposit; `clock` its virtual time on entry.
+    /// `combine` runs exactly once (in the last-arriving thread) over the
+    /// deposits in rank order together with the maximum entry clock, and
+    /// returns the combined result plus the synchronized departure clock.
+    ///
+    /// Returns the shared result and the departure clock.
+    ///
+    /// # Panics
+    /// Panics if a peer rank panicked (poison), if called re-entrantly from
+    /// `combine`, or if ranks disagree on the collective sequence (which
+    /// manifests as a type mismatch in the caller's downcast).
+    pub fn round<T, R>(
+        &self,
+        rank: usize,
+        value: T,
+        clock: f64,
+        combine: impl FnOnce(Vec<T>, f64) -> (R, f64),
+    ) -> (Arc<R>, f64)
+    where
+        T: Send + 'static,
+        R: Send + Sync + 'static,
+    {
+        let mut st = self.state.lock();
+
+        // Wait for the previous generation to fully drain before starting a
+        // new one (a rank can race ahead into the next collective while
+        // slow ranks are still departing the previous round).
+        while st.arrived == self.nprocs && st.departed < self.nprocs {
+            self.check_poison(&st);
+            self.cv.wait(&mut st);
+        }
+        self.check_poison(&st);
+
+        let my_generation = st.generation;
+        debug_assert!(st.slots[rank].is_none(), "rank {rank} deposited twice");
+        st.slots[rank] = Some(Box::new(value));
+        st.clocks[rank] = clock;
+        st.arrived += 1;
+
+        if st.arrived == self.nprocs {
+            // Last arrival: combine in rank order.
+            let max_clock = st.clocks.iter().cloned().fold(f64::MIN, f64::max);
+            let deposits: Vec<T> = st
+                .slots
+                .iter_mut()
+                .map(|s| {
+                    *s.take()
+                        .expect("missing deposit")
+                        .downcast::<T>()
+                        .expect("collective type mismatch across ranks")
+                })
+                .collect();
+            let (result, synced) = combine(deposits, max_clock);
+            st.result = Some(Arc::new(result));
+            st.synced_clock = synced;
+            self.cv.notify_all();
+        } else {
+            // Wait until the result of *my* generation is published.
+            while !(st.generation == my_generation && st.result.is_some()) {
+                self.check_poison(&st);
+                self.cv.wait(&mut st);
+            }
+        }
+
+        let result = st
+            .result
+            .as_ref()
+            .expect("result present")
+            .clone()
+            .downcast::<R>()
+            .expect("collective result type mismatch");
+        let synced = st.synced_clock;
+
+        st.departed += 1;
+        if st.departed == self.nprocs {
+            // Reset for the next generation.
+            st.generation += 1;
+            st.arrived = 0;
+            st.departed = 0;
+            st.result = None;
+            self.cv.notify_all();
+        }
+
+        (result, synced)
+    }
+
+    fn check_poison(&self, st: &State) {
+        if st.poisoned {
+            panic!("collective aborted: a peer rank panicked");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn run_sum(nprocs: usize, rounds_n: usize) -> Vec<Vec<u64>> {
+        let rv = Arc::new(Rendezvous::new(nprocs));
+        let mut handles = Vec::new();
+        for rank in 0..nprocs {
+            let rv = rv.clone();
+            handles.push(thread::spawn(move || {
+                let mut sums = Vec::new();
+                for round in 0..rounds_n {
+                    let v = (rank * 10 + round) as u64;
+                    let (res, _clock) = rv.round(rank, v, 0.0, |vals, mx| {
+                        (vals.iter().sum::<u64>(), mx)
+                    });
+                    sums.push(*res);
+                }
+                sums
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn all_ranks_see_same_sum() {
+        for p in [1usize, 2, 3, 7, 16] {
+            let results = run_sum(p, 5);
+            for round in 0..5 {
+                let expect: u64 = (0..p).map(|r| (r * 10 + round) as u64).sum();
+                for per_rank in &results {
+                    assert_eq!(per_rank[round], expect, "p={p} round={round}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clock_syncs_to_max() {
+        let p = 4;
+        let rv = Arc::new(Rendezvous::new(p));
+        let handles: Vec<_> = (0..p)
+            .map(|rank| {
+                let rv = rv.clone();
+                thread::spawn(move || {
+                    let (_res, clock) =
+                        rv.round(rank, (), rank as f64 * 5.0, |_vals, mx| ((), mx + 1.0));
+                    clock
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 16.0); // max(0,5,10,15) + 1
+        }
+    }
+
+    #[test]
+    fn many_back_to_back_rounds_do_not_deadlock() {
+        // Stress generation turnover with uneven thread speeds.
+        let results = run_sum(8, 200);
+        assert_eq!(results.len(), 8);
+    }
+
+    #[test]
+    fn poison_unblocks_waiters() {
+        let p = 2;
+        let rv = Arc::new(Rendezvous::new(p));
+        let rv2 = rv.clone();
+        let waiter = thread::spawn(move || {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                rv2.round(0, (), 0.0, |_v: Vec<()>, mx| ((), mx));
+            }));
+            r.is_err()
+        });
+        // Give the waiter time to block, then poison.
+        thread::sleep(std::time::Duration::from_millis(50));
+        rv.poison();
+        assert!(waiter.join().unwrap(), "waiter should panic on poison");
+    }
+
+    #[test]
+    fn deposits_combined_in_rank_order() {
+        let p = 6;
+        let rv = Arc::new(Rendezvous::new(p));
+        let handles: Vec<_> = (0..p)
+            .map(|rank| {
+                let rv = rv.clone();
+                thread::spawn(move || {
+                    // Stagger arrivals to scramble arrival order.
+                    thread::sleep(std::time::Duration::from_millis(((p - rank) * 10) as u64));
+                    let (res, _) = rv.round(rank, rank, 0.0, |vals, mx| (vals, mx));
+                    (*res).clone()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), vec![0, 1, 2, 3, 4, 5]);
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! The SPMD runtime: spawns ranks, collects results, merges clocks and
+//! timers.
+
+use crate::ctx::{Ctx, SharedState};
+use crate::rendezvous::Rendezvous;
+use crate::stats::CommStatsSnapshot;
+use crate::timer::TimerSnapshot;
+use perfmodel::CostModel;
+use std::sync::Arc;
+
+/// Outcome of one SPMD execution.
+#[derive(Debug)]
+pub struct RunResult<R> {
+    /// Per-rank return values, indexed by rank.
+    pub results: Vec<R>,
+    /// Per-rank final virtual clocks (seconds).
+    pub clocks: Vec<f64>,
+    /// Per-rank component timers.
+    pub timers: Vec<TimerSnapshot>,
+    /// Per-rank communication statistics.
+    pub stats: Vec<CommStatsSnapshot>,
+}
+
+impl<R> RunResult<R> {
+    /// Virtual wall-clock of the whole run: the slowest rank.
+    pub fn virtual_time(&self) -> f64 {
+        self.clocks.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Critical-path time per component (element-wise max over ranks).
+    pub fn component_times(&self) -> TimerSnapshot {
+        self.timers
+            .iter()
+            .fold(TimerSnapshot::default(), |acc, t| acc.max(t))
+    }
+
+    /// Aggregate communication statistics over all ranks.
+    pub fn total_stats(&self) -> CommStatsSnapshot {
+        self.stats
+            .iter()
+            .fold(CommStatsSnapshot::default(), |acc, s| acc.merge(s))
+    }
+}
+
+/// Factory for SPMD executions against one cost model.
+pub struct Runtime {
+    model: Arc<CostModel>,
+}
+
+impl Runtime {
+    pub fn new(model: Arc<CostModel>) -> Self {
+        Runtime { model }
+    }
+
+    /// Convenience constructor with a zero-cost model (correctness-only).
+    pub fn for_testing() -> Self {
+        Runtime::new(Arc::new(CostModel::zero()))
+    }
+
+    pub fn model(&self) -> &Arc<CostModel> {
+        &self.model
+    }
+
+    /// Execute `f` on `nprocs` ranks (one OS thread each) and collect
+    /// everything. Panics in any rank poison the collectives (so peers fail
+    /// fast) and are re-thrown here.
+    pub fn run<R, F>(&self, nprocs: usize, f: F) -> RunResult<R>
+    where
+        R: Send + 'static,
+        F: Fn(&Ctx) -> R + Send + Sync,
+    {
+        assert!(nprocs > 0, "need at least one rank");
+        let shared = Arc::new(SharedState {
+            rendezvous: Rendezvous::new(nprocs),
+            nprocs,
+        });
+
+        // A guard that poisons the rendezvous if the rank unwinds, so the
+        // other ranks don't deadlock inside a collective.
+        struct PoisonOnPanic {
+            shared: Arc<SharedState>,
+        }
+        impl Drop for PoisonOnPanic {
+            fn drop(&mut self) {
+                if std::thread::panicking() {
+                    self.shared.rendezvous.poison();
+                }
+            }
+        }
+
+        let model = &self.model;
+        let f = &f;
+        let outputs: Vec<(R, f64, TimerSnapshot, CommStatsSnapshot)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..nprocs)
+                    .map(|rank| {
+                        let shared = shared.clone();
+                        let model = model.clone();
+                        scope.spawn(move || {
+                            let _guard = PoisonOnPanic {
+                                shared: shared.clone(),
+                            };
+                            let ctx = Ctx::new(rank, nprocs, model, shared);
+                            let out = f(&ctx);
+                            (out, ctx.now(), ctx.timers.snapshot(), ctx.stats.snapshot())
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| match h.join() {
+                        Ok(v) => v,
+                        Err(e) => std::panic::resume_unwind(e),
+                    })
+                    .collect()
+            });
+
+        let mut results = Vec::with_capacity(nprocs);
+        let mut clocks = Vec::with_capacity(nprocs);
+        let mut timers = Vec::with_capacity(nprocs);
+        let mut stats = Vec::with_capacity(nprocs);
+        for (r, c, t, s) in outputs {
+            results.push(r);
+            clocks.push(c);
+            timers.push(t);
+            stats.push(s);
+        }
+        RunResult {
+            results,
+            clocks,
+            timers,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::ReduceOp;
+    use perfmodel::WorkKind;
+
+    #[test]
+    fn results_indexed_by_rank() {
+        let rt = Runtime::for_testing();
+        let res = rt.run(8, |ctx| ctx.rank() * 3);
+        assert_eq!(res.results, vec![0, 3, 6, 9, 12, 15, 18, 21]);
+    }
+
+    #[test]
+    fn virtual_time_is_slowest_rank() {
+        let rt = Runtime::new(Arc::new(CostModel::pnnl_2007()));
+        let res = rt.run(4, |ctx| {
+            ctx.charge(WorkKind::Flops, (ctx.rank() as u64 + 1) * 120_000_000);
+        });
+        assert!((res.virtual_time() - 4.0).abs() < 1e-9);
+        assert!((res.clocks[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_rank_works() {
+        let rt = Runtime::for_testing();
+        let res = rt.run(1, |ctx| {
+            ctx.barrier();
+            ctx.allreduce_scalar_f64(5.0, ReduceOp::Sum)
+        });
+        assert_eq!(res.results, vec![5.0]);
+    }
+
+    #[test]
+    fn rank_panic_propagates_not_deadlocks() {
+        let rt = Runtime::for_testing();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rt.run(4, |ctx| {
+                if ctx.rank() == 2 {
+                    panic!("rank 2 exploded");
+                }
+                // Other ranks head into a collective and must be released
+                // by the poison rather than hanging.
+                ctx.barrier();
+            });
+        }));
+        assert!(outcome.is_err());
+    }
+
+    #[test]
+    fn deterministic_across_repeats() {
+        let rt = Runtime::new(Arc::new(CostModel::pnnl_2007()));
+        let runs: Vec<Vec<f64>> = (0..3)
+            .map(|_| {
+                rt.run(6, |ctx| {
+                    ctx.charge(WorkKind::ScanBytes, 1000 * (ctx.rank() as u64 + 1));
+                    ctx.allreduce_f64(vec![ctx.rank() as f64 * 0.1; 16], ReduceOp::Sum);
+                    ctx.barrier();
+                    ctx.now()
+                })
+                .clocks
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[1], runs[2]);
+    }
+
+    #[test]
+    fn many_ranks_many_collectives() {
+        let rt = Runtime::for_testing();
+        let res = rt.run(16, |ctx| {
+            let mut acc = 0u64;
+            for i in 0..50 {
+                acc = ctx.allreduce_scalar_u64(acc + i + ctx.rank() as u64, ReduceOp::Sum);
+            }
+            acc
+        });
+        // All ranks agree.
+        for v in &res.results {
+            assert_eq!(*v, res.results[0]);
+        }
+    }
+
+    #[test]
+    fn component_times_are_critical_path() {
+        use crate::timer::Component;
+        let rt = Runtime::new(Arc::new(CostModel::pnnl_2007()));
+        let res = rt.run(3, |ctx| {
+            ctx.component(Component::Index, || {
+                ctx.charge(WorkKind::InvertPostings, 250_000 * (ctx.rank() as u64 + 1));
+            });
+        });
+        let ct = res.component_times();
+        assert!((ct.get(Component::Index) - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,125 @@
+//! Per-rank communication statistics.
+//!
+//! Purely observational counters used by tests (to assert, e.g., that the
+//! dynamic load balancer actually performed remote steals) and by the
+//! benchmark harness to report communication volumes alongside timings.
+
+use std::cell::Cell;
+
+/// Counters for one rank. Not shared across threads; each [`Ctx`]
+/// (crate::Ctx) owns one.
+#[derive(Debug, Default)]
+pub struct CommStats {
+    one_sided_ops: Cell<u64>,
+    one_sided_bytes: Cell<u64>,
+    local_ops: Cell<u64>,
+    local_bytes: Cell<u64>,
+    remote_atomics: Cell<u64>,
+    collectives: Cell<u64>,
+    collective_bytes: Cell<u64>,
+}
+
+/// A plain snapshot of [`CommStats`], safe to send across threads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStatsSnapshot {
+    pub one_sided_ops: u64,
+    pub one_sided_bytes: u64,
+    pub local_ops: u64,
+    pub local_bytes: u64,
+    pub remote_atomics: u64,
+    pub collectives: u64,
+    pub collective_bytes: u64,
+}
+
+impl CommStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record_one_sided(&self, bytes: u64) {
+        self.one_sided_ops.set(self.one_sided_ops.get() + 1);
+        self.one_sided_bytes.set(self.one_sided_bytes.get() + bytes);
+    }
+
+    pub fn record_local(&self, bytes: u64) {
+        self.local_ops.set(self.local_ops.get() + 1);
+        self.local_bytes.set(self.local_bytes.get() + bytes);
+    }
+
+    pub fn record_remote_atomic(&self) {
+        self.remote_atomics.set(self.remote_atomics.get() + 1);
+    }
+
+    pub fn record_collective(&self, bytes: u64) {
+        self.collectives.set(self.collectives.get() + 1);
+        self.collective_bytes
+            .set(self.collective_bytes.get() + bytes);
+    }
+
+    pub fn snapshot(&self) -> CommStatsSnapshot {
+        CommStatsSnapshot {
+            one_sided_ops: self.one_sided_ops.get(),
+            one_sided_bytes: self.one_sided_bytes.get(),
+            local_ops: self.local_ops.get(),
+            local_bytes: self.local_bytes.get(),
+            remote_atomics: self.remote_atomics.get(),
+            collectives: self.collectives.get(),
+            collective_bytes: self.collective_bytes.get(),
+        }
+    }
+}
+
+impl CommStatsSnapshot {
+    /// Element-wise sum, for aggregating over ranks.
+    pub fn merge(&self, other: &CommStatsSnapshot) -> CommStatsSnapshot {
+        CommStatsSnapshot {
+            one_sided_ops: self.one_sided_ops + other.one_sided_ops,
+            one_sided_bytes: self.one_sided_bytes + other.one_sided_bytes,
+            local_ops: self.local_ops + other.local_ops,
+            local_bytes: self.local_bytes + other.local_bytes,
+            remote_atomics: self.remote_atomics + other.remote_atomics,
+            collectives: self.collectives + other.collectives,
+            collective_bytes: self.collective_bytes + other.collective_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = CommStats::new();
+        s.record_one_sided(100);
+        s.record_one_sided(50);
+        s.record_local(8);
+        s.record_remote_atomic();
+        s.record_collective(4096);
+        let snap = s.snapshot();
+        assert_eq!(snap.one_sided_ops, 2);
+        assert_eq!(snap.one_sided_bytes, 150);
+        assert_eq!(snap.local_ops, 1);
+        assert_eq!(snap.local_bytes, 8);
+        assert_eq!(snap.remote_atomics, 1);
+        assert_eq!(snap.collectives, 1);
+        assert_eq!(snap.collective_bytes, 4096);
+    }
+
+    #[test]
+    fn merge_is_elementwise_sum() {
+        let a = CommStatsSnapshot {
+            one_sided_ops: 1,
+            one_sided_bytes: 2,
+            local_ops: 3,
+            local_bytes: 4,
+            remote_atomics: 5,
+            collectives: 6,
+            collective_bytes: 7,
+        };
+        let b = a;
+        let m = a.merge(&b);
+        assert_eq!(m.one_sided_ops, 2);
+        assert_eq!(m.collective_bytes, 14);
+    }
+}

@@ -1,0 +1,188 @@
+//! Virtual-time attribution to the paper's pipeline components.
+//!
+//! Figures 6b and 7b of the paper report the *percentage of time spent in
+//! each component* (scan, index, topic, AM, DocVec, ClusProj); Figure 8
+//! reports per-component speedups. The engine brackets each stage with
+//! [`Ctx::component`](crate::Ctx::component), which measures the virtual
+//! clock delta and accrues it here.
+
+use std::cell::RefCell;
+
+/// The pipeline components exactly as the paper's Figures 6b/7b label them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Component {
+    /// Scan & Map: record framing, tokenization, forward indexing,
+    /// vocabulary construction.
+    Scan,
+    /// Parallel inverted file indexing (FAST-INV + dynamic load balancing)
+    /// and global term statistics.
+    Index,
+    /// Topicality (Bookstein) scoring and global top-N selection.
+    Topic,
+    /// Association matrix construction and merge.
+    Assoc,
+    /// Knowledge signature (document vector) generation.
+    DocVec,
+    /// Clustering (k-means) and PCA projection.
+    ClusProj,
+    /// Anything not bracketed (setup, output collection).
+    Other,
+}
+
+impl Component {
+    /// All components in the paper's presentation order.
+    pub const ALL: [Component; 7] = [
+        Component::Scan,
+        Component::Index,
+        Component::Topic,
+        Component::Assoc,
+        Component::DocVec,
+        Component::ClusProj,
+        Component::Other,
+    ];
+
+    /// Label as printed in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Component::Scan => "scan",
+            Component::Index => "index",
+            Component::Topic => "topic",
+            Component::Assoc => "AM",
+            Component::DocVec => "DocVec",
+            Component::ClusProj => "ClusProj",
+            Component::Other => "other",
+        }
+    }
+
+    fn idx(&self) -> usize {
+        match self {
+            Component::Scan => 0,
+            Component::Index => 1,
+            Component::Topic => 2,
+            Component::Assoc => 3,
+            Component::DocVec => 4,
+            Component::ClusProj => 5,
+            Component::Other => 6,
+        }
+    }
+}
+
+/// Per-rank component timer accumulator (virtual seconds).
+#[derive(Debug, Default)]
+pub struct Timers {
+    acc: RefCell<[f64; 7]>,
+}
+
+/// A plain snapshot of the per-component times for one rank.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TimerSnapshot {
+    pub seconds: [f64; 7],
+}
+
+impl Timers {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accrue `seconds` of virtual time to `component`.
+    pub fn accrue(&self, component: Component, seconds: f64) {
+        self.acc.borrow_mut()[component.idx()] += seconds;
+    }
+
+    pub fn get(&self, component: Component) -> f64 {
+        self.acc.borrow()[component.idx()]
+    }
+
+    pub fn snapshot(&self) -> TimerSnapshot {
+        TimerSnapshot {
+            seconds: *self.acc.borrow(),
+        }
+    }
+}
+
+impl TimerSnapshot {
+    pub fn get(&self, component: Component) -> f64 {
+        self.seconds[component.idx()]
+    }
+
+    /// Element-wise maximum — the cross-rank critical path per component.
+    pub fn max(&self, other: &TimerSnapshot) -> TimerSnapshot {
+        let mut out = *self;
+        for i in 0..7 {
+            out.seconds[i] = out.seconds[i].max(other.seconds[i]);
+        }
+        out
+    }
+
+    /// Total across components.
+    pub fn total(&self) -> f64 {
+        self.seconds.iter().sum()
+    }
+
+    /// Percentage share per component (summing to 100 when total > 0).
+    pub fn percentages(&self) -> [f64; 7] {
+        let t = self.total();
+        let mut out = [0.0; 7];
+        if t > 0.0 {
+            for (o, s) in out.iter_mut().zip(&self.seconds) {
+                *o = 100.0 * s / t;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accrual_sums() {
+        let t = Timers::new();
+        t.accrue(Component::Scan, 1.5);
+        t.accrue(Component::Scan, 0.5);
+        t.accrue(Component::Index, 3.0);
+        assert_eq!(t.get(Component::Scan), 2.0);
+        assert_eq!(t.get(Component::Index), 3.0);
+        assert_eq!(t.get(Component::Topic), 0.0);
+    }
+
+    #[test]
+    fn percentages_sum_to_100() {
+        let t = Timers::new();
+        t.accrue(Component::Scan, 2.0);
+        t.accrue(Component::DocVec, 6.0);
+        let p = t.snapshot().percentages();
+        assert!((p.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+        assert!((p[Component::Scan.idx()] - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_max_is_elementwise() {
+        let a = TimerSnapshot {
+            seconds: [1.0, 5.0, 0.0, 0.0, 2.0, 0.0, 0.0],
+        };
+        let b = TimerSnapshot {
+            seconds: [2.0, 1.0, 0.0, 0.0, 3.0, 0.0, 0.0],
+        };
+        let m = a.max(&b);
+        assert_eq!(m.seconds[0], 2.0);
+        assert_eq!(m.seconds[1], 5.0);
+        assert_eq!(m.seconds[4], 3.0);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        let labels: Vec<_> = Component::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["scan", "index", "topic", "AM", "DocVec", "ClusProj", "other"]
+        );
+    }
+
+    #[test]
+    fn empty_percentages_are_zero() {
+        let t = Timers::new();
+        assert_eq!(t.snapshot().percentages(), [0.0; 7]);
+    }
+}

@@ -1,0 +1,341 @@
+//! Contour (isoline) extraction — the elevation lines of the ThemeView
+//! terrain, via marching squares.
+//!
+//! IN-SPIRE's ThemeView renders the density landscape with elevation
+//! contours; this module extracts them as polylines in data space so any
+//! frontend (the SVG renderer here, or an external tool via CSV) can draw
+//! them.
+
+use crate::terrain::Terrain;
+
+/// One contour line: an open or closed polyline in data coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Contour {
+    /// The iso level in `[0, 1]`.
+    pub level: f64,
+    /// Polyline vertices in data space.
+    pub points: Vec<(f64, f64)>,
+    /// Whether the polyline closes on itself.
+    pub closed: bool,
+}
+
+/// Cell-edge identifier used while stitching segments into polylines.
+type EdgeKey = (usize, usize, u8); // (cell x, cell y, edge 0..4: S,E,N,W)
+
+impl Terrain {
+    /// Extract contours at the given iso `levels` (each in `[0,1]`).
+    pub fn contours(&self, levels: &[f64]) -> Vec<Contour> {
+        let mut out = Vec::new();
+        for &level in levels {
+            out.extend(self.contours_at(level));
+        }
+        out
+    }
+
+    /// Marching squares at one level, with linear interpolation along the
+    /// cell edges and segment stitching into polylines.
+    fn contours_at(&self, level: f64) -> Vec<Contour> {
+        if self.width < 2 || self.height < 2 {
+            return Vec::new();
+        }
+        // Collect segments per cell as (edge_a, edge_b) with interpolated
+        // endpoints.
+        let mut segments: Vec<(EdgeKey, (f64, f64), EdgeKey, (f64, f64))> = Vec::new();
+        for cy in 0..self.height - 1 {
+            for cx in 0..self.width - 1 {
+                // Corner values: SW, SE, NE, NW.
+                let sw = self.at(cx, cy);
+                let se = self.at(cx + 1, cy);
+                let ne = self.at(cx + 1, cy + 1);
+                let nw = self.at(cx, cy + 1);
+                let mut case = 0u8;
+                if sw >= level {
+                    case |= 1;
+                }
+                if se >= level {
+                    case |= 2;
+                }
+                if ne >= level {
+                    case |= 4;
+                }
+                if nw >= level {
+                    case |= 8;
+                }
+                if case == 0 || case == 15 {
+                    continue;
+                }
+                // Interpolated crossing points on each edge (S, E, N, W).
+                let t = |a: f64, b: f64| -> f64 {
+                    if (b - a).abs() < 1e-12 {
+                        0.5
+                    } else {
+                        ((level - a) / (b - a)).clamp(0.0, 1.0)
+                    }
+                };
+                let south = (cx as f64 + t(sw, se), cy as f64);
+                let east = (cx as f64 + 1.0, cy as f64 + t(se, ne));
+                let north = (cx as f64 + t(nw, ne), cy as f64 + 1.0);
+                let west = (cx as f64, cy as f64 + t(sw, nw));
+                let e = |edge: u8| -> EdgeKey { (cx, cy, edge) };
+                // Segment table (ambiguous saddles 5/10 resolved by the
+                // cell-center average).
+                let center = (sw + se + ne + nw) / 4.0;
+                let mut push = |a: u8, pa: (f64, f64), b: u8, pb: (f64, f64)| {
+                    segments.push((e(a), pa, e(b), pb));
+                };
+                match case {
+                    1 => push(3, west, 0, south),
+                    2 => push(0, south, 1, east),
+                    3 => push(3, west, 1, east),
+                    4 => push(1, east, 2, north),
+                    5 => {
+                        if center >= level {
+                            push(3, west, 2, north);
+                            push(1, east, 0, south);
+                        } else {
+                            push(3, west, 0, south);
+                            push(1, east, 2, north);
+                        }
+                    }
+                    6 => push(0, south, 2, north),
+                    7 => push(3, west, 2, north),
+                    8 => push(2, north, 3, west),
+                    9 => push(2, north, 0, south),
+                    10 => {
+                        if center >= level {
+                            push(0, south, 3, west);
+                            push(1, east, 2, north);
+                        } else {
+                            push(0, south, 1, east);
+                            push(2, north, 3, west);
+                        }
+                    }
+                    11 => push(2, north, 1, east),
+                    12 => push(1, east, 3, west),
+                    13 => push(1, east, 0, south),
+                    14 => push(0, south, 3, west),
+                    _ => unreachable!(),
+                }
+            }
+        }
+        self.stitch(level, segments)
+    }
+
+    /// Convert grid coordinates to data coordinates.
+    fn grid_to_data(&self, gx: f64, gy: f64) -> (f64, f64) {
+        let (min_x, min_y, max_x, max_y) = self.bounds;
+        (
+            min_x + (gx + 0.5) / self.width as f64 * (max_x - min_x),
+            min_y + (gy + 0.5) / self.height as f64 * (max_y - min_y),
+        )
+    }
+
+    /// Stitch segments into polylines by matching shared edges.
+    fn stitch(
+        &self,
+        level: f64,
+        segments: Vec<(EdgeKey, (f64, f64), EdgeKey, (f64, f64))>,
+    ) -> Vec<Contour> {
+        use std::collections::HashMap;
+        // Canonical global edge key so neighbouring cells agree: edges are
+        // identified by their low-corner vertex and orientation.
+        fn canon(k: EdgeKey) -> (usize, usize, bool) {
+            let (cx, cy, e) = k;
+            match e {
+                0 => (cx, cy, true),      // south edge of (cx,cy): horizontal at row cy
+                2 => (cx, cy + 1, true),  // north edge: horizontal at row cy+1
+                3 => (cx, cy, false),     // west edge: vertical at col cx
+                _ => (cx + 1, cy, false), // east edge: vertical at col cx+1
+            }
+        }
+        let mut by_edge: HashMap<(usize, usize, bool), Vec<usize>> = HashMap::new();
+        for (i, (a, _, b, _)) in segments.iter().enumerate() {
+            by_edge.entry(canon(*a)).or_default().push(i);
+            by_edge.entry(canon(*b)).or_default().push(i);
+        }
+        let mut used = vec![false; segments.len()];
+        let mut contours = Vec::new();
+        for start in 0..segments.len() {
+            if used[start] {
+                continue;
+            }
+            used[start] = true;
+            let (a0, pa0, b0, pb0) = segments[start];
+            let mut points = vec![pa0, pb0];
+            // Walk forward from the b-end.
+            let mut tail = canon(b0);
+            let head = canon(a0);
+            let mut closed = false;
+            loop {
+                let Some(cands) = by_edge.get(&tail) else {
+                    break;
+                };
+                let next = cands.iter().copied().find(|&i| !used[i]);
+                let Some(i) = next else { break };
+                used[i] = true;
+                let (na, npa, nb, npb) = segments[i];
+                if canon(na) == tail {
+                    points.push(npb);
+                    tail = canon(nb);
+                } else {
+                    points.push(npa);
+                    tail = canon(na);
+                }
+                if tail == head {
+                    closed = true;
+                    break;
+                }
+            }
+            let data_points: Vec<(f64, f64)> = points
+                .iter()
+                .map(|&(gx, gy)| self.grid_to_data(gx, gy))
+                .collect();
+            contours.push(Contour {
+                level,
+                points: data_points,
+                closed,
+            });
+        }
+        contours
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic radial hill centered in a [0,10]x[0,10] domain — an
+    /// analytically known surface, so the marching-squares output can be
+    /// checked precisely.
+    fn hill(width: usize, height: usize) -> Terrain {
+        let mut heights = vec![0.0f64; width * height];
+        for y in 0..height {
+            for x in 0..width {
+                let fx = (x as f64 + 0.5) / width as f64 * 10.0;
+                let fy = (y as f64 + 0.5) / height as f64 * 10.0;
+                let r2 = (fx - 5.0).powi(2) + (fy - 5.0).powi(2);
+                heights[y * width + x] = (-r2 / 6.0).exp();
+            }
+        }
+        Terrain {
+            heights,
+            width,
+            height,
+            bounds: (0.0, 0.0, 10.0, 10.0),
+        }
+    }
+
+    /// Two radial hills at (3.5,3.5) and (6.5,6.5), overlapping enough
+    /// that a saddle exists well above zero.
+    fn two_hills(n: usize) -> Terrain {
+        let mut heights = vec![0.0f64; n * n];
+        for y in 0..n {
+            for x in 0..n {
+                let fx = (x as f64 + 0.5) / n as f64 * 10.0;
+                let fy = (y as f64 + 0.5) / n as f64 * 10.0;
+                let a = (-((fx - 3.5).powi(2) + (fy - 3.5).powi(2)) / 3.0).exp();
+                let b = (-((fx - 6.5).powi(2) + (fy - 6.5).powi(2)) / 3.0).exp();
+                heights[y * n + x] = a + b;
+            }
+        }
+        // Normalize.
+        let max = heights.iter().cloned().fold(0.0f64, f64::max);
+        for h in &mut heights {
+            *h /= max;
+        }
+        Terrain {
+            heights,
+            width: n,
+            height: n,
+            bounds: (0.0, 0.0, 10.0, 10.0),
+        }
+    }
+
+    #[test]
+    fn single_hill_yields_closed_rings() {
+        let t = hill(48, 48);
+        let contours = t.contours(&[0.3, 0.6, 0.9]);
+        assert_eq!(contours.len(), 3, "{contours:?}");
+        for c in &contours {
+            assert!(c.closed, "open contour at level {}", c.level);
+            assert!(c.points.len() >= 8);
+        }
+    }
+
+    #[test]
+    fn ring_radius_matches_the_analytic_level_set() {
+        // exp(-r^2/6) = L  =>  r = sqrt(-6 ln L).
+        let t = hill(96, 96);
+        for level in [0.3f64, 0.6, 0.9] {
+            let expect_r = (-6.0 * level.ln()).sqrt();
+            let cs = t.contours(&[level]);
+            assert_eq!(cs.len(), 1);
+            for &(x, y) in &cs[0].points {
+                let r = ((x - 5.0).powi(2) + (y - 5.0).powi(2)).sqrt();
+                assert!(
+                    (r - expect_r).abs() < 0.25,
+                    "level {level}: vertex radius {r} vs {expect_r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn higher_levels_give_smaller_rings() {
+        let t = hill(48, 48);
+        let extent = |level: f64| -> f64 {
+            let cs = t.contours(&[level]);
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for &(x, _) in &cs[0].points {
+                lo = lo.min(x);
+                hi = hi.max(x);
+            }
+            hi - lo
+        };
+        assert!(extent(0.2) > extent(0.8));
+    }
+
+    #[test]
+    fn flat_terrain_has_no_contours() {
+        let t = Terrain::build(&[], 16, 16, None);
+        assert!(t.contours(&[0.5]).is_empty());
+    }
+
+    #[test]
+    fn level_above_max_yields_nothing() {
+        let t = hill(32, 32);
+        assert!(t.contours(&[1.01]).is_empty());
+    }
+
+    #[test]
+    fn two_hills_give_separate_rings() {
+        let t = two_hills(64);
+        let contours = t.contours(&[0.55]);
+        let closed: Vec<&Contour> = contours.iter().filter(|c| c.closed).collect();
+        assert_eq!(closed.len(), 2, "{} closed rings", closed.len());
+        // One ring around each center.
+        let near = |c: &Contour, cx: f64, cy: f64| {
+            c.points
+                .iter()
+                .all(|&(x, y)| ((x - cx).powi(2) + (y - cy).powi(2)).sqrt() < 2.2)
+        };
+        assert!(closed.iter().any(|c| near(c, 3.5, 3.5)));
+        assert!(closed.iter().any(|c| near(c, 6.5, 6.5)));
+    }
+
+    #[test]
+    fn saddle_between_hills_resolves_without_crossings() {
+        // A level just below the saddle produces one merged (dumbbell)
+        // outline or two rings — either is valid marching squares, but
+        // segments must stitch into closed loops, not dangling ends.
+        let t = two_hills(64);
+        // Find the saddle height (midpoint).
+        let (sx, sy) = t.cell_of(5.0, 5.0);
+        let saddle = t.at(sx, sy);
+        let contours = t.contours(&[saddle * 0.9]);
+        assert!(!contours.is_empty());
+        for c in &contours {
+            assert!(c.closed, "dangling contour near the saddle: {c:?}");
+        }
+    }
+}

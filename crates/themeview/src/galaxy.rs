@@ -1,0 +1,247 @@
+//! The Galaxy view: documents as a cluster-colored scatter.
+//!
+//! IN-SPIRE ships two signature visualizations over the same projected
+//! coordinates: the ThemeView terrain (aggregate density) and the Galaxy
+//! (every document an individual star, colored by cluster, with cluster
+//! centroids as labeled hubs). The Galaxy is the view analysts use to
+//! select and drill into individual documents.
+
+/// ASCII Galaxy: documents as digits/letters keyed by cluster (cluster 0
+/// → 'a', 10+ → 'A'…, 36+ → '*'), centroid hubs as '@'.
+pub fn render_galaxy_ascii(
+    coords: &[(f64, f64)],
+    assignments: &[u32],
+    width: usize,
+    height: usize,
+) -> String {
+    assert_eq!(coords.len(), assignments.len(), "one assignment per point");
+    assert!(width > 0 && height > 0);
+    let mut grid = vec![b' '; width * height];
+    if coords.is_empty() {
+        return to_lines(&grid, width, height);
+    }
+    let (min_x, min_y, max_x, max_y) = bounds(coords);
+    let span_x = (max_x - min_x).max(1e-9);
+    let span_y = (max_y - min_y).max(1e-9);
+    let glyph = |c: u32| -> u8 {
+        match c {
+            0..=9 => b'a' + c as u8,
+            10..=35 => b'A' + (c - 10) as u8,
+            _ => b'*',
+        }
+    };
+    for (&(x, y), &c) in coords.iter().zip(assignments) {
+        let gx = (((x - min_x) / span_x) * (width - 1) as f64).round() as usize;
+        let gy = (((y - min_y) / span_y) * (height - 1) as f64).round() as usize;
+        grid[gy.min(height - 1) * width + gx.min(width - 1)] = glyph(c);
+    }
+    // Centroid hubs.
+    let n_clusters = assignments.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    for c in 0..n_clusters {
+        let members: Vec<(f64, f64)> = coords
+            .iter()
+            .zip(assignments)
+            .filter(|(_, &a)| a as usize == c)
+            .map(|(&p, _)| p)
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        let cx = members.iter().map(|p| p.0).sum::<f64>() / members.len() as f64;
+        let cy = members.iter().map(|p| p.1).sum::<f64>() / members.len() as f64;
+        let gx = (((cx - min_x) / span_x) * (width - 1) as f64).round() as usize;
+        let gy = (((cy - min_y) / span_y) * (height - 1) as f64).round() as usize;
+        grid[gy.min(height - 1) * width + gx.min(width - 1)] = b'@';
+    }
+    to_lines(&grid, width, height)
+}
+
+/// SVG Galaxy: documents as cluster-colored dots, centroids as labeled
+/// hubs. `labels[c]` names cluster `c` (optional).
+pub fn render_galaxy_svg(
+    coords: &[(f64, f64)],
+    assignments: &[u32],
+    labels: &[String],
+    width_px: u32,
+) -> String {
+    assert_eq!(coords.len(), assignments.len(), "one assignment per point");
+    let w = width_px as f64;
+    if coords.is_empty() {
+        return format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w:.0}\" height=\"{w:.0}\" \
+             viewBox=\"0 0 {w:.0} {w:.0}\"><rect width=\"{w:.0}\" height=\"{w:.0}\" \
+             fill=\"#0b1020\"/></svg>\n"
+        );
+    }
+    let (min_x, min_y, max_x, max_y) = bounds(coords);
+    let span_x = (max_x - min_x).max(1e-9);
+    let span_y = (max_y - min_y).max(1e-9);
+    let h = w * span_y / span_x;
+    let sx = |x: f64| (x - min_x) / span_x * (w - 20.0) + 10.0;
+    let sy = |y: f64| h - ((y - min_y) / span_y * (h - 20.0) + 10.0);
+
+    let mut svg = String::with_capacity(coords.len() * 64);
+    svg.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w:.0}\" height=\"{h:.0}\" \
+         viewBox=\"0 0 {w:.0} {h:.0}\">\n<rect width=\"{w:.0}\" height=\"{h:.0}\" fill=\"#0b1020\"/>\n"
+    ));
+    for (&(x, y), &c) in coords.iter().zip(assignments) {
+        svg.push_str(&format!(
+            "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"1.8\" fill=\"{}\" fill-opacity=\"0.8\"/>\n",
+            sx(x),
+            sy(y),
+            cluster_color(c)
+        ));
+    }
+    // Centroid hubs + labels.
+    let n_clusters = assignments.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    for c in 0..n_clusters {
+        let members: Vec<(f64, f64)> = coords
+            .iter()
+            .zip(assignments)
+            .filter(|(_, &a)| a as usize == c)
+            .map(|(&p, _)| p)
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        let cx = members.iter().map(|p| p.0).sum::<f64>() / members.len() as f64;
+        let cy = members.iter().map(|p| p.1).sum::<f64>() / members.len() as f64;
+        svg.push_str(&format!(
+            "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"5\" fill=\"none\" stroke=\"{}\" stroke-width=\"1.5\"/>\n",
+            sx(cx),
+            sy(cy),
+            cluster_color(c as u32)
+        ));
+        if let Some(label) = labels.get(c) {
+            svg.push_str(&format!(
+                "<text x=\"{:.1}\" y=\"{:.1}\" font-family=\"sans-serif\" font-size=\"11\" \
+                 fill=\"#e8e8f0\">{}</text>\n",
+                sx(cx) + 7.0,
+                sy(cy) + 4.0,
+                label.replace('&', "&amp;").replace('<', "&lt;")
+            ));
+        }
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// A well-spread categorical palette (golden-angle hue stepping).
+pub fn cluster_color(c: u32) -> String {
+    let hue = (c as f64 * 137.508) % 360.0;
+    let (h, s, l): (f64, f64, f64) = (hue, 0.65, 0.62);
+    // HSL → RGB.
+    let c_ = (1.0 - (2.0 * l - 1.0).abs()) * s;
+    let x = c_ * (1.0 - ((h / 60.0) % 2.0 - 1.0).abs());
+    let m = l - c_ / 2.0;
+    let (r, g, b) = match (h / 60.0) as u32 {
+        0 => (c_, x, 0.0),
+        1 => (x, c_, 0.0),
+        2 => (0.0, c_, x),
+        3 => (0.0, x, c_),
+        4 => (x, 0.0, c_),
+        _ => (c_, 0.0, x),
+    };
+    format!(
+        "rgb({},{},{})",
+        ((r + m) * 255.0) as u8,
+        ((g + m) * 255.0) as u8,
+        ((b + m) * 255.0) as u8
+    )
+}
+
+fn bounds(coords: &[(f64, f64)]) -> (f64, f64, f64, f64) {
+    let mut b = (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in coords {
+        b.0 = b.0.min(x);
+        b.1 = b.1.min(y);
+        b.2 = b.2.max(x);
+        b.3 = b.3.max(y);
+    }
+    b
+}
+
+fn to_lines(grid: &[u8], width: usize, height: usize) -> String {
+    let mut out = String::with_capacity((width + 1) * height);
+    for y in (0..height).rev() {
+        out.push_str(std::str::from_utf8(&grid[y * width..(y + 1) * width]).unwrap());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Vec<(f64, f64)>, Vec<u32>) {
+        let mut coords = Vec::new();
+        let mut assignments = Vec::new();
+        for i in 0..30 {
+            let j = 0.05 * (i % 5) as f64;
+            coords.push((0.0 + j, 0.0 + j));
+            assignments.push(0);
+            coords.push((10.0 + j, 10.0 - j));
+            assignments.push(1);
+        }
+        (coords, assignments)
+    }
+
+    #[test]
+    fn ascii_galaxy_separates_clusters() {
+        let (coords, assignments) = sample();
+        let art = render_galaxy_ascii(&coords, &assignments, 40, 20);
+        assert_eq!(art.lines().count(), 20);
+        assert!(art.contains('a'));
+        assert!(art.contains('b'));
+        assert!(art.contains('@'));
+        // Cluster a is bottom-left, b top-right: first rendered line (top)
+        // holds 'b's, last line holds 'a's.
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(lines[0].contains('b') || lines[1].contains('b'));
+        assert!(lines[19].contains('a') || lines[18].contains('a'));
+    }
+
+    #[test]
+    fn svg_galaxy_has_a_dot_per_document() {
+        let (coords, assignments) = sample();
+        let svg = render_galaxy_svg(&coords, &assignments, &["alpha".into(), "beta".into()], 400);
+        // 60 docs + 2 hub rings.
+        assert_eq!(svg.matches("<circle").count(), 62);
+        assert!(svg.contains(">alpha</text>"));
+        assert!(svg.contains(">beta</text>"));
+    }
+
+    #[test]
+    fn colors_are_distinct_for_small_palettes() {
+        let colors: Vec<String> = (0..12).map(cluster_color).collect();
+        let set: std::collections::HashSet<&String> = colors.iter().collect();
+        assert_eq!(set.len(), 12, "{colors:?}");
+    }
+
+    #[test]
+    fn empty_galaxy_renders() {
+        let art = render_galaxy_ascii(&[], &[], 10, 5);
+        assert_eq!(art.lines().count(), 5);
+        let svg = render_galaxy_svg(&[], &[], &[], 300);
+        assert!(svg.starts_with("<svg"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one assignment per point")]
+    fn mismatched_lengths_rejected() {
+        render_galaxy_ascii(&[(0.0, 0.0)], &[], 4, 4);
+    }
+
+    #[test]
+    fn many_clusters_fall_back_to_star() {
+        // Three collinear points in one high-numbered cluster: the hub
+        // overwrites the middle cell, the endpoints keep the '*' glyph.
+        let coords = vec![(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)];
+        let assignments = vec![40, 40, 40];
+        let art = render_galaxy_ascii(&coords, &assignments, 9, 5);
+        assert!(art.contains('*'), "{art}");
+        assert!(art.contains('@'), "{art}");
+    }
+}

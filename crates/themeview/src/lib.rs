@@ -1,0 +1,36 @@
+//! # themeview — terrain visualization of projected document sets
+//!
+//! The final product of the paper's pipeline is a ThemeView™: *"a
+//! scale-independent landscape of themes based on the contributions of the
+//! projected documents into 2-space. The terrain has various mountains
+//! depicting where themes are dominant and valleys where weak themes lie"*
+//! (§2.1, Figure 2).
+//!
+//! This crate turns 2-D document coordinates into that landscape:
+//!
+//! * [`Terrain::build`] — kernel-density estimation on a regular grid
+//!   (Gaussian kernels, bandwidth set by Scott's rule unless overridden).
+//! * [`Terrain::peaks`] — local maxima with a minimum separation: the
+//!   theme "mountains".
+//! * [`Terrain::contours`] — elevation isolines via marching squares.
+//! * [`render_ascii`] — a shaded character rendering for terminals.
+//! * [`render_pgm`] — a portable graymap for external viewers.
+//! * [`render_csv`] — the raw grid for plotting tools.
+//! * [`render_svg`] — a vector rendering with filled contour bands and
+//!   labeled peaks.
+//! * [`galaxy`] — the companion Galaxy view: documents as a scatter of
+//!   cluster-colored points (IN-SPIRE's other signature visualization).
+
+pub mod contours;
+pub mod galaxy;
+pub mod peaks;
+pub mod render;
+pub mod svg;
+pub mod terrain;
+
+pub use contours::Contour;
+pub use galaxy::{render_galaxy_ascii, render_galaxy_svg};
+pub use peaks::Peak;
+pub use render::{render_ascii, render_csv, render_pgm};
+pub use svg::render_svg;
+pub use terrain::Terrain;

@@ -1,0 +1,149 @@
+//! Peak detection: the theme "mountains" of a terrain.
+
+use crate::terrain::Terrain;
+
+/// A detected theme peak.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Peak {
+    /// Grid cell of the summit.
+    pub x: usize,
+    pub y: usize,
+    /// Normalized height in `[0, 1]`.
+    pub height: f64,
+    /// Data-space coordinates of the summit.
+    pub at: (f64, f64),
+}
+
+impl Terrain {
+    /// Find up to `max_peaks` local maxima at least `min_height` tall and
+    /// separated by at least `min_separation` grid cells (Chebyshev),
+    /// tallest first.
+    pub fn peaks(&self, max_peaks: usize, min_height: f64, min_separation: usize) -> Vec<Peak> {
+        let mut candidates: Vec<Peak> = Vec::new();
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let h = self.at(x, y);
+                if h < min_height {
+                    continue;
+                }
+                // Strict local maximum over the 8-neighborhood (ties break
+                // toward the lexicographically first cell so plateaus
+                // yield one peak).
+                let mut is_max = true;
+                'nb: for dy in -1isize..=1 {
+                    for dx in -1isize..=1 {
+                        if dx == 0 && dy == 0 {
+                            continue;
+                        }
+                        let nx = x as isize + dx;
+                        let ny = y as isize + dy;
+                        if nx < 0 || ny < 0 || nx >= self.width as isize || ny >= self.height as isize
+                        {
+                            continue;
+                        }
+                        let nh = self.at(nx as usize, ny as usize);
+                        let earlier = (ny as usize, nx as usize) < (y, x);
+                        if nh > h || (nh == h && earlier) {
+                            is_max = false;
+                            break 'nb;
+                        }
+                    }
+                }
+                if is_max {
+                    let (min_x, min_y, max_x, max_y) = self.bounds;
+                    let fx = min_x + (x as f64 + 0.5) / self.width as f64 * (max_x - min_x);
+                    let fy = min_y + (y as f64 + 0.5) / self.height as f64 * (max_y - min_y);
+                    candidates.push(Peak {
+                        x,
+                        y,
+                        height: h,
+                        at: (fx, fy),
+                    });
+                }
+            }
+        }
+        candidates.sort_by(|a, b| {
+            b.height
+                .partial_cmp(&a.height)
+                .unwrap()
+                .then((a.y, a.x).cmp(&(b.y, b.x)))
+        });
+        // Non-maximum suppression by separation.
+        let mut selected: Vec<Peak> = Vec::new();
+        for c in candidates {
+            let far_enough = selected.iter().all(|s| {
+                let dx = s.x.abs_diff(c.x);
+                let dy = s.y.abs_diff(c.y);
+                dx.max(dy) >= min_separation
+            });
+            if far_enough {
+                selected.push(c);
+                if selected.len() == max_peaks {
+                    break;
+                }
+            }
+        }
+        selected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cluster_terrain() -> Terrain {
+        let mut points = Vec::new();
+        for i in 0..40 {
+            let j = (i % 6) as f64 * 0.02;
+            points.push((0.0 + j, 0.0));
+            points.push((10.0 + j, 10.0));
+        }
+        Terrain::build(&points, 32, 32, Some(0.8))
+    }
+
+    #[test]
+    fn finds_both_mountains() {
+        let t = two_cluster_terrain();
+        let peaks = t.peaks(10, 0.3, 3);
+        assert_eq!(peaks.len(), 2, "{peaks:?}");
+        // Tallest first.
+        assert!(peaks[0].height >= peaks[1].height);
+        // Near the true cluster centers in data space.
+        let near = |p: &Peak, cx: f64, cy: f64| {
+            (p.at.0 - cx).abs() < 1.5 && (p.at.1 - cy).abs() < 1.5
+        };
+        assert!(peaks.iter().any(|p| near(p, 0.05, 0.0)));
+        assert!(peaks.iter().any(|p| near(p, 10.05, 10.0)));
+    }
+
+    #[test]
+    fn max_peaks_respected() {
+        let t = two_cluster_terrain();
+        let peaks = t.peaks(1, 0.1, 1);
+        assert_eq!(peaks.len(), 1);
+    }
+
+    #[test]
+    fn min_height_filters() {
+        let t = two_cluster_terrain();
+        let peaks = t.peaks(10, 1.01, 1);
+        assert!(peaks.is_empty());
+    }
+
+    #[test]
+    fn flat_terrain_no_peaks() {
+        let t = Terrain::build(&[], 8, 8, None);
+        assert!(t.peaks(5, 0.1, 1).is_empty());
+    }
+
+    #[test]
+    fn separation_suppresses_shoulders() {
+        // One big cluster: with large separation only one peak survives.
+        let points: Vec<(f64, f64)> = (0..60)
+            .map(|i| ((i % 8) as f64 * 0.1, (i % 6) as f64 * 0.1))
+            .collect();
+        let t = Terrain::build(&points, 24, 24, Some(0.15));
+        let peaks = t.peaks(10, 0.05, 24);
+        assert_eq!(peaks.len(), 1, "{peaks:?}");
+    }
+}

@@ -1,0 +1,111 @@
+//! Renderers: ASCII shading, PGM image, CSV grid.
+
+use crate::peaks::Peak;
+use crate::terrain::Terrain;
+
+/// Shading ramp from valley to summit.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Render the terrain as shaded ASCII art, optionally marking peaks with
+/// numbered labels (`1`–`9`, then `+`).
+pub fn render_ascii(terrain: &Terrain, peaks: &[Peak]) -> String {
+    let mut out = String::with_capacity((terrain.width + 1) * terrain.height);
+    let mut marks = vec![None::<char>; terrain.width * terrain.height];
+    for (i, p) in peaks.iter().enumerate() {
+        let c = if i < 9 {
+            (b'1' + i as u8) as char
+        } else {
+            '+'
+        };
+        marks[p.y * terrain.width + p.x] = Some(c);
+    }
+    for y in (0..terrain.height).rev() {
+        for x in 0..terrain.width {
+            if let Some(c) = marks[y * terrain.width + x] {
+                out.push(c);
+                continue;
+            }
+            let h = terrain.at(x, y);
+            let idx = ((h * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+            out.push(RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render as a binary-less ASCII PGM (P2) image, 0–255 gray levels.
+pub fn render_pgm(terrain: &Terrain) -> String {
+    let mut out = format!("P2\n{} {}\n255\n", terrain.width, terrain.height);
+    for y in (0..terrain.height).rev() {
+        let row: Vec<String> = (0..terrain.width)
+            .map(|x| ((terrain.at(x, y) * 255.0).round() as u32).to_string())
+            .collect();
+        out.push_str(&row.join(" "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the raw grid as CSV (`x,y,height` per cell).
+pub fn render_csv(terrain: &Terrain) -> String {
+    let mut out = String::from("x,y,height\n");
+    for y in 0..terrain.height {
+        for x in 0..terrain.width {
+            out.push_str(&format!("{x},{y},{:.6}\n", terrain.at(x, y)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn terrain() -> Terrain {
+        let points: Vec<(f64, f64)> = (0..30).map(|i| ((i % 5) as f64, (i % 3) as f64)).collect();
+        Terrain::build(&points, 12, 8, None)
+    }
+
+    #[test]
+    fn ascii_dimensions() {
+        let t = terrain();
+        let art = render_ascii(&t, &[]);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 8);
+        assert!(lines.iter().all(|l| l.chars().count() == 12));
+    }
+
+    #[test]
+    fn ascii_marks_peaks() {
+        let t = terrain();
+        let peaks = t.peaks(3, 0.1, 2);
+        assert!(!peaks.is_empty());
+        let art = render_ascii(&t, &peaks);
+        assert!(art.contains('1'), "peak marker missing:\n{art}");
+    }
+
+    #[test]
+    fn pgm_header_and_range() {
+        let t = terrain();
+        let pgm = render_pgm(&t);
+        let mut lines = pgm.lines();
+        assert_eq!(lines.next(), Some("P2"));
+        assert_eq!(lines.next(), Some("12 8"));
+        assert_eq!(lines.next(), Some("255"));
+        for line in lines {
+            for v in line.split_whitespace() {
+                let n: u32 = v.parse().unwrap();
+                assert!(n <= 255);
+            }
+        }
+    }
+
+    #[test]
+    fn csv_has_all_cells() {
+        let t = terrain();
+        let csv = render_csv(&t);
+        assert_eq!(csv.lines().count(), 1 + 12 * 8);
+        assert!(csv.starts_with("x,y,height\n"));
+    }
+}

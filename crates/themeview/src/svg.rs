@@ -1,0 +1,185 @@
+//! SVG rendering of the ThemeView terrain: filled elevation bands,
+//! contour lines, and labeled peaks — a vector artifact any browser
+//! displays.
+
+use crate::peaks::Peak;
+use crate::terrain::Terrain;
+
+/// Options for [`render_svg`].
+#[derive(Debug, Clone)]
+pub struct SvgOptions {
+    /// Pixel width of the output; height follows the terrain aspect.
+    pub width_px: u32,
+    /// Iso levels for the filled bands (ascending).
+    pub levels: Vec<f64>,
+    /// Labels to print at peaks (paired by index with the peaks passed
+    /// in; missing entries fall back to the peak number).
+    pub peak_labels: Vec<String>,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            width_px: 800,
+            levels: vec![0.15, 0.3, 0.45, 0.6, 0.75, 0.9],
+            peak_labels: Vec::new(),
+        }
+    }
+}
+
+/// Elevation color ramp: deep-valley blue-gray to summit white, the
+/// classic terrain palette.
+fn band_color(level: f64) -> String {
+    // Interpolate between (40,60,90) and (245,245,240).
+    let t = level.clamp(0.0, 1.0);
+    let r = (40.0 + t * 205.0) as u8;
+    let g = (60.0 + t * 185.0) as u8;
+    let b = (90.0 + t * 150.0) as u8;
+    format!("rgb({r},{g},{b})")
+}
+
+/// Render the terrain, its contour bands, and labeled peaks as an SVG
+/// document.
+pub fn render_svg(terrain: &Terrain, peaks: &[Peak], options: &SvgOptions) -> String {
+    let (min_x, min_y, max_x, max_y) = terrain.bounds;
+    let span_x = (max_x - min_x).max(1e-9);
+    let span_y = (max_y - min_y).max(1e-9);
+    let w = options.width_px as f64;
+    let h = w * span_y / span_x;
+    let sx = |x: f64| (x - min_x) / span_x * w;
+    // SVG y grows downward; data y grows upward.
+    let sy = |y: f64| h - (y - min_y) / span_y * h;
+
+    let mut svg = String::with_capacity(16 * 1024);
+    svg.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w:.0}\" height=\"{h:.0}\" \
+         viewBox=\"0 0 {w:.0} {h:.0}\">\n"
+    ));
+    svg.push_str(&format!(
+        "<rect width=\"{w:.0}\" height=\"{h:.0}\" fill=\"{}\"/>\n",
+        band_color(0.0)
+    ));
+
+    // Filled bands: draw closed contours bottom-up so higher bands paint
+    // over lower ones.
+    for &level in &options.levels {
+        let color = band_color(level);
+        for c in terrain.contours(&[level]) {
+            if c.points.len() < 3 {
+                continue;
+            }
+            let mut d = String::new();
+            for (i, &(x, y)) in c.points.iter().enumerate() {
+                d.push_str(if i == 0 { "M" } else { "L" });
+                d.push_str(&format!("{:.1},{:.1} ", sx(x), sy(y)));
+            }
+            if c.closed {
+                d.push('Z');
+                svg.push_str(&format!(
+                    "<path d=\"{d}\" fill=\"{color}\" stroke=\"rgba(30,40,60,0.35)\" stroke-width=\"1\"/>\n"
+                ));
+            } else {
+                svg.push_str(&format!(
+                    "<path d=\"{d}\" fill=\"none\" stroke=\"rgba(30,40,60,0.35)\" stroke-width=\"1\"/>\n"
+                ));
+            }
+        }
+    }
+
+    // Peaks: markers plus labels.
+    for (i, p) in peaks.iter().enumerate() {
+        let x = sx(p.at.0);
+        let y = sy(p.at.1);
+        let label = options
+            .peak_labels
+            .get(i)
+            .cloned()
+            .unwrap_or_else(|| format!("{}", i + 1));
+        svg.push_str(&format!(
+            "<circle cx=\"{x:.1}\" cy=\"{y:.1}\" r=\"3\" fill=\"#222\"/>\n"
+        ));
+        svg.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" font-family=\"sans-serif\" font-size=\"12\" \
+             fill=\"#111\" stroke=\"#fff\" stroke-width=\"3\" paint-order=\"stroke\">{}</text>\n",
+            x + 5.0,
+            y - 5.0,
+            xml_escape(&label)
+        ));
+    }
+
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn terrain_and_peaks() -> (Terrain, Vec<Peak>) {
+        let mut points = Vec::new();
+        for i in 0..60 {
+            let j = 0.02 * (i % 6) as f64;
+            points.push((0.0 + j, 0.0));
+            points.push((8.0 + j, 8.0));
+        }
+        let t = Terrain::build(&points, 40, 40, Some(0.7));
+        let p = t.peaks(4, 0.2, 4);
+        (t, p)
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let (t, p) = terrain_and_peaks();
+        let svg = render_svg(&t, &p, &SvgOptions::default());
+        assert!(svg.starts_with("<svg "));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<svg ").count(), 1);
+        // Balanced path elements (every path self-closes).
+        assert!(svg.matches("<path ").count() > 3);
+        assert_eq!(svg.matches("<path ").count(), svg.matches("/>\n").count() - 1 - p.len());
+    }
+
+    #[test]
+    fn peaks_render_labels() {
+        let (t, p) = terrain_and_peaks();
+        let svg = render_svg(
+            &t,
+            &p,
+            &SvgOptions {
+                peak_labels: vec!["cardiology".into(), "oncology & more".into()],
+                ..Default::default()
+            },
+        );
+        assert!(svg.contains(">cardiology</text>"));
+        assert!(svg.contains("oncology &amp; more"));
+    }
+
+    #[test]
+    fn xml_escaping() {
+        assert_eq!(xml_escape("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+    }
+
+    #[test]
+    fn empty_terrain_renders_background_only() {
+        let t = Terrain::build(&[], 8, 8, None);
+        let svg = render_svg(&t, &[], &SvgOptions::default());
+        assert!(svg.contains("<rect"));
+        assert!(!svg.contains("<path"));
+    }
+
+    #[test]
+    fn color_ramp_monotone() {
+        // Summits are lighter than valleys in every channel.
+        let lo = band_color(0.0);
+        let hi = band_color(1.0);
+        assert_eq!(lo, "rgb(40,60,90)");
+        assert_eq!(hi, "rgb(245,245,240)");
+    }
+}

@@ -1,0 +1,192 @@
+//! Kernel-density terrain from 2-D points.
+
+/// A density landscape over a regular grid.
+#[derive(Debug, Clone)]
+pub struct Terrain {
+    /// Grid heights, row-major, `height[y * width + x]`, normalized to
+    /// `[0, 1]` (0 = deepest valley, 1 = highest peak).
+    pub heights: Vec<f64>,
+    pub width: usize,
+    pub height: usize,
+    /// Data-space bounds: (min_x, min_y, max_x, max_y).
+    pub bounds: (f64, f64, f64, f64),
+}
+
+impl Terrain {
+    /// Build a `width × height` terrain from points with a Gaussian
+    /// kernel. `bandwidth` is in data units; pass `None` for Scott's rule.
+    ///
+    /// Degenerate inputs (no points, zero extent) produce a flat terrain.
+    pub fn build(
+        points: &[(f64, f64)],
+        width: usize,
+        height: usize,
+        bandwidth: Option<f64>,
+    ) -> Terrain {
+        assert!(width > 0 && height > 0, "grid must be non-empty");
+        let mut heights = vec![0.0f64; width * height];
+        if points.is_empty() {
+            return Terrain {
+                heights,
+                width,
+                height,
+                bounds: (0.0, 0.0, 1.0, 1.0),
+            };
+        }
+
+        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in points {
+            min_x = min_x.min(x);
+            max_x = max_x.max(x);
+            min_y = min_y.min(y);
+            max_y = max_y.max(y);
+        }
+        // Pad bounds a little so edge points get full kernels.
+        let span_x = (max_x - min_x).max(1e-9);
+        let span_y = (max_y - min_y).max(1e-9);
+        let pad_x = span_x * 0.08;
+        let pad_y = span_y * 0.08;
+        min_x -= pad_x;
+        max_x += pad_x;
+        min_y -= pad_y;
+        max_y += pad_y;
+
+        let bw = bandwidth.unwrap_or_else(|| {
+            // Scott's rule (2-D): n^(-1/6) times the data spread.
+            let n = points.len() as f64;
+            let spread = (span_x + span_y) / 2.0;
+            (spread * n.powf(-1.0 / 6.0) * 0.5).max(1e-9)
+        });
+        let inv2bw2 = 1.0 / (2.0 * bw * bw);
+
+        let cell_x = (max_x - min_x) / width as f64;
+        let cell_y = (max_y - min_y) / height as f64;
+        // Kernel support: 3 bandwidths.
+        let rx = ((3.0 * bw / cell_x).ceil() as isize).max(1);
+        let ry = ((3.0 * bw / cell_y).ceil() as isize).max(1);
+
+        for &(px, py) in points {
+            let gx = ((px - min_x) / cell_x) as isize;
+            let gy = ((py - min_y) / cell_y) as isize;
+            for dy in -ry..=ry {
+                let y = gy + dy;
+                if y < 0 || y >= height as isize {
+                    continue;
+                }
+                let cy = min_y + (y as f64 + 0.5) * cell_y;
+                for dx in -rx..=rx {
+                    let x = gx + dx;
+                    if x < 0 || x >= width as isize {
+                        continue;
+                    }
+                    let cx = min_x + (x as f64 + 0.5) * cell_x;
+                    let d2 = (cx - px) * (cx - px) + (cy - py) * (cy - py);
+                    heights[y as usize * width + x as usize] += (-d2 * inv2bw2).exp();
+                }
+            }
+        }
+
+        // Normalize to [0, 1].
+        let max_h = heights.iter().cloned().fold(0.0f64, f64::max);
+        if max_h > 0.0 {
+            for h in &mut heights {
+                *h /= max_h;
+            }
+        }
+
+        Terrain {
+            heights,
+            width,
+            height,
+            bounds: (min_x, min_y, max_x, max_y),
+        }
+    }
+
+    /// Height at grid cell `(x, y)`.
+    pub fn at(&self, x: usize, y: usize) -> f64 {
+        self.heights[y * self.width + x]
+    }
+
+    /// Map a data-space point to its grid cell (clamped).
+    pub fn cell_of(&self, x: f64, y: f64) -> (usize, usize) {
+        let (min_x, min_y, max_x, max_y) = self.bounds;
+        let fx = ((x - min_x) / (max_x - min_x)).clamp(0.0, 1.0);
+        let fy = ((y - min_y) / (max_y - min_y)).clamp(0.0, 1.0);
+        (
+            ((fx * self.width as f64) as usize).min(self.width - 1),
+            ((fy * self.height as f64) as usize).min(self.height - 1),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_points_flat_terrain() {
+        let t = Terrain::build(&[], 16, 16, None);
+        assert!(t.heights.iter().all(|&h| h == 0.0));
+    }
+
+    #[test]
+    fn single_cluster_peaks_at_center() {
+        // A dense cluster near (5,5) and one straggler at (8,8): the
+        // summit must sit at the cluster's center of mass, and the space
+        // between cluster and straggler must be a valley.
+        let mut points: Vec<(f64, f64)> = (0..50)
+            .map(|i| (5.0 + 0.01 * (i % 7) as f64, 5.0 + 0.01 * (i % 5) as f64))
+            .collect();
+        points.push((8.0, 8.0));
+        let t = Terrain::build(&points, 33, 33, Some(0.3));
+        let mx = 5.03;
+        let my = 5.02;
+        let (cx, cy) = t.cell_of(mx, my);
+        let center = t.at(cx, cy);
+        assert!(center > 0.9, "center height {center}");
+        let (vx, vy) = t.cell_of(6.5, 6.5);
+        assert!(t.at(vx, vy) < 0.2, "valley height {}", t.at(vx, vy));
+    }
+
+    #[test]
+    fn two_clusters_two_mountains() {
+        let mut points = Vec::new();
+        for i in 0..40 {
+            let j = (i % 6) as f64 * 0.02;
+            points.push((0.0 + j, 0.0));
+            points.push((10.0 + j, 10.0));
+        }
+        let t = Terrain::build(&points, 32, 32, Some(0.8));
+        let (ax, ay) = t.cell_of(0.0, 0.0);
+        let (bx, by) = t.cell_of(10.0, 10.0);
+        let (mx, my) = t.cell_of(5.0, 5.0);
+        assert!(t.at(ax, ay) > 0.8);
+        assert!(t.at(bx, by) > 0.8);
+        assert!(t.at(mx, my) < 0.3, "saddle {}", t.at(mx, my));
+    }
+
+    #[test]
+    fn heights_normalized() {
+        let points = vec![(1.0, 1.0), (2.0, 2.0), (1.5, 1.2)];
+        let t = Terrain::build(&points, 10, 10, None);
+        let max = t.heights.iter().cloned().fold(0.0f64, f64::max);
+        assert!((max - 1.0).abs() < 1e-12);
+        assert!(t.heights.iter().all(|&h| (0.0..=1.0).contains(&h)));
+    }
+
+    #[test]
+    fn identical_points_do_not_panic() {
+        let points = vec![(3.0, 3.0); 20];
+        let t = Terrain::build(&points, 8, 8, None);
+        let (cx, cy) = t.cell_of(3.0, 3.0);
+        assert!(t.at(cx, cy) > 0.99);
+    }
+
+    #[test]
+    fn cell_of_clamps() {
+        let t = Terrain::build(&[(0.0, 0.0), (1.0, 1.0)], 4, 4, None);
+        assert_eq!(t.cell_of(-100.0, -100.0), (0, 0));
+        assert_eq!(t.cell_of(100.0, 100.0), (3, 3));
+    }
+}

@@ -1,0 +1,102 @@
+//! An interactive analyst session: the paper's "next frontier" (§6).
+//!
+//! Simulates the core ThemeView interaction loop: build the global
+//! landscape, lasso the tallest theme mountain, and drill down — the
+//! selected documents are re-analyzed from scratch (their own topic
+//! space, clustering, and projection), revealing sub-themes that the
+//! global view aggregates away. Results of each level are persisted the
+//! way the paper's engine does (coordinates CSV, signature matrix).
+//!
+//! ```text
+//! cargo run --release --example interactive_explore
+//! ```
+
+use inspire_core::interact::{select_radius, subset_corpus};
+use inspire_core::io::{read_coords_csv, write_coords_csv};
+use inspire_core::ClusterMethod;
+use inspire_core::hierarchy::Linkage;
+use std::sync::Arc;
+use visual_analytics::prelude::*;
+
+fn show_level(name: &str, run: &EngineRun) -> (Vec<(f64, f64)>, Vec<u32>) {
+    let master = run.master();
+    let coords = master.coords.clone().expect("master coords");
+    let assignments = master.all_assignments.clone().expect("master assignments");
+    println!(
+        "[{name}] {} docs, {} themes, N={} M={}",
+        master.summary.total_docs,
+        master.cluster_sizes.iter().filter(|&&s| s > 0).count(),
+        master.summary.n_major,
+        master.summary.m_dims
+    );
+    let terrain = Terrain::build(&coords, 64, 22, None);
+    let peaks = terrain.peaks(5, 0.25, 6);
+    println!("{}", render_ascii(&terrain, &peaks));
+    let mut order: Vec<usize> = (0..master.cluster_sizes.len()).collect();
+    order.sort_by_key(|&c| std::cmp::Reverse(master.cluster_sizes[c]));
+    for &c in order.iter().take(4) {
+        if master.cluster_sizes[c] > 0 {
+            println!(
+                "    theme {:>5} docs: {}",
+                master.cluster_sizes[c],
+                master.cluster_labels[c].join(", ")
+            );
+        }
+    }
+    (coords, assignments)
+}
+
+fn main() {
+    let sources = CorpusSpec::pubmed(3 * 1024 * 1024, 2718).generate();
+    let model = Arc::new(CostModel::pnnl_2007());
+
+    // ---- Level 0: the global landscape (hierarchical clustering with an
+    // adaptive cut, one of the §3.5 alternatives) ----
+    let config = EngineConfig {
+        cluster_method: ClusterMethod::Hierarchical {
+            linkage: Linkage::Average,
+            fine_factor: 4,
+            adaptive: false,
+        },
+        ..EngineConfig::default()
+    };
+    let global = run_engine(8, model.clone(), &sources, &config);
+    let (coords, _assignments) = show_level("global", &global);
+
+    // Persist the primary product, as the paper's master process does.
+    let coords_path = std::path::Path::new("explore_global.csv");
+    write_coords_csv(
+        coords_path,
+        &coords,
+        global.master().all_assignments.as_deref(),
+    )
+    .expect("write coords");
+    let reloaded = read_coords_csv(coords_path).expect("read back");
+    assert_eq!(reloaded.len(), coords.len());
+    println!("    (coordinates persisted to {})\n", coords_path.display());
+
+    // ---- The analyst lassos the tallest mountain ----
+    let terrain = Terrain::build(&coords, 64, 22, None);
+    let peaks = terrain.peaks(3, 0.2, 6);
+    let peak = &peaks[0];
+    let (bx0, by0, bx1, by1) = terrain.bounds;
+    let radius = 0.18 * ((bx1 - bx0).powi(2) + (by1 - by0).powi(2)).sqrt();
+    let selected = select_radius(&coords, peak.at, radius);
+    println!(
+        "analyst lassos the tallest mountain at ({:.3}, {:.3}): {} documents selected\n",
+        peak.at.0,
+        peak.at.1,
+        selected.len()
+    );
+
+    // ---- Level 1: drill-down — full re-analysis of the selection ----
+    let sub_corpus = subset_corpus(&sources, &selected);
+    let drill = run_engine(8, model, &sub_corpus, &EngineConfig::default());
+    show_level("drill-down", &drill);
+    println!(
+        "    sub-analysis virtual time: {:.2} s on 8 procs of the 2007 cluster",
+        drill.virtual_time
+    );
+
+    std::fs::remove_file(coords_path).ok();
+}

@@ -1,0 +1,80 @@
+//! Quickstart: corpus in, ThemeView out.
+//!
+//! Generates a small PubMed-like corpus, runs the full parallel text
+//! processing engine on a handful of simulated cluster processors, and
+//! prints the resulting theme landscape with labeled peaks.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+use visual_analytics::prelude::*;
+
+fn main() {
+    // 1. A 2 MB PubMed-flavoured corpus (deterministic from the seed).
+    let spec = CorpusSpec::pubmed(2 * 1024 * 1024, 42);
+    let sources = spec.generate();
+    let stats = CorpusStats::measure(&sources);
+    println!(
+        "corpus: {} records, {:.1} MB, {} distinct terms",
+        stats.records,
+        stats.bytes as f64 / 1e6,
+        stats.distinct_terms
+    );
+
+    // 2. Run the engine on 8 simulated processors of the paper's cluster.
+    let nprocs = 8;
+    let model = Arc::new(CostModel::pnnl_2007());
+    let config = EngineConfig::default();
+    let run = run_engine(nprocs, model, &sources, &config);
+
+    let master = run.master();
+    let s = &master.summary;
+    println!(
+        "engine: {} docs, vocab {}, N={} major terms, M={} dims, {} k-means iters",
+        s.total_docs, s.vocab_size, s.n_major, s.m_dims, s.kmeans_iters
+    );
+    println!(
+        "virtual time on {} procs of the modeled 2007 cluster: {:.1} s",
+        nprocs, run.virtual_time
+    );
+
+    // 3. Build and print the ThemeView terrain.
+    let coords = master.coords.clone().expect("rank 0 gathers coordinates");
+    let assignments = master
+        .all_assignments
+        .as_ref()
+        .expect("rank 0 gathers assignments");
+    let terrain = Terrain::build(&coords, 72, 28, None);
+    let peaks = terrain.peaks(6, 0.25, 6);
+    println!("\n{}", render_ascii(&terrain, &peaks));
+
+    // 4. Label the mountains with their dominant cluster themes.
+    let (bx0, by0, bx1, by1) = terrain.bounds;
+    let radius = 0.06 * ((bx1 - bx0).powi(2) + (by1 - by0).powi(2)).sqrt();
+    println!("theme peaks:");
+    for (i, peak) in peaks.iter().enumerate() {
+        // The documents under the peak decide the label.
+        let mut counts = vec![0usize; master.cluster_sizes.len()];
+        for ((x, y), &c) in coords.iter().zip(assignments) {
+            let dx = x - peak.at.0;
+            let dy = y - peak.at.1;
+            if (dx * dx + dy * dy).sqrt() < radius {
+                counts[c as usize] += 1;
+            }
+        }
+        let dominant = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, c)| *c)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let labels = master
+            .cluster_labels
+            .get(dominant)
+            .map(|l| l.join(", "))
+            .unwrap_or_default();
+        println!("  {}. height {:.2} — {}", i + 1, peak.height, labels);
+    }
+}

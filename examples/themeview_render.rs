@@ -1,0 +1,101 @@
+//! Reproduce the paper's Figure 2 artifact: a ThemeView terrain — and its
+//! companion Galaxy view.
+//!
+//! Runs the engine on a themed corpus and writes the landscape in every
+//! rendering: ASCII to stdout, plus `themeview.pgm`, `themeview.csv`,
+//! `themeview.svg` (filled contour bands with labeled peaks) and
+//! `galaxy.svg` (cluster-colored document scatter).
+//!
+//! ```text
+//! cargo run --release --example themeview_render
+//! ```
+
+use std::sync::Arc;
+use themeview::svg::SvgOptions;
+use themeview::{render_galaxy_ascii, render_galaxy_svg, render_svg};
+use visual_analytics::prelude::*;
+
+fn main() {
+    let sources = CorpusSpec::pubmed(2 * 1024 * 1024, 99).generate();
+    let run = run_engine(
+        4,
+        Arc::new(CostModel::pnnl_2007()),
+        &sources,
+        &EngineConfig::default(),
+    );
+    let master = run.master();
+    let coords = master.coords.clone().expect("rank 0 holds coordinates");
+
+
+    let terrain = Terrain::build(&coords, 96, 40, None);
+    let peaks = terrain.peaks(8, 0.2, 8);
+
+    println!("{}", render_ascii(&terrain, &peaks));
+    println!("peaks (tallest first):");
+    for (i, p) in peaks.iter().enumerate() {
+        println!(
+            "  {}: height {:.2} at ({:.3}, {:.3})",
+            i + 1,
+            p.height,
+            p.at.0,
+            p.at.1
+        );
+    }
+
+    std::fs::write("themeview.pgm", render_pgm(&terrain)).expect("write pgm");
+    std::fs::write("themeview.csv", render_csv(&terrain)).expect("write csv");
+
+    // SVG terrain with contour bands and labeled peaks.
+    let assignments = master
+        .all_assignments
+        .as_ref()
+        .expect("rank 0 gathers assignments");
+    let peak_labels: Vec<String> = peaks
+        .iter()
+        .map(|p| {
+            // Label each peak with the dominant cluster's top term.
+            let mut counts = vec![0usize; master.cluster_sizes.len()];
+            let r = 0.08
+                * ((terrain.bounds.2 - terrain.bounds.0).powi(2)
+                    + (terrain.bounds.3 - terrain.bounds.1).powi(2))
+                .sqrt();
+            for ((x, y), &c) in coords.iter().zip(assignments) {
+                if ((x - p.at.0).powi(2) + (y - p.at.1).powi(2)).sqrt() < r {
+                    counts[c as usize] += 1;
+                }
+            }
+            let dominant = counts
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, n)| *n)
+                .map(|(c, _)| c)
+                .unwrap_or(0);
+            master.cluster_labels[dominant]
+                .first()
+                .cloned()
+                .unwrap_or_default()
+        })
+        .collect();
+    let svg = render_svg(
+        &terrain,
+        &peaks,
+        &SvgOptions {
+            peak_labels,
+            ..Default::default()
+        },
+    );
+    std::fs::write("themeview.svg", svg).expect("write svg");
+
+    // Galaxy: the document-level companion view.
+    println!("\nGalaxy view (documents by cluster, @ = centroid hubs):\n");
+    println!("{}", render_galaxy_ascii(coords.as_slice(), assignments, 96, 30));
+    let labels: Vec<String> = master
+        .cluster_labels
+        .iter()
+        .map(|l| l.first().cloned().unwrap_or_default())
+        .collect();
+    let galaxy = render_galaxy_svg(coords.as_slice(), assignments, &labels, 900);
+    std::fs::write("galaxy.svg", galaxy).expect("write galaxy svg");
+
+    println!("wrote themeview.pgm, themeview.csv, themeview.svg, galaxy.svg");
+}

@@ -1,0 +1,61 @@
+//! TREC GOV2-style analysis: heterogeneous web data and scaling.
+//!
+//! The GOV2 crawl stresses the engine differently from PubMed: documents
+//! are heavy-tailed (stubs next to enormous pages) and wrapped in markup.
+//! This example processes a GOV2-like corpus at several simulated
+//! processor counts, printing the wall-clock and per-component profile —
+//! a miniature of the paper's Figures 5 and 7.
+//!
+//! ```text
+//! cargo run --release --example trec_gov2
+//! ```
+
+use std::sync::Arc;
+use visual_analytics::prelude::*;
+
+fn main() {
+    let sources = CorpusSpec::trec(2 * 1024 * 1024, 11).generate();
+    let stats = CorpusStats::measure(&sources);
+    println!(
+        "GOV2-like corpus: {:.1} MB, {} documents (mean {:.0} terms, max {} — note the tail)\n",
+        stats.bytes as f64 / 1e6,
+        stats.records,
+        stats.mean_record_tokens,
+        stats.max_record_tokens
+    );
+
+    // Declare this corpus a stand-in for the paper's 1 GB TREC subset:
+    // compute charges scale by the byte ratio, communication by the
+    // Heaps-law vocabulary ratio.
+    let nominal = 1 << 30;
+    let config = EngineConfig::default();
+
+    println!("{:>6} {:>12} {:>9}   components (% of total)", "procs", "virtual", "speedup");
+    let mut t1 = None;
+    for p in [1usize, 2, 4, 8, 16, 32] {
+        let model = Arc::new(CostModel::pnnl_2007_scaled(nominal, sources.total_bytes()));
+        let run = run_engine(p, model, &sources, &config);
+        let t = run.virtual_time;
+        let t1 = *t1.get_or_insert(t);
+        let ct = run.components;
+        let total = ct.total().max(1e-9);
+        let pct = |c: Component| 100.0 * ct.get(c) / total;
+        println!(
+            "{:>6} {:>10.1} s {:>8.1}x   scan {:>4.1} | index {:>4.1} | topic {:>4.1} | AM {:>4.1} | DocVec {:>4.1} | ClusProj {:>4.1}",
+            p,
+            t,
+            t1 / t,
+            pct(Component::Scan),
+            pct(Component::Index),
+            pct(Component::Topic),
+            pct(Component::Assoc),
+            pct(Component::DocVec),
+            pct(Component::ClusProj),
+        );
+    }
+
+    println!(
+        "\n(virtual seconds on the modeled 2007 Itanium/InfiniBand cluster; the\n\
+         corpus stands in for a 1 GB GOV2 subset via the workload scale)"
+    );
+}

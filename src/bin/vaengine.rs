@@ -1,0 +1,175 @@
+//! `vaengine` — command-line front end for the text processing engine.
+//!
+//! ```text
+//! vaengine generate --flavour pubmed --size 4M --seed 7 --out ./corpus
+//! vaengine analyze  --input ./corpus --procs 8 --out coords.csv
+//! vaengine themeview --coords coords.csv --width 80 --height 30
+//! ```
+//!
+//! `analyze` ingests a directory of MEDLINE or TREC-format files (format
+//! sniffed per file), runs the full parallel pipeline on the requested
+//! number of simulated processors, writes the master's coordinate file,
+//! and prints the theme summary. `themeview` re-renders a saved
+//! coordinate file as terrain.
+
+use std::path::{Path, PathBuf};
+use std::process::exit;
+use std::sync::Arc;
+use visual_analytics::engine::io::{read_coords_csv, write_coords_csv};
+use visual_analytics::prelude::*;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  vaengine generate --flavour <pubmed|trec|newswire> --size <bytes[K|M]> [--seed N] --out <dir>\n  vaengine analyze --input <dir> [--procs N] [--clusters K] [--out coords.csv]\n  vaengine themeview --coords <coords.csv> [--width N] [--height N]"
+    );
+    exit(2);
+}
+
+struct Args(Vec<String>);
+
+impl Args {
+    fn value(&self, flag: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.0.get(i + 1))
+            .map(|s| s.as_str())
+    }
+
+    fn value_or<'a>(&'a self, flag: &str, default: &'a str) -> &'a str {
+        self.value(flag).unwrap_or(default)
+    }
+}
+
+fn parse_size(s: &str) -> u64 {
+    let (num, mult) = match s.as_bytes().last() {
+        Some(b'K') | Some(b'k') => (&s[..s.len() - 1], 1024u64),
+        Some(b'M') | Some(b'm') => (&s[..s.len() - 1], 1024 * 1024),
+        Some(b'G') | Some(b'g') => (&s[..s.len() - 1], 1024 * 1024 * 1024),
+        _ => (s, 1),
+    };
+    num.parse::<u64>().unwrap_or_else(|_| {
+        eprintln!("bad size: {s}");
+        exit(2)
+    }) * mult
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first().cloned() else {
+        usage()
+    };
+    let args = Args(argv[1..].to_vec());
+    match cmd.as_str() {
+        "generate" => generate(&args),
+        "analyze" => analyze(&args),
+        "themeview" => themeview_cmd(&args),
+        _ => usage(),
+    }
+}
+
+fn generate(args: &Args) {
+    let flavour = args.value_or("--flavour", "pubmed");
+    let size = parse_size(args.value_or("--size", "2M"));
+    let seed: u64 = args.value_or("--seed", "42").parse().unwrap_or(42);
+    let Some(out) = args.value("--out") else {
+        usage()
+    };
+    let spec = match flavour {
+        "pubmed" => CorpusSpec::pubmed(size, seed),
+        "trec" => CorpusSpec::trec(size, seed),
+        "newswire" => CorpusSpec::newswire(size, seed),
+        other => {
+            eprintln!("unknown flavour {other} (pubmed|trec|newswire)");
+            exit(2);
+        }
+    };
+    let set = spec.generate();
+    corpus::load::write_dir(&set, Path::new(out)).unwrap_or_else(|e| {
+        eprintln!("write failed: {e}");
+        exit(1);
+    });
+    println!(
+        "wrote {} sources, {:.1} MB, {} records to {out}",
+        set.sources.len(),
+        set.total_bytes() as f64 / 1e6,
+        set.total_records()
+    );
+}
+
+fn analyze(args: &Args) {
+    let Some(input) = args.value("--input") else {
+        usage()
+    };
+    let procs: usize = args.value_or("--procs", "8").parse().unwrap_or(8);
+    let out = PathBuf::from(args.value_or("--out", "coords.csv"));
+    let sources = corpus::load::load_dir(Path::new(input)).unwrap_or_else(|e| {
+        eprintln!("cannot load {input}: {e}");
+        exit(1);
+    });
+    if sources.sources.is_empty() {
+        eprintln!("no MEDLINE, TREC, or mbox format files found under {input}");
+        exit(1);
+    }
+    println!(
+        "loaded {} sources ({:.1} MB); analyzing on {procs} simulated processors…",
+        sources.sources.len(),
+        sources.total_bytes() as f64 / 1e6
+    );
+    let config = EngineConfig {
+        n_clusters: args
+            .value("--clusters")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(12),
+        ..EngineConfig::default()
+    };
+    let run = run_engine(procs, Arc::new(CostModel::pnnl_2007()), &sources, &config);
+    let master = run.master();
+    let coords = master.coords.as_ref().expect("master coordinates");
+    write_coords_csv(&out, coords, master.all_assignments.as_deref()).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", out.display());
+        exit(1);
+    });
+
+    println!(
+        "\n{} documents, vocabulary {}, N={} major terms, M={} dimensions",
+        master.summary.total_docs,
+        master.summary.vocab_size,
+        master.summary.n_major,
+        master.summary.m_dims
+    );
+    println!("themes:");
+    let mut order: Vec<usize> = (0..master.cluster_sizes.len()).collect();
+    order.sort_by_key(|&c| std::cmp::Reverse(master.cluster_sizes[c]));
+    for &c in &order {
+        if master.cluster_sizes[c] > 0 {
+            println!(
+                "  {:>6} docs — {}",
+                master.cluster_sizes[c],
+                master.cluster_labels[c].join(", ")
+            );
+        }
+    }
+    println!(
+        "\nvirtual time: {:.1}s on {procs} procs of the modeled 2007 cluster",
+        run.virtual_time
+    );
+    println!("coordinates written to {}", out.display());
+}
+
+fn themeview_cmd(args: &Args) {
+    let Some(path) = args.value("--coords") else {
+        usage()
+    };
+    let width: usize = args.value_or("--width", "80").parse().unwrap_or(80);
+    let height: usize = args.value_or("--height", "30").parse().unwrap_or(30);
+    let rows = read_coords_csv(Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    let coords: Vec<(f64, f64)> = rows.iter().map(|&(_, x, y, _)| (x, y)).collect();
+    let terrain = Terrain::build(&coords, width, height, None);
+    let peaks = terrain.peaks(9, 0.2, (width / 12).max(2));
+    print!("{}", render_ascii(&terrain, &peaks));
+    println!("{} documents, {} peaks", coords.len(), peaks.len());
+}

@@ -1,0 +1,130 @@
+//! Parallel-vs-sequential oracle tests.
+//!
+//! The strongest correctness statement the reproduction makes: for any
+//! processor count, the parallel engine computes the *same analysis* as a
+//! sequential execution — identical vocabulary, topics, signatures (up to
+//! floating-point summation order), cluster structure, and 2-D layout.
+
+use std::sync::Arc;
+use visual_analytics::prelude::*;
+
+fn pubmed() -> SourceSet {
+    CorpusSpec::pubmed(192 * 1024, 2024).generate()
+}
+
+fn trec() -> SourceSet {
+    CorpusSpec::trec(192 * 1024, 4048).generate()
+}
+
+fn run_p(sources: &SourceSet, p: usize) -> EngineOutput {
+    run_engine(
+        p,
+        Arc::new(CostModel::zero()),
+        sources,
+        &EngineConfig::for_testing(),
+    )
+    .outputs
+    .remove(0)
+}
+
+fn assert_equivalent(a: &EngineOutput, b: &EngineOutput, label: &str) {
+    assert_eq!(
+        a.summary.vocab_size, b.summary.vocab_size,
+        "{label}: vocab size"
+    );
+    assert_eq!(
+        a.summary.total_docs, b.summary.total_docs,
+        "{label}: doc count"
+    );
+    assert_eq!(
+        a.summary.total_tokens, b.summary.total_tokens,
+        "{label}: token count"
+    );
+    assert_eq!(a.summary.n_major, b.summary.n_major, "{label}: N");
+    assert_eq!(a.summary.m_dims, b.summary.m_dims, "{label}: M");
+    assert_eq!(a.cluster_sizes, b.cluster_sizes, "{label}: cluster sizes");
+    assert_eq!(a.cluster_labels, b.cluster_labels, "{label}: labels");
+    let ca = a.coords.as_ref().expect("master coords");
+    let cb = b.coords.as_ref().expect("master coords");
+    assert_eq!(ca.len(), cb.len(), "{label}: coordinate count");
+    for (i, ((x1, y1), (x2, y2))) in ca.iter().zip(cb).enumerate() {
+        assert!(
+            (x1 - x2).abs() < 1e-6 && (y1 - y2).abs() < 1e-6,
+            "{label}: doc {i} moved: ({x1},{y1}) vs ({x2},{y2})"
+        );
+    }
+    let aa = a.all_assignments.as_ref().unwrap();
+    let ab = b.all_assignments.as_ref().unwrap();
+    assert_eq!(aa, ab, "{label}: assignments");
+}
+
+#[test]
+fn pubmed_parallel_matches_sequential() {
+    let src = pubmed();
+    let seq = run_sequential(&src, &EngineConfig::for_testing());
+    for p in [2, 3, 5] {
+        let par = run_p(&src, p);
+        assert_equivalent(&par, &seq, &format!("PubMed P={p}"));
+    }
+}
+
+#[test]
+fn trec_parallel_matches_sequential() {
+    let src = trec();
+    let seq = run_sequential(&src, &EngineConfig::for_testing());
+    for p in [2, 4] {
+        let par = run_p(&src, p);
+        assert_equivalent(&par, &seq, &format!("TREC P={p}"));
+    }
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    // Thread scheduling varies between runs; results must not.
+    let src = pubmed();
+    let a = run_p(&src, 4);
+    let b = run_p(&src, 4);
+    assert_eq!(a.coords, b.coords);
+    assert_eq!(a.cluster_sizes, b.cluster_sizes);
+    assert_eq!(a.all_assignments, b.all_assignments);
+}
+
+#[test]
+fn balancing_modes_agree_on_results() {
+    // Load balancing changes who does the work, never the answer.
+    let src = trec();
+    let mut outputs = Vec::new();
+    for balancing in [Balancing::Static, Balancing::Dynamic, Balancing::MasterWorker] {
+        let cfg = EngineConfig {
+            balancing,
+            ..EngineConfig::for_testing()
+        };
+        outputs.push(
+            run_engine(3, Arc::new(CostModel::zero()), &src, &cfg)
+                .outputs
+                .remove(0),
+        );
+    }
+    assert_equivalent(&outputs[0], &outputs[1], "static vs dynamic");
+    assert_equivalent(&outputs[0], &outputs[2], "static vs master-worker");
+}
+
+#[test]
+fn virtual_time_does_not_affect_results() {
+    // The cost model only prices time; the computation must be identical
+    // under any model.
+    let src = pubmed();
+    let cfg = EngineConfig::for_testing();
+    let free = run_engine(3, Arc::new(CostModel::zero()), &src, &cfg)
+        .outputs
+        .remove(0);
+    let priced = run_engine(
+        3,
+        Arc::new(CostModel::pnnl_2007_scaled(1 << 34, src.total_bytes())),
+        &src,
+        &cfg,
+    )
+    .outputs
+    .remove(0);
+    assert_equivalent(&free, &priced, "zero vs priced model");
+}

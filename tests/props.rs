@@ -1,0 +1,218 @@
+//! Property-based tests (proptest) on the core data structures and
+//! numeric kernels, across crate boundaries.
+
+use proptest::prelude::*;
+use visual_analytics::engine::linalg::{dist2, dot, jacobi_eigen};
+use visual_analytics::engine::scan::{pack_entry, unpack_entry};
+use visual_analytics::engine::tokenize::Tokenizer;
+use visual_analytics::engine::topicality::bookstein_score;
+use visual_analytics::prelude::*;
+
+proptest! {
+    #[test]
+    fn partition_contiguous_covers_exactly_once(
+        sizes in prop::collection::vec(0u64..10_000, 0..60),
+        p in 1usize..12,
+    ) {
+        let parts = corpus::partition_contiguous(&sizes, p);
+        prop_assert_eq!(parts.len(), p);
+        let mut covered = Vec::new();
+        for r in &parts {
+            covered.extend(r.clone());
+        }
+        let expect: Vec<usize> = (0..sizes.len()).collect();
+        prop_assert_eq!(covered, expect);
+    }
+
+    #[test]
+    fn partition_lpt_assigns_exactly_once(
+        sizes in prop::collection::vec(1u64..10_000, 0..60),
+        p in 1usize..12,
+    ) {
+        let bins = corpus::partition_lpt(&sizes, p);
+        let mut all: Vec<usize> = bins.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let expect: Vec<usize> = (0..sizes.len()).collect();
+        prop_assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn lpt_is_balanced_within_largest_item(
+        sizes in prop::collection::vec(1u64..1_000, 1..60),
+        p in 1usize..8,
+    ) {
+        let bins = corpus::partition_lpt(&sizes, p);
+        let loads: Vec<u64> = bins
+            .iter()
+            .map(|b| b.iter().map(|&i| sizes[i]).sum())
+            .collect();
+        let max = *loads.iter().max().unwrap();
+        let min = *loads.iter().min().unwrap();
+        let biggest = *sizes.iter().max().unwrap();
+        // Classic LPT guarantee: spread bounded by the largest item.
+        prop_assert!(max - min <= biggest);
+    }
+
+    #[test]
+    fn tokenizer_output_is_normalized(text in ".{0,300}") {
+        let t = Tokenizer::default();
+        for term in t.tokenize(&text) {
+            prop_assert!(term.len() >= 3 && term.len() <= 40);
+            prop_assert!(term.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit()));
+            prop_assert!(term.bytes().any(|b| b.is_ascii_alphabetic()));
+        }
+    }
+
+    #[test]
+    fn tokenizer_is_idempotent_on_its_output(text in "[a-zA-Z0-9 ,.;-]{0,200}") {
+        let t = Tokenizer::default();
+        let once = t.tokenize(&text);
+        let rejoined = once.join(" ");
+        let twice = t.tokenize(&rejoined);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn pack_entry_roundtrips(term in 0u32.., field in 0u8..8, freq in 0u32..0xFF_FFFF) {
+        prop_assert_eq!(unpack_entry(pack_entry(term, field, freq)), (term, field, freq));
+    }
+
+    #[test]
+    fn zipf_pmf_is_distribution(n in 1usize..400, s in 0.0f64..2.5) {
+        let z = corpus::Zipf::new(n, s);
+        let total: f64 = (0..n).map(|r| z.pmf(r)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        for r in 1..n {
+            prop_assert!(z.pmf(r - 1) >= z.pmf(r) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn bookstein_score_is_finite_and_nonnegative(
+        df in 1u32..1000,
+        extra_tf in 0u64..5000,
+        docs in 1u32..100_000,
+    ) {
+        let df = df.min(docs);
+        let tf = df as u64 + extra_tf; // tf >= df always holds in real data
+        if let Some(s) = bookstein_score(df, tf, docs, 1, 1.0) {
+            prop_assert!(s.is_finite());
+            prop_assert!(s >= 0.0);
+        }
+    }
+
+    #[test]
+    fn jacobi_reconstructs_symmetric_matrices(
+        vals in prop::collection::vec(-3.0f64..3.0, 6),
+    ) {
+        // Build a 3x3 symmetric matrix from 6 free entries.
+        let a = vec![
+            vals[0], vals[1], vals[2],
+            vals[1], vals[3], vals[4],
+            vals[2], vals[4], vals[5],
+        ];
+        let e = jacobi_eigen(&a, 3, 60);
+        // Trace preserved.
+        let trace = vals[0] + vals[3] + vals[5];
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-8);
+        // A v = lambda v for every pair.
+        for (k, v) in e.vectors.iter().enumerate() {
+            for i in 0..3 {
+                let av: f64 = (0..3).map(|j| a[i * 3 + j] * v[j]).sum();
+                prop_assert!((av - e.values[k] * v[i]).abs() < 1e-7);
+            }
+        }
+        // Orthonormality.
+        for i in 0..3 {
+            for j in 0..3 {
+                let d = dot(&e.vectors[i], &e.vectors[j]);
+                let expect = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((d - expect).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn terrain_is_normalized_for_any_points(
+        points in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 0..80),
+    ) {
+        let t = Terrain::build(&points, 16, 12, None);
+        prop_assert_eq!(t.heights.len(), 16 * 12);
+        for &h in &t.heights {
+            prop_assert!((0.0..=1.0).contains(&h));
+        }
+        if !points.is_empty() {
+            let max = t.heights.iter().cloned().fold(0.0f64, f64::max);
+            prop_assert!((max - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn terrain_peak_cells_are_within_grid(
+        points in prop::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..60),
+    ) {
+        let t = Terrain::build(&points, 20, 20, None);
+        for peak in t.peaks(10, 0.05, 2) {
+            prop_assert!(peak.x < 20 && peak.y < 20);
+            prop_assert!((0.0..=1.0).contains(&peak.height));
+        }
+    }
+
+    #[test]
+    fn dist2_triangle_inequality_in_sqrt(
+        a in prop::collection::vec(-5.0f64..5.0, 4),
+        b in prop::collection::vec(-5.0f64..5.0, 4),
+        c in prop::collection::vec(-5.0f64..5.0, 4),
+    ) {
+        let ab = dist2(&a, &b).sqrt();
+        let bc = dist2(&b, &c).sqrt();
+        let ac = dist2(&a, &c).sqrt();
+        prop_assert!(ac <= ab + bc + 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // Heavier properties: exercised with fewer cases.
+
+    #[test]
+    fn scaled_models_scale_time_linearly(nominal_mb in 1u64..64) {
+        let src = CorpusSpec::pubmed(48 * 1024, 99).generate();
+        let t1 = run_engine(
+            2,
+            std::sync::Arc::new(CostModel::pnnl_2007_scaled(
+                nominal_mb << 20,
+                src.total_bytes(),
+            )),
+            &src,
+            &EngineConfig::for_testing(),
+        )
+        .virtual_time;
+        let t2 = run_engine(
+            2,
+            std::sync::Arc::new(CostModel::pnnl_2007_scaled(
+                (nominal_mb * 2) << 20,
+                src.total_bytes(),
+            )),
+            &src,
+            &EngineConfig::for_testing(),
+        )
+        .virtual_time;
+        // Doubling nominal size roughly doubles time (communication is
+        // sublinear, so allow 1.5-2.1).
+        let ratio = t2 / t1;
+        prop_assert!((1.5..=2.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn engine_deterministic_for_random_corpus_seeds(seed in 0u64..1000) {
+        let src = CorpusSpec::trec(32 * 1024, seed).generate();
+        let cfg = EngineConfig::for_testing();
+        let a = run_sequential(&src, &cfg);
+        let b = run_sequential(&src, &cfg);
+        prop_assert_eq!(a.coords, b.coords);
+        prop_assert_eq!(a.cluster_sizes, b.cluster_sizes);
+    }
+}

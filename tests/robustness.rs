@@ -1,0 +1,144 @@
+//! Robustness: the ingestion path (framers, parsers, sniffer, tokenizer,
+//! engine) must never panic on malformed input — corpora come from the
+//! outside world.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use visual_analytics::prelude::*;
+
+fn source(data: Vec<u8>, format: corpus::FormatKind) -> corpus::Source {
+    corpus::Source {
+        name: "fuzz".into(),
+        data,
+        format,
+    }
+}
+
+proptest! {
+    #[test]
+    fn medline_framer_never_panics(data in prop::collection::vec(any::<u8>(), 0..2000)) {
+        // Framing requires UTF-8; arbitrary bytes may be rejected by the
+        // loader, so fuzz with lossy-sanitized input like the loader sees.
+        let text = String::from_utf8_lossy(&data).into_owned();
+        let s = source(text.into_bytes(), corpus::FormatKind::Medline);
+        for r in s.record_ranges() {
+            let doc = s.parse_record(r);
+            // Every parsed field is valid UTF-8 by construction; names are
+            // from the known set.
+            for (name, _) in doc.fields {
+                prop_assert!(visual_analytics::engine::field_id(name).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn trec_framer_never_panics(data in "[ -~\\n]{0,2000}") {
+        let s = source(data.into_bytes(), corpus::FormatKind::TrecWeb);
+        for r in s.record_ranges() {
+            let _ = s.parse_record(r);
+        }
+    }
+
+    #[test]
+    fn trec_framer_handles_adversarial_tags(
+        n_open in 0usize..6,
+        n_close in 0usize..6,
+        middle in "[a-z<>/ ]{0,100}",
+    ) {
+        let mut data = String::new();
+        for _ in 0..n_open {
+            data.push_str("<DOC>");
+        }
+        data.push_str(&middle);
+        for _ in 0..n_close {
+            data.push_str("</DOC>");
+        }
+        let s = source(data.into_bytes(), corpus::FormatKind::TrecWeb);
+        // Framing must terminate and produce non-overlapping ranges.
+        let ranges = s.record_ranges();
+        for w in ranges.windows(2) {
+            prop_assert!(w[0].end <= w[1].start);
+        }
+    }
+
+    #[test]
+    fn sniffer_never_panics(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = corpus::sniff_format(&data);
+    }
+
+    #[test]
+    fn tokenizer_handles_unicode(text in "\\PC{0,120}") {
+        // Non-ASCII must be treated as delimiters, never panic or split
+        // inside a UTF-8 sequence.
+        let t = visual_analytics::engine::tokenize::Tokenizer::default();
+        for term in t.tokenize(&text) {
+            prop_assert!(term.is_ascii());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn engine_survives_arbitrary_printable_corpora(
+        a in "[ -~\\n]{0,600}",
+        b in "[ -~\\n]{0,600}",
+    ) {
+        // Wrap the fuzz in minimal valid framing so there is at least the
+        // chance of records, then run the full engine.
+        let m = format!("PMID- 1\nTI  - {a}\nAB  - {b}\n\n");
+        let t = format!("<DOC>\n<DOCNO>F1</DOCNO>\n<DOCHDR>\nu\n</DOCHDR>\n{b}\n</DOC>\n");
+        let set = corpus::SourceSet {
+            sources: vec![
+                source(m.into_bytes(), corpus::FormatKind::Medline),
+                source(t.into_bytes(), corpus::FormatKind::TrecWeb),
+            ],
+        };
+        let out = run_engine(
+            2,
+            Arc::new(CostModel::zero()),
+            &set,
+            &EngineConfig::for_testing(),
+        );
+        let master = out.master();
+        prop_assert_eq!(
+            master.coords.as_ref().unwrap().len() as u32,
+            master.summary.total_docs
+        );
+    }
+}
+
+#[test]
+fn engine_handles_corpus_with_no_valid_terms() {
+    // Records exist but every token is filtered (too short / numeric).
+    let data = b"PMID- 1\nTI  - a b c 1 2 3\nAB  - x y z 42\n\nPMID- 2\nTI  - 9 8 7\nAB  - q w\n\n";
+    let set = corpus::SourceSet {
+        sources: vec![source(data.to_vec(), corpus::FormatKind::Medline)],
+    };
+    let out = run_engine(
+        2,
+        Arc::new(CostModel::zero()),
+        &set,
+        &EngineConfig::for_testing(),
+    );
+    let master = out.master();
+    assert_eq!(master.summary.total_docs, 2);
+    assert_eq!(master.summary.vocab_size, 0);
+    // Coordinates still exist (all at the origin of a degenerate space).
+    assert_eq!(master.coords.as_ref().unwrap().len(), 2);
+}
+
+#[test]
+fn engine_handles_empty_source_list() {
+    let set = corpus::SourceSet { sources: vec![] };
+    let out = run_engine(
+        3,
+        Arc::new(CostModel::zero()),
+        &set,
+        &EngineConfig::for_testing(),
+    );
+    let master = out.master();
+    assert_eq!(master.summary.total_docs, 0);
+    assert!(master.coords.as_ref().unwrap().is_empty());
+}

@@ -1,0 +1,149 @@
+//! Virtual-time scaling properties: the qualitative claims of the paper's
+//! evaluation, asserted as tests on small corpora with scaled models.
+
+use std::sync::Arc;
+use visual_analytics::prelude::*;
+
+fn scaled_model(src: &SourceSet, nominal_gb: f64) -> Arc<CostModel> {
+    Arc::new(CostModel::pnnl_2007_scaled(
+        (nominal_gb * (1u64 << 30) as f64) as u64,
+        src.total_bytes(),
+    ))
+}
+
+fn time_at(src: &SourceSet, model: &Arc<CostModel>, p: usize) -> f64 {
+    run_engine(p, model.clone(), src, &EngineConfig::for_testing()).virtual_time
+}
+
+#[test]
+fn wall_clock_decreases_with_processors() {
+    let src = CorpusSpec::pubmed(192 * 1024, 5).generate();
+    let model = scaled_model(&src, 2.75);
+    let mut prev = f64::INFINITY;
+    for p in [1, 2, 4, 8] {
+        let t = time_at(&src, &model, p);
+        assert!(t < prev, "P={p}: {t} !< {prev}");
+        prev = t;
+    }
+}
+
+#[test]
+fn speedup_is_sane_and_substantial() {
+    let src = CorpusSpec::trec(192 * 1024, 6).generate();
+    let model = scaled_model(&src, 1.0);
+    let t1 = time_at(&src, &model, 1);
+    for p in [2usize, 4, 8] {
+        let s = t1 / time_at(&src, &model, p);
+        assert!(s <= p as f64 * 1.05, "superlinear without memory effects: {s} at P={p}");
+        assert!(
+            s >= 0.6 * p as f64,
+            "parallel efficiency collapsed: {s} at P={p}"
+        );
+    }
+}
+
+#[test]
+fn larger_nominal_datasets_take_longer() {
+    let src = CorpusSpec::pubmed(128 * 1024, 7).generate();
+    let small = time_at(&src, &scaled_model(&src, 1.0), 4);
+    let large = time_at(&src, &scaled_model(&src, 4.0), 4);
+    assert!(
+        large > 3.0 * small,
+        "4x nominal data must cost ~4x: {small} vs {large}"
+    );
+}
+
+#[test]
+fn memory_anomaly_hits_small_processor_counts() {
+    // The Figure 5 anomaly: a dataset whose working set exceeds per-proc
+    // memory at P=4 but fits at P=8 shows a superlinear drop.
+    let src = CorpusSpec::pubmed(128 * 1024, 8).generate();
+    let model = scaled_model(&src, 16.44);
+    let t4 = time_at(&src, &model, 4);
+    let t8 = time_at(&src, &model, 8);
+    assert!(
+        t4 / t8 > 3.0,
+        "expected superlinear relief from memory pressure: {t4} vs {t8}"
+    );
+    // Beyond the anomaly the usual ~2x per doubling returns.
+    let t16 = time_at(&src, &model, 16);
+    let ratio = t8 / t16;
+    assert!((1.4..3.0).contains(&ratio), "P=8→16 ratio {ratio}");
+}
+
+#[test]
+fn component_percentages_are_stable_in_p() {
+    let src = CorpusSpec::pubmed(192 * 1024, 9).generate();
+    let model = scaled_model(&src, 2.75);
+    let mut shares = Vec::new();
+    for p in [2usize, 8] {
+        let run = run_engine(p, model.clone(), &src, &EngineConfig::for_testing());
+        let ct = run.components;
+        shares.push(ct.get(Component::Scan) / ct.total());
+    }
+    // Scan's share should not swing wildly between P=2 and P=8 (the
+    // paper's "percentage of time spent in each component remains
+    // constant").
+    let drift = (shares[0] - shares[1]).abs() / shares[0];
+    assert!(drift < 0.25, "scan share drifted {drift}: {shares:?}");
+}
+
+#[test]
+fn slower_network_slows_communication_bound_stages() {
+    let src = CorpusSpec::pubmed(128 * 1024, 10).generate();
+    let mut ib = CostModel::pnnl_2007_scaled(4 << 30, src.total_bytes());
+    ib.cluster.network = perfmodel::Network::infiniband_sdr();
+    let mut eth = ib.clone();
+    eth.cluster.network = perfmodel::Network::gigabit_ethernet();
+    let cfg = EngineConfig::for_testing();
+    let run_ib = run_engine(8, Arc::new(ib), &src, &cfg);
+    let run_eth = run_engine(8, Arc::new(eth), &src, &cfg);
+    assert!(run_eth.virtual_time > run_ib.virtual_time);
+    // Index (one-sided heavy) must inflate more than DocVec (pure compute).
+    let infl = |r: &visual_analytics::prelude::EngineRun, c: Component| r.components.get(c);
+    let index_ratio = infl(&run_eth, Component::Index) / infl(&run_ib, Component::Index);
+    let docvec_ratio = infl(&run_eth, Component::DocVec) / infl(&run_ib, Component::DocVec);
+    assert!(
+        index_ratio > 1.5 * docvec_ratio,
+        "index {index_ratio} vs docvec {docvec_ratio}"
+    );
+}
+
+#[test]
+fn dynamic_balancing_beats_static_on_heterogeneous_data() {
+    let src = CorpusSpec::trec(256 * 1024, 11).generate();
+    let model = scaled_model(&src, 1.0);
+    let mut times = Vec::new();
+    for balancing in [Balancing::Static, Balancing::Dynamic] {
+        let cfg = EngineConfig {
+            balancing,
+            chunk_docs: 4,
+            ..EngineConfig::for_testing()
+        };
+        times.push(run_engine(8, model.clone(), &src, &cfg).virtual_time);
+    }
+    assert!(
+        times[1] <= times[0] * 1.001,
+        "dynamic ({}) must not lose to static ({})",
+        times[1],
+        times[0]
+    );
+}
+
+#[test]
+fn scan_io_becomes_visible_at_scale() {
+    // With a shared filesystem, total scan I/O time is constant in P, so
+    // the scan component's parallel efficiency falls at high P.
+    let src = CorpusSpec::pubmed(192 * 1024, 12).generate();
+    let model = scaled_model(&src, 6.67);
+    let cfg = EngineConfig::for_testing();
+    let scan1 = run_engine(1, model.clone(), &src, &cfg)
+        .components
+        .get(Component::Scan);
+    let scan16 = run_engine(16, model.clone(), &src, &cfg)
+        .components
+        .get(Component::Scan);
+    let speedup = scan1 / scan16;
+    assert!(speedup > 8.0, "scan speedup collapsed: {speedup}");
+    assert!(speedup < 15.9, "scan shows no I/O effect at all: {speedup}");
+}
