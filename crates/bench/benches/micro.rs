@@ -1,12 +1,15 @@
-//! Criterion microbenchmarks for the substrate and the engine's kernels.
+//! Microbenchmarks for the substrate and the engine's kernels.
 //!
 //! These measure *real wall-clock* performance of the building blocks on
 //! the host machine (unlike the `repro` harness, which reports virtual
 //! time on the modeled cluster). Useful for catching performance
 //! regressions in the library itself.
+//!
+//! Run with `cargo bench --bench micro` (plain `harness = false` main;
+//! criterion is unavailable offline).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ga::{DistHashMap, GlobalArray, TaskQueue};
+use inspire_bench::timing::{bench, bench_throughput};
 use inspire_core::hierarchy::{agglomerate, Linkage};
 use inspire_core::linalg::jacobi_eigen;
 use inspire_core::tokenize::Tokenizer;
@@ -14,148 +17,118 @@ use inspire_core::topicality::bookstein_score;
 use spmd::{ReduceOp, Runtime};
 use themeview::Terrain;
 
-fn bench_tokenizer(c: &mut Criterion) {
+const ITERS: usize = 10;
+
+fn bench_tokenizer() {
     let tokenizer = Tokenizer::default();
     let text = "The effects of cardiomyopathy and renal-failure on p53kinase \
                 expression were studied in 1284 patients; hypertension, \
                 diabetes and chronic obstructive disease were controlled for. "
         .repeat(64);
-    let mut g = c.benchmark_group("tokenizer");
-    g.throughput(Throughput::Bytes(text.len() as u64));
-    g.bench_function("tokenize_into", |b| {
-        b.iter(|| {
-            let mut n = 0u64;
-            tokenizer.tokenize_into(&text, |_| n += 1);
-            n
-        })
+    bench_throughput("tokenizer/tokenize_into", ITERS, text.len() as u64, || {
+        let mut n = 0u64;
+        tokenizer.tokenize_into(&text, |_| n += 1);
+        n
     });
-    g.finish();
 }
 
-fn bench_dhashmap(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dist_hashmap");
+fn bench_dhashmap() {
     for p in [1usize, 4] {
-        g.bench_with_input(BenchmarkId::new("insert_10k", p), &p, |b, &p| {
-            let rt = Runtime::for_testing();
-            b.iter(|| {
-                rt.run(p, |ctx| {
-                    let m = DistHashMap::create(ctx);
-                    let per = 10_000 / ctx.nprocs();
-                    for i in 0..per {
-                        m.insert_or_get(ctx, &format!("term{}-{}", ctx.rank(), i));
-                    }
-                })
-            })
-        });
-    }
-    g.finish();
-}
-
-fn bench_task_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("task_queue");
-    for p in [2usize, 8] {
-        g.bench_with_input(BenchmarkId::new("drain_4k_tasks", p), &p, |b, &p| {
-            let rt = Runtime::for_testing();
-            b.iter(|| {
-                rt.run(p, |ctx| {
-                    let q = TaskQueue::create(ctx, 4096 / ctx.nprocs());
-                    let mut n = 0usize;
-                    while q.pop(ctx).is_some() {
-                        n += 1;
-                    }
-                    n
-                })
-            })
-        });
-    }
-    g.finish();
-}
-
-fn bench_global_array(c: &mut Criterion) {
-    let mut g = c.benchmark_group("global_array");
-    g.bench_function("acc_1mb_4ranks", |b| {
         let rt = Runtime::for_testing();
-        b.iter(|| {
-            rt.run(4, |ctx| {
-                let a = GlobalArray::<u64>::create(ctx, 128 * 1024);
-                let data = vec![1u64; 128 * 1024];
-                a.acc(ctx, 0, &data);
-                ctx.barrier();
-            })
-        })
-    });
-    g.bench_function("read_inc_contended", |b| {
-        let rt = Runtime::for_testing();
-        b.iter(|| {
-            rt.run(4, |ctx| {
-                let a = GlobalArray::<i64>::create(ctx, 64);
-                for i in 0..2_000 {
-                    a.read_inc(ctx, i % 64, 1);
+        bench(&format!("dist_hashmap/insert_10k/{p}"), ITERS, || {
+            rt.run(p, |ctx| {
+                let m = DistHashMap::create(ctx);
+                let per = 10_000 / ctx.nprocs();
+                for i in 0..per {
+                    m.insert_or_get(ctx, &format!("term{}-{}", ctx.rank(), i));
                 }
             })
-        })
-    });
-    g.finish();
+        });
+    }
 }
 
-fn bench_allreduce(c: &mut Criterion) {
-    let mut g = c.benchmark_group("collectives");
-    g.bench_function("allreduce_64k_f64_4ranks", |b| {
+fn bench_task_queue() {
+    for p in [2usize, 8] {
         let rt = Runtime::for_testing();
-        b.iter(|| {
-            rt.run(4, |ctx| {
-                let v = vec![ctx.rank() as f64; 8192];
-                ctx.allreduce_f64(v, ReduceOp::Sum)
+        bench(&format!("task_queue/drain_4k_tasks/{p}"), ITERS, || {
+            rt.run(p, |ctx| {
+                let q = TaskQueue::create(ctx, 4096 / ctx.nprocs());
+                let mut n = 0usize;
+                while q.pop(ctx).is_some() {
+                    n += 1;
+                }
+                n
             })
-        })
-    });
-    g.finish();
+        });
+    }
 }
 
-fn bench_numeric_kernels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("numeric");
-    g.bench_function("jacobi_eigen_64x64", |b| {
-        let n = 64;
-        let mut a = vec![0.0f64; n * n];
-        for i in 0..n {
-            for j in 0..=i {
-                let v = 1.0 / (1.0 + (i as f64 - j as f64).abs());
-                a[i * n + j] = v;
-                a[j * n + i] = v;
+fn bench_global_array() {
+    let rt = Runtime::for_testing();
+    bench("global_array/acc_1mb_4ranks", ITERS, || {
+        rt.run(4, |ctx| {
+            let a = GlobalArray::<u64>::create(ctx, 128 * 1024);
+            let data = vec![1u64; 128 * 1024];
+            a.acc(ctx, 0, &data);
+            ctx.barrier();
+        })
+    });
+    bench("global_array/read_inc_contended", ITERS, || {
+        rt.run(4, |ctx| {
+            let a = GlobalArray::<i64>::create(ctx, 64);
+            for i in 0..2_000 {
+                a.read_inc(ctx, i % 64, 1);
+            }
+        })
+    });
+}
+
+fn bench_allreduce() {
+    let rt = Runtime::for_testing();
+    bench("collectives/allreduce_64k_f64_4ranks", ITERS, || {
+        rt.run(4, |ctx| {
+            let v = vec![ctx.rank() as f64; 8192];
+            ctx.allreduce_f64(v, ReduceOp::Sum)
+        })
+    });
+}
+
+fn bench_numeric_kernels() {
+    let n = 64;
+    let mut a = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let v = 1.0 / (1.0 + (i as f64 - j as f64).abs());
+            a[i * n + j] = v;
+            a[j * n + i] = v;
+        }
+    }
+    bench("numeric/jacobi_eigen_64x64", ITERS, || {
+        jacobi_eigen(&a, n, 60)
+    });
+    bench("numeric/bookstein_100k_terms", ITERS, || {
+        let mut acc = 0.0f64;
+        for t in 0..100_000u64 {
+            if let Some(s) = bookstein_score((t % 97 + 2) as u32, t % 1000 + 2, 100_000, 2, 0.5) {
+                acc += s;
             }
         }
-        b.iter(|| jacobi_eigen(&a, n, 60))
+        acc
     });
-    g.bench_function("bookstein_100k_terms", |b| {
-        b.iter(|| {
-            let mut acc = 0.0f64;
-            for t in 0..100_000u64 {
-                if let Some(s) =
-                    bookstein_score((t % 97 + 2) as u32, t % 1000 + 2, 100_000, 2, 0.5)
-                {
-                    acc += s;
-                }
-            }
-            acc
-        })
-    });
-    g.finish();
 }
 
-fn bench_hierarchy(c: &mut Criterion) {
-    let mut g = c.benchmark_group("hierarchy");
+fn bench_hierarchy() {
     for n in [32usize, 96] {
-        g.bench_with_input(BenchmarkId::new("agglomerate_avg", n), &n, |b, &n| {
-            let points: Vec<f64> = (0..n * 16)
-                .map(|i| ((i * 2654435761) % 1000) as f64 / 1000.0)
-                .collect();
-            b.iter(|| agglomerate(&points, n, 16, Linkage::Average))
+        let points: Vec<f64> = (0..n * 16)
+            .map(|i| ((i * 2654435761) % 1000) as f64 / 1000.0)
+            .collect();
+        bench(&format!("hierarchy/agglomerate_avg/{n}"), ITERS, || {
+            agglomerate(&points, n, 16, Linkage::Average)
         });
     }
-    g.finish();
 }
 
-fn bench_terrain(c: &mut Criterion) {
+fn bench_terrain() {
     let points: Vec<(f64, f64)> = (0..2000)
         .map(|i| {
             let a = (i * 2654435761usize) % 997;
@@ -163,29 +136,23 @@ fn bench_terrain(c: &mut Criterion) {
             (a as f64 / 99.7, b as f64 / 99.1)
         })
         .collect();
-    let mut g = c.benchmark_group("themeview");
-    g.bench_function("terrain_2k_points_96x96", |b| {
-        b.iter(|| Terrain::build(&points, 96, 96, None))
+    bench("themeview/terrain_2k_points_96x96", ITERS, || {
+        Terrain::build(&points, 96, 96, None)
     });
     let t = Terrain::build(&points, 96, 96, None);
-    g.bench_function("contours_6_levels", |b| {
-        b.iter(|| t.contours(&[0.15, 0.3, 0.45, 0.6, 0.75, 0.9]))
+    bench("themeview/contours_6_levels", ITERS, || {
+        t.contours(&[0.15, 0.3, 0.45, 0.6, 0.75, 0.9])
     });
-    g.bench_function("peaks", |b| b.iter(|| t.peaks(10, 0.2, 5)));
-    g.finish();
+    bench("themeview/peaks", ITERS, || t.peaks(10, 0.2, 5));
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets =
-        bench_tokenizer,
-        bench_dhashmap,
-        bench_task_queue,
-        bench_global_array,
-        bench_allreduce,
-        bench_numeric_kernels,
-        bench_hierarchy,
-        bench_terrain
+fn main() {
+    bench_tokenizer();
+    bench_dhashmap();
+    bench_task_queue();
+    bench_global_array();
+    bench_allreduce();
+    bench_numeric_kernels();
+    bench_hierarchy();
+    bench_terrain();
 }
-criterion_main!(benches);

@@ -1,8 +1,11 @@
-//! Criterion benchmarks of the full pipeline and its stages on a small
-//! real corpus (host wall-clock, not virtual time).
+//! Benchmarks of the full pipeline and its stages on a small real corpus
+//! (host wall-clock, not virtual time).
+//!
+//! Run with `cargo bench --bench pipeline` (plain `harness = false` main;
+//! criterion is unavailable offline).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use corpus::CorpusSpec;
+use inspire_bench::timing::bench_throughput;
 use inspire_core::index::invert;
 use inspire_core::pipeline::run_engine;
 use inspire_core::scan::scan;
@@ -11,48 +14,42 @@ use perfmodel::CostModel;
 use spmd::Runtime;
 use std::sync::Arc;
 
-fn bench_stages(c: &mut Criterion) {
+const ITERS: usize = 10;
+
+fn bench_stages() {
     let sources = CorpusSpec::pubmed(512 * 1024, 42).generate();
     let bytes = sources.total_bytes();
     let cfg = EngineConfig::for_testing();
 
-    let mut g = c.benchmark_group("stages");
-    g.throughput(Throughput::Bytes(bytes));
-    g.bench_function("scan_512k", |b| {
-        let rt = Runtime::for_testing();
-        b.iter(|| rt.run(2, |ctx| scan(ctx, &sources, &cfg).total_docs))
+    let rt = Runtime::for_testing();
+    bench_throughput("stages/scan_512k", ITERS, bytes, || {
+        rt.run(2, |ctx| scan(ctx, &sources, &cfg).total_docs)
     });
-    g.bench_function("scan_plus_invert_512k", |b| {
-        let rt = Runtime::for_testing();
-        b.iter(|| {
-            rt.run(2, |ctx| {
-                let s = scan(ctx, &sources, &cfg);
-                invert(ctx, &s, &cfg).total_tokens
-            })
+    bench_throughput("stages/scan_plus_invert_512k", ITERS, bytes, || {
+        rt.run(2, |ctx| {
+            let s = scan(ctx, &sources, &cfg);
+            invert(ctx, &s, &cfg).total_tokens
         })
     });
-    g.finish();
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
+fn bench_end_to_end() {
     let sources = CorpusSpec::pubmed(512 * 1024, 7).generate();
     let bytes = sources.total_bytes();
     let cfg = EngineConfig::for_testing();
     let model = Arc::new(CostModel::zero());
 
-    let mut g = c.benchmark_group("pipeline");
-    g.throughput(Throughput::Bytes(bytes));
     for p in [1usize, 4] {
-        g.bench_with_input(BenchmarkId::new("end_to_end_512k", p), &p, |b, &p| {
-            b.iter(|| run_engine(p, model.clone(), &sources, &cfg).virtual_time)
-        });
+        bench_throughput(
+            &format!("pipeline/end_to_end_512k/{p}"),
+            ITERS,
+            bytes,
+            || run_engine(p, model.clone(), &sources, &cfg).virtual_time,
+        );
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_stages, bench_end_to_end
+fn main() {
+    bench_stages();
+    bench_end_to_end();
 }
-criterion_main!(benches);

@@ -301,7 +301,11 @@ fn ablate_balancing(quick: bool) {
     let model = ds.model(&sources);
     for &p in &procs {
         print!("{p:>8}");
-        for mode in [Balancing::Static, Balancing::Dynamic, Balancing::MasterWorker] {
+        for mode in [
+            Balancing::Static,
+            Balancing::Dynamic,
+            Balancing::MasterWorker,
+        ] {
             let cfg = EngineConfig {
                 balancing: mode,
                 ..bench_config()
@@ -326,7 +330,10 @@ fn ablate_chunk(quick: bool) {
     let model = ds.model(&sources);
     let mut csv = String::from("chunk_docs,index_seconds,imbalance\n");
     println!("\n{} at P={p}:", ds.name);
-    println!("{:>12} {:>16} {:>12}", "chunk_docs", "index seconds", "imbalance");
+    println!(
+        "{:>12} {:>16} {:>12}",
+        "chunk_docs", "index seconds", "imbalance"
+    );
     for chunk in [1usize, 2, 4, 16, 64, 256, 1024] {
         let cfg = EngineConfig {
             chunk_docs: chunk,
@@ -334,7 +341,13 @@ fn ablate_chunk(quick: bool) {
         };
         let run = run_engine(p, model.clone(), &sources, &cfg);
         let idx_s = run.components.get(Component::Index);
-        let times: Vec<f64> = run.master().summary.load.iter().map(|l| l.seconds).collect();
+        let times: Vec<f64> = run
+            .master()
+            .summary
+            .load
+            .iter()
+            .map(|l| l.seconds)
+            .collect();
         let max = times.iter().cloned().fold(0.0f64, f64::max);
         let mean = times.iter().sum::<f64>() / times.len() as f64;
         let imb = if mean > 0.0 { max / mean } else { 1.0 };
@@ -435,7 +448,6 @@ fn ablate_network(quick: bool) {
     );
 }
 
-
 fn ablate_io(quick: bool) {
     header("Ablation — storage: shared server vs parallel filesystem (§4.2)");
     let ds = pubmed_datasets(quick)[1];
@@ -453,7 +465,9 @@ fn ablate_io(quick: bool) {
         for (label, storage) in [
             (
                 "shared",
-                perfmodel::StorageModel::SharedFixed { aggregate_bps: 200e6 },
+                perfmodel::StorageModel::SharedFixed {
+                    aggregate_bps: 200e6,
+                },
             ),
             (
                 "lustre",
@@ -463,8 +477,7 @@ fn ablate_io(quick: bool) {
                 },
             ),
         ] {
-            let mut model =
-                CostModel::pnnl_2007_scaled(ds.nominal_bytes(), sources.total_bytes());
+            let mut model = CostModel::pnnl_2007_scaled(ds.nominal_bytes(), sources.total_bytes());
             model.cluster.storage = storage;
             let run = run_engine(p, Arc::new(model), &sources, &bench_config());
             let scan_s = run.components.get(Component::Scan);
@@ -529,10 +542,12 @@ fn ablate_clustering(quick: bool) {
         let master = run.master();
         let clusters = master.cluster_sizes.iter().filter(|&&s| s > 0).count();
         let total: u64 = master.cluster_sizes.iter().sum();
-        let largest =
-            *master.cluster_sizes.iter().max().unwrap_or(&0) as f64 / total.max(1) as f64;
+        let largest = *master.cluster_sizes.iter().max().unwrap_or(&0) as f64 / total.max(1) as f64;
         let cp = run.components.get(Component::ClusProj);
-        println!("{label:>28} {clusters:>9} {cp:>14.1} {:>17.1}%", largest * 100.0);
+        println!(
+            "{label:>28} {clusters:>9} {cp:>14.1} {:>17.1}%",
+            largest * 100.0
+        );
         csv.push_str(&format!("{label},{clusters},{cp:.3},{largest:.4}\n"));
     }
     save("ablate_clustering.csv", &csv);

@@ -1,0 +1,304 @@
+//! `scaling` — intra-rank pool scaling on the hot pipeline stages.
+//!
+//! Runs scan + inversion on a single rank at `threads_per_rank` 1..=W
+//! and records, for each width:
+//!
+//! * the measured wall-clock (median and min over the iterations), and
+//! * a **projected** speedup computed from the per-chunk wall-clock
+//!   profile of the width-1 run: chunks are list-scheduled onto `w`
+//!   virtual workers in index order (exactly the pool's queue
+//!   discipline) and the projected time is the serial remainder plus
+//!   the per-call makespans. The projection is host-independent, so it
+//!   stays meaningful on single-core CI boxes where the measured curve
+//!   is flat; both numbers land in the JSON so neither hides the other.
+//!
+//! ```text
+//! scaling                 # full corpus, widths 1..=4, 5 iterations
+//! scaling --smoke         # tiny fixture, 2 iterations (CI bench-smoke)
+//! scaling --threads 8     # widen the sweep
+//! scaling --iters 9       # more samples per width
+//! ```
+//!
+//! Output: `results/BENCH_intra_rank_scaling_<unix-ts>.json` plus an
+//! append-only row in `results/scaling_history.md`.
+
+use corpus::CorpusSpec;
+use inspire_bench::results_dir;
+use inspire_core::index::invert;
+use inspire_core::scan::scan;
+use inspire_core::EngineConfig;
+use perfmodel::CostModel;
+use spmd::Runtime;
+use std::sync::Arc;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+struct WidthResult {
+    threads: usize,
+    wall_s_median: f64,
+    wall_s_min: f64,
+    measured_speedup: f64,
+    projected_speedup: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let max_threads = flag_value(&args, "--threads").unwrap_or(4).max(1);
+    let iters = flag_value(&args, "--iters")
+        .unwrap_or(if smoke { 2 } else { 5 })
+        .max(1);
+
+    let corpus_bytes = if smoke { 384 * 1024 } else { 2 * 1024 * 1024 };
+    let src = CorpusSpec::pubmed(corpus_bytes, 2007).generate();
+    let cfg = EngineConfig::default();
+
+    // Profiled serial runs for the projection: keep the lowest-wall
+    // sample (least scheduler noise) and project from that run alone, so
+    // numerator and denominator come from the same execution.
+    let mut best: Option<(u32, f64, Vec<Vec<f64>>)> = None;
+    timed_run(&src, &cfg, 1); // warm caches before sampling
+    for _ in 0..iters.max(3) {
+        let sample = profiled_serial_run(&src, &cfg);
+        if best.as_ref().is_none_or(|b| sample.1 < b.1) {
+            best = Some(sample);
+        }
+    }
+    let (docs, wall_prof, profile) = best.expect("at least one profiled run");
+    let chunk_total: f64 = profile.iter().flatten().sum();
+
+    let mut widths = Vec::new();
+    let mut wall1_median = 0.0;
+    for threads in 1..=max_threads {
+        let mut samples: Vec<f64> = (0..iters).map(|_| timed_run(&src, &cfg, threads)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        if threads == 1 {
+            wall1_median = median;
+        }
+        let serial_s = (wall_prof - chunk_total).max(0.0);
+        let projected_s = serial_s + profile.iter().map(|g| makespan(g, threads)).sum::<f64>();
+        widths.push(WidthResult {
+            threads,
+            wall_s_median: median,
+            wall_s_min: min,
+            measured_speedup: if median > 0.0 {
+                wall1_median / median
+            } else {
+                0.0
+            },
+            projected_speedup: if projected_s > 0.0 {
+                wall_prof / projected_s
+            } else {
+                0.0
+            },
+        });
+    }
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let parallel_fraction = if wall_prof > 0.0 {
+        (chunk_total / wall_prof).min(1.0)
+    } else {
+        0.0
+    };
+
+    // Human-readable table.
+    println!("intra-rank scaling — scan+invert, single rank, {docs} docs, {host_cpus} host cpu(s)");
+    println!(
+        "parallel fraction of the serial run: {:.1}%",
+        parallel_fraction * 100.0
+    );
+    println!("threads  wall_s(median)  wall_s(min)  measured_x  projected_x");
+    for w in &widths {
+        println!(
+            "{:>7}  {:>14.4}  {:>11.4}  {:>10.2}  {:>11.2}",
+            w.threads, w.wall_s_median, w.wall_s_min, w.measured_speedup, w.projected_speedup
+        );
+    }
+
+    let ts = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .expect("clock before 1970")
+        .as_secs();
+    let json_path = results_dir().join(format!("BENCH_intra_rank_scaling_{ts}.json"));
+    std::fs::write(
+        &json_path,
+        to_json(
+            smoke,
+            corpus_bytes,
+            docs,
+            host_cpus,
+            iters,
+            parallel_fraction,
+            &profile,
+            &widths,
+        ),
+    )
+    .expect("write BENCH json");
+    println!("wrote {}", json_path.display());
+
+    append_history(ts, smoke, corpus_bytes, docs, host_cpus, &widths);
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<usize> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Wall-clock seconds of scan + invert at the given pool width.
+fn timed_run(src: &corpus::SourceSet, cfg: &EngineConfig, threads: usize) -> f64 {
+    let rt = Runtime::new(Arc::new(CostModel::zero())).with_threads_per_rank(threads);
+    let res = rt.run(1, |ctx| {
+        let t0 = Instant::now();
+        let s = scan(ctx, src, cfg);
+        let idx = invert(ctx, &s, cfg);
+        let elapsed = t0.elapsed().as_secs_f64();
+        assert!(idx.total_docs > 0);
+        elapsed
+    });
+    res.results[0]
+}
+
+/// Serial run with chunk profiling on:
+/// (total docs, wall seconds, per-call chunk times).
+fn profiled_serial_run(src: &corpus::SourceSet, cfg: &EngineConfig) -> (u32, f64, Vec<Vec<f64>>) {
+    let rt = Runtime::new(Arc::new(CostModel::zero()));
+    let res = rt.run(1, |ctx| {
+        ctx.pool().set_profiling(true);
+        let t0 = Instant::now();
+        let s = scan(ctx, src, cfg);
+        let idx = invert(ctx, &s, cfg);
+        let wall = t0.elapsed().as_secs_f64();
+        ctx.pool().set_profiling(false);
+        (idx.total_docs, wall, ctx.pool().take_profile())
+    });
+    res.results.into_iter().next().unwrap()
+}
+
+/// Greedy list-schedule makespan: chunks in index order, each to the
+/// earliest-free of `w` workers — the pool's queue discipline.
+fn makespan(chunks: &[f64], w: usize) -> f64 {
+    let mut workers = vec![0.0f64; w.max(1)];
+    for &c in chunks {
+        let i = workers
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        workers[i] += c;
+    }
+    workers.iter().cloned().fold(0.0, f64::max)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn to_json(
+    smoke: bool,
+    corpus_bytes: u64,
+    docs: u32,
+    host_cpus: usize,
+    iters: usize,
+    parallel_fraction: f64,
+    profile: &[Vec<f64>],
+    widths: &[WidthResult],
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"intra_rank_scaling\",\n");
+    s.push_str("  \"stages\": \"scan+invert\",\n");
+    s.push_str("  \"corpus\": \"pubmed\",\n");
+    s.push_str(&format!("  \"smoke\": {smoke},\n"));
+    s.push_str(&format!("  \"corpus_bytes\": {corpus_bytes},\n"));
+    s.push_str(&format!("  \"docs\": {docs},\n"));
+    s.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    s.push_str(&format!("  \"iters\": {iters},\n"));
+    s.push_str(&format!("  \"chunk_calls\": {},\n", profile.len()));
+    s.push_str(&format!(
+        "  \"chunks\": {},\n",
+        profile.iter().map(|g| g.len()).sum::<usize>()
+    ));
+    s.push_str(&format!(
+        "  \"parallel_fraction\": {parallel_fraction:.6},\n"
+    ));
+    s.push_str("  \"widths\": [\n");
+    for (i, w) in widths.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"threads\": {}, \"wall_s_median\": {:.6}, \"wall_s_min\": {:.6}, \
+             \"measured_speedup\": {:.4}, \"projected_speedup\": {:.4}}}{}\n",
+            w.threads,
+            w.wall_s_median,
+            w.wall_s_min,
+            w.measured_speedup,
+            w.projected_speedup,
+            if i + 1 < widths.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Append one row to the append-only history table (created on first use).
+fn append_history(
+    ts: u64,
+    smoke: bool,
+    corpus_bytes: u64,
+    docs: u32,
+    host_cpus: usize,
+    widths: &[WidthResult],
+) {
+    use std::io::Write;
+    let path = results_dir().join("scaling_history.md");
+    let fresh = !path.exists();
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .expect("open scaling history");
+    if fresh {
+        writeln!(f, "# Intra-rank scaling history (append-only)").unwrap();
+        writeln!(f).unwrap();
+        writeln!(
+            f,
+            "| date (utc) | smoke | corpus_bytes | docs | host_cpus | wall_s@1 | wall_s@max | measured_x@max | projected_x@max |"
+        )
+        .unwrap();
+        writeln!(f, "|---|---|---|---|---|---|---|---|---|").unwrap();
+    }
+    let first = widths.first().expect("at least width 1");
+    let last = widths.last().expect("at least width 1");
+    writeln!(
+        f,
+        "| {} | {} | {} | {} | {} | {:.4} | {:.4} | {:.2} | {:.2} |",
+        utc_date(ts),
+        smoke,
+        corpus_bytes,
+        docs,
+        host_cpus,
+        first.wall_s_median,
+        last.wall_s_median,
+        last.measured_speedup,
+        last.projected_speedup,
+    )
+    .unwrap();
+    println!("appended {}", path.display());
+}
+
+/// Unix seconds → `YYYY-MM-DD` (civil-from-days, Hinnant's algorithm).
+fn utc_date(ts: u64) -> String {
+    let days = (ts / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}

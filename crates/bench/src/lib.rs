@@ -16,9 +16,10 @@ use corpus::{CorpusSpec, Flavour, SourceSet};
 use inspire_core::pipeline::{run_engine, EngineRun};
 use inspire_core::{Balancing, EngineConfig};
 use perfmodel::CostModel;
-use serde::Serialize;
 use spmd::Component;
 use std::sync::Arc;
+
+pub mod timing;
 
 /// One of the paper's evaluation datasets.
 #[derive(Debug, Clone, Copy)]
@@ -52,8 +53,7 @@ impl Dataset {
     /// mint unique terms than the synthetic generator does (web crawls
     /// vastly more than curated abstracts).
     pub fn model(&self, sources: &SourceSet) -> Arc<CostModel> {
-        let mut model =
-            CostModel::pnnl_2007_scaled(self.nominal_bytes(), sources.total_bytes());
+        let mut model = CostModel::pnnl_2007_scaled(self.nominal_bytes(), sources.total_bytes());
         let multiplier = match self.flavour {
             Flavour::Medical => 3.0,
             Flavour::Web => 12.0,
@@ -168,7 +168,7 @@ pub fn bench_config() -> EngineConfig {
 }
 
 /// One sweep cell: a dataset processed at one processor count.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RunRecord {
     pub dataset: String,
     pub nominal_gb: f64,
@@ -324,11 +324,7 @@ pub fn results_dir() -> std::path::PathBuf {
 
 /// Figure-9-style load-balance measurement: per-rank indexing time under
 /// a given balancing mode.
-pub fn load_balance_profile(
-    ds: &Dataset,
-    procs: usize,
-    balancing: Balancing,
-) -> (Vec<f64>, f64) {
+pub fn load_balance_profile(ds: &Dataset, procs: usize, balancing: Balancing) -> (Vec<f64>, f64) {
     let cfg = EngineConfig {
         balancing,
         ..bench_config()

@@ -1,0 +1,80 @@
+//! Minimal wall-clock bench harness for the `harness = false` benches.
+//!
+//! Replaces criterion (unavailable offline) with the part we use:
+//! warmup, repeated timed iterations, and a median/min/mean report line.
+//! Results print as aligned text; no statistics beyond spread are
+//! attempted — these benches exist to catch order-of-magnitude
+//! regressions, not microarchitectural drift.
+
+use std::time::{Duration, Instant};
+
+/// Time `f` over `iters` samples (after one warmup call) and print one
+/// report line. Returns the median sample for programmatic use.
+pub fn bench<R>(name: &str, iters: usize, mut f: impl FnMut() -> R) -> Duration {
+    assert!(iters > 0);
+    std::hint::black_box(f());
+    let mut samples: Vec<Duration> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        samples.push(start.elapsed());
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{name:<42} median {:>12} min {:>12} mean {:>12} ({iters} iters)",
+        fmt_duration(median),
+        fmt_duration(min),
+        fmt_duration(mean),
+    );
+    median
+}
+
+/// Like [`bench`] but also reports throughput against `bytes` per
+/// iteration.
+pub fn bench_throughput<R>(name: &str, iters: usize, bytes: u64, f: impl FnMut() -> R) -> Duration {
+    let median = bench(name, iters, f);
+    let secs = median.as_secs_f64();
+    if secs > 0.0 {
+        let mbps = bytes as f64 / secs / (1024.0 * 1024.0);
+        println!(
+            "{:<42} {mbps:>10.1} MiB/s",
+            format!("  ({name} throughput)")
+        );
+    }
+    median
+}
+
+pub fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 10_000 {
+        format!("{nanos} ns")
+    } else if nanos < 10_000_000 {
+        format!("{:.1} µs", nanos as f64 / 1e3)
+    } else if nanos < 10_000_000_000 {
+        format!("{:.1} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_returns_plausible_median() {
+        let d = bench("noop", 3, || 1 + 1);
+        assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert!(fmt_duration(Duration::from_micros(50)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(50)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(50)).ends_with("s"));
+    }
+}

@@ -25,6 +25,11 @@ use spmd::{Ctx, ReduceOp};
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// Documents per intra-rank chunk for co-occurrence accumulation. Fixed
+/// so chunk boundaries — and the order partial matrices merge in — do
+/// not depend on the pool width.
+const ASSOC_DOC_CHUNK: usize = 64;
+
 /// The merged, normalized association matrix (replicated on all ranks).
 #[derive(Debug, Clone)]
 pub struct AssociationMatrix {
@@ -69,26 +74,43 @@ pub fn build(
         .map(|(j, &t)| (t, j))
         .collect();
 
-    // Local document-level co-occurrence counts.
+    // Local document-level co-occurrence counts, fanned out over the
+    // intra-rank pool. Entries are small integer counts, and partial
+    // matrices merge in chunk index order, so the merged matrix is
+    // bit-identical to the serial accumulation at any pool width. The
+    // AssocOps charge lands once, after the merge.
+    let partials: Vec<(Vec<f64>, u64)> =
+        ctx.pool()
+            .map_chunks(scan.docs.len(), ASSOC_DOC_CHUNK, |chunk| {
+                let mut cooc = vec![0.0f64; n * m];
+                let mut ops = 0u64;
+                for d in &scan.docs[chunk] {
+                    let distinct = d.distinct_terms();
+                    ops += distinct.len() as u64;
+                    let rows: Vec<usize> = distinct
+                        .iter()
+                        .filter_map(|(t, _)| row_of.get(t).copied())
+                        .collect();
+                    let cols: Vec<usize> = distinct
+                        .iter()
+                        .filter_map(|(t, _)| col_of.get(t).copied())
+                        .collect();
+                    ops += (rows.len() * cols.len()) as u64;
+                    for &i in &rows {
+                        for &j in &cols {
+                            cooc[i * m + j] += 1.0;
+                        }
+                    }
+                }
+                (cooc, ops)
+            });
     let mut cooc = vec![0.0f64; n * m];
     let mut ops = 0u64;
-    for d in &scan.docs {
-        let distinct = d.distinct_terms();
-        ops += distinct.len() as u64;
-        let rows: Vec<usize> = distinct
-            .iter()
-            .filter_map(|(t, _)| row_of.get(t).copied())
-            .collect();
-        let cols: Vec<usize> = distinct
-            .iter()
-            .filter_map(|(t, _)| col_of.get(t).copied())
-            .collect();
-        ops += (rows.len() * cols.len()) as u64;
-        for &i in &rows {
-            for &j in &cols {
-                cooc[i * m + j] += 1.0;
-            }
+    for (part, part_ops) in partials {
+        for (acc, v) in cooc.iter_mut().zip(&part) {
+            *acc += v;
         }
+        ops += part_ops;
     }
     ctx.charge(WorkKind::AssocOps, ops);
 

@@ -132,8 +132,8 @@ pub fn kmeans(
         sizes = counts;
 
         // ---- Convergence test on the global objective ----
-        let improved = objective.is_infinite()
-            || (objective - new_obj) > tol * objective.abs().max(1e-12);
+        let improved =
+            objective.is_infinite() || (objective - new_obj) > tol * objective.abs().max(1e-12);
         objective = new_obj;
         if !improved {
             break;
@@ -194,10 +194,7 @@ pub fn cluster_documents(
             // constant, so the charge is unscaled.
             let kf = fine.k;
             let m = fine.m;
-            ctx.charge_fixed(
-                WorkKind::Flops,
-                (kf * kf * kf + kf * kf * m) as u64,
-            );
+            ctx.charge_fixed(WorkKind::Flops, (kf * kf * kf + kf * kf * m) as u64);
             let dendrogram = agglomerate(&fine.centroids, kf, m, linkage);
             let leaf_to_coarse = if adaptive {
                 dendrogram.adaptive_cut(2, cfg.n_clusters)
@@ -286,7 +283,12 @@ mod tests {
             let am = assoc::build(ctx, &s, &idx, &topics);
             let sigs = generate(ctx, &s, &am);
             let cl = kmeans(ctx, &sigs, s.doc_base, s.total_docs, k, 20, 1e-4);
-            (cl.centroids.clone(), cl.objective, cl.sizes.clone(), cl.assignments)
+            (
+                cl.centroids.clone(),
+                cl.objective,
+                cl.sizes.clone(),
+                cl.assignments,
+            )
         });
         // Concatenate assignments in rank order for a global view.
         let mut all_assign = Vec::new();

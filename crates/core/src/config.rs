@@ -79,6 +79,11 @@ pub struct EngineConfig {
     pub tokenizer: TokenizerConfig,
     /// Seed for the engine's deterministic choices (k-means init).
     pub seed: u64,
+    /// Intra-rank worker threads for the hot pipeline stages (tokenize,
+    /// inversion counting, association accumulation, signature
+    /// generation). Host wall-clock parallelism only: results and virtual
+    /// time are bit-identical at any width. 1 (the default) is serial.
+    pub threads_per_rank: usize,
 }
 
 impl Default for EngineConfig {
@@ -100,6 +105,7 @@ impl Default for EngineConfig {
             max_df_frac: 0.2,
             tokenizer: TokenizerConfig::default(),
             seed: 0x1f5b,
+            threads_per_rank: 1,
         }
     }
 }

@@ -43,8 +43,10 @@ pub fn find_near_duplicates(
 ) -> Vec<DuplicatePair> {
     let m = sigs.m;
     // Global assignment table (one u32 per document).
-    let assignments_global: Vec<Vec<u32>> =
-        ctx.allgather(clustering.assignments.clone(), (clustering.assignments.len() * 4) as u64);
+    let assignments_global: Vec<Vec<u32>> = ctx.allgather(
+        clustering.assignments.clone(),
+        (clustering.assignments.len() * 4) as u64,
+    );
     let assignments: Vec<u32> = assignments_global.concat();
 
     // Cluster → member doc ids (ascending).
@@ -93,7 +95,7 @@ pub fn find_near_duplicates(
     let bytes = (local_pairs.len() * 24) as u64;
     let all: Vec<Vec<DuplicatePair>> = ctx.allgather(local_pairs, bytes);
     let mut out: Vec<DuplicatePair> = all.concat();
-    out.sort_by(|x, y| (x.a, x.b).cmp(&(y.a, y.b)));
+    out.sort_by_key(|x| (x.a, x.b));
     out
 }
 

@@ -78,7 +78,8 @@ pub fn agglomerate(points: &[f64], n: usize, m: usize, linkage: Linkage) -> Dend
     };
     for i in 0..n {
         for j in (i + 1)..n {
-            dist[idx(i, j)] = dist2(&points[i * m..(i + 1) * m], &points[j * m..(j + 1) * m]).sqrt();
+            dist[idx(i, j)] =
+                dist2(&points[i * m..(i + 1) * m], &points[j * m..(j + 1) * m]).sqrt();
         }
     }
 
@@ -121,7 +122,10 @@ pub fn agglomerate(points: &[f64], n: usize, m: usize, linkage: Linkage) -> Dend
         sizes[new_id] = sizes[a] + sizes[b];
     }
 
-    Dendrogram { n_leaves: n, merges }
+    Dendrogram {
+        n_leaves: n,
+        merges,
+    }
 }
 
 impl Dendrogram {
@@ -257,7 +261,10 @@ mod tests {
         let single = agglomerate(&pts, 5, 2, Linkage::Single);
         let complete = agglomerate(&pts, 5, 2, Linkage::Complete);
         // Single link: every merge at distance 1.
-        assert!(single.merges.iter().all(|m| (m.distance - 1.0).abs() < 1e-9));
+        assert!(single
+            .merges
+            .iter()
+            .all(|m| (m.distance - 1.0).abs() < 1e-9));
         // Complete link: final merge spans the whole chain (distance 4).
         let last = complete.merges.last().unwrap();
         assert!((last.distance - 4.0).abs() < 1e-9, "{last:?}");

@@ -106,6 +106,19 @@ fn n_loads(n_docs: usize, chunk: usize) -> usize {
     n_docs.div_ceil(chunk.max(1))
 }
 
+/// Documents per intra-rank chunk for the counting pass. Fixed (never
+/// derived from the pool width) so chunk boundaries — and therefore the
+/// merged counts — are identical at every `threads_per_rank`.
+const COUNT_DOC_CHUNK: usize = 32;
+
+/// Partial counting-pass result for one contiguous chunk of local docs.
+struct CountPartial {
+    df: Vec<u32>,
+    tf: Vec<u64>,
+    plen: Vec<u32>,
+    entries: u64,
+}
+
 /// Virtual seconds rank 0 needs to service one master-worker task request
 /// (dequeue, bookkeeping, reply). With `P` workers hammering a single
 /// master, a request waits behind `O(P)` others in expectation — the
@@ -118,26 +131,53 @@ pub fn invert(ctx: &Ctx, scan: &ScanOutput, cfg: &EngineConfig) -> InvertedIndex
     let vocab_size = scan.vocab_size();
 
     // ---- Counting pass (local): df, tf, and posting counts per term ----
+    // Fanned out over the intra-rank pool: each fixed-size doc chunk
+    // accumulates its own partial vectors, which merge in chunk index
+    // order on the rank thread. The single InvertPostings charge lands
+    // after the merge, so virtual time is invariant in the pool width.
+    let partials: Vec<CountPartial> =
+        ctx.pool()
+            .map_chunks(scan.docs.len(), COUNT_DOC_CHUNK, |chunk| {
+                let mut part = CountPartial {
+                    df: vec![0u32; vocab_size],
+                    tf: vec![0u64; vocab_size],
+                    plen: vec![0u32; vocab_size],
+                    entries: 0,
+                };
+                for d in &scan.docs[chunk] {
+                    let mut last_term: Option<TermId> = None;
+                    for (t, f) in d.distinct_terms() {
+                        // distinct_terms is sorted and deduplicated, so each
+                        // term counts once toward df.
+                        debug_assert!(last_term.is_none_or(|lt| lt < t));
+                        last_term = Some(t);
+                        part.df[t as usize] += 1;
+                        part.tf[t as usize] += f as u64;
+                    }
+                    for field in &d.fields {
+                        for &(t, _) in &field.counts {
+                            part.plen[t as usize] += 1;
+                            part.entries += 1;
+                        }
+                    }
+                }
+                part
+            });
     let mut df_local = vec![0u32; vocab_size];
     let mut tf_local = vec![0u64; vocab_size];
     let mut plen_local = vec![0u32; vocab_size];
     let mut local_entries = 0u64;
-    for d in &scan.docs {
-        let mut last_term: Option<TermId> = None;
-        for (t, f) in d.distinct_terms() {
-            // distinct_terms is sorted and deduplicated, so each term
-            // counts once toward df.
-            debug_assert!(last_term.is_none_or(|lt| lt < t));
-            last_term = Some(t);
-            df_local[t as usize] += 1;
-            tf_local[t as usize] += f as u64;
+    for part in partials {
+        for (acc, v) in df_local.iter_mut().zip(&part.df) {
+            *acc += v;
         }
-        for field in &d.fields {
-            for &(t, _) in &field.counts {
-                plen_local[t as usize] += 1;
-                local_entries += 1;
-            }
+        for (acc, v) in tf_local.iter_mut().zip(&part.tf) {
+            *acc += v;
         }
+        for (acc, v) in plen_local.iter_mut().zip(&part.plen) {
+            *acc += v;
+        }
+        local_entries += part.entries;
     }
     ctx.charge(WorkKind::InvertPostings, local_entries);
 
@@ -268,8 +308,7 @@ pub fn invert(ctx: &Ctx, scan: &ScanOutput, cfg: &EngineConfig) -> InvertedIndex
             }
             bounds.push(acc);
             let counter = GlobalCounter::create(ctx, 0);
-            let claim_wait =
-                MASTER_SERVICE_S * p as f64 * ctx.model().scale.data_scale();
+            let claim_wait = MASTER_SERVICE_S * p as f64 * ctx.model().scale.data_scale();
             loop {
                 gate.pace(ctx);
                 let g = counter.fetch_add(ctx, 1);
@@ -420,11 +459,7 @@ mod tests {
                 let posts = idx.postings_of(ctx, t as TermId);
                 let mut docs: Vec<DocId> = posts.iter().map(|p| p.doc).collect();
                 docs.dedup();
-                assert_eq!(
-                    docs.len() as u32,
-                    idx.df[t],
-                    "df mismatch for term {t}"
-                );
+                assert_eq!(docs.len() as u32, idx.df[t], "df mismatch for term {t}");
             }
         });
     }

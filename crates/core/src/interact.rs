@@ -17,11 +17,7 @@ use crate::DocId;
 use corpus::{Source, SourceSet};
 
 /// Documents whose 2-D coordinates fall inside an axis-aligned rectangle.
-pub fn select_rect(
-    coords: &[(f64, f64)],
-    min: (f64, f64),
-    max: (f64, f64),
-) -> Vec<DocId> {
+pub fn select_rect(coords: &[(f64, f64)], min: (f64, f64), max: (f64, f64)) -> Vec<DocId> {
     coords
         .iter()
         .enumerate()

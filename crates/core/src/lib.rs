@@ -74,5 +74,8 @@ pub type FieldId = u8;
 
 /// Resolve a field name to its id, if known.
 pub fn field_id(name: &str) -> Option<FieldId> {
-    FIELD_NAMES.iter().position(|&n| n == name).map(|i| i as FieldId)
+    FIELD_NAMES
+        .iter()
+        .position(|&n| n == name)
+        .map(|i| i as FieldId)
 }

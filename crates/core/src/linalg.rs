@@ -219,13 +219,10 @@ mod tests {
         assert_eq!(e1.vectors, e2.vectors);
         // Leading component positive.
         for v in &e1.vectors {
-            let lead = v.iter().cloned().fold(0.0f64, |acc, x| {
-                if x.abs() > acc.abs() {
-                    x
-                } else {
-                    acc
-                }
-            });
+            let lead = v
+                .iter()
+                .cloned()
+                .fold(0.0f64, |acc, x| if x.abs() > acc.abs() { x } else { acc });
             assert!(lead > 0.0);
         }
     }

@@ -85,10 +85,7 @@ impl Engine {
         } else {
             sources.total_bytes()
         };
-        let ws = ctx
-            .model()
-            .memory
-            .working_set(nominal_bytes, ctx.nprocs());
+        let ws = ctx.model().memory.working_set(nominal_bytes, ctx.nprocs());
         ctx.set_working_set(ws);
 
         // ---- Scan & Map ----
@@ -216,7 +213,7 @@ pub fn run_engine(
     sources: &SourceSet,
     config: &EngineConfig,
 ) -> EngineRun {
-    let rt = Runtime::new(model);
+    let rt = Runtime::new(model).with_threads_per_rank(config.threads_per_rank);
     let engine = Engine::new(config.clone());
     let mut outputs: Vec<Option<EngineOutput>> = Vec::new();
     let res = rt.run(nprocs, |ctx| engine.run(ctx, sources));

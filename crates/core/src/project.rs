@@ -107,12 +107,7 @@ pub fn project_nd(
     };
     let axes: Vec<Vec<f64>> = (0..dims).map(axis).collect();
     let total_var: f64 = eig.values.iter().filter(|v| **v > 0.0).sum();
-    let captured: f64 = eig
-        .values
-        .iter()
-        .take(dims)
-        .filter(|v| **v > 0.0)
-        .sum();
+    let captured: f64 = eig.values.iter().take(dims).filter(|v| **v > 0.0).sum();
     let variance_explained = if total_var > 0.0 {
         captured / total_var
     } else {
@@ -245,6 +240,9 @@ mod tests {
             min_x = min_x.min(*x);
             max_x = max_x.max(*x);
         }
-        assert!(max_x - min_x > 1e-3, "projection collapsed: [{min_x}, {max_x}]");
+        assert!(
+            max_x - min_x > 1e-3,
+            "projection collapsed: [{min_x}, {max_x}]"
+        );
     }
 }

@@ -196,7 +196,12 @@ pub fn search(
         .into_iter()
         .map(|(doc, score)| Hit { doc, score })
         .collect();
-    hits.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap().then(a.doc.cmp(&b.doc)));
+    hits.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap()
+            .then(a.doc.cmp(&b.doc))
+    });
     hits.truncate(top);
     hits
 }
@@ -258,9 +263,7 @@ mod tests {
             let cfg = EngineConfig::for_testing();
             let s = scan(ctx, &src, &cfg);
             let idx = invert(ctx, &s, &cfg);
-            let t = (0..s.vocab_size())
-                .max_by_key(|&t| idx.df[t])
-                .unwrap();
+            let t = (0..s.vocab_size()).max_by_key(|&t| idx.df[t]).unwrap();
             let term = s.terms[t].clone();
             let hits = search(ctx, &s, &idx, &term, 10);
             assert!(!hits.is_empty());
@@ -349,8 +352,7 @@ mod tests {
             let t = (0..s.vocab_size()).max_by_key(|&t| idx.df[t]).unwrap();
             let term = s.terms[t].clone();
             let all = evaluate(ctx, &s, &idx, &Query::Term(term.clone()));
-            let title_only =
-                evaluate(ctx, &s, &idx, &Query::FieldTerm("title", term.clone()));
+            let title_only = evaluate(ctx, &s, &idx, &Query::FieldTerm("title", term.clone()));
             assert!(title_only.len() <= all.len());
             // Every title match is also a global match.
             for d in &title_only {
@@ -382,9 +384,7 @@ mod tests {
             let idx = invert(ctx, &s, &cfg);
             assert!(evaluate(ctx, &s, &idx, &Query::And(vec![])).is_empty());
             assert!(evaluate(ctx, &s, &idx, &Query::Or(vec![])).is_empty());
-            assert!(
-                evaluate(ctx, &s, &idx, &Query::Term("zz-unknown-zz".into())).is_empty()
-            );
+            assert!(evaluate(ctx, &s, &idx, &Query::Term("zz-unknown-zz".into())).is_empty());
         });
     }
 

@@ -23,11 +23,19 @@
 use crate::config::EngineConfig;
 use crate::tokenize::Tokenizer;
 use crate::{DocId, FieldId, TermId};
-use corpus::{partition_contiguous, SourceSet};
+use corpus::{partition_contiguous, Source, SourceSet};
 use ga::{DistHashMap, GlobalArray};
 use perfmodel::WorkKind;
 use spmd::Ctx;
 use std::collections::HashMap;
+use std::ops::Range;
+
+/// Records per intra-rank work chunk during tokenization. Fixed (never
+/// derived from the pool width) so chunk boundaries — and therefore all
+/// merged results — are identical at any `threads_per_rank`. Eight
+/// multi-kilobyte records are enough work to amortize a chunk dispatch
+/// while keeping the schedule balanced on test-sized partitions.
+const SCAN_RECORD_CHUNK: usize = 8;
 
 /// Fields that are indexed (contribute terms). Identifier-like fields
 /// (pmid, docno, url, author) are framed but not indexed, as a production
@@ -69,9 +77,7 @@ impl LocalDoc {
     /// in ascending term order per field; the same term may appear for
     /// multiple fields.
     pub fn term_freqs(&self) -> impl Iterator<Item = (TermId, u32)> + '_ {
-        self.fields
-            .iter()
-            .flat_map(|f| f.counts.iter().copied())
+        self.fields.iter().flat_map(|f| f.counts.iter().copied())
     }
 
     /// Distinct terms of the document (sorted, deduplicated across
@@ -126,6 +132,62 @@ impl ScanOutput {
     }
 }
 
+/// One indexed field of a tokenized (but not yet vocabulary-registered)
+/// record: term-string counts sorted lexicographically, plus the raw
+/// candidate count for work accounting.
+struct TokenizedField {
+    field: FieldId,
+    counts: Vec<(String, u32)>,
+    candidates: u64,
+}
+
+/// A record after the pure tokenize phase.
+struct TokenizedDoc {
+    fields: Vec<TokenizedField>,
+    tokens: u32,
+}
+
+/// Parse and tokenize one record. Pure: touches no rank state, so it can
+/// run on the intra-rank pool. Sorting counts by term string makes the
+/// downstream vocabulary-registration order deterministic.
+fn tokenize_record(
+    source: &Source,
+    range: Range<usize>,
+    tokenizer: &Tokenizer,
+    indexed: &[FieldId],
+) -> TokenizedDoc {
+    let raw = source.parse_record(range);
+    let mut fields: Vec<TokenizedField> = Vec::new();
+    let mut tokens = 0u32;
+    let mut counts_map: HashMap<String, u32> = HashMap::new();
+    for (name, text) in &raw.fields {
+        let Some(fid) = crate::field_id(name) else {
+            continue;
+        };
+        if !indexed.contains(&fid) {
+            continue;
+        }
+        counts_map.clear();
+        let candidates = tokenizer.tokenize_into(text, |term| {
+            match counts_map.get_mut(term) {
+                Some(n) => *n += 1,
+                None => {
+                    counts_map.insert(term.to_string(), 1);
+                }
+            }
+            tokens += 1;
+        });
+        let mut counts: Vec<(String, u32)> = counts_map.drain().collect();
+        counts.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        fields.push(TokenizedField {
+            field: fid,
+            counts,
+            candidates,
+        });
+    }
+    TokenizedDoc { fields, tokens }
+}
+
 /// Run Scan & Map. Collective: every rank calls with the same arguments.
 pub fn scan(ctx: &Ctx, sources: &SourceSet, cfg: &EngineConfig) -> ScanOutput {
     let p = ctx.nprocs();
@@ -145,51 +207,74 @@ pub fn scan(ctx: &Ctx, sources: &SourceSet, cfg: &EngineConfig) -> ScanOutput {
     let mut bytes_scanned = 0u64;
     let mut tokens_scanned = 0u64;
 
-    let mut field_counts: HashMap<TermId, u32> = HashMap::new();
+    // Flatten every record of this rank's sources into one work list so
+    // Phase A fans out over a single global chunk sequence — per-source
+    // fan-out would leave small sources with one chunk or less. I/O and
+    // scan-byte charges land per source, in source order, exactly as the
+    // serial scan charged them.
+    let mut records: Vec<(usize, Range<usize>)> = Vec::new();
     for si in my_sources {
         let source = &sources.sources[si];
         bytes_scanned += source.data.len() as u64;
         ctx.charge_scan_io(source.data.len() as u64);
         ctx.charge(WorkKind::ScanBytes, source.data.len() as u64);
         for range in source.record_ranges() {
-            let raw = source.parse_record(range);
-            let mut fields: Vec<LocalField> = Vec::new();
-            let mut doc_tokens = 0u32;
-            for (name, text) in &raw.fields {
-                let Some(fid) = crate::field_id(name) else {
-                    continue;
-                };
-                if !indexed.contains(&fid) {
-                    continue;
-                }
-                field_counts.clear();
-                let candidates = tokenizer.tokenize_into(text, |term| {
-                    let id = match cache.get(term) {
+            records.push((si, range));
+        }
+    }
+
+    // Phase A (parallel, pure): parse and tokenize record batches into
+    // per-field string counts. No rank state is touched — the batches
+    // fan out across the intra-rank pool.
+    let batches: Vec<Vec<TokenizedDoc>> =
+        ctx.pool()
+            .map_chunks(records.len(), SCAN_RECORD_CHUNK, |chunk| {
+                records[chunk]
+                    .iter()
+                    .map(|(si, range)| {
+                        tokenize_record(&sources.sources[*si], range.clone(), &tokenizer, &indexed)
+                    })
+                    .collect()
+            });
+
+    // Phase B (serial, batches in chunk order = corpus order): register
+    // terms in the distributed vocabulary and charge the tokenize work.
+    // Term strings arrive sorted per field, so the vocabulary's
+    // arrival-order ids are independent of the pool width as well.
+    for tdoc in batches.into_iter().flatten() {
+        let mut fields: Vec<LocalField> = Vec::with_capacity(tdoc.fields.len());
+        for tfield in tdoc.fields {
+            ctx.charge(WorkKind::TokenizeTerms, tfield.candidates);
+            if tfield.counts.is_empty() {
+                continue;
+            }
+            let mut counts: Vec<(TermId, u32)> = tfield
+                .counts
+                .iter()
+                .map(|(term, n)| {
+                    let id = match cache.get(term.as_str()) {
                         Some(&id) => id,
                         None => {
                             let id = vocab.insert_or_get(ctx, term);
-                            cache.insert(term.to_string(), id);
+                            cache.insert(term.clone(), id);
                             id
                         }
                     };
-                    *field_counts.entry(id).or_insert(0) += 1;
-                    doc_tokens += 1;
-                });
-                ctx.charge(WorkKind::TokenizeTerms, candidates);
-                if !field_counts.is_empty() {
-                    let mut counts: Vec<(TermId, u32)> =
-                        field_counts.drain().collect();
-                    counts.sort_unstable_by_key(|&(t, _)| t);
-                    fields.push(LocalField { field: fid, counts });
-                }
-            }
-            tokens_scanned += doc_tokens as u64;
-            docs.push(LocalDoc {
-                doc_id: 0, // assigned below
-                fields,
-                tokens: doc_tokens,
+                    (id, *n)
+                })
+                .collect();
+            counts.sort_unstable_by_key(|&(t, _)| t);
+            fields.push(LocalField {
+                field: tfield.field,
+                counts,
             });
         }
+        tokens_scanned += tdoc.tokens as u64;
+        docs.push(LocalDoc {
+            doc_id: 0, // assigned below
+            fields,
+            tokens: tdoc.tokens,
+        });
     }
 
     // Global document numbering.
@@ -219,12 +304,32 @@ pub fn scan(ctx: &Ctx, sources: &SourceSet, cfg: &EngineConfig) -> ScanOutput {
         .iter()
         .map(|(term, &old)| (old, remap[term.as_str()]))
         .collect();
-    for d in &mut docs {
-        for f in &mut d.fields {
-            for (t, _) in &mut f.counts {
-                *t = old_to_new[t];
-            }
-            f.counts.sort_unstable_by_key(|&(t, _)| t);
+    // Remapping is one hash lookup per posting plus a per-field sort —
+    // pure per-doc work, so it fans out over the pool. Chunks return
+    // each document's remapped fields in order; the serial write-back
+    // below keeps `docs` in corpus order.
+    type RemappedFields = Vec<Vec<(TermId, u32)>>;
+    let remapped: Vec<Vec<RemappedFields>> =
+        ctx.pool()
+            .map_chunks(docs.len(), SCAN_RECORD_CHUNK, |chunk| {
+                docs[chunk]
+                    .iter()
+                    .map(|d| {
+                        d.fields
+                            .iter()
+                            .map(|f| {
+                                let mut counts: Vec<(TermId, u32)> =
+                                    f.counts.iter().map(|&(t, c)| (old_to_new[&t], c)).collect();
+                                counts.sort_unstable_by_key(|&(t, _)| t);
+                                counts
+                            })
+                            .collect()
+                    })
+                    .collect()
+            });
+    for (d, fields) in docs.iter_mut().zip(remapped.into_iter().flatten()) {
+        for (f, counts) in d.fields.iter_mut().zip(fields) {
+            f.counts = counts;
         }
     }
 
@@ -287,7 +392,11 @@ mod tests {
 
     #[test]
     fn pack_unpack_roundtrip() {
-        for (t, f, c) in [(0u32, 0u8, 1u32), (123_456, 7, 999), (u32::MAX, 3, 0xFF_FFFF)] {
+        for (t, f, c) in [
+            (0u32, 0u8, 1u32),
+            (123_456, 7, 999),
+            (u32::MAX, 3, 0xFF_FFFF),
+        ] {
             assert_eq!(unpack_entry(pack_entry(t, f, c)), (t, f, c));
         }
     }
@@ -322,14 +431,20 @@ mod tests {
         let rt = Runtime::for_testing();
         let t1 = rt
             .run(1, |ctx| {
-                scan(ctx, &corpus, &EngineConfig::for_testing()).terms.as_ref().clone()
+                scan(ctx, &corpus, &EngineConfig::for_testing())
+                    .terms
+                    .as_ref()
+                    .clone()
             })
             .results
             .remove(0);
         for p in [2, 3, 5] {
             let tp = rt
                 .run(p, |ctx| {
-                    scan(ctx, &corpus, &EngineConfig::for_testing()).terms.as_ref().clone()
+                    scan(ctx, &corpus, &EngineConfig::for_testing())
+                        .terms
+                        .as_ref()
+                        .clone()
                 })
                 .results
                 .remove(0);

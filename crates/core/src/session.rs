@@ -18,11 +18,11 @@
 //! the stack of sessions is the analyst's navigation history.
 
 use crate::config::EngineConfig;
+use crate::index::invert;
 use crate::interact::{select_cluster, select_radius, select_rect, subset_corpus};
 use crate::pipeline::{run_engine, EngineOutput};
 use crate::query::{search as tfidf_search, Hit};
 use crate::scan::scan;
-use crate::index::invert;
 use crate::DocId;
 use corpus::SourceSet;
 use perfmodel::CostModel;
@@ -150,14 +150,11 @@ impl Session {
     pub fn select(&self, selection: &Selection) -> Vec<DocId> {
         match selection {
             Selection::Rect { min, max } => select_rect(self.coords(), *min, *max),
-            Selection::Radius { center, radius } => {
-                select_radius(self.coords(), *center, *radius)
-            }
+            Selection::Radius { center, radius } => select_radius(self.coords(), *center, *radius),
             Selection::Cluster(c) => select_cluster(self.assignments(), *c),
             Selection::Docs(ids) => {
                 let n = self.n_docs() as DocId;
-                let mut ids: Vec<DocId> =
-                    ids.iter().copied().filter(|&d| d < n).collect();
+                let mut ids: Vec<DocId> = ids.iter().copied().filter(|&d| d < n).collect();
                 ids.sort_unstable();
                 ids.dedup();
                 ids

@@ -24,6 +24,11 @@ use spmd::{Ctx, ReduceOp};
 /// A signature with fewer than this many non-zero dimensions is "weak".
 pub const WEAK_DIMS: usize = 3;
 
+/// Documents per intra-rank chunk for signature generation. Fixed so
+/// chunk boundaries — and the order signature blocks concatenate in —
+/// do not depend on the pool width.
+const SIG_DOC_CHUNK: usize = 64;
+
 /// Quality statistics over all documents (globally reduced).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SignatureStats {
@@ -79,35 +84,54 @@ impl Signatures {
 /// Generate signatures for this rank's documents. Collective.
 pub fn generate(ctx: &Ctx, scan: &ScanOutput, am: &AssociationMatrix) -> Signatures {
     let m = am.m;
-    let mut local = vec![0.0f64; scan.docs.len() * m];
+    // Each document's signature depends only on its own terms, so the
+    // per-doc loop fans out over the intra-rank pool: each fixed-size
+    // chunk produces its block of rows, and blocks concatenate in chunk
+    // index order — bit-identical to the serial loop at any pool width.
+    // The Flops charge lands once, after the merge.
+    let blocks: Vec<(Vec<f64>, u64, u64, u64)> =
+        ctx.pool()
+            .map_chunks(scan.docs.len(), SIG_DOC_CHUNK, |chunk| {
+                let mut block = vec![0.0f64; chunk.len() * m];
+                let mut null = 0u64;
+                let mut weak = 0u64;
+                let mut flops = 0u64;
+                for (bi, d) in scan.docs[chunk].iter().enumerate() {
+                    let sig = &mut block[bi * m..(bi + 1) * m];
+                    for (t, freq) in d.distinct_terms() {
+                        if let Some(row) = am.row(t) {
+                            let w = freq as f64;
+                            for (s, &a) in sig.iter_mut().zip(row) {
+                                *s += w * a;
+                            }
+                            flops += 2 * m as u64;
+                        }
+                    }
+                    // L1 normalization.
+                    let l1: f64 = sig.iter().map(|x| x.abs()).sum();
+                    flops += m as u64;
+                    if l1 == 0.0 {
+                        null += 1;
+                    } else {
+                        for s in sig.iter_mut() {
+                            *s /= l1;
+                        }
+                        if sig.iter().filter(|&&x| x != 0.0).count() < WEAK_DIMS {
+                            weak += 1;
+                        }
+                    }
+                }
+                (block, null, weak, flops)
+            });
+    let mut local = Vec::with_capacity(scan.docs.len() * m);
     let mut null = 0u64;
     let mut weak = 0u64;
     let mut flops = 0u64;
-
-    for (di, d) in scan.docs.iter().enumerate() {
-        let sig = &mut local[di * m..(di + 1) * m];
-        for (t, freq) in d.distinct_terms() {
-            if let Some(row) = am.row(t) {
-                let w = freq as f64;
-                for (s, &a) in sig.iter_mut().zip(row) {
-                    *s += w * a;
-                }
-                flops += 2 * m as u64;
-            }
-        }
-        // L1 normalization.
-        let l1: f64 = sig.iter().map(|x| x.abs()).sum();
-        flops += m as u64;
-        if l1 == 0.0 {
-            null += 1;
-        } else {
-            for s in sig.iter_mut() {
-                *s /= l1;
-            }
-            if sig.iter().filter(|&&x| x != 0.0).count() < WEAK_DIMS {
-                weak += 1;
-            }
-        }
+    for (block, n, w, f) in blocks {
+        local.extend_from_slice(&block);
+        null += n;
+        weak += w;
+        flops += f;
     }
     ctx.charge(WorkKind::Flops, flops);
 

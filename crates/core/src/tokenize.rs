@@ -12,14 +12,13 @@ use std::collections::HashSet;
 /// statistics reject high-df terms anyway); this list mainly keeps the
 /// vocabulary map small.
 const STOPWORDS: &[&str] = &[
-    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "has", "have",
-    "he", "in", "is", "it", "its", "of", "on", "or", "that", "the", "this", "to", "was",
-    "were", "will", "with", "not", "they", "their", "we", "you", "all", "can", "her",
-    "his", "our", "than", "then", "there", "these", "which", "who", "would",
-    // Markup / web noise:
-    "html", "head", "body", "title", "div", "span", "href", "http", "https", "www",
-    "com", "gov", "org", "net", "img", "src", "br", "hr", "table", "tr", "td", "ul",
-    "li", "meta", "doc", "docno", "dochdr",
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "has", "have", "he",
+    "in", "is", "it", "its", "of", "on", "or", "that", "the", "this", "to", "was", "were", "will",
+    "with", "not", "they", "their", "we", "you", "all", "can", "her", "his", "our", "than", "then",
+    "there", "these", "which", "who", "would", // Markup / web noise:
+    "html", "head", "body", "title", "div", "span", "href", "http", "https", "www", "com", "gov",
+    "org", "net", "img", "src", "br", "hr", "table", "tr", "td", "ul", "li", "meta", "doc",
+    "docno", "dochdr",
 ];
 
 /// Tokenizer settings.
@@ -132,7 +131,10 @@ mod tests {
     #[test]
     fn drops_bare_numbers_but_keeps_alphanumerics() {
         let t = Tokenizer::default();
-        assert_eq!(t.tokenize("12345 il6 2024 p53kinase"), vec!["il6", "p53kinase"]);
+        assert_eq!(
+            t.tokenize("12345 il6 2024 p53kinase"),
+            vec!["il6", "p53kinase"]
+        );
     }
 
     #[test]

@@ -30,7 +30,13 @@ use spmd::{Ctx, ReduceOp};
 /// Bookstein condensation score. Returns `None` for terms failing the
 /// document-frequency filters (too rare to trust, or too common to
 /// discriminate).
-pub fn bookstein_score(df: u32, tf: u64, n_docs: u32, min_df: u32, max_df_frac: f64) -> Option<f64> {
+pub fn bookstein_score(
+    df: u32,
+    tf: u64,
+    n_docs: u32,
+    min_df: u32,
+    max_df_frac: f64,
+) -> Option<f64> {
     if df < min_df || n_docs == 0 {
         return None;
     }
@@ -123,7 +129,11 @@ pub fn select_topics(
 
     let major: Vec<TermId> = all.iter().map(|&(_, t)| t).collect();
     let scores: Vec<f64> = all.iter().map(|&(s, _)| s).collect();
-    let topics: Vec<TermId> = major.iter().copied().take(m_dims.max(2).min(major.len())).collect();
+    let topics: Vec<TermId> = major
+        .iter()
+        .copied()
+        .take(m_dims.max(2).min(major.len()))
+        .collect();
     TopicSelection {
         major,
         scores,

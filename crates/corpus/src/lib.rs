@@ -177,7 +177,10 @@ mod tests {
                 .map(|s| s.data.len() as u64)
                 .sum();
             let ratio = total as f64 / target as f64;
-            assert!((0.7..1.4).contains(&ratio), "total {total} vs target {target}");
+            assert!(
+                (0.7..1.4).contains(&ratio),
+                "total {total} vs target {target}"
+            );
         }
     }
 

@@ -147,7 +147,10 @@ mod tests {
             .collect();
         let lpt_imb =
             *loads.iter().max().unwrap() as f64 / (loads.iter().sum::<u64>() as f64 / p as f64);
-        assert!(lpt_imb <= cont_imb + 1e-9, "lpt {lpt_imb} vs cont {cont_imb}");
+        assert!(
+            lpt_imb <= cont_imb + 1e-9,
+            "lpt {lpt_imb} vs cont {cont_imb}"
+        );
     }
 
     #[test]

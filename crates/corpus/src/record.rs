@@ -268,12 +268,7 @@ PMID- 2\nTI  - second title\nAB  - second abstract text\n\n"
         let s = medline_source();
         let r = s.record_ranges();
         let doc = s.parse_record(r[0].clone());
-        let get = |n: &str| {
-            doc.fields
-                .iter()
-                .find(|(k, _)| *k == n)
-                .map(|(_, v)| *v)
-        };
+        let get = |n: &str| doc.fields.iter().find(|(k, _)| *k == n).map(|(_, v)| *v);
         assert_eq!(get("pmid"), Some("1"));
         assert_eq!(get("title"), Some("alpha beta"));
         assert_eq!(get("abstract"), Some("gamma delta epsilon"));
@@ -292,12 +287,7 @@ PMID- 2\nTI  - second title\nAB  - second abstract text\n\n"
         let s = trec_source();
         let r = s.record_ranges();
         let doc = s.parse_record(r[0].clone());
-        let get = |n: &str| {
-            doc.fields
-                .iter()
-                .find(|(k, _)| *k == n)
-                .map(|(_, v)| *v)
-        };
+        let get = |n: &str| doc.fields.iter().find(|(k, _)| *k == n).map(|(_, v)| *v);
         assert_eq!(get("docno"), Some("GX1"));
         assert_eq!(get("url"), Some("http://a.gov/x"));
         assert!(get("body").unwrap().contains("hello world words"));

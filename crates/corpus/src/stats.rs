@@ -95,6 +95,9 @@ mod tests {
         let large = CorpusStats::measure(&CorpusSpec::pubmed(256 * 1024, 9).generate());
         let growth = large.distinct_terms as f64 / small.distinct_terms as f64;
         let data_growth = large.bytes as f64 / small.bytes as f64;
-        assert!(growth < data_growth * 0.75, "vocab growth {growth} vs data {data_growth}");
+        assert!(
+            growth < data_growth * 0.75,
+            "vocab growth {growth} vs data {data_growth}"
+        );
     }
 }

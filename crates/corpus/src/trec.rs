@@ -43,7 +43,10 @@ fn write_doc<R: Rng + ?Sized>(
 ) {
     let (major, minor) = themes.pick_doc_themes(rng);
     out.push_str("<DOC>\n<DOCNO>GX");
-    out.push_str(&format!("{source_idx:03}-{doc_idx:02}-{:07}", doc_idx * 131 + 7));
+    out.push_str(&format!(
+        "{source_idx:03}-{doc_idx:02}-{:07}",
+        doc_idx * 131 + 7
+    ));
     out.push_str("</DOCNO>\n<DOCHDR>\nhttp://www.site");
     out.push_str(&(source_idx % 50).to_string());
     out.push_str(".gov/section");

@@ -21,24 +21,42 @@ pub enum Flavour {
 }
 
 const MEDICAL_PREFIX: &[&str] = &[
-    "cardi", "neur", "hepat", "derm", "gastr", "immun", "onc", "path", "cyt", "hem",
-    "nephr", "oste", "pulmon", "vascul", "lymph", "thromb", "glyc", "lip", "prote", "gen",
+    "cardi", "neur", "hepat", "derm", "gastr", "immun", "onc", "path", "cyt", "hem", "nephr",
+    "oste", "pulmon", "vascul", "lymph", "thromb", "glyc", "lip", "prote", "gen",
 ];
 const MEDICAL_SUFFIX: &[&str] = &[
-    "itis", "osis", "emia", "ectomy", "ology", "ocyte", "ase", "ide", "ine", "oma",
-    "pathy", "gram", "plasty", "trophy", "genesis", "lysis", "phage", "statin", "mycin", "azole",
+    "itis", "osis", "emia", "ectomy", "ology", "ocyte", "ase", "ide", "ine", "oma", "pathy",
+    "gram", "plasty", "trophy", "genesis", "lysis", "phage", "statin", "mycin", "azole",
 ];
 const WEB_PREFIX: &[&str] = &[
-    "fed", "gov", "pol", "reg", "stat", "pub", "com", "leg", "jud", "adm",
-    "sec", "dep", "bur", "cit", "nat", "loc", "rep", "sen", "cong", "dist",
+    "fed", "gov", "pol", "reg", "stat", "pub", "com", "leg", "jud", "adm", "sec", "dep", "bur",
+    "cit", "nat", "loc", "rep", "sen", "cong", "dist",
 ];
 const WEB_SUFFIX: &[&str] = &[
-    "eral", "ance", "icy", "ulation", "ute", "lication", "mittee", "islation", "iciary", "inistration",
-    "urity", "artment", "eau", "izen", "ional", "ality", "ort", "ate", "ress", "rict",
+    "eral",
+    "ance",
+    "icy",
+    "ulation",
+    "ute",
+    "lication",
+    "mittee",
+    "islation",
+    "iciary",
+    "inistration",
+    "urity",
+    "artment",
+    "eau",
+    "izen",
+    "ional",
+    "ality",
+    "ort",
+    "ate",
+    "ress",
+    "rict",
 ];
 const MIDDLE: &[&str] = &[
-    "a", "e", "i", "o", "u", "ar", "er", "ir", "or", "ur", "al", "el", "il", "ol", "ul",
-    "an", "en", "in", "on", "un", "ab", "eb", "ib", "ob", "ub",
+    "a", "e", "i", "o", "u", "ar", "er", "ir", "or", "ur", "al", "el", "il", "ol", "ul", "an",
+    "en", "in", "on", "un", "ab", "eb", "ib", "ob", "ub",
 ];
 
 /// A closed synthetic vocabulary: `words[rank]` for Zipf rank `rank`.
@@ -105,8 +123,7 @@ mod tests {
     fn exact_size_and_distinct() {
         let v = Vocabulary::synthesize(Flavour::Medical, 5000, 11);
         assert_eq!(v.len(), 5000);
-        let set: std::collections::HashSet<&str> =
-            v.words.iter().map(|s| s.as_str()).collect();
+        let set: std::collections::HashSet<&str> = v.words.iter().map(|s| s.as_str()).collect();
         assert_eq!(set.len(), 5000);
     }
 
@@ -128,7 +145,9 @@ mod tests {
     fn words_are_lowercase_alphanumeric() {
         let v = Vocabulary::synthesize(Flavour::Medical, 2000, 13);
         for w in &v.words {
-            assert!(w.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            assert!(w
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
             assert!(w.len() >= 3, "{w} too short");
         }
     }

@@ -39,7 +39,10 @@ impl<T: Copy + Default + Send + Sync + 'static> GlobalArray2D<T> {
             let row_starts = block_starts(rows, p);
             let blocks = (0..p)
                 .map(|r| {
-                    RwLock::new(vec![T::default(); (row_starts[r + 1] - row_starts[r]) * cols])
+                    RwLock::new(vec![
+                        T::default();
+                        (row_starts[r + 1] - row_starts[r]) * cols
+                    ])
                 })
                 .collect();
             Some(GlobalArray2D {
@@ -262,7 +265,11 @@ mod tests {
             for row in 0..11 {
                 assert_eq!(
                     m.get_row(ctx, row),
-                    vec![(row * 10) as u64, (row * 10 + 1) as u64, (row * 10 + 2) as u64]
+                    vec![
+                        (row * 10) as u64,
+                        (row * 10 + 1) as u64,
+                        (row * 10 + 2) as u64
+                    ]
                 );
             }
         });

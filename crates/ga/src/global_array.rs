@@ -59,7 +59,11 @@ impl<T: Copy + Default + Send + Sync + 'static> GlobalArray<T> {
                 .map(|r| RwLock::new(vec![T::default(); starts[r + 1] - starts[r]]))
                 .collect();
             Some(GlobalArray {
-                storage: Arc::new(Storage { blocks, starts, len }),
+                storage: Arc::new(Storage {
+                    blocks,
+                    starts,
+                    len,
+                }),
             })
         } else {
             None
@@ -143,8 +147,8 @@ impl<T: Copy + Default + Send + Sync + 'static> GlobalArray<T> {
     /// access of the block's size).
     pub fn with_local_mut<R>(&self, ctx: &Ctx, f: impl FnOnce(&mut [T]) -> R) -> R {
         let r = ctx.rank();
-        let bytes =
-            ((self.storage.starts[r + 1] - self.storage.starts[r]) * std::mem::size_of::<T>()) as u64;
+        let bytes = ((self.storage.starts[r + 1] - self.storage.starts[r])
+            * std::mem::size_of::<T>()) as u64;
         ctx.charge_one_sided(bytes, r);
         let mut block = self.storage.blocks[r].write();
         f(&mut block)
@@ -153,8 +157,8 @@ impl<T: Copy + Default + Send + Sync + 'static> GlobalArray<T> {
     /// Read-only access to this rank's own block.
     pub fn with_local<R>(&self, ctx: &Ctx, f: impl FnOnce(&[T]) -> R) -> R {
         let r = ctx.rank();
-        let bytes =
-            ((self.storage.starts[r + 1] - self.storage.starts[r]) * std::mem::size_of::<T>()) as u64;
+        let bytes = ((self.storage.starts[r + 1] - self.storage.starts[r])
+            * std::mem::size_of::<T>()) as u64;
         ctx.charge_one_sided(bytes, r);
         let block = self.storage.blocks[r].read();
         f(&block)

@@ -115,7 +115,10 @@ impl TaskQueue {
             let idx = self.inner.heads[me].fetch_add(1, Ordering::Relaxed);
             ctx.charge_remote_atomic(me);
             if idx < self.inner.counts[me] {
-                return Some(TaskId { owner: me, index: idx });
+                return Some(TaskId {
+                    owner: me,
+                    index: idx,
+                });
             }
         }
         // Steal, starting just past ourselves so the load spreads.

@@ -49,11 +49,7 @@ fn interleaved_read_inc_and_puts_stay_consistent() {
         for region in 0..32usize {
             for _ in 0..20 {
                 let off = cursors.read_inc(ctx, region, 1);
-                slots.put(
-                    ctx,
-                    region * 120 + off as usize,
-                    &[ctx.rank() as u64 + 1],
-                );
+                slots.put(ctx, region * 120 + off as usize, &[ctx.rank() as u64 + 1]);
             }
         }
         ctx.barrier();
@@ -68,7 +64,10 @@ fn interleaved_read_inc_and_puts_stay_consistent() {
             for &x in &v[region * 120..(region + 1) * 120] {
                 counts[(x - 1) as usize] += 1;
             }
-            assert!(counts.iter().all(|&c| c == 20), "region {region}: {counts:?}");
+            assert!(
+                counts.iter().all(|&c| c == 20),
+                "region {region}: {counts:?}"
+            );
         }
     }
 }

@@ -1,10 +1,8 @@
 //! Description of the machine being modeled.
 
-use serde::{Deserialize, Serialize};
-
 /// Interconnect parameters (a two-parameter latency/bandwidth model, i.e.
 /// the postal / Hockney model that LogP-style collective costs build on).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Network {
     /// One-way small-message latency in seconds (what a blocking
     /// round-trip or a collective tree round pays).
@@ -49,7 +47,7 @@ impl Network {
 /// Where the source datasets live and how reading them scales (§4.2:
 /// scanning "can be leveraged by using scalable parallel file systems
 /// (e.g., Lustre)").
-#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum StorageModel {
     /// Each node reads from its own local disk (data pre-staged).
     NodeLocal,
@@ -71,7 +69,7 @@ pub enum StorageModel {
 
 /// The cluster: homogeneous nodes, each with `procs_per_node` processors
 /// sharing the node's memory and disk.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ClusterSpec {
     /// Human-readable name, recorded in experiment output.
     pub name: String,

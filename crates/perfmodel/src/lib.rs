@@ -43,13 +43,11 @@ pub use memory::MemoryModel;
 pub use rates::{RateCard, WorkKind};
 pub use workload::WorkloadScale;
 
-use serde::{Deserialize, Serialize};
-
 /// The complete cost model handed to the SPMD runtime.
 ///
 /// All methods return **virtual seconds**. The model is immutable and
 /// shared (`Arc`) between ranks; it contains no interior mutability.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CostModel {
     /// The machine being modeled.
     pub cluster: ClusterSpec,
@@ -150,8 +148,7 @@ impl CostModel {
     /// shared by `procs_per_node` processors, which is what eventually makes
     /// scanning I/O bound at scale (paper §4.2).
     pub fn disk_read(&self, bytes: u64) -> f64 {
-        let per_proc_bw =
-            self.cluster.disk_bandwidth_bps / self.cluster.procs_per_node as f64;
+        let per_proc_bw = self.cluster.disk_bandwidth_bps / self.cluster.procs_per_node as f64;
         (bytes as f64 * self.scale.data_scale()) / per_proc_bw
     }
 
@@ -233,11 +230,7 @@ impl CostModel {
 
     /// Cost of a reduce-scatter over a `total_bytes` vector.
     pub fn reduce_scatter(&self, p: usize, total_bytes: u64) -> f64 {
-        collectives::reduce_scatter(
-            &self.cluster.network,
-            p,
-            self.scale.comm_bytes(total_bytes),
-        )
+        collectives::reduce_scatter(&self.cluster.network, p, self.scale.comm_bytes(total_bytes))
     }
 }
 
@@ -249,7 +242,10 @@ mod tests {
     fn zero_model_charges_nothing() {
         let m = CostModel::zero();
         assert_eq!(m.compute(WorkKind::ScanBytes, 1 << 30), 0.0);
-        assert_eq!(m.compute_pressured(WorkKind::ScanBytes, 1 << 30, u64::MAX), 0.0);
+        assert_eq!(
+            m.compute_pressured(WorkKind::ScanBytes, 1 << 30, u64::MAX),
+            0.0
+        );
     }
 
     #[test]

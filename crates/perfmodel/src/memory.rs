@@ -12,9 +12,7 @@
 //! configuration slows down by a bounded (but large) amount rather than
 //! diverging.
 
-use serde::{Deserialize, Serialize};
-
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MemoryModel {
     /// Fraction of per-processor memory usable by the engine (the OS, file
     /// cache, and buffers take the rest).

@@ -8,10 +8,8 @@
 //! minutes for gigabytes of text on a handful of processors); the *shapes*
 //! of the scaling curves come from the algorithms themselves.
 
-use serde::{Deserialize, Serialize};
-
 /// Kinds of work the text engine performs, each metered separately.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkKind {
     /// Raw bytes pushed through the scanner (record framing, charset walk).
     ScanBytes,
@@ -37,7 +35,7 @@ pub enum WorkKind {
 }
 
 /// Throughputs, in units of work per second per processor.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RateCard {
     pub scan_bytes_per_s: f64,
     pub tokenize_terms_per_s: f64,
@@ -176,8 +174,6 @@ mod tests {
     #[test]
     fn string_work_slower_than_memcpy() {
         let r = RateCard::itanium_2007();
-        assert!(
-            r.seconds(WorkKind::ScanBytes, 1000) > r.seconds(WorkKind::MemoryBytes, 1000)
-        );
+        assert!(r.seconds(WorkKind::ScanBytes, 1000) > r.seconds(WorkKind::MemoryBytes, 1000));
     }
 }

@@ -23,14 +23,12 @@
 //! Both factors are 1 when `nominal == actual`, so the model is exact for
 //! corpora processed at their true size.
 
-use serde::{Deserialize, Serialize};
-
 /// Heaps-law exponent used for vocabulary-sized communication payloads.
 /// 0.62 sits between conservative English prose (~0.5) and noisy web text
 /// (~0.7+).
 pub const HEAPS_BETA: f64 = 0.62;
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WorkloadScale {
     /// Size the corpus "stands for", in bytes.
     pub nominal_bytes: u64,

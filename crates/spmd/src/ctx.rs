@@ -1,6 +1,7 @@
 //! The per-rank execution context: virtual clock, work charging, and
 //! MPI-style collectives.
 
+use crate::pool::IntraPool;
 use crate::rendezvous::Rendezvous;
 use crate::stats::CommStats;
 use crate::timer::{Component, Timers};
@@ -41,10 +42,18 @@ pub struct Ctx {
     pub stats: CommStats,
     /// Component time attribution.
     pub timers: Timers,
+    /// Intra-rank worker pool for pure per-chunk parallelism.
+    pool: IntraPool,
 }
 
 impl Ctx {
-    pub(crate) fn new(rank: usize, nprocs: usize, model: Arc<CostModel>, shared: Arc<SharedState>) -> Self {
+    pub(crate) fn new(
+        rank: usize,
+        nprocs: usize,
+        model: Arc<CostModel>,
+        shared: Arc<SharedState>,
+        threads_per_rank: usize,
+    ) -> Self {
         Ctx {
             rank,
             nprocs,
@@ -54,6 +63,7 @@ impl Ctx {
             pressure: Cell::new(1.0),
             stats: CommStats::new(),
             timers: Timers::new(),
+            pool: IntraPool::new(threads_per_rank),
         }
     }
 
@@ -70,6 +80,14 @@ impl Ctx {
     /// The cost model in effect.
     pub fn model(&self) -> &CostModel {
         &self.model
+    }
+
+    /// This rank's intra-rank worker pool. Fan pure per-chunk work out
+    /// with [`IntraPool::map_chunks`], merge the partials in chunk order
+    /// on this thread, then charge the merged totals — the virtual clock
+    /// and component timers never observe the pool width.
+    pub fn pool(&self) -> &IntraPool {
+        &self.pool
     }
 
     /// Current virtual time in seconds.
@@ -179,10 +197,12 @@ impl Ctx {
         let p = self.nprocs;
         let cost = self.model.barrier(p);
         self.stats.record_collective(0);
-        let (_r, clock) = self
-            .shared
-            .rendezvous
-            .round(self.rank, (), self.now(), move |_vals: Vec<()>, mx| ((), mx + cost));
+        let (_r, clock) =
+            self.shared
+                .rendezvous
+                .round(self.rank, (), self.now(), move |_vals: Vec<()>, mx| {
+                    ((), mx + cost)
+                });
         self.clock.set(clock);
     }
 
@@ -296,12 +316,12 @@ impl Ctx {
     {
         let cost = self.model.allgather(self.nprocs, bytes_per_rank);
         self.stats.record_collective(bytes_per_rank);
-        let (res, clock) = self.shared.rendezvous.round(
-            self.rank,
-            value,
-            self.now(),
-            move |vals: Vec<T>, mx| (vals, mx + cost),
-        );
+        let (res, clock) =
+            self.shared
+                .rendezvous
+                .round(self.rank, value, self.now(), move |vals: Vec<T>, mx| {
+                    (vals, mx + cost)
+                });
         self.clock.set(clock);
         (*res).clone()
     }
@@ -316,12 +336,12 @@ impl Ctx {
         assert!(root < self.nprocs, "gather root out of range");
         let cost = self.model.gather(self.nprocs, bytes_per_rank);
         self.stats.record_collective(bytes_per_rank);
-        let (res, clock) = self.shared.rendezvous.round(
-            self.rank,
-            value,
-            self.now(),
-            move |vals: Vec<T>, mx| (vals, mx + cost),
-        );
+        let (res, clock) =
+            self.shared
+                .rendezvous
+                .round(self.rank, value, self.now(), move |vals: Vec<T>, mx| {
+                    (vals, mx + cost)
+                });
         self.clock.set(clock);
         if self.rank == root {
             Some((*res).clone())
@@ -339,12 +359,12 @@ impl Ctx {
         assert!(root < self.nprocs, "gather root out of range");
         let cost = self.model.gather_data(self.nprocs, bytes_per_rank);
         self.stats.record_collective(bytes_per_rank);
-        let (res, clock) = self.shared.rendezvous.round(
-            self.rank,
-            value,
-            self.now(),
-            move |vals: Vec<T>, mx| (vals, mx + cost),
-        );
+        let (res, clock) =
+            self.shared
+                .rendezvous
+                .round(self.rank, value, self.now(), move |vals: Vec<T>, mx| {
+                    (vals, mx + cost)
+                });
         self.clock.set(clock);
         if self.rank == root {
             Some((*res).clone())
@@ -377,7 +397,8 @@ impl Ctx {
     {
         assert_eq!(send.len(), self.nprocs, "alltoall needs one item per rank");
         let cost = self.model.alltoall(self.nprocs, bytes_per_pair);
-        self.stats.record_collective(bytes_per_pair * self.nprocs as u64);
+        self.stats
+            .record_collective(bytes_per_pair * self.nprocs as u64);
         let me = self.rank;
         let (res, clock) = self.shared.rendezvous.round(
             self.rank,
@@ -422,8 +443,7 @@ impl Ctx {
                 // Pre-split into per-rank blocks so each rank clones only
                 // its own share.
                 let chunk = acc.len() / p;
-                let blocks: Vec<Vec<f64>> =
-                    acc.chunks(chunk.max(1)).map(|c| c.to_vec()).collect();
+                let blocks: Vec<Vec<f64>> = acc.chunks(chunk.max(1)).map(|c| c.to_vec()).collect();
                 (blocks, mx + cost)
             },
         );
@@ -573,7 +593,10 @@ mod tests {
         });
         let clocks = res.results;
         for w in &clocks {
-            assert!((w - clocks[0]).abs() < 1e-12, "clocks must agree after barrier");
+            assert!(
+                (w - clocks[0]).abs() < 1e-12,
+                "clocks must agree after barrier"
+            );
         }
         // And the agreed clock reflects the slowest rank (4 * 12e6 flops at 1.2e8/s = 0.4 s).
         assert!(clocks[0] >= 0.4);

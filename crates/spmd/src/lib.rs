@@ -21,6 +21,11 @@
 //! * [`Ctx::timers`] attribute virtual time to the paper's pipeline
 //!   components (scan, index, topic, AM, DocVec, ClusProj) so the harness
 //!   can regenerate Figures 6b, 7b and 8.
+//! * Each rank owns an [`IntraPool`] ([`Ctx::pool`]) for *intra-rank*
+//!   data parallelism: pure per-chunk work fans out across host threads
+//!   while collectives, clocks and timers stay on the rank thread. Chunk
+//!   boundaries are width-independent, so results are bit-identical at
+//!   any `threads_per_rank` (see [`Runtime::with_threads_per_rank`]).
 //!
 //! The wall-clock/virtual-clock split is the substitution documented in
 //! DESIGN.md §2: the machine running this reproduction has a single core,
@@ -29,6 +34,7 @@
 
 pub mod ctx;
 pub mod gate;
+pub mod pool;
 pub mod rendezvous;
 pub mod runtime;
 pub mod stats;
@@ -36,6 +42,7 @@ pub mod timer;
 
 pub use ctx::{Ctx, ReduceOp};
 pub use gate::VirtualGate;
+pub use pool::IntraPool;
 pub use runtime::{RunResult, Runtime};
 pub use stats::CommStats;
 pub use timer::{Component, Timers};

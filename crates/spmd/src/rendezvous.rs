@@ -172,9 +172,8 @@ mod tests {
                 let mut sums = Vec::new();
                 for round in 0..rounds_n {
                     let v = (rank * 10 + round) as u64;
-                    let (res, _clock) = rv.round(rank, v, 0.0, |vals, mx| {
-                        (vals.iter().sum::<u64>(), mx)
-                    });
+                    let (res, _clock) =
+                        rv.round(rank, v, 0.0, |vals, mx| (vals.iter().sum::<u64>(), mx));
                     sums.push(*res);
                 }
                 sums

@@ -45,16 +45,35 @@ impl<R> RunResult<R> {
 /// Factory for SPMD executions against one cost model.
 pub struct Runtime {
     model: Arc<CostModel>,
+    threads_per_rank: usize,
 }
 
 impl Runtime {
     pub fn new(model: Arc<CostModel>) -> Self {
-        Runtime { model }
+        Runtime {
+            model,
+            threads_per_rank: 1,
+        }
     }
 
     /// Convenience constructor with a zero-cost model (correctness-only).
     pub fn for_testing() -> Self {
         Runtime::new(Arc::new(CostModel::zero()))
+    }
+
+    /// Give every rank an intra-rank pool of `n` worker threads (host
+    /// wall-clock parallelism). Virtual time and all results are
+    /// invariant in `n`: chunked work merges in chunk index order and
+    /// charges land on the rank thread after the merge. `0` and `1` both
+    /// mean the serial pool.
+    pub fn with_threads_per_rank(mut self, n: usize) -> Self {
+        self.threads_per_rank = n.max(1);
+        self
+    }
+
+    /// Intra-rank pool width ranks will be given.
+    pub fn threads_per_rank(&self) -> usize {
+        self.threads_per_rank
     }
 
     pub fn model(&self) -> &Arc<CostModel> {
@@ -89,6 +108,7 @@ impl Runtime {
         }
 
         let model = &self.model;
+        let threads_per_rank = self.threads_per_rank;
         let f = &f;
         let outputs: Vec<(R, f64, TimerSnapshot, CommStatsSnapshot)> =
             std::thread::scope(|scope| {
@@ -100,7 +120,7 @@ impl Runtime {
                             let _guard = PoisonOnPanic {
                                 shared: shared.clone(),
                             };
-                            let ctx = Ctx::new(rank, nprocs, model, shared);
+                            let ctx = Ctx::new(rank, nprocs, model, shared, threads_per_rank);
                             let out = f(&ctx);
                             (out, ctx.now(), ctx.timers.snapshot(), ctx.stats.snapshot())
                         })

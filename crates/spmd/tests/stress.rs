@@ -76,7 +76,7 @@ fn clocks_agree_after_final_barrier_under_random_work() {
         let mut seed = 42 + ctx.rank() as u64;
         for _ in 0..100 {
             ctx.charge(WorkKind::Flops, xorshift(&mut seed) % 1_000_000);
-            if seed % 3 == 0 {
+            if seed.is_multiple_of(3) {
                 // Collective points must line up across ranks: derive the
                 // decision from a shared source instead. (Here: everyone
                 // reduces every 3rd step of a shared counter.)
@@ -142,7 +142,10 @@ fn timers_cover_clock_exactly() {
         (ctx.now(), ctx.timers.snapshot().total())
     });
     for (clock, timed) in res.results {
-        assert!((clock - timed).abs() < 1e-9, "clock {clock} vs timed {timed}");
+        assert!(
+            (clock - timed).abs() < 1e-9,
+            "clock {clock} vs timed {timed}"
+        );
     }
 }
 

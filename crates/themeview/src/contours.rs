@@ -21,6 +21,7 @@ pub struct Contour {
 
 /// Cell-edge identifier used while stitching segments into polylines.
 type EdgeKey = (usize, usize, u8); // (cell x, cell y, edge 0..4: S,E,N,W)
+type Segment = (EdgeKey, (f64, f64), EdgeKey, (f64, f64)); // two interpolated edge crossings
 
 impl Terrain {
     /// Extract contours at the given iso `levels` (each in `[0,1]`).
@@ -40,7 +41,7 @@ impl Terrain {
         }
         // Collect segments per cell as (edge_a, edge_b) with interpolated
         // endpoints.
-        let mut segments: Vec<(EdgeKey, (f64, f64), EdgeKey, (f64, f64))> = Vec::new();
+        let mut segments: Vec<Segment> = Vec::new();
         for cy in 0..self.height - 1 {
             for cx in 0..self.width - 1 {
                 // Corner values: SW, SE, NE, NW.
@@ -131,11 +132,7 @@ impl Terrain {
     }
 
     /// Stitch segments into polylines by matching shared edges.
-    fn stitch(
-        &self,
-        level: f64,
-        segments: Vec<(EdgeKey, (f64, f64), EdgeKey, (f64, f64))>,
-    ) -> Vec<Contour> {
+    fn stitch(&self, level: f64, segments: Vec<Segment>) -> Vec<Contour> {
         use std::collections::HashMap;
         // Canonical global edge key so neighbouring cells agree: edges are
         // identified by their low-corner vertex and orientation.
@@ -166,10 +163,7 @@ impl Terrain {
             let mut tail = canon(b0);
             let head = canon(a0);
             let mut closed = false;
-            loop {
-                let Some(cands) = by_edge.get(&tail) else {
-                    break;
-                };
+            while let Some(cands) = by_edge.get(&tail) {
                 let next = cands.iter().copied().find(|&i| !used[i]);
                 let Some(i) = next else { break };
                 used[i] = true;

@@ -36,7 +36,11 @@ pub fn render_galaxy_ascii(
         grid[gy.min(height - 1) * width + gx.min(width - 1)] = glyph(c);
     }
     // Centroid hubs.
-    let n_clusters = assignments.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    let n_clusters = assignments
+        .iter()
+        .map(|&c| c as usize + 1)
+        .max()
+        .unwrap_or(0);
     for c in 0..n_clusters {
         let members: Vec<(f64, f64)> = coords
             .iter()
@@ -94,7 +98,11 @@ pub fn render_galaxy_svg(
         ));
     }
     // Centroid hubs + labels.
-    let n_clusters = assignments.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    let n_clusters = assignments
+        .iter()
+        .map(|&c| c as usize + 1)
+        .max()
+        .unwrap_or(0);
     for c in 0..n_clusters {
         let members: Vec<(f64, f64)> = coords
             .iter()
@@ -152,7 +160,12 @@ pub fn cluster_color(c: u32) -> String {
 }
 
 fn bounds(coords: &[(f64, f64)]) -> (f64, f64, f64, f64) {
-    let mut b = (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+    let mut b = (
+        f64::INFINITY,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::NEG_INFINITY,
+    );
     for &(x, y) in coords {
         b.0 = b.0.min(x);
         b.1 = b.1.min(y);

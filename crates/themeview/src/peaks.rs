@@ -37,7 +37,10 @@ impl Terrain {
                         }
                         let nx = x as isize + dx;
                         let ny = y as isize + dy;
-                        if nx < 0 || ny < 0 || nx >= self.width as isize || ny >= self.height as isize
+                        if nx < 0
+                            || ny < 0
+                            || nx >= self.width as isize
+                            || ny >= self.height as isize
                         {
                             continue;
                         }
@@ -109,9 +112,8 @@ mod tests {
         // Tallest first.
         assert!(peaks[0].height >= peaks[1].height);
         // Near the true cluster centers in data space.
-        let near = |p: &Peak, cx: f64, cy: f64| {
-            (p.at.0 - cx).abs() < 1.5 && (p.at.1 - cy).abs() < 1.5
-        };
+        let near =
+            |p: &Peak, cx: f64, cy: f64| (p.at.0 - cx).abs() < 1.5 && (p.at.1 - cy).abs() < 1.5;
         assert!(peaks.iter().any(|p| near(p, 0.05, 0.0)));
         assert!(peaks.iter().any(|p| near(p, 10.05, 10.0)));
     }

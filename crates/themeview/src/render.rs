@@ -12,11 +12,7 @@ pub fn render_ascii(terrain: &Terrain, peaks: &[Peak]) -> String {
     let mut out = String::with_capacity((terrain.width + 1) * terrain.height);
     let mut marks = vec![None::<char>; terrain.width * terrain.height];
     for (i, p) in peaks.iter().enumerate() {
-        let c = if i < 9 {
-            (b'1' + i as u8) as char
-        } else {
-            '+'
-        };
+        let c = if i < 9 { (b'1' + i as u8) as char } else { '+' };
         marks[p.y * terrain.width + p.x] = Some(c);
     }
     for y in (0..terrain.height).rev() {

@@ -143,7 +143,10 @@ mod tests {
         assert_eq!(svg.matches("<svg ").count(), 1);
         // Balanced path elements (every path self-closes).
         assert!(svg.matches("<path ").count() > 3);
-        assert_eq!(svg.matches("<path ").count(), svg.matches("/>\n").count() - 1 - p.len());
+        assert_eq!(
+            svg.matches("<path ").count(),
+            svg.matches("/>\n").count() - 1 - p.len()
+        );
     }
 
     #[test]

@@ -11,10 +11,10 @@
 //! cargo run --release --example interactive_explore
 //! ```
 
+use inspire_core::hierarchy::Linkage;
 use inspire_core::interact::{select_radius, subset_corpus};
 use inspire_core::io::{read_coords_csv, write_coords_csv};
 use inspire_core::ClusterMethod;
-use inspire_core::hierarchy::Linkage;
 use std::sync::Arc;
 use visual_analytics::prelude::*;
 

@@ -26,14 +26,21 @@ fn main() {
 
     let p = 8;
     let nominal: u64 = 2 << 30;
-    for balancing in [Balancing::Static, Balancing::Dynamic, Balancing::MasterWorker] {
+    for balancing in [
+        Balancing::Static,
+        Balancing::Dynamic,
+        Balancing::MasterWorker,
+    ] {
+        // threads_per_rank speeds up the host-side scan/count loops; the
+        // virtual load figures printed below are identical at any width.
         let config = EngineConfig {
             balancing,
             chunk_docs: 8,
+            threads_per_rank: 2,
             ..EngineConfig::default()
         };
         let model = Arc::new(CostModel::pnnl_2007_scaled(nominal, sources.total_bytes()));
-        let rt = Runtime::new(model);
+        let rt = Runtime::new(model).with_threads_per_rank(config.threads_per_rank);
         let res = rt.run(p, |ctx| {
             let s = scan(ctx, &sources, &config);
             let idx = invert(ctx, &s, &config);

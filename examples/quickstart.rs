@@ -24,9 +24,15 @@ fn main() {
     );
 
     // 2. Run the engine on 8 simulated processors of the paper's cluster.
+    //    `threads_per_rank` fans each rank's hot loops across host
+    //    threads; it speeds up wall-clock only — every result, including
+    //    the virtual time below, is bit-identical at any width.
     let nprocs = 8;
     let model = Arc::new(CostModel::pnnl_2007());
-    let config = EngineConfig::default();
+    let config = EngineConfig {
+        threads_per_rank: 2,
+        ..EngineConfig::default()
+    };
     let run = run_engine(nprocs, model, &sources, &config);
 
     let master = run.master();

@@ -26,7 +26,6 @@ fn main() {
     let master = run.master();
     let coords = master.coords.clone().expect("rank 0 holds coordinates");
 
-
     let terrain = Terrain::build(&coords, 96, 40, None);
     let peaks = terrain.peaks(8, 0.2, 8);
 
@@ -88,7 +87,10 @@ fn main() {
 
     // Galaxy: the document-level companion view.
     println!("\nGalaxy view (documents by cluster, @ = centroid hubs):\n");
-    println!("{}", render_galaxy_ascii(coords.as_slice(), assignments, 96, 30));
+    println!(
+        "{}",
+        render_galaxy_ascii(coords.as_slice(), assignments, 96, 30)
+    );
     let labels: Vec<String> = master
         .cluster_labels
         .iter()

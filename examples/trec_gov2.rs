@@ -30,7 +30,10 @@ fn main() {
     let nominal = 1 << 30;
     let config = EngineConfig::default();
 
-    println!("{:>6} {:>12} {:>9}   components (% of total)", "procs", "virtual", "speedup");
+    println!(
+        "{:>6} {:>12} {:>9}   components (% of total)",
+        "procs", "virtual", "speedup"
+    );
     let mut t1 = None;
     for p in [1usize, 2, 4, 8, 16, 32] {
         let model = Arc::new(CostModel::pnnl_2007_scaled(nominal, sources.total_bytes()));

@@ -1,0 +1,543 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of proptest's API its test suites use: the
+//! [`proptest!`] macro over `arg in strategy` test functions, integer /
+//! float range strategies, [`prop::collection::vec`], tuple strategies,
+//! `any::<T>()`, a regex-subset string strategy, and
+//! [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Differences from upstream, deliberate for an offline shim:
+//! - **No shrinking.** A failing case reports its inputs via the normal
+//!   assert panic message; it is not minimized.
+//! - **Deterministic seeding.** Each test's RNG is seeded from the test
+//!   name, so failures reproduce exactly on re-run.
+//! - Default case count is 32 (upstream 256); override per block with
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` as usual.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeFrom, RangeInclusive};
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        type Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Strategies are usable behind references (string literals arrive as
+    /// `&&str` from the macro).
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.inner.random_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.inner.random_range(self.clone())
+                }
+            }
+            impl Strategy for RangeFrom<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.inner.random_range(self.start..=<$t>::MAX)
+                }
+            }
+        )*};
+    }
+
+    impl_int_strategy!(usize, u64, u32, u16, u8, i64, i32);
+
+    macro_rules! impl_float_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.inner.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_float_strategy!(f64, f32);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy!((A, B)(A, B, C)(A, B, C, D));
+
+    /// Types with a natural "anything goes" strategy.
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.inner.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.inner.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite, sign-symmetric, spanning several magnitudes.
+            let m: f64 = rng.inner.random_range(-1.0f64..1.0);
+            let e: i32 = rng.inner.random_range(-60i32..60);
+            m * (2.0f64).powi(e)
+        }
+    }
+
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    // ---- regex-subset string strategy -------------------------------
+
+    /// One regex atom with its repetition bounds.
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    enum Atom {
+        /// `.` — any char except newline.
+        AnyNonNewline,
+        /// `\PC` — any non-control char.
+        NonControl,
+        /// `[...]` — union of inclusive char ranges.
+        Class(Vec<(char, char)>),
+        Lit(char),
+    }
+
+    /// Non-ASCII chars mixed into `.` / `\PC` samples so unicode paths
+    /// get exercised.
+    const UNICODE_POOL: &[char] = &[
+        'é', 'ß', 'λ', 'Ω', 'ñ', 'ü', '中', '文', '日', '本', '∑', '—', '“', '✓', '😀', '\u{00A0}',
+    ];
+
+    fn parse_escape(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Atom {
+        match chars.next().expect("dangling escape in pattern") {
+            'P' | 'p' => {
+                // Only the `\PC` (non-control) category is supported.
+                let cat = chars.next().expect("escape category");
+                assert_eq!(cat, 'C', "unsupported unicode category in shim");
+                Atom::NonControl
+            }
+            'n' => Atom::Lit('\n'),
+            't' => Atom::Lit('\t'),
+            'r' => Atom::Lit('\r'),
+            c => Atom::Lit(c),
+        }
+    }
+
+    fn parse_class_char(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> char {
+        match chars.next().expect("unterminated char class") {
+            '\\' => match chars.next().expect("dangling escape in class") {
+                'n' => '\n',
+                't' => '\t',
+                'r' => '\r',
+                c => c,
+            },
+            c => c,
+        }
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Atom {
+        let mut ranges = Vec::new();
+        while let Some(&c) = chars.peek() {
+            if c == ']' {
+                chars.next();
+                return Atom::Class(ranges);
+            }
+            let lo = parse_class_char(chars);
+            if chars.peek() == Some(&'-') {
+                // A trailing `-` right before `]` is a literal dash.
+                let mut ahead = chars.clone();
+                ahead.next();
+                if ahead.peek() == Some(&']') {
+                    ranges.push((lo, lo));
+                } else {
+                    chars.next();
+                    let hi = parse_class_char(chars);
+                    assert!(lo <= hi, "inverted class range in pattern");
+                    ranges.push((lo, hi));
+                }
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        panic!("unterminated char class in pattern");
+    }
+
+    fn parse_repetition(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+        if chars.peek() != Some(&'{') {
+            return (1, 1);
+        }
+        chars.next();
+        let mut min = String::new();
+        while chars.peek().is_some_and(|c| c.is_ascii_digit()) {
+            min.push(chars.next().unwrap());
+        }
+        let min: usize = min.parse().expect("repetition lower bound");
+        let max = if chars.peek() == Some(&',') {
+            chars.next();
+            let mut max = String::new();
+            while chars.peek().is_some_and(|c| c.is_ascii_digit()) {
+                max.push(chars.next().unwrap());
+            }
+            max.parse().expect("repetition upper bound")
+        } else {
+            min
+        };
+        assert_eq!(chars.next(), Some('}'), "unterminated repetition");
+        (min, max)
+    }
+
+    fn parse_pattern(pattern: &str) -> Vec<Piece> {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '.' => Atom::AnyNonNewline,
+                '[' => parse_class(&mut chars),
+                '\\' => parse_escape(&mut chars),
+                other => Atom::Lit(other),
+            };
+            let (min, max) = parse_repetition(&mut chars);
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    fn sample_char(atom: &Atom, rng: &mut TestRng) -> char {
+        match atom {
+            Atom::Lit(c) => *c,
+            Atom::AnyNonNewline | Atom::NonControl => {
+                // Mostly printable ASCII, with a unicode tail.
+                if rng.inner.random_range(0u32..100) < 88 {
+                    char::from(rng.inner.random_range(0x20u8..0x7F))
+                } else {
+                    UNICODE_POOL[rng.inner.random_range(0usize..UNICODE_POOL.len())]
+                }
+            }
+            Atom::Class(ranges) => {
+                let (lo, hi) = ranges[rng.inner.random_range(0usize..ranges.len())];
+                char::from_u32(rng.inner.random_range(lo as u32..=hi as u32))
+                    .expect("class range crosses surrogates")
+            }
+        }
+    }
+
+    /// String literals are regex-subset strategies, as in upstream
+    /// proptest.
+    impl Strategy for str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let pieces = parse_pattern(self);
+            let mut out = String::new();
+            for piece in &pieces {
+                let n = rng.inner.random_range(piece.min..=piece.max);
+                for _ in 0..n {
+                    out.push(sample_char(&piece.atom, rng));
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Size specifications accepted by [`vec`]: an exact length or a
+    /// half-open range.
+    pub trait IntoSizeRange {
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.inner.random_range(self.min..=self.max);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+}
+
+pub mod test_runner {
+    use rand::SeedableRng;
+
+    /// Per-test RNG, seeded from the test name so each run of a given
+    /// test sees the same case sequence.
+    pub struct TestRng {
+        pub(crate) inner: rand::rngs::StdRng,
+    }
+
+    impl TestRng {
+        pub fn for_test(test_name: &str) -> Self {
+            // FNV-1a over the name gives a stable per-test seed.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng {
+                inner: rand::rngs::StdRng::seed_from_u64(h),
+            }
+        }
+    }
+
+    /// Runner configuration; only `cases` is meaningful in the shim.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 32 }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirror of upstream's `prelude::prop` module path.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Define property tests: an optional `#![proptest_config(..)]` followed
+/// by `#[test] fn name(arg in strategy, ...) { body }` items. Each body
+/// runs `cases` times with freshly sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            (<$crate::test_runner::Config as ::core::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..__cfg.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&$strat, &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Assert inside a property body; panics (fails the test) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn string_strategy_honors_class_and_length() {
+        let mut rng = TestRng::for_test("class");
+        for _ in 0..200 {
+            let s = "[a-z0-9 ]{0,40}".sample(&mut rng);
+            assert!(s.chars().count() <= 40);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == ' '));
+        }
+    }
+
+    #[test]
+    fn string_strategy_space_to_tilde_range_with_newline() {
+        let mut rng = TestRng::for_test("range");
+        for _ in 0..200 {
+            let s = "[ -~\\n]{0,60}".sample(&mut rng);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c) || c == '\n'));
+        }
+    }
+
+    #[test]
+    fn dot_never_yields_newline() {
+        let mut rng = TestRng::for_test("dot");
+        for _ in 0..100 {
+            let s = ".{0,80}".sample(&mut rng);
+            assert!(!s.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn non_control_category_excludes_controls() {
+        let mut rng = TestRng::for_test("pc");
+        for _ in 0..100 {
+            let s = "\\PC{0,50}".sample(&mut rng);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn trailing_dash_in_class_is_literal() {
+        let mut rng = TestRng::for_test("dash");
+        let mut saw_dash = false;
+        for _ in 0..500 {
+            let s = "[a.;-]{1,4}".sample(&mut rng);
+            assert!(s.chars().all(|c| "a.;-".contains(c)));
+            saw_dash |= s.contains('-');
+        }
+        assert!(saw_dash);
+    }
+
+    #[test]
+    fn vec_strategy_respects_bounds() {
+        let mut rng = TestRng::for_test("vec");
+        for _ in 0..200 {
+            let v = crate::collection::vec(0u64..10, 0..6).sample(&mut rng);
+            assert!(v.len() < 6);
+            assert!(v.iter().all(|&x| x < 10));
+        }
+        let exact = crate::collection::vec(0u64..10, 4usize).sample(&mut rng);
+        assert_eq!(exact.len(), 4);
+    }
+
+    #[test]
+    fn tuple_and_range_from_strategies() {
+        let mut rng = TestRng::for_test("tuple");
+        let (x, y) = (-1.0f64..1.0, 5u32..).sample(&mut rng);
+        assert!((-1.0..1.0).contains(&x));
+        assert!(y >= 5);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn macro_roundtrip(a in 0u64..100, v in prop::collection::vec(any::<u8>(), 0..10)) {
+            prop_assert!(a < 100);
+            prop_assert!(v.len() < 10, "len {}", v.len());
+            prop_assert_eq!(a, a);
+        }
+    }
+
+    #[test]
+    fn macro_generated_test_exists() {
+        // `macro_roundtrip` above compiled as a #[test]; invoking it
+        // directly also works.
+        macro_roundtrip();
+    }
+}

@@ -1,0 +1,305 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of rayon's API it uses: `into_par_iter().map(..)
+//! .collect()` over index ranges and vectors, plus [`ThreadPool`] /
+//! [`ThreadPoolBuilder`] with [`ThreadPool::install`] scoping the
+//! parallelism width.
+//!
+//! Execution model: a parallel iterator materializes its items, splits
+//! them into at most `current_num_threads()` contiguous chunks, runs each
+//! chunk on its own scoped OS thread, and concatenates the chunk results
+//! **in chunk order** — so `collect` preserves input order exactly like
+//! rayon's indexed collect. There is no work stealing; chunks are
+//! near-equal by item count. For the coarse-grained batches this
+//! workspace parallelizes (record batches, document chunks), that is
+//! within noise of a stealing scheduler and keeps the implementation
+//! auditable.
+//!
+//! `install` does not migrate the closure to a worker thread (it runs on
+//! the caller); it only scopes the ambient width. This is deliberate: the
+//! SPMD runtime's per-rank contexts are `!Send` and must stay on their
+//! rank thread, with only the pure chunk closures fanning out.
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+
+thread_local! {
+    /// Ambient parallelism width; 0 = uninitialized (use the host default).
+    static AMBIENT_WIDTH: Cell<usize> = const { Cell::new(0) };
+}
+
+fn host_default_width() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The number of threads parallel iterators fan out to on this thread.
+pub fn current_num_threads() -> usize {
+    let w = AMBIENT_WIDTH.with(Cell::get);
+    if w == 0 {
+        host_default_width()
+    } else {
+        w
+    }
+}
+
+/// Error type mirroring rayon's builder failure (never produced here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a fixed-width [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pool width; 0 means the host default.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            host_default_width()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A handle fixing the fan-out width for work run under [`install`].
+///
+/// [`install`]: ThreadPool::install
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f` with this pool's width as the ambient parallelism for any
+    /// parallel iterators it drives. Runs on the calling thread.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = AMBIENT_WIDTH.with(Cell::get);
+        AMBIENT_WIDTH.with(|w| w.set(self.threads));
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                AMBIENT_WIDTH.with(|w| w.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        f()
+    }
+}
+
+/// Map `items` through `f` in contiguous chunks across scoped threads;
+/// results come back in input order.
+fn par_map_vec<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let width = current_num_threads().min(items.len()).max(1);
+    if width <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let base = n / width;
+    let extra = n % width;
+    // Chunk c gets base items, the first `extra` chunks one more.
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(width);
+    let mut it = items.into_iter();
+    for c in 0..width {
+        let len = base + usize::from(c < extra);
+        chunks.push(it.by_ref().take(len).collect());
+    }
+    let f = &f;
+    let mut out: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    let mut flat = Vec::with_capacity(n);
+    for part in &mut out {
+        flat.append(part);
+    }
+    flat
+}
+
+pub mod iter {
+    use super::par_map_vec;
+
+    /// Conversion into a parallel iterator.
+    pub trait IntoParallelIterator {
+        type Item: Send;
+        type Iter: ParallelIterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// The driving subset of rayon's trait: `map` + order-preserving
+    /// `collect`.
+    pub trait ParallelIterator: Sized {
+        type Item: Send;
+
+        /// Materialize all items (driving any pending parallel stages).
+        fn drive(self) -> Vec<Self::Item>;
+
+        fn map<R: Send, F: Fn(Self::Item) -> R + Sync>(self, f: F) -> Map<Self, F> {
+            Map { base: self, f }
+        }
+
+        fn collect<C: From<Vec<Self::Item>>>(self) -> C {
+            C::from(self.drive())
+        }
+    }
+
+    /// Parallel iterator over an already-materialized item list.
+    pub struct VecParIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParallelIterator for VecParIter<T> {
+        type Item = T;
+        fn drive(self) -> Vec<T> {
+            self.items
+        }
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = VecParIter<T>;
+        fn into_par_iter(self) -> VecParIter<T> {
+            VecParIter { items: self }
+        }
+    }
+
+    macro_rules! impl_range_par_iter {
+        ($($t:ty),*) => {$(
+            impl IntoParallelIterator for std::ops::Range<$t> {
+                type Item = $t;
+                type Iter = VecParIter<$t>;
+                fn into_par_iter(self) -> VecParIter<$t> {
+                    VecParIter { items: self.collect() }
+                }
+            }
+        )*};
+    }
+
+    impl_range_par_iter!(usize, u64, u32, i64, i32);
+
+    /// A mapped parallel iterator; the map is applied in parallel when
+    /// driven.
+    pub struct Map<I, F> {
+        base: I,
+        f: F,
+    }
+
+    impl<I, R, F> ParallelIterator for Map<I, F>
+    where
+        I: ParallelIterator,
+        R: Send,
+        F: Fn(I::Item) -> R + Sync,
+    {
+        type Item = R;
+        fn drive(self) -> Vec<R> {
+            par_map_vec(self.base.drive(), self.f)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        let expect: Vec<usize> = (0..1000usize).map(|i| i * 2).collect();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn vec_par_iter_roundtrip() {
+        let v: Vec<String> = vec!["a".to_string(), "b".to_string()]
+            .into_par_iter()
+            .map(|s| s + "!")
+            .collect();
+        assert_eq!(v, vec!["a!", "b!"]);
+    }
+
+    #[test]
+    fn install_scopes_width() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 3);
+            let inner = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+            inner.install(|| assert_eq!(current_num_threads(), 1));
+            assert_eq!(current_num_threads(), 3);
+        });
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn parallel_result_matches_serial_under_any_width() {
+        let serial: Vec<u64> = (0..503u64).map(|i| i * i + 1).collect();
+        for width in [1, 2, 4, 7] {
+            let pool = ThreadPoolBuilder::new().num_threads(width).build().unwrap();
+            let par: Vec<u64> =
+                pool.install(|| (0..503u64).into_par_iter().map(|i| i * i + 1).collect());
+            assert_eq!(par, serial, "width {width}");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let v: Vec<usize> = (0..0usize).into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            let _: Vec<()> = (0..64usize)
+                .into_par_iter()
+                .map(|_| {
+                    ids.lock().unwrap().insert(std::thread::current().id());
+                    // Hold the chunk long enough that chunks overlap.
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                })
+                .collect();
+        });
+        assert!(ids.lock().unwrap().len() > 1);
+    }
+}

@@ -94,14 +94,10 @@ fn three_d_projection_adds_an_axis() {
     // The first two components agree between the 2-D and 3-D runs.
     for i in 0..n {
         assert!((out3.local_coords_nd[i * 3] - out2.local_coords_nd[i * 2]).abs() < 1e-9);
-        assert!(
-            (out3.local_coords_nd[i * 3 + 1] - out2.local_coords_nd[i * 2 + 1]).abs() < 1e-9
-        );
+        assert!((out3.local_coords_nd[i * 3 + 1] - out2.local_coords_nd[i * 2 + 1]).abs() < 1e-9);
     }
     // The third axis carries real variance (not all zeros).
-    let z_spread: f64 = (0..n)
-        .map(|i| out3.local_coords_nd[i * 3 + 2].abs())
-        .sum();
+    let z_spread: f64 = (0..n).map(|i| out3.local_coords_nd[i * 3 + 2].abs()).sum();
     assert!(z_spread > 1e-6, "third component is degenerate");
 }
 
@@ -125,10 +121,7 @@ fn drill_down_from_rectangle_selection() {
     assert_eq!(sub.total_records(), selected.len());
     // The sub-analysis runs and covers exactly the selection.
     let drill = run_engine(2, Arc::new(CostModel::zero()), &sub, &cfg);
-    assert_eq!(
-        drill.master().summary.total_docs as usize,
-        selected.len()
-    );
+    assert_eq!(drill.master().summary.total_docs as usize, selected.len());
 }
 
 #[test]
@@ -140,7 +133,11 @@ fn cluster_selection_round_trips_through_subset() {
     let assignments = master.all_assignments.as_ref().unwrap();
     for c in 0..master.cluster_sizes.len() {
         let selected = select_cluster(assignments, c as u32);
-        assert_eq!(selected.len() as u64, master.cluster_sizes[c], "cluster {c}");
+        assert_eq!(
+            selected.len() as u64,
+            master.cluster_sizes[c],
+            "cluster {c}"
+        );
     }
 }
 

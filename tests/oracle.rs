@@ -94,7 +94,11 @@ fn balancing_modes_agree_on_results() {
     // Load balancing changes who does the work, never the answer.
     let src = trec();
     let mut outputs = Vec::new();
-    for balancing in [Balancing::Static, Balancing::Dynamic, Balancing::MasterWorker] {
+    for balancing in [
+        Balancing::Static,
+        Balancing::Dynamic,
+        Balancing::MasterWorker,
+    ] {
         let cfg = EngineConfig {
             balancing,
             ..EngineConfig::for_testing()

@@ -168,14 +168,21 @@ fn full_pipeline_newswire_message_traffic() {
     let src = CorpusSpec::newswire(256 * 1024, 314).generate();
     let run = run(&src, 3);
     let master = run.master();
-    assert!(master.summary.total_docs > 300, "messages are short: expected many");
+    assert!(
+        master.summary.total_docs > 300,
+        "messages are short: expected many"
+    );
     let coords = master.coords.as_ref().unwrap();
     assert_eq!(coords.len() as u32, master.summary.total_docs);
     // Threads make message traffic extra bursty; topicality must still
     // find discriminating terms and clustering must spread documents.
     assert!(master.summary.n_major > 50);
     let nonempty = master.cluster_sizes.iter().filter(|&&s| s > 0).count();
-    assert!(nonempty >= 3, "clusters collapsed: {:?}", master.cluster_sizes);
+    assert!(
+        nonempty >= 3,
+        "clusters collapsed: {:?}",
+        master.cluster_sizes
+    );
 }
 
 #[test]

@@ -34,7 +34,10 @@ fn speedup_is_sane_and_substantial() {
     let t1 = time_at(&src, &model, 1);
     for p in [2usize, 4, 8] {
         let s = t1 / time_at(&src, &model, p);
-        assert!(s <= p as f64 * 1.05, "superlinear without memory effects: {s} at P={p}");
+        assert!(
+            s <= p as f64 * 1.05,
+            "superlinear without memory effects: {s} at P={p}"
+        );
         assert!(
             s >= 0.6 * p as f64,
             "parallel efficiency collapsed: {s} at P={p}"

@@ -1,0 +1,104 @@
+//! Intra-rank parallelism must be invisible in every algorithmic
+//! output: the engine at `threads_per_rank = 4` has to produce
+//! bit-identical summaries, coordinates, and cluster assignments to
+//! the serial run. The pool only changes host wall-clock.
+//!
+//! The guarantee comes from `IntraPool::map_chunks`: chunk boundaries
+//! depend only on the item count, partials merge in chunk index order,
+//! and all virtual-time charges land on the rank thread after the merge.
+
+use std::sync::Arc;
+use visual_analytics::prelude::*;
+
+fn run_with_threads(src: &SourceSet, nprocs: usize, threads: usize) -> EngineRun {
+    let cfg = EngineConfig {
+        threads_per_rank: threads,
+        ..EngineConfig::for_testing()
+    };
+    run_engine(nprocs, Arc::new(CostModel::pnnl_2007()), src, &cfg)
+}
+
+/// Everything deterministically comparable about a run, formatted so
+/// f64s compare exactly (Debug prints round-trip bit patterns).
+///
+/// Virtual clocks, component timers, and the per-rank `load` statistics
+/// are deliberately excluded: the dynamic work-stealing queue and the
+/// one-sided vocab RPCs interleave by *host* scheduling, so their
+/// virtual-time attribution jitters run-to-run even at a fixed pool
+/// width (pre-existing behavior, observable on the unmodified serial
+/// path). Everything algorithmic must be bit-identical.
+fn fingerprint(run: &EngineRun) -> String {
+    let master = run.master();
+    let s = &master.summary;
+    format!(
+        "vocab={} docs={} tokens={} n={} m={} exp={} sig={:?} iters={} \
+         obj={:?} var={:?} coords={:?} assignments={:?} labels={:?} sizes={:?}",
+        s.vocab_size,
+        s.total_docs,
+        s.total_tokens,
+        s.n_major,
+        s.m_dims,
+        s.dim_expansions,
+        s.sig_stats,
+        s.kmeans_iters,
+        s.kmeans_objective,
+        s.variance_explained,
+        master.coords,
+        master.all_assignments,
+        master.cluster_labels,
+        master.cluster_sizes,
+    )
+}
+
+#[test]
+fn thread_pool_width_is_invisible() {
+    let src = CorpusSpec::pubmed(384 * 1024, 4242).generate();
+    let serial = run_with_threads(&src, 2, 1);
+    let sf = fingerprint(&serial);
+    assert!(
+        serial.master().summary.total_docs > 100,
+        "corpus too small to exercise the chunked paths"
+    );
+    for threads in [2, 4] {
+        let par = run_with_threads(&src, 2, threads);
+        assert_eq!(
+            sf,
+            fingerprint(&par),
+            "threads_per_rank={threads} diverged from the serial run"
+        );
+    }
+}
+
+#[test]
+fn thread_pool_width_is_invisible_single_rank() {
+    // Single rank maximizes per-rank document count, stressing chunk
+    // boundaries that don't divide evenly.
+    let src = CorpusSpec::trec(128 * 1024, 99).generate();
+    let serial = run_with_threads(&src, 1, 1);
+    let par = run_with_threads(&src, 1, 4);
+    assert_eq!(fingerprint(&serial), fingerprint(&par));
+}
+
+#[test]
+fn local_coords_bitwise_equal_per_rank() {
+    // Beyond the gathered master view: every rank's local block must
+    // match element-for-element (exact f64 equality, not tolerance).
+    let src = CorpusSpec::pubmed(128 * 1024, 7).generate();
+    let a = run_with_threads(&src, 3, 1);
+    let b = run_with_threads(&src, 3, 4);
+    for (rank, (oa, ob)) in a.outputs.iter().zip(&b.outputs).enumerate() {
+        assert_eq!(oa.local_coords_nd.len(), ob.local_coords_nd.len());
+        for (i, (x, y)) in oa
+            .local_coords_nd
+            .iter()
+            .zip(&ob.local_coords_nd)
+            .enumerate()
+        {
+            assert!(
+                x.to_bits() == y.to_bits(),
+                "rank {rank} coord {i}: {x:?} vs {y:?}"
+            );
+        }
+        assert_eq!(oa.assignments, ob.assignments, "rank {rank} assignments");
+    }
+}
