@@ -33,17 +33,41 @@ fn bench_tokenizer() {
 }
 
 fn bench_dhashmap() {
+    // Zipf-ish mix: ~4k distinct terms over 10k inserts, so both paths
+    // exercise the hit case (cache-style reuse) as well as fresh interns.
+    let terms: Vec<String> = (0..10_000)
+        .map(|i| format!("term{}", (i * 2654435761usize) % 4096))
+        .collect();
+    let refs: Vec<&str> = terms.iter().map(|s| s.as_str()).collect();
     for p in [1usize, 4] {
         let rt = Runtime::for_testing();
-        bench(&format!("dist_hashmap/insert_10k/{p}"), ITERS, || {
-            rt.run(p, |ctx| {
-                let m = DistHashMap::create(ctx);
-                let per = 10_000 / ctx.nprocs();
-                for i in 0..per {
-                    m.insert_or_get(ctx, &format!("term{}-{}", ctx.rank(), i));
-                }
-            })
-        });
+        bench(
+            &format!("dist_hashmap/insert_scalar_10k/{p}"),
+            ITERS,
+            || {
+                rt.run(p, |ctx| {
+                    let m = DistHashMap::create(ctx);
+                    let per = refs.len() / ctx.nprocs();
+                    for t in &refs[ctx.rank() * per..(ctx.rank() + 1) * per] {
+                        m.insert_or_get(ctx, t);
+                    }
+                })
+            },
+        );
+        let rt = Runtime::for_testing();
+        bench(
+            &format!("dist_hashmap/insert_batch64_10k/{p}"),
+            ITERS,
+            || {
+                rt.run(p, |ctx| {
+                    let m = DistHashMap::create(ctx);
+                    let per = refs.len() / ctx.nprocs();
+                    for chunk in refs[ctx.rank() * per..(ctx.rank() + 1) * per].chunks(64) {
+                        m.insert_or_get_batch(ctx, chunk);
+                    }
+                })
+            },
+        );
     }
 }
 

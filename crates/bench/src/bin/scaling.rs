@@ -28,7 +28,7 @@ use inspire_core::index::invert;
 use inspire_core::scan::scan;
 use inspire_core::EngineConfig;
 use perfmodel::CostModel;
-use spmd::Runtime;
+use spmd::{Component, Runtime};
 use std::sync::Arc;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
@@ -38,6 +38,29 @@ struct WidthResult {
     wall_s_min: f64,
     measured_speedup: f64,
     projected_speedup: f64,
+}
+
+/// Per-stage communication counters from one scan+invert run, plus the
+/// scan hot path's own accounting of batched vocabulary RPCs vs the
+/// scalar message count the same run would have charged pre-batching.
+struct CommReport {
+    scan_msgs: u64,
+    scan_bytes: u64,
+    index_msgs: u64,
+    index_bytes: u64,
+    vocab_rpc_msgs_batched: u64,
+    vocab_rpc_scalar_equiv: u64,
+}
+
+impl CommReport {
+    /// Scalar-equivalent vocabulary RPCs per charged batched message.
+    fn batching_factor(&self) -> f64 {
+        if self.vocab_rpc_msgs_batched > 0 {
+            self.vocab_rpc_scalar_equiv as f64 / self.vocab_rpc_msgs_batched as f64
+        } else {
+            0.0
+        }
+    }
 }
 
 fn main() {
@@ -104,6 +127,14 @@ fn main() {
         0.0
     };
 
+    let comm = comm_run(&src, &cfg);
+    // Compare against the newest prior BENCH JSON of the same shape, if
+    // one exists, so the JSON records the measured wall-clock delta.
+    let baseline_wall_s_1 = previous_wall1(smoke);
+    let wall_clock_improvement = baseline_wall_s_1
+        .filter(|_| wall1_median > 0.0)
+        .map(|b| b / wall1_median);
+
     // Human-readable table.
     println!("intra-rank scaling — scan+invert, single rank, {docs} docs, {host_cpus} host cpu(s)");
     println!(
@@ -116,6 +147,19 @@ fn main() {
             "{:>7}  {:>14.4}  {:>11.4}  {:>10.2}  {:>11.2}",
             w.threads, w.wall_s_median, w.wall_s_min, w.measured_speedup, w.projected_speedup
         );
+    }
+    println!(
+        "comm: scan {} msgs / {} B, index {} msgs / {} B",
+        comm.scan_msgs, comm.scan_bytes, comm.index_msgs, comm.index_bytes
+    );
+    println!(
+        "vocab RPCs: {} batched messages for {} scalar-equivalent inserts ({:.1}x batching)",
+        comm.vocab_rpc_msgs_batched,
+        comm.vocab_rpc_scalar_equiv,
+        comm.batching_factor()
+    );
+    if let (Some(b), Some(x)) = (baseline_wall_s_1, wall_clock_improvement) {
+        println!("wall@1 vs previous run: {b:.4}s -> {wall1_median:.4}s ({x:.2}x)");
     }
 
     let ts = SystemTime::now()
@@ -134,6 +178,9 @@ fn main() {
             parallel_fraction,
             &profile,
             &widths,
+            &comm,
+            baseline_wall_s_1,
+            wall_clock_improvement,
         ),
     )
     .expect("write BENCH json");
@@ -179,6 +226,55 @@ fn profiled_serial_run(src: &corpus::SourceSet, cfg: &EngineConfig) -> (u32, f64
     res.results.into_iter().next().unwrap()
 }
 
+/// One serial scan+invert run with the stages bracketed in their
+/// pipeline components, so the runtime's per-stage counters attribute
+/// every charged operation (local or remote) to scan or index.
+fn comm_run(src: &corpus::SourceSet, cfg: &EngineConfig) -> CommReport {
+    let rt = Runtime::new(Arc::new(CostModel::zero()));
+    let res = rt.run(1, |ctx| {
+        let s = ctx.component(Component::Scan, || scan(ctx, src, cfg));
+        let idx = ctx.component(Component::Index, || invert(ctx, &s, cfg));
+        assert!(idx.total_docs > 0);
+        let snap = ctx.stats.snapshot();
+        CommReport {
+            scan_msgs: snap.stage_msgs_for(Component::Scan),
+            scan_bytes: snap.stage_bytes_for(Component::Scan),
+            index_msgs: snap.stage_msgs_for(Component::Index),
+            index_bytes: snap.stage_bytes_for(Component::Index),
+            vocab_rpc_msgs_batched: s.vocab_rpc_msgs,
+            vocab_rpc_scalar_equiv: s.vocab_rpc_scalar_equiv,
+        }
+    });
+    res.results.into_iter().next().unwrap()
+}
+
+/// `wall_s_median` at width 1 from the newest prior BENCH JSON with the
+/// same smoke flag, if any. Field-level scrape — no JSON parser offline.
+fn previous_wall1(smoke: bool) -> Option<f64> {
+    let mut newest: Option<(String, String)> = None;
+    for entry in std::fs::read_dir(results_dir()).ok()?.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.starts_with("BENCH_intra_rank_scaling_") || !name.ends_with(".json") {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(entry.path()) else {
+            continue;
+        };
+        if !text.contains(&format!("\"smoke\": {smoke}")) {
+            continue;
+        }
+        // Timestamped names sort chronologically for equal-length stems.
+        if newest.as_ref().is_none_or(|(n, _)| name > *n) {
+            newest = Some((name, text));
+        }
+    }
+    let (_, text) = newest?;
+    let at = text.find("\"wall_s_median\": ")?;
+    let rest = &text[at + "\"wall_s_median\": ".len()..];
+    let end = rest.find([',', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
 /// Greedy list-schedule makespan: chunks in index order, each to the
 /// earliest-free of `w` workers — the pool's queue discipline.
 fn makespan(chunks: &[f64], w: usize) -> f64 {
@@ -205,6 +301,9 @@ fn to_json(
     parallel_fraction: f64,
     profile: &[Vec<f64>],
     widths: &[WidthResult],
+    comm: &CommReport,
+    baseline_wall_s_1: Option<f64>,
+    wall_clock_improvement: Option<f64>,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -224,6 +323,32 @@ fn to_json(
     s.push_str(&format!(
         "  \"parallel_fraction\": {parallel_fraction:.6},\n"
     ));
+    s.push_str("  \"comm\": {\n");
+    s.push_str(&format!("    \"scan_msgs\": {},\n", comm.scan_msgs));
+    s.push_str(&format!("    \"scan_bytes\": {},\n", comm.scan_bytes));
+    s.push_str(&format!("    \"index_msgs\": {},\n", comm.index_msgs));
+    s.push_str(&format!("    \"index_bytes\": {},\n", comm.index_bytes));
+    s.push_str(&format!(
+        "    \"vocab_rpc_msgs_batched\": {},\n",
+        comm.vocab_rpc_msgs_batched
+    ));
+    s.push_str(&format!(
+        "    \"vocab_rpc_scalar_equiv\": {},\n",
+        comm.vocab_rpc_scalar_equiv
+    ));
+    s.push_str(&format!(
+        "    \"vocab_rpc_batching_factor\": {:.4},\n",
+        comm.batching_factor()
+    ));
+    s.push_str(&format!(
+        "    \"baseline_wall_s_1\": {},\n",
+        baseline_wall_s_1.map_or("null".into(), |v| format!("{v:.6}"))
+    ));
+    s.push_str(&format!(
+        "    \"wall_clock_improvement\": {}\n",
+        wall_clock_improvement.map_or("null".into(), |v| format!("{v:.4}"))
+    ));
+    s.push_str("  },\n");
     s.push_str("  \"widths\": [\n");
     for (i, w) in widths.iter().enumerate() {
         s.push_str(&format!(

@@ -258,7 +258,11 @@ pub fn invert(ctx: &Ctx, scan: &ScanOutput, cfg: &EngineConfig) -> InvertedIndex
         by_term.sort_unstable_by_key(|&(t, _)| t);
         ctx.charge(WorkKind::InvertPostings, by_term.len() as u64);
         my_postings += by_term.len() as u64;
-        // Scatter each term group with one atomic reservation.
+        // Reserve each term group's slots with one atomic read_inc, then
+        // write every group in one coalesced batch: by_term is sorted, so
+        // uncontended neighbouring groups land in adjacent posting slots
+        // and merge into a single message instead of one put per term.
+        let mut puts: Vec<(usize, Vec<u64>)> = Vec::new();
         let mut i = 0;
         while i < by_term.len() {
             let t = by_term[i].0;
@@ -269,9 +273,11 @@ pub fn invert(ctx: &Ctx, scan: &ScanOutput, cfg: &EngineConfig) -> InvertedIndex
             let k = (j - i) as i64;
             let slot = cursors.read_inc(ctx, t as usize, k);
             let buf: Vec<u64> = by_term[i..j].iter().map(|&(_, p)| p).collect();
-            postings.put(ctx, (offsets[t as usize] + slot) as usize, &buf);
+            puts.push(((offsets[t as usize] + slot) as usize, buf));
             i = j;
         }
+        let put_refs: Vec<(usize, &[u64])> = puts.iter().map(|(s, d)| (*s, d.as_slice())).collect();
+        postings.put_batch(ctx, &put_refs);
     };
 
     match cfg.balancing {

@@ -169,7 +169,7 @@ impl Engine {
 fn label_clusters(
     clustering: &Clustering,
     topics: &[crate::TermId],
-    terms: &[String],
+    terms: &intern::TermTable,
 ) -> Vec<Vec<String>> {
     const LABELS_PER_CLUSTER: usize = 5;
     (0..clustering.k)
@@ -180,7 +180,7 @@ fn label_clusters(
             dims.iter()
                 .take(LABELS_PER_CLUSTER)
                 .filter(|&&d| cen[d] > 0.0)
-                .map(|&d| terms[topics[d] as usize].clone())
+                .map(|&d| terms[topics[d] as usize].to_string())
                 .collect()
         })
         .collect()

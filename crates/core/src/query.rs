@@ -247,7 +247,7 @@ mod tests {
             let t = (0..s.vocab_size())
                 .find(|&t| idx.df[t] >= 3)
                 .expect("some term with df >= 3");
-            let term = s.terms[t].clone();
+            let term = s.terms[t].to_string();
             let posts = lookup(ctx, &s, &idx, &term);
             let mut docs: Vec<DocId> = posts.iter().map(|p| p.doc).collect();
             docs.dedup();
@@ -264,7 +264,7 @@ mod tests {
             let s = scan(ctx, &src, &cfg);
             let idx = invert(ctx, &s, &cfg);
             let t = (0..s.vocab_size()).max_by_key(|&t| idx.df[t]).unwrap();
-            let term = s.terms[t].clone();
+            let term = s.terms[t].to_string();
             let hits = search(ctx, &s, &idx, &term, 10);
             assert!(!hits.is_empty());
             assert!(hits.len() <= 10);
@@ -295,7 +295,7 @@ mod tests {
             // Two mid-frequency terms.
             let mut picks = (0..s.vocab_size())
                 .filter(|&t| idx.df[t] >= 4 && (idx.df[t] as f64) < idx.total_docs as f64 * 0.5)
-                .map(|t| s.terms[t].clone());
+                .map(|t| s.terms[t].to_string());
             let ta = picks.next().expect("term a");
             let tb = picks.next().expect("term b");
 
@@ -350,7 +350,7 @@ mod tests {
             let idx = invert(ctx, &s, &cfg);
             // A frequent term appears in abstracts far more than titles.
             let t = (0..s.vocab_size()).max_by_key(|&t| idx.df[t]).unwrap();
-            let term = s.terms[t].clone();
+            let term = s.terms[t].to_string();
             let all = evaluate(ctx, &s, &idx, &Query::Term(term.clone()));
             let title_only = evaluate(ctx, &s, &idx, &Query::FieldTerm("title", term.clone()));
             assert!(title_only.len() <= all.len());

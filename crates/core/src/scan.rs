@@ -4,9 +4,11 @@
 //! Each rank scans its byte-balanced share of the sources, tokenizes every
 //! indexed field, and builds the *forward index* (document → field → term
 //! counts). Unique terms are registered in the ARMCI-style distributed
-//! hashmap, which assigns global term IDs; a process-local cache keeps the
-//! remote insert traffic proportional to the number of *distinct* terms a
-//! rank encounters, not to the token count.
+//! hashmap, which assigns global term IDs; a process-local interner cache
+//! keeps the remote insert traffic proportional to the number of
+//! *distinct* terms a rank encounters, not to the token count, and each
+//! record chunk's unseen terms travel in **one batched RPC per
+//! destination shard** rather than one round trip per term.
 //!
 //! After scanning, the forward index is published into two global arrays
 //! (offsets + packed entries) so that any rank can fetch any document's
@@ -25,6 +27,7 @@ use crate::tokenize::Tokenizer;
 use crate::{DocId, FieldId, TermId};
 use corpus::{partition_contiguous, Source, SourceSet};
 use ga::{DistHashMap, GlobalArray};
+use intern::{TermInterner, TermTable};
 use perfmodel::WorkKind;
 use spmd::Ctx;
 use std::collections::HashMap;
@@ -104,9 +107,9 @@ pub struct ScanOutput {
     /// The distributed vocabulary map (original arrival-order ids).
     pub vocab: DistHashMap,
     /// Canonical vocabulary: `terms[canonical_id]`, lexicographically
-    /// sorted. All term ids in `docs` and the forward arrays are
-    /// canonical.
-    pub terms: std::sync::Arc<Vec<String>>,
+    /// sorted, arena-backed. All term ids in `docs` and the forward
+    /// arrays are canonical.
+    pub terms: std::sync::Arc<TermTable>,
     /// Forward-index document offsets (length `total_docs + 1`).
     pub fwd_offsets: GlobalArray<i64>,
     /// Packed forward-index entries (term | field | freq).
@@ -115,6 +118,12 @@ pub struct ScanOutput {
     pub bytes_scanned: u64,
     /// Accepted tokens this rank scanned.
     pub tokens_scanned: u64,
+    /// Vocabulary-registration messages this rank actually charged
+    /// (batched: one per destination shard per tokenized-record chunk).
+    pub vocab_rpc_msgs: u64,
+    /// Messages a per-term scalar registration would have charged — the
+    /// number of distinct new terms this rank pushed to the dhashmap.
+    pub vocab_rpc_scalar_equiv: u64,
 }
 
 impl ScanOutput {
@@ -125,19 +134,18 @@ impl ScanOutput {
 
     /// Canonical id of `term`, if present.
     pub fn term_id(&self, term: &str) -> Option<TermId> {
-        self.terms
-            .binary_search_by(|t| t.as_str().cmp(term))
-            .ok()
-            .map(|i| i as TermId)
+        self.terms.position(term).map(|i| i as TermId)
     }
 }
 
 /// One indexed field of a tokenized (but not yet vocabulary-registered)
-/// record: term-string counts sorted lexicographically, plus the raw
-/// candidate count for work accounting.
+/// record: counts keyed by the owning chunk's interner ids, sorted
+/// lexicographically by term bytes, plus the raw candidate count for work
+/// accounting.
 struct TokenizedField {
     field: FieldId,
-    counts: Vec<(String, u32)>,
+    /// `(chunk-local term id, count)`, sorted by term bytes.
+    counts: Vec<(u32, u32)>,
     candidates: u64,
 }
 
@@ -147,19 +155,32 @@ struct TokenizedDoc {
     tokens: u32,
 }
 
-/// Parse and tokenize one record. Pure: touches no rank state, so it can
-/// run on the intra-rank pool. Sorting counts by term string makes the
-/// downstream vocabulary-registration order deterministic.
+/// A chunk of tokenized records sharing one interner — the unit of
+/// batched vocabulary registration in Phase B.
+struct TokenizedChunk {
+    /// Distinct terms of the chunk, in first-occurrence order; field
+    /// counts reference these ids.
+    terms: TermInterner,
+    docs: Vec<TokenizedDoc>,
+}
+
+/// Parse and tokenize one record into the chunk's interner. Pure with
+/// respect to rank state, so it can run on the intra-rank pool. The
+/// tokenize→count loop does zero per-token allocations: terms land in the
+/// chunk arena (distinct terms only), and per-field counting uses the
+/// reusable id-indexed `counts_scratch`/`touched` scratch pair.
 fn tokenize_record(
     source: &Source,
     range: Range<usize>,
     tokenizer: &Tokenizer,
     indexed: &[FieldId],
+    terms: &mut TermInterner,
+    counts_scratch: &mut Vec<u32>,
+    touched: &mut Vec<u32>,
 ) -> TokenizedDoc {
     let raw = source.parse_record(range);
     let mut fields: Vec<TokenizedField> = Vec::new();
     let mut tokens = 0u32;
-    let mut counts_map: HashMap<String, u32> = HashMap::new();
     for (name, text) in &raw.fields {
         let Some(fid) = crate::field_id(name) else {
             continue;
@@ -167,18 +188,39 @@ fn tokenize_record(
         if !indexed.contains(&fid) {
             continue;
         }
-        counts_map.clear();
         let candidates = tokenizer.tokenize_into(text, |term| {
-            match counts_map.get_mut(term) {
-                Some(n) => *n += 1,
-                None => {
-                    counts_map.insert(term.to_string(), 1);
-                }
+            let (id, _) = terms.intern(term);
+            let at = id as usize;
+            if at >= counts_scratch.len() {
+                counts_scratch.resize(at + 1, 0);
             }
+            if counts_scratch[at] == 0 {
+                touched.push(id);
+            }
+            counts_scratch[at] += 1;
             tokens += 1;
         });
-        let mut counts: Vec<(String, u32)> = counts_map.drain().collect();
-        counts.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        if touched.is_empty() {
+            if candidates > 0 {
+                fields.push(TokenizedField {
+                    field: fid,
+                    counts: Vec::new(),
+                    candidates,
+                });
+            }
+            continue;
+        }
+        // Sort by term bytes so downstream registration order (and the
+        // canonical remap input) is independent of hash layout.
+        touched.sort_unstable_by(|&a, &b| terms.bytes(a).cmp(terms.bytes(b)));
+        let counts: Vec<(u32, u32)> = touched
+            .iter()
+            .map(|&id| (id, counts_scratch[id as usize]))
+            .collect();
+        for &id in touched.iter() {
+            counts_scratch[id as usize] = 0;
+        }
+        touched.clear();
         fields.push(TokenizedField {
             field: fid,
             counts,
@@ -202,10 +244,15 @@ pub fn scan(ctx: &Ctx, sources: &SourceSet, cfg: &EngineConfig) -> ScanOutput {
     let my_sources = parts[ctx.rank()].clone();
 
     let vocab = DistHashMap::create(ctx);
-    let mut cache: HashMap<String, TermId> = HashMap::new();
+    // Rank-level term cache: interner ids are dense in first-seen order;
+    // `cache_ids[interner id]` holds the dhashmap's global id.
+    let mut cache = TermInterner::new();
+    let mut cache_ids: Vec<TermId> = Vec::new();
     let mut docs: Vec<LocalDoc> = Vec::new();
     let mut bytes_scanned = 0u64;
     let mut tokens_scanned = 0u64;
+    let mut vocab_rpc_msgs = 0u64;
+    let mut vocab_rpc_scalar_equiv = 0u64;
 
     // Flatten every record of this rank's sources into one work list so
     // Phase A fans out over a single global chunk sequence — per-source
@@ -223,58 +270,95 @@ pub fn scan(ctx: &Ctx, sources: &SourceSet, cfg: &EngineConfig) -> ScanOutput {
         }
     }
 
-    // Phase A (parallel, pure): parse and tokenize record batches into
-    // per-field string counts. No rank state is touched — the batches
-    // fan out across the intra-rank pool.
-    let batches: Vec<Vec<TokenizedDoc>> =
+    // Phase A (parallel, pure): parse and tokenize record chunks into
+    // per-field counts over a chunk-local interner. No rank state is
+    // touched — the chunks fan out across the intra-rank pool. Chunk
+    // boundaries are fixed (SCAN_RECORD_CHUNK), so chunk interners — and
+    // therefore Phase B's batch composition — are pool-width invariant.
+    let chunks: Vec<TokenizedChunk> =
         ctx.pool()
             .map_chunks(records.len(), SCAN_RECORD_CHUNK, |chunk| {
-                records[chunk]
+                let mut terms = TermInterner::new();
+                let mut counts_scratch: Vec<u32> = Vec::new();
+                let mut touched: Vec<u32> = Vec::new();
+                let docs = records[chunk]
                     .iter()
                     .map(|(si, range)| {
-                        tokenize_record(&sources.sources[*si], range.clone(), &tokenizer, &indexed)
+                        tokenize_record(
+                            &sources.sources[*si],
+                            range.clone(),
+                            &tokenizer,
+                            &indexed,
+                            &mut terms,
+                            &mut counts_scratch,
+                            &mut touched,
+                        )
                     })
-                    .collect()
+                    .collect();
+                TokenizedChunk { terms, docs }
             });
 
-    // Phase B (serial, batches in chunk order = corpus order): register
-    // terms in the distributed vocabulary and charge the tokenize work.
-    // Term strings arrive sorted per field, so the vocabulary's
-    // arrival-order ids are independent of the pool width as well.
-    for tdoc in batches.into_iter().flatten() {
-        let mut fields: Vec<LocalField> = Vec::with_capacity(tdoc.fields.len());
-        for tfield in tdoc.fields {
-            ctx.charge(WorkKind::TokenizeTerms, tfield.candidates);
-            if tfield.counts.is_empty() {
-                continue;
+    // Phase B (serial, chunks in index order = corpus order): resolve
+    // each chunk's distinct terms against the rank cache, push the
+    // still-unseen ones to the distributed vocabulary in ONE batched RPC
+    // per destination shard, and charge the tokenize work. Scalar per-
+    // term RPCs only ever covered cache misses; batching additionally
+    // collapses each chunk's misses into at most `nprocs` messages.
+    for chunk in chunks {
+        // chunk-local interner id → global (arrival-order) term id.
+        let n_chunk_terms = chunk.terms.len() as u32;
+        let mut chunk_to_global: Vec<TermId> = Vec::with_capacity(n_chunk_terms as usize);
+        let mut pending: Vec<u32> = Vec::new();
+        for local in 0..n_chunk_terms {
+            let term = chunk.terms.get(local);
+            let (cid, is_new) = cache.intern(term);
+            if is_new {
+                pending.push(local);
+                chunk_to_global.push(TermId::MAX); // resolved by the batch below
+            } else {
+                chunk_to_global.push(cache_ids[cid as usize]);
             }
-            let mut counts: Vec<(TermId, u32)> = tfield
-                .counts
-                .iter()
-                .map(|(term, n)| {
-                    let id = match cache.get(term.as_str()) {
-                        Some(&id) => id,
-                        None => {
-                            let id = vocab.insert_or_get(ctx, term);
-                            cache.insert(term.clone(), id);
-                            id
-                        }
-                    };
-                    (id, *n)
-                })
-                .collect();
-            counts.sort_unstable_by_key(|&(t, _)| t);
-            fields.push(LocalField {
-                field: tfield.field,
-                counts,
+        }
+        if !pending.is_empty() {
+            let refs: Vec<&str> = pending.iter().map(|&l| chunk.terms.get(l)).collect();
+            let before = ctx.stats.snapshot().total_msgs();
+            let ids = vocab.insert_or_get_batch(ctx, &refs);
+            vocab_rpc_msgs += ctx.stats.snapshot().total_msgs() - before;
+            vocab_rpc_scalar_equiv += pending.len() as u64;
+            // cache.intern assigned the pending terms consecutive ids in
+            // this same order, so appending keeps cache_ids aligned.
+            for (&local, &id) in pending.iter().zip(&ids) {
+                cache_ids.push(id);
+                chunk_to_global[local as usize] = id;
+            }
+        }
+        debug_assert_eq!(cache.len(), cache_ids.len());
+
+        for tdoc in chunk.docs {
+            let mut fields: Vec<LocalField> = Vec::with_capacity(tdoc.fields.len());
+            for tfield in tdoc.fields {
+                ctx.charge(WorkKind::TokenizeTerms, tfield.candidates);
+                if tfield.counts.is_empty() {
+                    continue;
+                }
+                let mut counts: Vec<(TermId, u32)> = tfield
+                    .counts
+                    .iter()
+                    .map(|&(local, n)| (chunk_to_global[local as usize], n))
+                    .collect();
+                counts.sort_unstable_by_key(|&(t, _)| t);
+                fields.push(LocalField {
+                    field: tfield.field,
+                    counts,
+                });
+            }
+            tokens_scanned += tdoc.tokens as u64;
+            docs.push(LocalDoc {
+                doc_id: 0, // assigned below
+                fields,
+                tokens: tdoc.tokens,
             });
         }
-        tokens_scanned += tdoc.tokens as u64;
-        docs.push(LocalDoc {
-            doc_id: 0, // assigned below
-            fields,
-            tokens: tdoc.tokens,
-        });
     }
 
     // Global document numbering.
@@ -289,21 +373,24 @@ pub fn scan(ctx: &Ctx, sources: &SourceSet, cfg: &EngineConfig) -> ScanOutput {
     // Canonicalize: collectively sort the vocabulary and remap ids so the
     // engine is deterministic under scheduling (see module docs).
     let reverse = vocab.reverse_map_collective(ctx);
-    let mut terms: Vec<String> = reverse.into_iter().flatten().collect();
+    let mut sorted_terms: Vec<String> = reverse.into_iter().flatten().collect();
     ctx.charge_vocab(
         WorkKind::HashOps,
-        terms.len() as u64, // sort + remap table build
+        sorted_terms.len() as u64, // sort + remap table build
     );
-    terms.sort_unstable();
-    let remap: HashMap<&str, TermId> = terms
-        .iter()
-        .enumerate()
-        .map(|(i, t)| (t.as_str(), i as TermId))
-        .collect();
-    let old_to_new: HashMap<TermId, TermId> = cache
-        .iter()
-        .map(|(term, &old)| (old, remap[term.as_str()]))
-        .collect();
+    sorted_terms.sort_unstable();
+    let terms = TermTable::from_sorted(sorted_terms.iter().map(|s| s.as_str()));
+    drop(sorted_terms);
+    // Old (arrival-order) id → canonical id, as a dense array: ids are
+    // nearly dense (interleaved per shard), so an array lookup replaces a
+    // hash map probe per posting.
+    let mut old_to_new: Vec<TermId> = vec![TermId::MAX; vocab.id_bound()];
+    for (cid, term) in cache.iter().enumerate() {
+        let new = terms
+            .position(term)
+            .expect("every registered term is in the canonical vocabulary");
+        old_to_new[cache_ids[cid] as usize] = new as TermId;
+    }
     // Remapping is one hash lookup per posting plus a per-field sort —
     // pure per-doc work, so it fans out over the pool. Chunks return
     // each document's remapped fields in order; the serial write-back
@@ -318,8 +405,11 @@ pub fn scan(ctx: &Ctx, sources: &SourceSet, cfg: &EngineConfig) -> ScanOutput {
                         d.fields
                             .iter()
                             .map(|f| {
-                                let mut counts: Vec<(TermId, u32)> =
-                                    f.counts.iter().map(|&(t, c)| (old_to_new[&t], c)).collect();
+                                let mut counts: Vec<(TermId, u32)> = f
+                                    .counts
+                                    .iter()
+                                    .map(|&(t, c)| (old_to_new[t as usize], c))
+                                    .collect();
                                 counts.sort_unstable_by_key(|&(t, _)| t);
                                 counts
                             })
@@ -373,6 +463,8 @@ pub fn scan(ctx: &Ctx, sources: &SourceSet, cfg: &EngineConfig) -> ScanOutput {
         fwd_data,
         bytes_scanned,
         tokens_scanned,
+        vocab_rpc_msgs,
+        vocab_rpc_scalar_equiv,
     }
 }
 
@@ -497,7 +589,8 @@ mod tests {
         let rt = Runtime::for_testing();
         rt.run(2, |ctx| {
             let out = scan(ctx, &corpus, &EngineConfig::for_testing());
-            for w in out.terms.windows(2) {
+            let terms: Vec<&str> = out.terms.iter().collect();
+            for w in terms.windows(2) {
                 assert!(w[0] < w[1], "terms must be strictly sorted");
             }
         });

@@ -6,7 +6,7 @@
 //! list includes HTML structural words so GOV2-style markup does not
 //! pollute the vocabulary).
 
-use std::collections::HashSet;
+use intern::TermInterner;
 
 /// English function words plus markup noise. Short (the engine's
 /// statistics reject high-df terms anyway); this list mainly keeps the
@@ -45,21 +45,23 @@ impl Default for TokenizerConfig {
     }
 }
 
-/// A configured tokenizer. Construct once per scan; holds the lowered
-/// stopword set.
+/// A configured tokenizer. Construct once per scan; holds the stopword
+/// set as an interner so membership tests share the scan hot path's
+/// single-hash-pass, allocation-free lookup.
 #[derive(Debug, Clone)]
 pub struct Tokenizer {
     config: TokenizerConfig,
-    stopwords: HashSet<&'static str>,
+    stopwords: TermInterner,
 }
 
 impl Tokenizer {
     pub fn new(config: TokenizerConfig) -> Self {
-        let stopwords = if config.filter_stopwords {
-            STOPWORDS.iter().copied().collect()
-        } else {
-            HashSet::new()
-        };
+        let mut stopwords = TermInterner::new();
+        if config.filter_stopwords {
+            for w in STOPWORDS {
+                stopwords.intern(w);
+            }
+        }
         Tokenizer { config, stopwords }
     }
 
@@ -84,7 +86,7 @@ impl Tokenizer {
             for b in raw.bytes() {
                 buf.push(b.to_ascii_lowercase() as char);
             }
-            if self.config.filter_stopwords && self.stopwords.contains(buf.as_str()) {
+            if self.config.filter_stopwords && self.stopwords.lookup(buf.as_str()).is_some() {
                 continue;
             }
             emit(&buf);

@@ -5,6 +5,7 @@
 //! realistic in length, and stable across runs so corpora are reproducible
 //! and downstream theme labels are readable.
 
+use intern::TermInterner;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -59,11 +60,13 @@ const MIDDLE: &[&str] = &[
     "en", "in", "on", "un", "ab", "eb", "ib", "ob", "ub",
 ];
 
-/// A closed synthetic vocabulary: `words[rank]` for Zipf rank `rank`.
+/// A closed synthetic vocabulary: `word(rank)` for Zipf rank `rank`.
+/// Interner-backed: one byte arena instead of one heap `String` per word,
+/// and the interner doubles as the collision check during synthesis.
 #[derive(Debug, Clone)]
 pub struct Vocabulary {
     pub flavour: Flavour,
-    pub words: Vec<String>,
+    words: TermInterner,
 }
 
 impl Vocabulary {
@@ -74,13 +77,13 @@ impl Vocabulary {
             Flavour::Web | Flavour::Newswire => (WEB_PREFIX, WEB_SUFFIX),
         };
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut seen = std::collections::HashSet::with_capacity(size);
-        let mut words = Vec::with_capacity(size);
+        let mut words = TermInterner::with_capacity(size, 12);
+        let mut w = String::with_capacity(32);
         while words.len() < size {
             let p = prefixes[rng.random_range(0..prefixes.len())];
             let s = suffixes[rng.random_range(0..suffixes.len())];
             let n_mid = rng.random_range(0..3);
-            let mut w = String::with_capacity(p.len() + s.len() + 4 * n_mid);
+            w.clear();
             w.push_str(p);
             for _ in 0..n_mid {
                 w.push_str(MIDDLE[rng.random_range(0..MIDDLE.len())]);
@@ -88,15 +91,13 @@ impl Vocabulary {
             w.push_str(s);
             // Disambiguate collisions with a short numeric tail so the
             // vocabulary always reaches the requested size.
-            if !seen.insert(w.clone()) {
-                let tagged = format!("{w}{}", words.len() % 97);
-                if !seen.insert(tagged.clone()) {
-                    continue;
-                }
-                words.push(tagged);
-                continue;
+            let (_, fresh) = words.intern(&w);
+            if !fresh {
+                use std::fmt::Write;
+                let tag = words.len() % 97;
+                write!(w, "{tag}").unwrap();
+                words.intern(&w);
             }
-            words.push(w);
         }
         Vocabulary { flavour, words }
     }
@@ -111,7 +112,12 @@ impl Vocabulary {
 
     /// The word at Zipf rank `r`.
     pub fn word(&self, r: usize) -> &str {
-        &self.words[r]
+        self.words.get(r as u32)
+    }
+
+    /// Words in Zipf-rank order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> + '_ {
+        self.words.iter()
     }
 }
 
@@ -123,7 +129,7 @@ mod tests {
     fn exact_size_and_distinct() {
         let v = Vocabulary::synthesize(Flavour::Medical, 5000, 11);
         assert_eq!(v.len(), 5000);
-        let set: std::collections::HashSet<&str> = v.words.iter().map(|s| s.as_str()).collect();
+        let set: std::collections::HashSet<&str> = v.iter().collect();
         assert_eq!(set.len(), 5000);
     }
 
@@ -131,20 +137,20 @@ mod tests {
     fn deterministic() {
         let a = Vocabulary::synthesize(Flavour::Web, 1000, 5);
         let b = Vocabulary::synthesize(Flavour::Web, 1000, 5);
-        assert_eq!(a.words, b.words);
+        assert_eq!(a.iter().collect::<Vec<_>>(), b.iter().collect::<Vec<_>>());
     }
 
     #[test]
     fn flavours_differ() {
         let m = Vocabulary::synthesize(Flavour::Medical, 100, 5);
         let w = Vocabulary::synthesize(Flavour::Web, 100, 5);
-        assert_ne!(m.words, w.words);
+        assert_ne!(m.iter().collect::<Vec<_>>(), w.iter().collect::<Vec<_>>());
     }
 
     #[test]
     fn words_are_lowercase_alphanumeric() {
         let v = Vocabulary::synthesize(Flavour::Medical, 2000, 13);
-        for w in &v.words {
+        for w in v.iter() {
             assert!(w
                 .chars()
                 .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));

@@ -14,10 +14,10 @@
 //! without any coordination and nearly dense (max id < P · max shard
 //! size), which lets callers size id-indexed arrays directly.
 
+use intern::TermInterner;
 use parking_lot::Mutex;
 use perfmodel::WorkKind;
 use spmd::Ctx;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// FNV-1a — a stable, seed-free hash so shard placement is deterministic
@@ -31,9 +31,13 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// One shard's term store. The interner assigns dense per-shard sequence
+/// numbers in insertion order (`seq = interner id`), which interleave into
+/// global IDs as `seq * P + shard`. Interner-backed storage means a hit
+/// costs one hash pass and zero allocations, and a miss appends bytes to
+/// the shard arena instead of allocating an owned `String` key.
 struct Shard {
-    map: HashMap<String, u32>,
-    next_seq: u32,
+    terms: TermInterner,
 }
 
 struct Inner {
@@ -64,8 +68,7 @@ impl DistHashMap {
                     shards: (0..p)
                         .map(|_| {
                             Mutex::new(Shard {
-                                map: HashMap::new(),
-                                next_seq: 0,
+                                terms: TermInterner::new(),
                             })
                         })
                         .collect(),
@@ -85,6 +88,10 @@ impl DistHashMap {
 
     /// Insert `term` if new and return its global ID; return the existing
     /// ID otherwise. Remote inserts are charged an RPC round trip.
+    ///
+    /// Hit or miss, the shard does exactly one hash pass; a hit allocates
+    /// nothing (the interner probes its span table against the borrowed
+    /// bytes instead of building an owned key).
     pub fn insert_or_get(&self, ctx: &Ctx, term: &str) -> u32 {
         let shard_idx = self.owner(term);
         // RPC transport: term bytes out, id back. Vocabulary-scaled: the
@@ -95,13 +102,44 @@ impl DistHashMap {
         // ARMCI progress engine).
         ctx.charge(WorkKind::HashOps, 1);
         let mut shard = self.inner.shards[shard_idx].lock();
-        if let Some(&id) = shard.map.get(term) {
-            return id;
+        let (seq, _) = shard.terms.intern(term);
+        seq * self.inner.nprocs as u32 + shard_idx as u32
+    }
+
+    /// Resolve a batch of terms in one charged RPC per destination shard.
+    ///
+    /// Terms are grouped by owning shard **preserving input order**, so
+    /// the IDs assigned are identical to calling [`insert_or_get`]
+    /// (DistHashMap::insert_or_get) once per term in order — each shard
+    /// sees its subsequence in the same order either way. What changes is
+    /// the charge: one round-trip message per *shard group* carrying the
+    /// whole group's payload (pipelined per-byte cost), instead of one
+    /// round trip per term. Owner-side hash work is still charged per
+    /// term. Returns one global ID per input term, in input order.
+    pub fn insert_or_get_batch(&self, ctx: &Ctx, terms: &[&str]) -> Vec<u32> {
+        let p = self.inner.nprocs;
+        let mut out = vec![0u32; terms.len()];
+        // Group indices by destination shard, preserving input order.
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); p];
+        for (i, term) in terms.iter().enumerate() {
+            groups[self.owner(term)].push(i);
         }
-        let id = shard.next_seq * self.inner.nprocs as u32 + shard_idx as u32;
-        shard.next_seq += 1;
-        shard.map.insert(term.to_string(), id);
-        id
+        for (shard_idx, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            // One RPC round trip for the whole group: the message carries
+            // every term in the group plus one returned id per term.
+            let bytes: u64 = group.iter().map(|&i| terms[i].len() as u64 + 4).sum();
+            ctx.charge_one_sided_vocab(bytes, shard_idx);
+            ctx.charge(WorkKind::HashOps, group.len() as u64);
+            let mut shard = self.inner.shards[shard_idx].lock();
+            for &i in group {
+                let (seq, _) = shard.terms.intern(terms[i]);
+                out[i] = seq * p as u32 + shard_idx as u32;
+            }
+        }
+        out
     }
 
     /// Look up a term without inserting.
@@ -110,13 +148,16 @@ impl DistHashMap {
         ctx.charge_one_sided_vocab(term.len() as u64 + 4, shard_idx);
         ctx.charge(WorkKind::HashOps, 1);
         let shard = self.inner.shards[shard_idx].lock();
-        shard.map.get(term).copied()
+        shard
+            .terms
+            .lookup(term)
+            .map(|seq| seq * self.inner.nprocs as u32 + shard_idx as u32)
     }
 
     /// Number of distinct terms (collective-safe snapshot; exact once all
     /// ranks have passed a barrier after their last insert).
     pub fn len(&self) -> usize {
-        self.inner.shards.iter().map(|s| s.lock().map.len()).sum()
+        self.inner.shards.iter().map(|s| s.lock().terms.len()).sum()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -130,16 +171,24 @@ impl DistHashMap {
         self.inner
             .shards
             .iter()
-            .map(|s| s.lock().next_seq as usize)
+            .map(|s| s.lock().terms.len())
             .max()
             .unwrap_or(0)
             * p
     }
 
-    /// This rank's shard contents, `(term, id)` pairs, unordered.
+    /// This rank's shard contents, `(term, id)` pairs, in shard insertion
+    /// order.
     pub fn local_entries(&self, ctx: &Ctx) -> Vec<(String, u32)> {
-        let shard = self.inner.shards[ctx.rank()].lock();
-        shard.map.iter().map(|(t, &id)| (t.clone(), id)).collect()
+        let rank = ctx.rank();
+        let p = self.inner.nprocs as u32;
+        let shard = self.inner.shards[rank].lock();
+        shard
+            .terms
+            .iter()
+            .enumerate()
+            .map(|(seq, t)| (t.to_string(), seq as u32 * p + rank as u32))
+            .collect()
     }
 
     /// Collective: the full reverse map `id → term` on every rank. Costs an
@@ -163,6 +212,7 @@ impl DistHashMap {
 mod tests {
     use super::*;
     use spmd::Runtime;
+    use std::collections::HashMap;
 
     #[test]
     fn same_term_same_id_everywhere() {
@@ -270,6 +320,80 @@ mod tests {
         assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
         assert_eq!(fnv1a(b"a") % 8, fnv1a(b"a") % 8);
         assert_ne!(fnv1a(b"abc"), fnv1a(b"acb"));
+    }
+
+    #[test]
+    fn batch_matches_scalar_ids() {
+        let rt = Runtime::for_testing();
+        rt.run(4, |ctx| {
+            let scalar = DistHashMap::create(ctx);
+            let batch = DistHashMap::create(ctx);
+            // Per-rank disjoint + shared terms, duplicates inside the batch.
+            let words: Vec<String> = (0..40)
+                .map(|i| format!("w{}", (ctx.rank() * 7 + i) % 60))
+                .collect();
+            let refs: Vec<&str> = words.iter().map(|s| s.as_str()).collect();
+            let scalar_ids: Vec<u32> = refs.iter().map(|t| scalar.insert_or_get(ctx, t)).collect();
+            let batch_ids = batch.insert_or_get_batch(ctx, &refs);
+            ctx.barrier();
+            // Both maps converge to the same vocabulary and id invariants.
+            assert_eq!(scalar.len(), batch.len());
+            assert_eq!(scalar_ids.len(), batch_ids.len());
+            for (t, &id) in refs.iter().zip(&batch_ids) {
+                assert_eq!(batch.get(ctx, t), Some(id), "lookup-after-insert");
+            }
+        });
+    }
+
+    #[test]
+    fn batch_single_rank_bit_identical_to_scalar() {
+        let rt = Runtime::for_testing();
+        rt.run(1, |ctx| {
+            let scalar = DistHashMap::create(ctx);
+            let batch = DistHashMap::create(ctx);
+            let words: Vec<String> = (0..100).map(|i| format!("t{}", i % 37)).collect();
+            let refs: Vec<&str> = words.iter().map(|s| s.as_str()).collect();
+            let a: Vec<u32> = refs.iter().map(|t| scalar.insert_or_get(ctx, t)).collect();
+            let b = batch.insert_or_get_batch(ctx, &refs);
+            assert_eq!(a, b);
+        });
+    }
+
+    #[test]
+    fn batch_charges_one_message_per_shard_group() {
+        let rt = Runtime::for_testing();
+        rt.run(4, |ctx| {
+            let m = DistHashMap::create(ctx);
+            if ctx.rank() == 0 {
+                let words: Vec<String> = (0..64).map(|i| format!("term{i}")).collect();
+                let refs: Vec<&str> = words.iter().map(|s| s.as_str()).collect();
+                let before = ctx.stats.snapshot();
+                m.insert_or_get_batch(ctx, &refs);
+                let after = ctx.stats.snapshot();
+                let msgs = after.total_msgs() - before.total_msgs();
+                // At most one message per shard (4 shards), not one per term.
+                assert!(msgs <= 4, "batch charged {msgs} messages for 64 terms");
+                // Payload still covers every term's bytes + returned id.
+                let bytes = (after.one_sided_bytes + after.local_bytes)
+                    - (before.one_sided_bytes + before.local_bytes);
+                let expect: u64 = refs.iter().map(|t| t.len() as u64 + 4).sum();
+                assert_eq!(bytes, expect);
+            }
+            ctx.barrier();
+        });
+    }
+
+    #[test]
+    fn batch_empty_is_free() {
+        let rt = Runtime::for_testing();
+        rt.run(2, |ctx| {
+            let m = DistHashMap::create(ctx);
+            let before = ctx.stats.snapshot();
+            let ids = m.insert_or_get_batch(ctx, &[]);
+            assert!(ids.is_empty());
+            assert_eq!(ctx.stats.snapshot(), before);
+            ctx.barrier();
+        });
     }
 
     #[test]

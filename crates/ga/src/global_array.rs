@@ -143,6 +143,61 @@ impl<T: Copy + Default + Send + Sync + 'static> GlobalArray<T> {
         });
     }
 
+    /// One-sided put of many `(start, data)` pairs, **coalescing adjacent
+    /// destinations**: the puts are ordered by start index and maximal
+    /// runs where one put ends exactly where the next begins are charged
+    /// as a single message per overlapped block (one round trip carrying
+    /// the run's whole payload), instead of one message per put. The
+    /// stored result is identical to issuing every put individually.
+    ///
+    /// This is the transport for scatter passes that emit many small
+    /// writes to mostly-consecutive slots (FAST-INV posting placement).
+    pub fn put_batch(&self, ctx: &Ctx, puts: &[(usize, &[T])]) {
+        self.coalesced_charge_then(ctx, puts, |ga, start, data| {
+            ga.write_unmetered(start, data);
+        });
+    }
+
+    /// Charge each maximal adjacent run of `ops` as one message per
+    /// overlapped block, then apply `apply` to every op (unmetered).
+    fn coalesced_charge_then(
+        &self,
+        ctx: &Ctx,
+        ops: &[(usize, &[T])],
+        apply: impl Fn(&Self, usize, &[T]),
+    ) {
+        let mut order: Vec<usize> = (0..ops.len()).collect();
+        order.sort_by_key(|&i| ops[i].0);
+        let mut i = 0;
+        while i < order.len() {
+            let start = ops[order[i]].0;
+            let mut end = start + ops[order[i]].1.len();
+            let mut j = i + 1;
+            while j < order.len() && ops[order[j]].0 == end {
+                end += ops[order[j]].1.len();
+                j += 1;
+            }
+            // One message per block the coalesced run overlaps.
+            self.for_blocks(start..end, |r, seg, _local| {
+                let bytes = (seg.len() * std::mem::size_of::<T>()) as u64;
+                ctx.charge_one_sided(bytes, r);
+            });
+            for &k in &order[i..j] {
+                apply(self, ops[k].0, ops[k].1);
+            }
+            i = j;
+        }
+    }
+
+    /// Store `data` at `start` without charging (transport already paid).
+    fn write_unmetered(&self, start: usize, data: &[T]) {
+        self.for_blocks(start..start + data.len(), |r, seg, local| {
+            let mut block = self.storage.blocks[r].write();
+            let src = &data[seg.start - start..seg.end - start];
+            block[local..local + seg.len()].copy_from_slice(src);
+        });
+    }
+
     /// Run `f` over this rank's own block (no copy, charged as local
     /// access of the block's size).
     pub fn with_local_mut<R>(&self, ctx: &Ctx, f: impl FnOnce(&mut [T]) -> R) -> R {
@@ -194,6 +249,21 @@ where
             for (dst, s) in block[local..local + seg.len()].iter_mut().zip(src) {
                 *dst += *s;
             }
+        });
+    }
+
+    /// Batched [`acc`](GlobalArray::acc) with the same adjacent-run
+    /// coalescing and charging discipline as
+    /// [`put_batch`](GlobalArray::put_batch).
+    pub fn acc_batch(&self, ctx: &Ctx, accs: &[(usize, &[T])]) {
+        self.coalesced_charge_then(ctx, accs, |ga, start, data| {
+            ga.for_blocks(start..start + data.len(), |r, seg, local| {
+                let mut block = ga.storage.blocks[r].write();
+                let src = &data[seg.start - start..seg.end - start];
+                for (dst, s) in block[local..local + seg.len()].iter_mut().zip(src) {
+                    *dst += *s;
+                }
+            });
         });
     }
 }
@@ -347,6 +417,109 @@ mod tests {
             "remote get must cost more: {:?}",
             res.results
         );
+    }
+
+    #[test]
+    fn put_batch_matches_individual_puts() {
+        let rt = Runtime::for_testing();
+        rt.run(3, |ctx| {
+            let a = GlobalArray::<u32>::create(ctx, 40);
+            let b = GlobalArray::<u32>::create(ctx, 40);
+            if ctx.rank() == 0 {
+                // Out-of-order, partly adjacent, partly gapped writes.
+                let payloads: Vec<(usize, Vec<u32>)> = vec![
+                    (10, vec![1, 2, 3]),
+                    (0, vec![7]),
+                    (13, vec![4, 5]),
+                    (30, vec![9, 9]),
+                    (1, vec![8, 8]),
+                ];
+                for (s, d) in &payloads {
+                    a.put(ctx, *s, d);
+                }
+                let refs: Vec<(usize, &[u32])> =
+                    payloads.iter().map(|(s, d)| (*s, d.as_slice())).collect();
+                b.put_batch(ctx, &refs);
+            }
+            ctx.barrier();
+            assert_eq!(a.get(ctx, 0..40), b.get(ctx, 0..40));
+        });
+    }
+
+    #[test]
+    fn put_batch_charges_one_message_per_run() {
+        let rt = Runtime::for_testing();
+        rt.run(1, |ctx| {
+            let a = GlobalArray::<u32>::create(ctx, 100);
+            let payloads: Vec<(usize, Vec<u32>)> = (0..10).map(|i| (i * 2, vec![1, 1])).collect();
+            let refs: Vec<(usize, &[u32])> =
+                payloads.iter().map(|(s, d)| (*s, d.as_slice())).collect();
+
+            // Scalar puts: one message each.
+            let before = ctx.stats.snapshot();
+            for (s, d) in &refs {
+                a.put(ctx, *s, d);
+            }
+            let scalar_msgs = ctx.stats.snapshot().total_msgs() - before.total_msgs();
+            assert_eq!(scalar_msgs, 10);
+
+            // The same writes batched: all 10 are one adjacent run.
+            let before = ctx.stats.snapshot();
+            a.put_batch(ctx, &refs);
+            let snap = ctx.stats.snapshot();
+            let batch_msgs = snap.total_msgs() - before.total_msgs();
+            assert_eq!(batch_msgs, 1);
+            // Payload bytes are unchanged by coalescing.
+            assert_eq!(
+                snap.local_bytes - before.local_bytes,
+                (20 * std::mem::size_of::<u32>()) as u64
+            );
+        });
+    }
+
+    #[test]
+    fn put_batch_gaps_break_runs() {
+        let rt = Runtime::for_testing();
+        rt.run(1, |ctx| {
+            let a = GlobalArray::<u32>::create(ctx, 100);
+            // Two adjacent pairs separated by a gap: 2 runs, 2 messages.
+            let payloads: Vec<(usize, Vec<u32>)> = vec![
+                (0, vec![1, 2]),
+                (2, vec![3]),
+                (50, vec![4]),
+                (51, vec![5, 6]),
+            ];
+            let refs: Vec<(usize, &[u32])> =
+                payloads.iter().map(|(s, d)| (*s, d.as_slice())).collect();
+            let before = ctx.stats.snapshot();
+            a.put_batch(ctx, &refs);
+            let msgs = ctx.stats.snapshot().total_msgs() - before.total_msgs();
+            assert_eq!(msgs, 2);
+            assert_eq!(a.get(ctx, 0..3), vec![1, 2, 3]);
+            assert_eq!(a.get(ctx, 50..53), vec![4, 5, 6]);
+        });
+    }
+
+    #[test]
+    fn acc_batch_matches_individual_accs() {
+        let rt = Runtime::for_testing();
+        let res = rt.run(4, |ctx| {
+            let a = GlobalArray::<u64>::create(ctx, 20);
+            // Every rank accumulates adjacent slices covering 0..20.
+            let payloads: Vec<(usize, Vec<u64>)> = (0..5).map(|i| (i * 4, vec![1u64; 4])).collect();
+            let refs: Vec<(usize, &[u64])> =
+                payloads.iter().map(|(s, d)| (*s, d.as_slice())).collect();
+            let before = ctx.stats.snapshot();
+            a.acc_batch(ctx, &refs);
+            let msgs = ctx.stats.snapshot().total_msgs() - before.total_msgs();
+            ctx.barrier();
+            (a.get(ctx, 0..20), msgs)
+        });
+        for (v, msgs) in res.results {
+            assert_eq!(v, vec![4u64; 20]);
+            // 0..20 spans all 4 blocks: one run, one message per block.
+            assert_eq!(msgs, 4);
+        }
     }
 
     #[test]

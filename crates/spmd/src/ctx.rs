@@ -178,10 +178,13 @@ impl Ctx {
         }
     }
 
-    /// Run `f` attributing its virtual-time delta to `component`.
+    /// Run `f` attributing its virtual-time delta to `component` and its
+    /// charged communication to the component's per-stage counters.
     pub fn component<R>(&self, component: Component, f: impl FnOnce() -> R) -> R {
         let start = self.now();
+        let prev = self.stats.set_stage(component);
         let out = f();
+        self.stats.set_stage(prev);
         self.timers.accrue(component, self.now() - start);
         out
     }

@@ -4,11 +4,18 @@
 //! dynamic load balancer actually performed remote steals) and by the
 //! benchmark harness to report communication volumes alongside timings.
 
-use std::cell::Cell;
+use crate::timer::Component;
+use std::cell::{Cell, RefCell};
 
 /// Counters for one rank. Not shared across threads; each [`Ctx`]
 /// (crate::Ctx) owns one.
-#[derive(Debug, Default)]
+///
+/// Besides the global totals, every charged operation (one-sided, local,
+/// remote atomic, collective) is attributed to the pipeline stage active
+/// at the time — the [`Component`] set by [`Ctx::component`]
+/// (crate::Ctx::component) — so the bench harness can report per-stage
+/// message and byte counts.
+#[derive(Debug)]
 pub struct CommStats {
     one_sided_ops: Cell<u64>,
     one_sided_bytes: Cell<u64>,
@@ -17,6 +24,30 @@ pub struct CommStats {
     remote_atomics: Cell<u64>,
     collectives: Cell<u64>,
     collective_bytes: Cell<u64>,
+    /// Index of the active stage in [`Component::ALL`] order.
+    stage: Cell<usize>,
+    /// Charged operations per stage (every record_* counts one message).
+    stage_msgs: RefCell<[u64; 7]>,
+    /// Payload bytes per stage.
+    stage_bytes: RefCell<[u64; 7]>,
+}
+
+impl Default for CommStats {
+    fn default() -> Self {
+        CommStats {
+            one_sided_ops: Cell::new(0),
+            one_sided_bytes: Cell::new(0),
+            local_ops: Cell::new(0),
+            local_bytes: Cell::new(0),
+            remote_atomics: Cell::new(0),
+            collectives: Cell::new(0),
+            collective_bytes: Cell::new(0),
+            // Unbracketed work lands in Other, matching the timers.
+            stage: Cell::new(Component::Other.index()),
+            stage_msgs: RefCell::new([0; 7]),
+            stage_bytes: RefCell::new([0; 7]),
+        }
+    }
 }
 
 /// A plain snapshot of [`CommStats`], safe to send across threads.
@@ -29,6 +60,10 @@ pub struct CommStatsSnapshot {
     pub remote_atomics: u64,
     pub collectives: u64,
     pub collective_bytes: u64,
+    /// Charged operations per stage, indexed in [`Component::ALL`] order.
+    pub stage_msgs: [u64; 7],
+    /// Payload bytes per stage, indexed in [`Component::ALL`] order.
+    pub stage_bytes: [u64; 7],
 }
 
 impl CommStats {
@@ -36,24 +71,48 @@ impl CommStats {
         Self::default()
     }
 
+    /// Attribute subsequent operations to `stage`; returns the previous
+    /// stage so callers can restore it (nesting-safe).
+    pub fn set_stage(&self, stage: Component) -> Component {
+        let prev = self.stage.get();
+        self.stage.set(stage.index());
+        Component::ALL[prev]
+    }
+
+    /// The stage currently receiving attribution.
+    pub fn stage(&self) -> Component {
+        Component::ALL[self.stage.get()]
+    }
+
+    #[inline]
+    fn attribute(&self, bytes: u64) {
+        let i = self.stage.get();
+        self.stage_msgs.borrow_mut()[i] += 1;
+        self.stage_bytes.borrow_mut()[i] += bytes;
+    }
+
     pub fn record_one_sided(&self, bytes: u64) {
         self.one_sided_ops.set(self.one_sided_ops.get() + 1);
         self.one_sided_bytes.set(self.one_sided_bytes.get() + bytes);
+        self.attribute(bytes);
     }
 
     pub fn record_local(&self, bytes: u64) {
         self.local_ops.set(self.local_ops.get() + 1);
         self.local_bytes.set(self.local_bytes.get() + bytes);
+        self.attribute(bytes);
     }
 
     pub fn record_remote_atomic(&self) {
         self.remote_atomics.set(self.remote_atomics.get() + 1);
+        self.attribute(8);
     }
 
     pub fn record_collective(&self, bytes: u64) {
         self.collectives.set(self.collectives.get() + 1);
         self.collective_bytes
             .set(self.collective_bytes.get() + bytes);
+        self.attribute(bytes);
     }
 
     pub fn snapshot(&self) -> CommStatsSnapshot {
@@ -65,6 +124,8 @@ impl CommStats {
             remote_atomics: self.remote_atomics.get(),
             collectives: self.collectives.get(),
             collective_bytes: self.collective_bytes.get(),
+            stage_msgs: *self.stage_msgs.borrow(),
+            stage_bytes: *self.stage_bytes.borrow(),
         }
     }
 }
@@ -72,6 +133,12 @@ impl CommStats {
 impl CommStatsSnapshot {
     /// Element-wise sum, for aggregating over ranks.
     pub fn merge(&self, other: &CommStatsSnapshot) -> CommStatsSnapshot {
+        let mut stage_msgs = self.stage_msgs;
+        let mut stage_bytes = self.stage_bytes;
+        for i in 0..7 {
+            stage_msgs[i] += other.stage_msgs[i];
+            stage_bytes[i] += other.stage_bytes[i];
+        }
         CommStatsSnapshot {
             one_sided_ops: self.one_sided_ops + other.one_sided_ops,
             one_sided_bytes: self.one_sided_bytes + other.one_sided_bytes,
@@ -80,7 +147,24 @@ impl CommStatsSnapshot {
             remote_atomics: self.remote_atomics + other.remote_atomics,
             collectives: self.collectives + other.collectives,
             collective_bytes: self.collective_bytes + other.collective_bytes,
+            stage_msgs,
+            stage_bytes,
         }
+    }
+
+    /// Messages attributed to `stage`.
+    pub fn stage_msgs_for(&self, stage: Component) -> u64 {
+        self.stage_msgs[stage.index()]
+    }
+
+    /// Payload bytes attributed to `stage`.
+    pub fn stage_bytes_for(&self, stage: Component) -> u64 {
+        self.stage_bytes[stage.index()]
+    }
+
+    /// Total charged operations across all kinds.
+    pub fn total_msgs(&self) -> u64 {
+        self.one_sided_ops + self.local_ops + self.remote_atomics + self.collectives
     }
 }
 
@@ -104,6 +188,7 @@ mod tests {
         assert_eq!(snap.remote_atomics, 1);
         assert_eq!(snap.collectives, 1);
         assert_eq!(snap.collective_bytes, 4096);
+        assert_eq!(snap.total_msgs(), 5);
     }
 
     #[test]
@@ -116,10 +201,47 @@ mod tests {
             remote_atomics: 5,
             collectives: 6,
             collective_bytes: 7,
+            stage_msgs: [1, 0, 0, 0, 0, 0, 2],
+            stage_bytes: [10, 0, 0, 0, 0, 0, 20],
         };
         let b = a;
         let m = a.merge(&b);
         assert_eq!(m.one_sided_ops, 2);
         assert_eq!(m.collective_bytes, 14);
+        assert_eq!(m.stage_msgs, [2, 0, 0, 0, 0, 0, 4]);
+        assert_eq!(m.stage_bytes, [20, 0, 0, 0, 0, 0, 40]);
+    }
+
+    #[test]
+    fn stage_attribution_defaults_to_other() {
+        let s = CommStats::new();
+        assert_eq!(s.stage(), Component::Other);
+        s.record_one_sided(100);
+        let snap = s.snapshot();
+        assert_eq!(snap.stage_msgs_for(Component::Other), 1);
+        assert_eq!(snap.stage_bytes_for(Component::Other), 100);
+        assert_eq!(snap.stage_msgs_for(Component::Scan), 0);
+    }
+
+    #[test]
+    fn stage_attribution_follows_set_stage() {
+        let s = CommStats::new();
+        let prev = s.set_stage(Component::Scan);
+        assert_eq!(prev, Component::Other);
+        s.record_local(4);
+        s.record_collective(16);
+        let inner = s.set_stage(Component::Index);
+        assert_eq!(inner, Component::Scan);
+        s.record_one_sided(32);
+        s.record_remote_atomic();
+        s.set_stage(inner);
+        s.record_local(8);
+        let snap = s.snapshot();
+        assert_eq!(snap.stage_msgs_for(Component::Scan), 3);
+        assert_eq!(snap.stage_bytes_for(Component::Scan), 4 + 16 + 8);
+        assert_eq!(snap.stage_msgs_for(Component::Index), 2);
+        assert_eq!(snap.stage_bytes_for(Component::Index), 32 + 8);
+        // Per-stage totals reconcile with the global message count.
+        assert_eq!(snap.stage_msgs.iter().sum::<u64>(), snap.total_msgs());
     }
 }

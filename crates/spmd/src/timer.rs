@@ -54,6 +54,12 @@ impl Component {
         }
     }
 
+    /// Dense index of this component in [`Component::ALL`] order — the
+    /// array slot used by [`Timers`] and the per-stage comm counters.
+    pub fn index(&self) -> usize {
+        self.idx()
+    }
+
     fn idx(&self) -> usize {
         match self {
             Component::Scan => 0,

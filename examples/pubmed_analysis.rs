@@ -73,7 +73,7 @@ fn main() {
             .topics
             .iter()
             .take(2)
-            .map(|&t| s.terms[t as usize].clone())
+            .map(|&t| s.terms[t as usize].to_string())
             .collect();
         let query = query.join(" ");
         let hits = search(ctx, &s, &idx, &query, 5);

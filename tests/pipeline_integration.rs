@@ -88,7 +88,7 @@ fn query_path_integrates_with_engine_structures() {
             .filter(|&t| idx.df[t] * 2 < idx.total_docs)
             .max_by_key(|&t| idx.tf[t])
             .expect("nonempty vocabulary");
-        let term = s.terms[top_term].clone();
+        let term = s.terms[top_term].to_string();
         let hits = query::search(ctx, &s, &idx, &term, 10);
         assert!(!hits.is_empty());
         // All hits reference real documents.

@@ -160,6 +160,81 @@ proptest! {
     }
 
     #[test]
+    fn dhashmap_batch_matches_scalar_sequence(
+        raw in prop::collection::vec("[a-z]{1,10}", 1..100),
+        p in 1usize..6,
+    ) {
+        use visual_analytics::ga::DistHashMap;
+
+        // Scalar reference: one insert_or_get per term, in input order.
+        let scalar_ids = {
+            let raw = raw.clone();
+            Runtime::for_testing()
+                .run(p, move |ctx| {
+                    let m = DistHashMap::create(ctx);
+                    let mut ids = Vec::new();
+                    if ctx.rank() == 0 {
+                        for t in &raw {
+                            ids.push(m.insert_or_get(ctx, t));
+                        }
+                    }
+                    ctx.barrier();
+                    ids
+                })
+                .results
+                .swap_remove(0)
+        };
+
+        // Batched path on an identical fresh map, plus lookups afterwards.
+        let (batch_ids, lookups) = {
+            let raw = raw.clone();
+            Runtime::for_testing()
+                .run(p, move |ctx| {
+                    let m = DistHashMap::create(ctx);
+                    let mut out = (Vec::new(), Vec::new());
+                    if ctx.rank() == 0 {
+                        let refs: Vec<&str> = raw.iter().map(|s| s.as_str()).collect();
+                        out.0 = m.insert_or_get_batch(ctx, &refs);
+                        out.1 = raw.iter().map(|t| m.get(ctx, t)).collect();
+                    }
+                    ctx.barrier();
+                    out
+                })
+                .results
+                .swap_remove(0)
+        };
+
+        // Bit-identical ID assignment vs the scalar sequence.
+        prop_assert_eq!(&batch_ids, &scalar_ids);
+
+        // Lookup-after-insert agrees for every term.
+        for (&id, look) in batch_ids.iter().zip(&lookups) {
+            prop_assert_eq!(*look, Some(id));
+        }
+
+        // Duplicates share an ID; distinct terms never collide.
+        let mut by_term = std::collections::HashMap::new();
+        let mut by_id = std::collections::HashMap::new();
+        for (t, &id) in raw.iter().zip(&batch_ids) {
+            prop_assert_eq!(*by_term.entry(t.as_str()).or_insert(id), id);
+            prop_assert_eq!(*by_id.entry(id).or_insert(t.as_str()), t.as_str());
+        }
+
+        // IDs are interleaved shard-dense: on each shard s the sequence
+        // numbers {id / p : id % p == s} form 0..count(s) exactly.
+        let mut per_shard: Vec<Vec<u32>> = vec![Vec::new(); p];
+        for &id in by_id.keys() {
+            per_shard[id as usize % p].push(id / p as u32);
+        }
+        for seqs in &mut per_shard {
+            seqs.sort_unstable();
+            for (expect, &got) in seqs.iter().enumerate() {
+                prop_assert_eq!(got, expect as u32);
+            }
+        }
+    }
+
+    #[test]
     fn dist2_triangle_inequality_in_sqrt(
         a in prop::collection::vec(-5.0f64..5.0, 4),
         b in prop::collection::vec(-5.0f64..5.0, 4),
