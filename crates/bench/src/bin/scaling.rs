@@ -19,14 +19,22 @@
 //! scaling --iters 9       # more samples per width
 //! ```
 //!
+//! The JSON also carries a `snapshot` section: one full-pipeline run
+//! with `snapshot_out` set records the container's write wall-clock and
+//! per-section byte counts, then the serving state (scan + inverted
+//! index) is restored from the file on a single rank and timed, so the
+//! report shows how much faster serving from a snapshot is than
+//! re-running the pipeline on the same corpus.
+//!
 //! Output: `results/BENCH_intra_rank_scaling_<unix-ts>.json` plus an
 //! append-only row in `results/scaling_history.md`.
 
 use corpus::CorpusSpec;
 use inspire_bench::results_dir;
 use inspire_core::index::invert;
+use inspire_core::pipeline::run_engine;
 use inspire_core::scan::scan;
-use inspire_core::EngineConfig;
+use inspire_core::{EngineConfig, EngineSnapshot};
 use perfmodel::CostModel;
 use spmd::{Component, Runtime};
 use std::sync::Arc;
@@ -57,6 +65,28 @@ impl CommReport {
     fn batching_factor(&self) -> f64 {
         if self.vocab_rpc_msgs_batched > 0 {
             self.vocab_rpc_scalar_equiv as f64 / self.vocab_rpc_msgs_batched as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Snapshot timings from one full-pipeline run with `snapshot_out` set:
+/// container write cost, per-section sizes, and the host wall-clock of
+/// restoring the query-serving state back out of the file.
+struct SnapshotBench {
+    pipeline_wall_s: f64,
+    write_s: f64,
+    load_s: f64,
+    total_bytes: u64,
+    sections: Vec<(String, u64)>,
+}
+
+impl SnapshotBench {
+    /// How much faster loading the snapshot is than re-running the pipeline.
+    fn load_speedup(&self) -> f64 {
+        if self.load_s > 0.0 {
+            self.pipeline_wall_s / self.load_s
         } else {
             0.0
         }
@@ -128,6 +158,7 @@ fn main() {
     };
 
     let comm = comm_run(&src, &cfg);
+    let snap_bench = snapshot_run(&src, &cfg);
     // Compare against the newest prior BENCH JSON of the same shape, if
     // one exists, so the JSON records the measured wall-clock delta.
     let baseline_wall_s_1 = previous_wall1(smoke);
@@ -161,6 +192,14 @@ fn main() {
     if let (Some(b), Some(x)) = (baseline_wall_s_1, wall_clock_improvement) {
         println!("wall@1 vs previous run: {b:.4}s -> {wall1_median:.4}s ({x:.2}x)");
     }
+    println!(
+        "snapshot: {} B written in {:.4}s; serving load {:.4}s vs {:.4}s pipeline re-run ({:.1}x)",
+        snap_bench.total_bytes,
+        snap_bench.write_s,
+        snap_bench.load_s,
+        snap_bench.pipeline_wall_s,
+        snap_bench.load_speedup()
+    );
 
     let ts = SystemTime::now()
         .duration_since(UNIX_EPOCH)
@@ -179,6 +218,7 @@ fn main() {
             &profile,
             &widths,
             &comm,
+            &snap_bench,
             baseline_wall_s_1,
             wall_clock_improvement,
         ),
@@ -248,6 +288,44 @@ fn comm_run(src: &corpus::SourceSet, cfg: &EngineConfig) -> CommReport {
     res.results.into_iter().next().unwrap()
 }
 
+/// Full pipeline once with `snapshot_out` set, then a timed reload of
+/// the serving state (scan + inverted index) from the written file.
+fn snapshot_run(src: &corpus::SourceSet, cfg: &EngineConfig) -> SnapshotBench {
+    let path = std::env::temp_dir().join(format!("va-bench-snapshot-{}.isnap", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let snap_cfg = EngineConfig {
+        snapshot_out: Some(path.clone()),
+        ..cfg.clone()
+    };
+    let t0 = Instant::now();
+    let run = run_engine(1, Arc::new(CostModel::zero()), src, &snap_cfg);
+    let pipeline_wall_s = t0.elapsed().as_secs_f64();
+    let report = run
+        .master()
+        .snapshot_report
+        .clone()
+        .expect("snapshot_out run produces a report");
+
+    let t0 = Instant::now();
+    let snap = EngineSnapshot::open(&path).expect("snapshot reopens");
+    let rt = Runtime::new(Arc::new(CostModel::zero()));
+    rt.run(1, |ctx| {
+        let s = snap.restore_scan(ctx).expect("scan restores");
+        let idx = snap.restore_index(ctx).expect("index restores");
+        assert!(idx.total_docs > 0 && s.vocab_size() > 0);
+    });
+    let load_s = t0.elapsed().as_secs_f64();
+    let _ = std::fs::remove_file(&path);
+
+    SnapshotBench {
+        pipeline_wall_s,
+        write_s: report.write_seconds,
+        load_s,
+        total_bytes: report.total_bytes,
+        sections: report.sections,
+    }
+}
+
 /// `wall_s_median` at width 1 from the newest prior BENCH JSON with the
 /// same smoke flag, if any. Field-level scrape — no JSON parser offline.
 fn previous_wall1(smoke: bool) -> Option<f64> {
@@ -302,6 +380,7 @@ fn to_json(
     profile: &[Vec<f64>],
     widths: &[WidthResult],
     comm: &CommReport,
+    snap: &SnapshotBench,
     baseline_wall_s_1: Option<f64>,
     wall_clock_improvement: Option<f64>,
 ) -> String {
@@ -348,6 +427,27 @@ fn to_json(
         "    \"wall_clock_improvement\": {}\n",
         wall_clock_improvement.map_or("null".into(), |v| format!("{v:.4}"))
     ));
+    s.push_str("  },\n");
+    s.push_str("  \"snapshot\": {\n");
+    s.push_str(&format!(
+        "    \"pipeline_wall_s\": {:.6},\n",
+        snap.pipeline_wall_s
+    ));
+    s.push_str(&format!("    \"write_s\": {:.6},\n", snap.write_s));
+    s.push_str(&format!("    \"load_s\": {:.6},\n", snap.load_s));
+    s.push_str(&format!(
+        "    \"load_speedup_vs_pipeline\": {:.4},\n",
+        snap.load_speedup()
+    ));
+    s.push_str(&format!("    \"total_bytes\": {},\n", snap.total_bytes));
+    s.push_str("    \"sections\": {\n");
+    for (i, (name, bytes)) in snap.sections.iter().enumerate() {
+        s.push_str(&format!(
+            "      \"{name}\": {bytes}{}\n",
+            if i + 1 < snap.sections.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("    }\n");
     s.push_str("  },\n");
     s.push_str("  \"widths\": [\n");
     for (i, w) in widths.iter().enumerate() {

@@ -2,6 +2,7 @@
 
 use crate::hierarchy::Linkage;
 use crate::tokenize::TokenizerConfig;
+use std::path::PathBuf;
 
 /// Load-balancing strategy for the inversion stage (§3.3 and Figure 9).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +85,16 @@ pub struct EngineConfig {
     /// generation). Host wall-clock parallelism only: results and virtual
     /// time are bit-identical at any width. 1 (the default) is serial.
     pub threads_per_rank: usize,
+    /// When set, the engine writes a cumulative checkpoint snapshot into
+    /// this directory after every completed pipeline stage.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// With [`EngineConfig::checkpoint_dir`] set: resume from the most
+    /// advanced valid checkpoint that matches this configuration, corpus,
+    /// and processor count, re-running only the remaining stages.
+    pub resume: bool,
+    /// When set, write the complete engine output as a single-file
+    /// snapshot (servable by `vaengine query --snapshot`) at this path.
+    pub snapshot_out: Option<PathBuf>,
 }
 
 impl Default for EngineConfig {
@@ -106,6 +117,9 @@ impl Default for EngineConfig {
             tokenizer: TokenizerConfig::default(),
             seed: 0x1f5b,
             threads_per_rank: 1,
+            checkpoint_dir: None,
+            resume: false,
+            snapshot_out: None,
         }
     }
 }

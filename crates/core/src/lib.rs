@@ -52,12 +52,14 @@ pub mod scan;
 pub mod seq;
 pub mod session;
 pub mod signature;
+pub mod snapshot;
 pub mod tokenize;
 pub mod topicality;
 
 pub use config::{Balancing, ClusterMethod, EngineConfig};
 pub use pipeline::{Engine, EngineOutput, EngineSummary};
 pub use session::{Selection, Session, Theme};
+pub use snapshot::{EngineSnapshot, SnapshotReport, Stage};
 
 /// Global term identifier assigned by the distributed vocabulary map.
 pub type TermId = u32;

@@ -8,6 +8,10 @@ use crate::index::{invert, RankLoad};
 use crate::project::project_nd;
 use crate::scan::scan;
 use crate::signature::{generate, SignatureStats};
+use crate::snapshot::{
+    self, config_fingerprint, corpus_fingerprint, republish_snapshot, write_engine_snapshot,
+    SnapshotInput, SnapshotReport, Stage,
+};
 use crate::topicality::select_topics;
 use corpus::SourceSet;
 use perfmodel::CostModel;
@@ -58,6 +62,9 @@ pub struct EngineOutput {
     pub cluster_labels: Vec<Vec<String>>,
     /// Documents per cluster (global).
     pub cluster_sizes: Vec<u64>,
+    /// What the final snapshot write reported, when
+    /// [`EngineConfig::snapshot_out`] was set (rank 0 only).
+    pub snapshot_report: Option<SnapshotReport>,
     pub summary: EngineSummary,
 }
 
@@ -74,6 +81,49 @@ impl Engine {
     /// Execute the full pipeline on one rank (collective: every rank of
     /// the runtime must call this with the same corpus and config).
     pub fn run(&self, ctx: &Ctx, sources: &SourceSet) -> EngineOutput {
+        self.run_until(ctx, sources, Stage::Final)
+            .expect("run_until(Stage::Final) always produces an output")
+    }
+
+    /// Write a stage checkpoint when a checkpoint directory is configured.
+    /// Failures are warnings, not errors: a run never dies because its
+    /// checkpoint could not be written.
+    fn maybe_checkpoint(&self, ctx: &Ctx, stage: Stage, inp: &SnapshotInput<'_>) {
+        let Some(dir) = &self.config.checkpoint_dir else {
+            return;
+        };
+        if ctx.rank() == 0 {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("warning: cannot create {}: {e}", dir.display());
+            }
+        }
+        let path = snapshot::checkpoint_path(dir, stage);
+        if let Err(e) = write_engine_snapshot(ctx, &path, inp) {
+            if ctx.rank() == 0 {
+                eprintln!("warning: checkpoint write {} failed: {e}", path.display());
+            }
+        }
+    }
+
+    /// Execute the pipeline through `stop_after`, inclusive.
+    ///
+    /// With [`EngineConfig::checkpoint_dir`] set, a cumulative snapshot is
+    /// written after every completed stage; with [`EngineConfig::resume`]
+    /// also set, the most advanced valid checkpoint matching this
+    /// configuration, corpus, and processor count is restored and only
+    /// the remaining stages run — bit-identical to the uninterrupted run.
+    /// Corrupt or mismatched checkpoints are skipped (falling back to
+    /// earlier stages or a full run), never trusted partially.
+    ///
+    /// Returns `None` when stopped before [`Stage::Final`]; the
+    /// crash/resume tests use this to simulate a run dying at each stage
+    /// boundary. Collective: every rank must pass the same `stop_after`.
+    pub fn run_until(
+        &self,
+        ctx: &Ctx,
+        sources: &SourceSet,
+        stop_after: Stage,
+    ) -> Option<EngineOutput> {
         let cfg = &self.config;
 
         // Declare the working set so the memory-pressure model can apply
@@ -88,36 +138,164 @@ impl Engine {
         let ws = ctx.model().memory.working_set(nominal_bytes, ctx.nprocs());
         ctx.set_working_set(ws);
 
+        let config_fp = config_fingerprint(cfg);
+        let corpus_fp = corpus_fingerprint(sources);
+        let warn0 = |what: &str, e: &std::io::Error| {
+            if ctx.rank() == 0 {
+                eprintln!("warning: {what} ({e}); recomputing");
+            }
+        };
+
+        // Every rank opens the same checkpoint files read-only, so the
+        // resume decision is identical everywhere without communication.
+        let mut resume = if cfg.resume {
+            cfg.checkpoint_dir
+                .as_deref()
+                .and_then(|d| snapshot::latest_checkpoint(d, config_fp, corpus_fp, ctx.nprocs()))
+        } else {
+            None
+        };
+
+        // A final-stage checkpoint short-circuits the whole pipeline.
+        if resume.as_ref().map(|s| s.meta().stage) == Some(Stage::Final) {
+            match resume.as_ref().unwrap().restore_output(ctx) {
+                Ok(mut out) => {
+                    // A requested snapshot must still appear even though
+                    // nothing was recomputed: copy the checkpoint's bytes.
+                    if let Some(path) = &cfg.snapshot_out {
+                        match republish_snapshot(ctx, resume.as_ref().unwrap(), path) {
+                            Ok(report) => out.snapshot_report = report,
+                            Err(e) => warn0("snapshot republish failed", &e),
+                        }
+                    }
+                    return Some(out);
+                }
+                Err(e) => {
+                    warn0("final checkpoint restore failed", &e);
+                    resume = None;
+                }
+            }
+        }
+        let mut have = resume.as_ref().map(|s| s.meta().stage);
+
         // ---- Scan & Map ----
-        let scanned = ctx.component(Component::Scan, || scan(ctx, sources, cfg));
+        let mut restored_scan = None;
+        if have >= Some(Stage::Scan) {
+            match ctx.component(Component::Scan, || {
+                resume.as_ref().unwrap().restore_scan(ctx)
+            }) {
+                Ok(s) => restored_scan = Some(s),
+                Err(e) => {
+                    warn0("scan checkpoint restore failed", &e);
+                    have = None;
+                }
+            }
+        }
+        let scanned = match restored_scan {
+            Some(s) => s,
+            None => ctx.component(Component::Scan, || scan(ctx, sources, cfg)),
+        };
+        let mut inp = SnapshotInput {
+            stage: Stage::Scan,
+            config_fp,
+            corpus_fp,
+            scan: &scanned,
+            index: None,
+            topics: None,
+            am: None,
+            sigs: None,
+            expansions: 0,
+            clustering: None,
+            coords_nd: None,
+            projection_dims: 0,
+            variance_explained: 0.0,
+            labels: None,
+        };
+        if have < Some(Stage::Scan) {
+            self.maybe_checkpoint(ctx, Stage::Scan, &inp);
+        }
+        if stop_after == Stage::Scan {
+            return None;
+        }
 
         // ---- Inverted file indexing + global term statistics ----
-        let index = ctx.component(Component::Index, || invert(ctx, &scanned, cfg));
+        let mut restored_index = None;
+        if have >= Some(Stage::Index) {
+            match ctx.component(Component::Index, || {
+                resume.as_ref().unwrap().restore_index(ctx)
+            }) {
+                Ok(i) => restored_index = Some(i),
+                Err(e) => {
+                    warn0("index checkpoint restore failed", &e);
+                    have = Some(Stage::Scan);
+                }
+            }
+        }
+        let index = match restored_index {
+            Some(i) => i,
+            None => ctx.component(Component::Index, || invert(ctx, &scanned, cfg)),
+        };
+        inp.stage = Stage::Index;
+        inp.index = Some(&index);
+        if have < Some(Stage::Index) {
+            self.maybe_checkpoint(ctx, Stage::Index, &inp);
+        }
+        if stop_after == Stage::Index {
+            return None;
+        }
 
         // ---- Topicality → association matrix → signatures, with the
         // adaptive-dimensionality loop (§4.2) ----
-        let mut n_major = cfg.n_major;
-        let mut m_dims = cfg.m_dims();
-        let mut expansions = 0usize;
-        let (topics, _am, sigs) = loop {
-            let topics = ctx.component(Component::Topic, || {
-                select_topics(ctx, &index, cfg, n_major, m_dims)
-            });
-            let am = ctx.component(Component::Assoc, || {
-                assoc::build(ctx, &scanned, &index, &topics)
-            });
-            let sigs = ctx.component(Component::DocVec, || generate(ctx, &scanned, &am));
-            let expand = cfg.adaptive_dims
-                && expansions < cfg.max_dim_expansions
-                && sigs.stats.weak_fraction() > cfg.weak_sig_threshold
-                && topics.major.len() == n_major; // no more terms to add otherwise
-            if !expand {
-                break (topics, am, sigs);
+        let mut restored_sig = None;
+        if have >= Some(Stage::Sig) {
+            match ctx.component(Component::DocVec, || {
+                resume.as_ref().unwrap().restore_sig_state(ctx)
+            }) {
+                Ok(s) => restored_sig = Some(s),
+                Err(e) => {
+                    warn0("signature checkpoint restore failed", &e);
+                    have = Some(Stage::Index);
+                }
             }
-            expansions += 1;
-            n_major = (n_major * 3) / 2;
-            m_dims = ((n_major as f64 * cfg.topic_ratio).round() as usize).max(m_dims + 1);
+        }
+        let (topics, am, sigs, expansions) = match restored_sig {
+            Some(s) => s,
+            None => {
+                let mut n_major = cfg.n_major;
+                let mut m_dims = cfg.m_dims();
+                let mut expansions = 0usize;
+                loop {
+                    let topics = ctx.component(Component::Topic, || {
+                        select_topics(ctx, &index, cfg, n_major, m_dims)
+                    });
+                    let am = ctx.component(Component::Assoc, || {
+                        assoc::build(ctx, &scanned, &index, &topics)
+                    });
+                    let sigs = ctx.component(Component::DocVec, || generate(ctx, &scanned, &am));
+                    let expand = cfg.adaptive_dims
+                        && expansions < cfg.max_dim_expansions
+                        && sigs.stats.weak_fraction() > cfg.weak_sig_threshold
+                        && topics.major.len() == n_major; // no more terms to add otherwise
+                    if !expand {
+                        break (topics, am, sigs, expansions);
+                    }
+                    expansions += 1;
+                    n_major = (n_major * 3) / 2;
+                    m_dims = ((n_major as f64 * cfg.topic_ratio).round() as usize).max(m_dims + 1);
+                }
+            }
         };
+        inp.stage = Stage::Sig;
+        inp.topics = Some(&topics);
+        inp.am = Some(&am);
+        inp.sigs = Some(&sigs);
+        inp.expansions = expansions;
+        if have < Some(Stage::Sig) {
+            self.maybe_checkpoint(ctx, Stage::Sig, &inp);
+        }
+        if stop_after == Stage::Sig {
+            return None;
+        }
 
         // ---- Clustering and projection ----
         let (clustering, projection) = ctx.component(Component::ClusProj, || {
@@ -127,6 +305,25 @@ impl Engine {
         });
 
         let cluster_labels = label_clusters(&clustering, &topics.topics, &scanned.terms);
+
+        inp.stage = Stage::Final;
+        inp.clustering = Some(&clustering);
+        inp.coords_nd = Some(&projection.local_coords_nd);
+        inp.projection_dims = projection.dims;
+        inp.variance_explained = projection.variance_explained;
+        inp.labels = Some(&cluster_labels);
+        self.maybe_checkpoint(ctx, Stage::Final, &inp);
+        let mut snapshot_report = None;
+        if let Some(path) = &cfg.snapshot_out {
+            match write_engine_snapshot(ctx, path, &inp) {
+                Ok(report) => snapshot_report = report,
+                Err(e) => {
+                    if ctx.rank() == 0 {
+                        eprintln!("warning: snapshot write {} failed: {e}", path.display());
+                    }
+                }
+            }
+        }
 
         // The master also collects cluster assignments (alongside the
         // coordinates it writes out).
@@ -138,7 +335,7 @@ impl Engine {
             )
             .map(|parts| parts.concat());
 
-        EngineOutput {
+        Some(EngineOutput {
             local_coords: projection.local_coords,
             coords: projection.all_coords,
             local_coords_nd: projection.local_coords_nd,
@@ -148,6 +345,7 @@ impl Engine {
             doc_base: scanned.doc_base,
             cluster_labels,
             cluster_sizes: clustering.sizes.clone(),
+            snapshot_report,
             summary: EngineSummary {
                 vocab_size: scanned.vocab_size(),
                 total_docs: scanned.total_docs,
@@ -161,7 +359,7 @@ impl Engine {
                 variance_explained: projection.variance_explained,
                 load: index.load.clone(),
             },
-        }
+        })
     }
 }
 

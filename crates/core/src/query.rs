@@ -26,6 +26,189 @@ pub enum Query {
     AndNot(Box<Query>, Box<Query>),
 }
 
+/// A token of the query expression language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    LParen,
+    RParen,
+    And,
+    Or,
+    Not,
+    Word(String),
+}
+
+fn lex(input: &str) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    let mut cur = String::new();
+    let flush = |cur: &mut String, toks: &mut Vec<Tok>| {
+        if cur.is_empty() {
+            return;
+        }
+        let t = match cur.as_str() {
+            w if w.eq_ignore_ascii_case("and") => Tok::And,
+            w if w.eq_ignore_ascii_case("or") => Tok::Or,
+            w if w.eq_ignore_ascii_case("not") => Tok::Not,
+            w => Tok::Word(w.to_ascii_lowercase()),
+        };
+        toks.push(t);
+        cur.clear();
+    };
+    for c in input.chars() {
+        match c {
+            '(' => {
+                flush(&mut cur, &mut toks);
+                toks.push(Tok::LParen);
+            }
+            ')' => {
+                flush(&mut cur, &mut toks);
+                toks.push(Tok::RParen);
+            }
+            c if c.is_whitespace() => flush(&mut cur, &mut toks),
+            c => cur.push(c),
+        }
+    }
+    flush(&mut cur, &mut toks);
+    toks
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn at_atom(&self) -> bool {
+        matches!(self.peek(), Some(Tok::Word(_)) | Some(Tok::LParen))
+    }
+
+    fn parse_or(&mut self) -> Result<Query, String> {
+        let mut parts = vec![self.parse_and()?];
+        while self.eat(&Tok::Or) {
+            parts.push(self.parse_and()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Query::Or(parts)
+        })
+    }
+
+    /// A conjunction: atoms joined by explicit `AND` or plain
+    /// juxtaposition, with `NOT` prefixing the atoms to subtract.
+    fn parse_and(&mut self) -> Result<Query, String> {
+        let mut positive = Vec::new();
+        let mut negative = Vec::new();
+        loop {
+            let mut negated = false;
+            while self.eat(&Tok::Not) {
+                negated = !negated;
+            }
+            if !self.at_atom() {
+                return Err(match self.peek() {
+                    Some(t) => format!("expected a term, found {t:?}"),
+                    None => "expected a term, found end of query".into(),
+                });
+            }
+            let atom = self.parse_atom()?;
+            if negated {
+                negative.push(atom);
+            } else {
+                positive.push(atom);
+            }
+            if self.eat(&Tok::And) {
+                continue; // operand required; checked at loop top
+            }
+            if self.at_atom() || self.peek() == Some(&Tok::Not) {
+                continue; // juxtaposition is conjunction
+            }
+            break;
+        }
+        if positive.is_empty() {
+            return Err("a query cannot be pure negation".into());
+        }
+        let pos = if positive.len() == 1 {
+            positive.pop().unwrap()
+        } else {
+            Query::And(positive)
+        };
+        Ok(match negative.len() {
+            0 => pos,
+            1 => Query::AndNot(Box::new(pos), Box::new(negative.pop().unwrap())),
+            _ => Query::AndNot(Box::new(pos), Box::new(Query::Or(negative))),
+        })
+    }
+
+    fn parse_atom(&mut self) -> Result<Query, String> {
+        if self.eat(&Tok::LParen) {
+            let inner = self.parse_or()?;
+            if !self.eat(&Tok::RParen) {
+                return Err("unbalanced parenthesis".into());
+            }
+            return Ok(inner);
+        }
+        let Some(Tok::Word(w)) = self.peek().cloned() else {
+            return Err("expected a term".into());
+        };
+        self.pos += 1;
+        if let Some((field, term)) = w.split_once(':') {
+            let Some(&name) = crate::FIELD_NAMES.iter().find(|&&n| n == field) else {
+                return Err(format!(
+                    "unknown field {field:?} (known: {})",
+                    crate::FIELD_NAMES.join(", ")
+                ));
+            };
+            if term.is_empty() {
+                return Err(format!("empty term after {field}:"));
+            }
+            return Ok(Query::FieldTerm(name, term.to_string()));
+        }
+        Ok(Query::Term(w))
+    }
+}
+
+impl Query {
+    /// Parse a boolean query expression.
+    ///
+    /// Grammar (keywords case-insensitive, terms lowercased to match the
+    /// indexing tokenizer):
+    ///
+    /// ```text
+    /// expr := and ( OR and )*
+    /// and  := [NOT] atom ( [AND] [NOT] atom )*    — juxtaposition is AND
+    /// atom := '(' expr ')' | field:term | term
+    /// ```
+    ///
+    /// `NOT` atoms subtract from the surrounding conjunction, so
+    /// `heart AND NOT title:attack` is `AndNot(heart, title:attack)`.
+    pub fn parse(input: &str) -> Result<Query, String> {
+        let mut p = Parser {
+            toks: lex(input),
+            pos: 0,
+        };
+        if p.toks.is_empty() {
+            return Err("empty query".into());
+        }
+        let q = p.parse_or()?;
+        if let Some(t) = p.peek() {
+            return Err(format!("unexpected {t:?} after complete query"));
+        }
+        Ok(q)
+    }
+}
+
 /// Postings for a term string, or empty when the term is unknown.
 pub fn lookup(ctx: &Ctx, scan: &ScanOutput, index: &InvertedIndex, term: &str) -> Vec<Posting> {
     match scan.term_id(term) {
@@ -385,6 +568,90 @@ mod tests {
             assert!(evaluate(ctx, &s, &idx, &Query::And(vec![])).is_empty());
             assert!(evaluate(ctx, &s, &idx, &Query::Or(vec![])).is_empty());
             assert!(evaluate(ctx, &s, &idx, &Query::Term("zz-unknown-zz".into())).is_empty());
+        });
+    }
+
+    #[test]
+    fn parser_builds_expected_trees() {
+        assert_eq!(Query::parse("heart").unwrap(), Query::Term("heart".into()));
+        assert_eq!(
+            Query::parse("Heart Attack").unwrap(),
+            Query::And(vec![
+                Query::Term("heart".into()),
+                Query::Term("attack".into())
+            ])
+        );
+        assert_eq!(
+            Query::parse("heart AND attack").unwrap(),
+            Query::parse("heart attack").unwrap()
+        );
+        assert_eq!(
+            Query::parse("title:heart OR (lung AND NOT mesh:cancer)").unwrap(),
+            Query::Or(vec![
+                Query::FieldTerm("title", "heart".into()),
+                Query::AndNot(
+                    Box::new(Query::Term("lung".into())),
+                    Box::new(Query::FieldTerm("mesh", "cancer".into()))
+                ),
+            ])
+        );
+        // Multiple negations collect into one subtracted union.
+        assert_eq!(
+            Query::parse("a NOT b NOT c").unwrap(),
+            Query::AndNot(
+                Box::new(Query::Term("a".into())),
+                Box::new(Query::Or(vec![
+                    Query::Term("b".into()),
+                    Query::Term("c".into())
+                ]))
+            )
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_queries() {
+        for bad in [
+            "",
+            "   ",
+            "AND x",
+            "x OR",
+            "x AND",
+            "NOT x",
+            "(a OR b",
+            "a b)",
+            "nosuchfield:x",
+            "title:",
+        ] {
+            assert!(Query::parse(bad).is_err(), "{bad:?} parsed");
+        }
+    }
+
+    #[test]
+    fn parsed_queries_evaluate_like_constructed_ones() {
+        let src = corpus();
+        let rt = Runtime::for_testing();
+        rt.run(2, |ctx| {
+            let cfg = EngineConfig::for_testing();
+            let s = scan(ctx, &src, &cfg);
+            let idx = invert(ctx, &s, &cfg);
+            let mut picks = (0..s.vocab_size())
+                .filter(|&t| idx.df[t] >= 4)
+                .map(|t| s.terms[t].to_string());
+            let ta = picks.next().expect("term a");
+            let tb = picks.next().expect("term b");
+            let parsed = Query::parse(&format!("{ta} AND NOT (title:{tb} OR {tb})")).unwrap();
+            let built = Query::AndNot(
+                Box::new(Query::Term(ta.clone())),
+                Box::new(Query::Or(vec![
+                    Query::FieldTerm("title", tb.clone()),
+                    Query::Term(tb.clone()),
+                ])),
+            );
+            assert_eq!(parsed, built);
+            assert_eq!(
+                evaluate(ctx, &s, &idx, &parsed),
+                evaluate(ctx, &s, &idx, &built)
+            );
         });
     }
 

@@ -79,6 +79,26 @@ impl Signatures {
     pub fn n_local(&self) -> usize {
         self.n_local
     }
+
+    /// Reassemble signatures from persisted parts (the snapshot restore
+    /// path). `local` must be the row-major `n_local × m` block and
+    /// `global` the already-populated docs×M array.
+    pub fn from_parts(
+        local: Vec<f64>,
+        m: usize,
+        n_local: usize,
+        global: GlobalArray2D<f64>,
+        stats: SignatureStats,
+    ) -> Signatures {
+        debug_assert_eq!(local.len(), n_local * m);
+        Signatures {
+            local,
+            m,
+            n_local,
+            global,
+            stats,
+        }
+    }
 }
 
 /// Generate signatures for this rank's documents. Collective.

@@ -256,6 +256,57 @@ impl TermTable {
     pub fn iter(&self) -> impl Iterator<Item = &str> + '_ {
         (0..self.len()).map(|i| self.get(i))
     }
+
+    /// The raw term arena, for serialization. Together with
+    /// [`TermTable::offsets`] this is the table's entire state.
+    pub fn arena_bytes(&self) -> &[u8] {
+        &self.arena
+    }
+
+    /// The offset table (`len + 1` entries, `offsets[i]..offsets[i+1]`
+    /// spans term `i`), for serialization.
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// Rebuild a table from a serialized arena and offset table,
+    /// validating every invariant [`TermTable::from_sorted`] guarantees:
+    /// offsets start at 0, end at the arena length, are non-decreasing,
+    /// every span is valid UTF-8, and terms are strictly ascending.
+    pub fn from_parts(arena: Vec<u8>, offsets: Vec<u32>) -> Result<Self, String> {
+        if offsets.is_empty() {
+            return Err("offset table is empty (needs at least [0])".into());
+        }
+        if offsets[0] != 0 {
+            return Err(format!("offset table starts at {}, not 0", offsets[0]));
+        }
+        if *offsets.last().unwrap() as usize != arena.len() {
+            return Err(format!(
+                "offset table ends at {} but the arena has {} bytes",
+                offsets.last().unwrap(),
+                arena.len()
+            ));
+        }
+        for (i, w) in offsets.windows(2).enumerate() {
+            if w[0] > w[1] {
+                return Err(format!("offsets decrease at term {i}: {} > {}", w[0], w[1]));
+            }
+            if std::str::from_utf8(&arena[w[0] as usize..w[1] as usize]).is_err() {
+                return Err(format!("term {i} is not valid UTF-8"));
+            }
+        }
+        let t = TermTable { arena, offsets };
+        for i in 1..t.len() {
+            if t.get(i - 1) >= t.get(i) {
+                return Err(format!(
+                    "terms not strictly ascending at {i}: `{}` >= `{}`",
+                    t.get(i - 1),
+                    t.get(i)
+                ));
+            }
+        }
+        Ok(t)
+    }
 }
 
 impl std::ops::Index<usize> for TermTable {
@@ -369,6 +420,37 @@ mod tests {
         assert!(t.is_empty());
         assert_eq!(t.position("x"), None);
         assert_eq!(t.iter().count(), 0);
+    }
+
+    #[test]
+    fn table_parts_roundtrip() {
+        let t = TermTable::from_sorted(["apple", "banana", "cherry"]);
+        let back = TermTable::from_parts(t.arena_bytes().to_vec(), t.offsets().to_vec()).unwrap();
+        assert_eq!(t, back);
+        assert_eq!(back.position("banana"), Some(1));
+
+        let empty = TermTable::from_sorted(std::iter::empty());
+        let back =
+            TermTable::from_parts(empty.arena_bytes().to_vec(), empty.offsets().to_vec()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_input() {
+        // Empty offset table.
+        assert!(TermTable::from_parts(vec![], vec![]).is_err());
+        // First offset not zero.
+        assert!(TermTable::from_parts(b"ab".to_vec(), vec![1, 2]).is_err());
+        // Last offset disagrees with arena length.
+        assert!(TermTable::from_parts(b"ab".to_vec(), vec![0, 1]).is_err());
+        // Decreasing offsets.
+        assert!(TermTable::from_parts(b"ab".to_vec(), vec![0, 2, 1, 2]).is_err());
+        // Invalid UTF-8 span.
+        assert!(TermTable::from_parts(vec![0xFF, 0xFE], vec![0, 2]).is_err());
+        // Unsorted terms.
+        assert!(TermTable::from_parts(b"ba".to_vec(), vec![0, 1, 2]).is_err());
+        // Duplicate terms (must be strictly ascending).
+        assert!(TermTable::from_parts(b"aa".to_vec(), vec![0, 1, 2]).is_err());
     }
 
     #[test]

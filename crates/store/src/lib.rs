@@ -1,0 +1,921 @@
+//! # inspire-store — single-file versioned snapshot container
+//!
+//! The engine's persistent products (vocabulary, postings, statistics,
+//! signatures, coordinates, …) are stored in one self-describing file so
+//! that query serving and checkpoint/resume load in milliseconds instead
+//! of re-running the pipeline. The container is deliberately dumb: it
+//! knows nothing about the engine, only about **named, typed, checksummed
+//! byte sections**.
+//!
+//! ## File layout (all integers little-endian)
+//!
+//! ```text
+//! [0 ..  8)  magic  "INSPSNP1"
+//! [8 .. 12)  format version (u32, currently 1)
+//! [12.. 16)  section count (u32)
+//! [16.. 24)  section table offset (u64, 64-byte aligned)
+//! [24.. 32)  total file size (u64)
+//! [32.. 36)  header CRC32 over bytes [0..32)
+//! [36.. 64)  reserved, must be zero
+//! -- sections, contiguous, each starting at a 64-byte-aligned offset --
+//! [u64 payload length][payload bytes][zero padding to the next 64-byte
+//! boundary]; the section CRC covers this whole padded extent.
+//! -- section table at the table offset --
+//! per section, 32 bytes: name (8 bytes, NUL-padded ASCII), offset (u64),
+//! payload length (u64), element kind (u32), CRC32 (u32)
+//! -- trailing u32: CRC32 over the table bytes --
+//! ```
+//!
+//! Every byte of the file is covered by exactly one checksum (header CRC,
+//! a section CRC, or the table CRC), and the header records the total
+//! size, so **any** single bit flip, truncation, or appended garbage is
+//! rejected at open time — there is no silent partial load.
+//!
+//! ## Version-bump rules
+//!
+//! * Adding a new section, or new meaning for unused bytes of an existing
+//!   section, does **not** bump the format version — readers ignore
+//!   sections they don't know.
+//! * Changing the header, table entry layout, alignment, or the encoding
+//!   of an existing section **bumps** `FORMAT_VERSION`; readers reject
+//!   versions they don't understand rather than guessing.
+//!
+//! ## Zero-copy typed views
+//!
+//! The reader loads the file into an 8-byte-aligned buffer; because every
+//! payload starts 8 bytes past a 64-byte boundary, `u32`/`u64`/`i64`/
+//! `f64` views are reinterpretations of the section bytes — no per-row
+//! parsing on load.
+
+use std::fmt;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Magic bytes identifying a snapshot container.
+pub const MAGIC: &[u8; 8] = b"INSPSNP1";
+
+/// Current container format version (see the version-bump rules above).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Section alignment: payloads start 8 bytes past these boundaries.
+pub const ALIGN: u64 = 64;
+
+const HEADER_LEN: u64 = 64;
+const TABLE_ENTRY_LEN: u64 = 32;
+const MAX_NAME: usize = 8;
+
+// Typed views reinterpret little-endian file bytes in place; a big-endian
+// host would need byte-swapping copies this crate does not implement.
+#[cfg(target_endian = "big")]
+compile_error!("inspire-store's zero-copy views require a little-endian host");
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3, polynomial 0xEDB88320)
+// ---------------------------------------------------------------------------
+
+// Slicing-by-8 tables: table 0 is the classic Sarwate byte table, table
+// j extends it by one byte of zero-padding, so eight lookups advance the
+// register over eight input bytes at once.
+const CRC_TABLES: [[u32; 256]; 8] = {
+    let mut t = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        t[0][i] = c;
+        i += 1;
+    }
+    let mut j = 1;
+    while j < 8 {
+        let mut i = 0;
+        while i < 256 {
+            t[j][i] = t[0][(t[j - 1][i] & 0xFF) as usize] ^ (t[j - 1][i] >> 8);
+            i += 1;
+        }
+        j += 1;
+    }
+    t
+};
+
+/// Streaming CRC32 accumulator.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32(u32);
+
+impl Crc32 {
+    pub fn new() -> Self {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut c = self.0;
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let lo = u32::from_le_bytes(chunk[0..4].try_into().unwrap()) ^ c;
+            let hi = u32::from_le_bytes(chunk[4..8].try_into().unwrap());
+            c = CRC_TABLES[7][(lo & 0xFF) as usize]
+                ^ CRC_TABLES[6][((lo >> 8) & 0xFF) as usize]
+                ^ CRC_TABLES[5][((lo >> 16) & 0xFF) as usize]
+                ^ CRC_TABLES[4][(lo >> 24) as usize]
+                ^ CRC_TABLES[3][(hi & 0xFF) as usize]
+                ^ CRC_TABLES[2][((hi >> 8) & 0xFF) as usize]
+                ^ CRC_TABLES[1][((hi >> 16) & 0xFF) as usize]
+                ^ CRC_TABLES[0][(hi >> 24) as usize];
+        }
+        for &b in chunks.remainder() {
+            c = CRC_TABLES[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.0 = c;
+    }
+
+    pub fn finish(self) -> u32 {
+        self.0 ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// CRC32 of a whole byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Section kinds
+// ---------------------------------------------------------------------------
+
+/// Element type of a section, recorded in the table so a reader can
+/// validate a typed view request against what the writer stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum SectionKind {
+    /// Raw bytes.
+    Bytes = 1,
+    /// Little-endian `u32` elements.
+    U32 = 2,
+    /// Little-endian `u64` elements.
+    U64 = 3,
+    /// Little-endian `i64` elements.
+    I64 = 4,
+    /// Little-endian IEEE-754 `f64` elements.
+    F64 = 5,
+    /// UTF-8 text.
+    Str = 6,
+}
+
+impl SectionKind {
+    fn from_u32(v: u32) -> Option<SectionKind> {
+        match v {
+            1 => Some(SectionKind::Bytes),
+            2 => Some(SectionKind::U32),
+            3 => Some(SectionKind::U64),
+            4 => Some(SectionKind::I64),
+            5 => Some(SectionKind::F64),
+            6 => Some(SectionKind::Str),
+            _ => None,
+        }
+    }
+
+    /// Element size in bytes (1 for `Bytes`/`Str`).
+    pub fn elem_size(self) -> usize {
+        match self {
+            SectionKind::Bytes | SectionKind::Str => 1,
+            SectionKind::U32 => 4,
+            SectionKind::U64 | SectionKind::I64 | SectionKind::F64 => 8,
+        }
+    }
+}
+
+impl fmt::Display for SectionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SectionKind::Bytes => "bytes",
+            SectionKind::U32 => "u32",
+            SectionKind::U64 => "u64",
+            SectionKind::I64 => "i64",
+            SectionKind::F64 => "f64",
+            SectionKind::Str => "str",
+        };
+        f.write_str(s)
+    }
+}
+
+fn bad(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Padded on-disk extent of a payload of `len` bytes (length prefix +
+/// payload, rounded up to the alignment).
+fn extent(len: u64) -> u64 {
+    (8 + len).div_ceil(ALIGN) * ALIGN
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Entry {
+    name: [u8; MAX_NAME],
+    offset: u64,
+    len: u64,
+    kind: SectionKind,
+    crc: u32,
+}
+
+impl Entry {
+    fn name_str(&self) -> &str {
+        let end = self.name.iter().position(|&b| b == 0).unwrap_or(MAX_NAME);
+        // Names are validated ASCII on both the write and read paths.
+        std::str::from_utf8(&self.name[..end]).expect("section name is ASCII")
+    }
+}
+
+/// Per-section byte counts reported by [`SnapshotWriter::finish`].
+#[derive(Debug, Clone)]
+pub struct SnapshotStats {
+    /// Total file size in bytes, including header, padding, and table.
+    pub total_bytes: u64,
+    /// `(section name, payload bytes)` in write order.
+    pub sections: Vec<(String, u64)>,
+}
+
+/// Streams checksummed sections into a snapshot file. Sections are
+/// written (and flushed) as they are added; [`SnapshotWriter::finish`]
+/// appends the section table and patches the header. A file that was not
+/// `finish`ed has a zeroed header and is rejected by [`Snapshot::open`],
+/// so an interrupted write can never be mistaken for a snapshot.
+pub struct SnapshotWriter {
+    file: io::BufWriter<std::fs::File>,
+    pos: u64,
+    entries: Vec<Entry>,
+}
+
+impl SnapshotWriter {
+    /// Create (truncate) `path` and reserve the header.
+    pub fn create(path: &Path) -> io::Result<SnapshotWriter> {
+        let file = std::fs::File::create(path)?;
+        let mut w = SnapshotWriter {
+            file: io::BufWriter::new(file),
+            pos: 0,
+            entries: Vec::new(),
+        };
+        w.write_all(&[0u8; HEADER_LEN as usize])?;
+        Ok(w)
+    }
+
+    fn write_all(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.file.write_all(bytes)?;
+        self.pos += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn encode_name(name: &str) -> io::Result<[u8; MAX_NAME]> {
+        let b = name.as_bytes();
+        if b.is_empty() || b.len() > MAX_NAME {
+            return Err(bad(format!(
+                "section name `{name}` must be 1..={MAX_NAME} bytes"
+            )));
+        }
+        if !b.iter().all(|&c| c.is_ascii_graphic()) {
+            return Err(bad(format!(
+                "section name `{name}` must be printable ASCII"
+            )));
+        }
+        let mut out = [0u8; MAX_NAME];
+        out[..b.len()].copy_from_slice(b);
+        Ok(out)
+    }
+
+    /// Append one section. The payload is length-prefixed, padded to the
+    /// 64-byte alignment, and CRC-checksummed over the padded extent.
+    pub fn add_section(&mut self, name: &str, kind: SectionKind, payload: &[u8]) -> io::Result<()> {
+        let name_bytes = Self::encode_name(name)?;
+        if self.entries.iter().any(|e| e.name == name_bytes) {
+            return Err(bad(format!("duplicate section name `{name}`")));
+        }
+        debug_assert_eq!(self.pos % ALIGN, 0, "sections start aligned");
+        let offset = self.pos;
+        let len = payload.len() as u64;
+        let mut crc = Crc32::new();
+        let prefix = len.to_le_bytes();
+        crc.update(&prefix);
+        self.write_all(&prefix)?;
+        crc.update(payload);
+        self.write_all(payload)?;
+        let pad = (extent(len) - 8 - len) as usize;
+        let zeros = [0u8; ALIGN as usize];
+        crc.update(&zeros[..pad]);
+        self.write_all(&zeros[..pad])?;
+        self.entries.push(Entry {
+            name: name_bytes,
+            offset,
+            len,
+            kind,
+            crc: crc.finish(),
+        });
+        Ok(())
+    }
+
+    /// Append a raw-bytes section.
+    pub fn add_bytes(&mut self, name: &str, payload: &[u8]) -> io::Result<()> {
+        self.add_section(name, SectionKind::Bytes, payload)
+    }
+
+    /// Append a UTF-8 text section.
+    pub fn add_str(&mut self, name: &str, text: &str) -> io::Result<()> {
+        self.add_section(name, SectionKind::Str, text.as_bytes())
+    }
+
+    /// Append a `u32` section.
+    pub fn add_u32s(&mut self, name: &str, data: &[u32]) -> io::Result<()> {
+        self.add_section(name, SectionKind::U32, &le_bytes(data, |v| v.to_le_bytes()))
+    }
+
+    /// Append a `u64` section.
+    pub fn add_u64s(&mut self, name: &str, data: &[u64]) -> io::Result<()> {
+        self.add_section(name, SectionKind::U64, &le_bytes(data, |v| v.to_le_bytes()))
+    }
+
+    /// Append an `i64` section.
+    pub fn add_i64s(&mut self, name: &str, data: &[i64]) -> io::Result<()> {
+        self.add_section(name, SectionKind::I64, &le_bytes(data, |v| v.to_le_bytes()))
+    }
+
+    /// Append an `f64` section.
+    pub fn add_f64s(&mut self, name: &str, data: &[f64]) -> io::Result<()> {
+        self.add_section(name, SectionKind::F64, &le_bytes(data, |v| v.to_le_bytes()))
+    }
+
+    /// Write the section table, patch the header, and flush.
+    pub fn finish(mut self) -> io::Result<SnapshotStats> {
+        let table_offset = self.pos;
+        debug_assert_eq!(table_offset % ALIGN, 0);
+        let mut table = Vec::with_capacity(self.entries.len() * TABLE_ENTRY_LEN as usize);
+        for e in &self.entries {
+            table.extend_from_slice(&e.name);
+            table.extend_from_slice(&e.offset.to_le_bytes());
+            table.extend_from_slice(&e.len.to_le_bytes());
+            table.extend_from_slice(&(e.kind as u32).to_le_bytes());
+            table.extend_from_slice(&e.crc.to_le_bytes());
+        }
+        let table_crc = crc32(&table);
+        self.write_all(&table.clone())?;
+        self.write_all(&table_crc.to_le_bytes())?;
+        let total = self.pos;
+
+        let mut header = [0u8; HEADER_LEN as usize];
+        header[0..8].copy_from_slice(MAGIC);
+        header[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+        header[12..16].copy_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        header[16..24].copy_from_slice(&table_offset.to_le_bytes());
+        header[24..32].copy_from_slice(&total.to_le_bytes());
+        let hcrc = crc32(&header[0..32]);
+        header[32..36].copy_from_slice(&hcrc.to_le_bytes());
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.write_all(&header)?;
+        self.file.flush()?;
+
+        Ok(SnapshotStats {
+            total_bytes: total,
+            sections: self
+                .entries
+                .iter()
+                .map(|e| (e.name_str().to_string(), e.len))
+                .collect(),
+        })
+    }
+}
+
+fn le_bytes<T: Copy, const N: usize>(data: &[T], f: impl Fn(T) -> [u8; N]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * N);
+    for &v in data {
+        out.extend_from_slice(&f(v));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// A validated, loaded snapshot. Every checksum is verified at open time;
+/// section accessors hand out zero-copy views over the loaded bytes.
+pub struct Snapshot {
+    /// 8-byte-aligned backing buffer holding the whole file.
+    buf: Vec<u64>,
+    /// File length in bytes (the buffer may be padded past it).
+    len: usize,
+    entries: Vec<Entry>,
+    version: u32,
+    source: String,
+}
+
+impl Snapshot {
+    /// Open and fully validate a snapshot file.
+    pub fn open(path: &Path) -> io::Result<Snapshot> {
+        let mut f = std::fs::File::open(path)?;
+        let file_len = f.metadata()?.len() as usize;
+        let mut buf = vec![0u64; file_len.div_ceil(8)];
+        f.read_exact(&mut as_bytes_mut(&mut buf)[..file_len])?;
+        if f.read(&mut [0u8; 1])? != 0 {
+            return Err(bad(format!("{}: file grew while reading", path.display())));
+        }
+        Self::validate(buf, file_len, path.display().to_string())
+    }
+
+    /// Validate a snapshot already held in memory (the bytes of a whole
+    /// file); `label` names the source in error messages.
+    pub fn from_bytes(bytes: &[u8], label: &str) -> io::Result<Snapshot> {
+        let mut buf = vec![0u64; bytes.len().div_ceil(8)];
+        as_bytes_mut(&mut buf)[..bytes.len()].copy_from_slice(bytes);
+        Self::validate(buf, bytes.len(), label.to_string())
+    }
+
+    fn validate(buf: Vec<u64>, len: usize, source: String) -> io::Result<Snapshot> {
+        let whole = &as_bytes(&buf)[..len];
+        let e = |msg: String| bad(format!("{source}: {msg}"));
+        if len < HEADER_LEN as usize {
+            return Err(e(format!("truncated header ({len} bytes)")));
+        }
+        if &whole[0..8] != MAGIC {
+            return Err(e("not a snapshot container (bad magic)".into()));
+        }
+        let version = u32::from_le_bytes(whole[8..12].try_into().unwrap());
+        if version != FORMAT_VERSION {
+            return Err(e(format!(
+                "unsupported format version {version} (reader understands {FORMAT_VERSION})"
+            )));
+        }
+        let stored_hcrc = u32::from_le_bytes(whole[32..36].try_into().unwrap());
+        if crc32(&whole[0..32]) != stored_hcrc {
+            return Err(e("header checksum mismatch".into()));
+        }
+        if whole[36..64].iter().any(|&b| b != 0) {
+            return Err(e("reserved header bytes are not zero".into()));
+        }
+        let count = u32::from_le_bytes(whole[12..16].try_into().unwrap()) as u64;
+        let table_offset = u64::from_le_bytes(whole[16..24].try_into().unwrap());
+        let total = u64::from_le_bytes(whole[24..32].try_into().unwrap());
+        if total != len as u64 {
+            return Err(e(format!(
+                "size mismatch: header says {total} bytes, file has {len} (truncated or extended)"
+            )));
+        }
+        if table_offset % ALIGN != 0 {
+            return Err(e(format!("section table offset {table_offset} unaligned")));
+        }
+        let table_len = count
+            .checked_mul(TABLE_ENTRY_LEN)
+            .ok_or_else(|| e("section count overflow".into()))?;
+        let table_end = table_offset
+            .checked_add(table_len)
+            .and_then(|v| v.checked_add(4))
+            .ok_or_else(|| e("section table extends past u64".into()))?;
+        if table_end != len as u64 {
+            return Err(e(format!(
+                "section table at {table_offset}+{table_len} does not end the file"
+            )));
+        }
+        let table = &whole[table_offset as usize..(table_offset + table_len) as usize];
+        let stored_tcrc = u32::from_le_bytes(whole[(table_end - 4) as usize..].try_into().unwrap());
+        if crc32(table) != stored_tcrc {
+            return Err(e("section table checksum mismatch".into()));
+        }
+
+        let mut entries = Vec::with_capacity(count as usize);
+        let mut expect_offset = HEADER_LEN;
+        for i in 0..count as usize {
+            let row = &table[i * TABLE_ENTRY_LEN as usize..(i + 1) * TABLE_ENTRY_LEN as usize];
+            let mut name = [0u8; MAX_NAME];
+            name.copy_from_slice(&row[0..8]);
+            let name_end = name.iter().position(|&b| b == 0).unwrap_or(MAX_NAME);
+            if name_end == 0
+                || !name[..name_end].iter().all(|&c| c.is_ascii_graphic())
+                || name[name_end..].iter().any(|&b| b != 0)
+            {
+                return Err(e(format!("section {i}: malformed name")));
+            }
+            let offset = u64::from_le_bytes(row[8..16].try_into().unwrap());
+            let slen = u64::from_le_bytes(row[16..24].try_into().unwrap());
+            let kind = SectionKind::from_u32(u32::from_le_bytes(row[24..28].try_into().unwrap()))
+                .ok_or_else(|| e(format!("section {i}: unknown element kind")))?;
+            let crc = u32::from_le_bytes(row[28..32].try_into().unwrap());
+            if offset != expect_offset {
+                return Err(e(format!(
+                    "section {i} at offset {offset}, expected {expect_offset} (sections must be contiguous)"
+                )));
+            }
+            let ext = extent(slen);
+            if offset + ext > table_offset {
+                return Err(e(format!(
+                    "section {i} extent [{offset}, {}) overlaps the table",
+                    offset + ext
+                )));
+            }
+            let body = &whole[offset as usize..(offset + ext) as usize];
+            if crc32(body) != crc {
+                return Err(e(format!(
+                    "section `{}` checksum mismatch at offset {offset}",
+                    String::from_utf8_lossy(&name[..name_end])
+                )));
+            }
+            let prefixed = u64::from_le_bytes(body[0..8].try_into().unwrap());
+            if prefixed != slen {
+                return Err(e(format!(
+                    "section {i}: length prefix {prefixed} disagrees with table length {slen}"
+                )));
+            }
+            if slen % kind.elem_size() as u64 != 0 {
+                return Err(e(format!(
+                    "section {i}: {slen} bytes is not a multiple of the {kind} element size"
+                )));
+            }
+            if entries.iter().any(|p: &Entry| p.name == name) {
+                return Err(e(format!("duplicate section name at entry {i}")));
+            }
+            entries.push(Entry {
+                name,
+                offset,
+                len: slen,
+                kind,
+                crc,
+            });
+            expect_offset = offset + ext;
+        }
+        if expect_offset != table_offset {
+            return Err(e(format!(
+                "gap between last section end {expect_offset} and table offset {table_offset}"
+            )));
+        }
+        Ok(Snapshot {
+            buf,
+            len,
+            entries,
+            version,
+            source,
+        })
+    }
+
+    /// The container format version.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Path or label the snapshot was loaded from.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// `(name, kind, payload bytes)` of every section, in file order.
+    pub fn sections(&self) -> impl Iterator<Item = (&str, SectionKind, u64)> + '_ {
+        self.entries.iter().map(|e| (e.name_str(), e.kind, e.len))
+    }
+
+    /// Whether a section exists.
+    pub fn has(&self, name: &str) -> bool {
+        self.entries.iter().any(|e| e.name_str() == name)
+    }
+
+    /// A view over the named section, if present.
+    pub fn section(&self, name: &str) -> Option<SectionView<'_>> {
+        let e = self.entries.iter().find(|e| e.name_str() == name)?;
+        let start = e.offset as usize + 8;
+        Some(SectionView {
+            name: e.name_str().to_string(),
+            kind: e.kind,
+            bytes: &as_bytes(&self.buf)[start..start + e.len as usize],
+            source: &self.source,
+        })
+    }
+
+    /// A view over the named section, or an error naming the source.
+    pub fn require(&self, name: &str) -> io::Result<SectionView<'_>> {
+        self.section(name)
+            .ok_or_else(|| bad(format!("{}: missing section `{name}`", self.source)))
+    }
+
+    /// Total file size in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.len as u64
+    }
+}
+
+/// A zero-copy view of one section's payload.
+pub struct SectionView<'a> {
+    name: String,
+    kind: SectionKind,
+    bytes: &'a [u8],
+    source: &'a str,
+}
+
+impl<'a> SectionView<'a> {
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn kind(&self) -> SectionKind {
+        self.kind
+    }
+
+    /// The raw payload bytes.
+    pub fn bytes(&self) -> &'a [u8] {
+        self.bytes
+    }
+
+    fn expect_kind(&self, want: SectionKind) -> io::Result<()> {
+        if self.kind != want {
+            return Err(bad(format!(
+                "{}: section `{}` holds {} elements, requested {want}",
+                self.source, self.name, self.kind
+            )));
+        }
+        Ok(())
+    }
+
+    /// Reinterpret the payload as `T` elements. Sound for the plain-old-
+    /// data element types this module stores (`u32`/`u64`/`i64`/`f64`):
+    /// every bit pattern is a valid value, and payloads start 8 bytes
+    /// past a 64-byte boundary of an 8-byte-aligned buffer, so `align_to`
+    /// never produces a prefix or suffix.
+    fn typed<T>(&self, want: SectionKind) -> io::Result<&'a [T]> {
+        self.expect_kind(want)?;
+        // SAFETY: T is restricted by the callers to POD integer/float
+        // types for which any bit pattern is valid; alignment is
+        // guaranteed by the container layout (checked below).
+        let (prefix, mid, suffix) = unsafe { self.bytes.align_to::<T>() };
+        if !prefix.is_empty() || !suffix.is_empty() {
+            return Err(bad(format!(
+                "{}: section `{}` is not aligned for {want} elements",
+                self.source, self.name
+            )));
+        }
+        Ok(mid)
+    }
+
+    /// The payload as little-endian `u32` elements.
+    pub fn as_u32s(&self) -> io::Result<&'a [u32]> {
+        self.typed::<u32>(SectionKind::U32)
+    }
+
+    /// The payload as little-endian `u64` elements.
+    pub fn as_u64s(&self) -> io::Result<&'a [u64]> {
+        self.typed::<u64>(SectionKind::U64)
+    }
+
+    /// The payload as little-endian `i64` elements.
+    pub fn as_i64s(&self) -> io::Result<&'a [i64]> {
+        self.typed::<i64>(SectionKind::I64)
+    }
+
+    /// The payload as little-endian `f64` elements.
+    pub fn as_f64s(&self) -> io::Result<&'a [f64]> {
+        self.typed::<f64>(SectionKind::F64)
+    }
+
+    /// The payload as UTF-8 text.
+    pub fn as_str(&self) -> io::Result<&'a str> {
+        self.expect_kind(SectionKind::Str)?;
+        std::str::from_utf8(self.bytes).map_err(|e| {
+            bad(format!(
+                "{}: section `{}` is not UTF-8 at byte {}",
+                self.source,
+                self.name,
+                e.valid_up_to()
+            ))
+        })
+    }
+}
+
+fn as_bytes(buf: &[u64]) -> &[u8] {
+    // SAFETY: u8 has no alignment requirement and any byte is valid.
+    unsafe { std::slice::from_raw_parts(buf.as_ptr() as *const u8, buf.len() * 8) }
+}
+
+fn as_bytes_mut(buf: &mut [u64]) -> &mut [u8] {
+    // SAFETY: as above, and the borrow is exclusive.
+    unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut u8, buf.len() * 8) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("inspire-store-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn sample(path: &Path) -> SnapshotStats {
+        let mut w = SnapshotWriter::create(path).unwrap();
+        w.add_u32s("ids", &[1, 2, 3, 0xFFFF_FFFF]).unwrap();
+        w.add_f64s("vals", &[0.5, -1.25, f64::MAX, 0.0]).unwrap();
+        w.add_u64s("big", &[u64::MAX, 7]).unwrap();
+        w.add_i64s("off", &[-1, 0, i64::MAX]).unwrap();
+        w.add_bytes("blob", b"arbitrary \x00 bytes").unwrap();
+        w.add_str("text", "hello snapshot").unwrap();
+        w.add_bytes("empty", b"").unwrap();
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        let path = tmp("roundtrip.snap");
+        let stats = sample(&path);
+        assert_eq!(stats.sections.len(), 7);
+        let s = Snapshot::open(&path).unwrap();
+        assert_eq!(s.version(), FORMAT_VERSION);
+        assert_eq!(
+            s.require("ids").unwrap().as_u32s().unwrap(),
+            &[1, 2, 3, 0xFFFF_FFFF]
+        );
+        assert_eq!(
+            s.require("vals").unwrap().as_f64s().unwrap(),
+            &[0.5, -1.25, f64::MAX, 0.0]
+        );
+        assert_eq!(s.require("big").unwrap().as_u64s().unwrap(), &[u64::MAX, 7]);
+        assert_eq!(
+            s.require("off").unwrap().as_i64s().unwrap(),
+            &[-1, 0, i64::MAX]
+        );
+        assert_eq!(s.require("blob").unwrap().bytes(), b"arbitrary \x00 bytes");
+        assert_eq!(
+            s.require("text").unwrap().as_str().unwrap(),
+            "hello snapshot"
+        );
+        assert_eq!(s.require("empty").unwrap().bytes(), b"");
+        assert!(!s.has("nope"));
+        assert!(s.require("nope").is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn from_bytes_matches_open() {
+        let path = tmp("frombytes.snap");
+        sample(&path);
+        let bytes = std::fs::read(&path).unwrap();
+        let s = Snapshot::from_bytes(&bytes, "mem").unwrap();
+        assert_eq!(s.require("big").unwrap().as_u64s().unwrap(), &[u64::MAX, 7]);
+        assert_eq!(s.source(), "mem");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn kind_mismatch_is_an_error() {
+        let path = tmp("kind.snap");
+        sample(&path);
+        let s = Snapshot::open(&path).unwrap();
+        assert!(s.require("ids").unwrap().as_f64s().is_err());
+        assert!(s.require("vals").unwrap().as_u32s().is_err());
+        assert!(s.require("blob").unwrap().as_str().is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn writer_rejects_bad_names() {
+        let path = tmp("names.snap");
+        let mut w = SnapshotWriter::create(&path).unwrap();
+        assert!(w.add_bytes("", b"x").is_err());
+        assert!(w.add_bytes("waytoolong", b"x").is_err());
+        assert!(w.add_bytes("has space", b"x").is_err());
+        w.add_bytes("ok", b"x").unwrap();
+        assert!(w.add_bytes("ok", b"y").is_err(), "duplicate must fail");
+        w.finish().unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unfinished_file_is_rejected() {
+        let path = tmp("unfinished.snap");
+        {
+            let mut w = SnapshotWriter::create(&path).unwrap();
+            w.add_u32s("ids", &[1, 2, 3]).unwrap();
+            // Dropped without finish(): header stays zeroed.
+        }
+        assert!(Snapshot::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn garbage_and_empty_rejected() {
+        let path = tmp("garbage.snap");
+        std::fs::write(&path, b"this is not a snapshot at all").unwrap();
+        assert!(Snapshot::open(&path).is_err());
+        std::fs::write(&path, b"").unwrap();
+        assert!(Snapshot::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+        assert!(Snapshot::from_bytes(&[], "empty").is_err());
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let path = tmp("trunc.snap");
+        sample(&path);
+        let full = std::fs::read(&path).unwrap();
+        for cut in 0..full.len() {
+            assert!(
+                Snapshot::from_bytes(&full[..cut], "cut").is_err(),
+                "truncation to {cut} bytes accepted"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let path = tmp("trail.snap");
+        sample(&path);
+        let mut full = std::fs::read(&path).unwrap();
+        full.push(0);
+        assert!(Snapshot::from_bytes(&full, "ext").is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sample_bit_flips_are_rejected() {
+        let path = tmp("flip.snap");
+        sample(&path);
+        let full = std::fs::read(&path).unwrap();
+        // The exhaustive sweep lives in the workspace proptest suite;
+        // here, hit every region: header, magic, payload, padding, table.
+        for &pos in &[0usize, 9, 70, 100, full.len() - 5, full.len() - 40] {
+            for bit in 0..8 {
+                let mut corrupt = full.clone();
+                corrupt[pos] ^= 1 << bit;
+                assert!(
+                    Snapshot::from_bytes(&corrupt, "flip").is_err(),
+                    "bit {bit} of byte {pos} accepted"
+                );
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_snapshot_roundtrips() {
+        let path = tmp("empty.snap");
+        let w = SnapshotWriter::create(&path).unwrap();
+        let stats = w.finish().unwrap();
+        assert_eq!(stats.sections.len(), 0);
+        let s = Snapshot::open(&path).unwrap();
+        assert_eq!(s.sections().count(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_sliced_path_matches_bytewise_reference() {
+        // Exercise the 8-byte fast path against a one-byte-at-a-time
+        // reference, across lengths that hit every remainder size and
+        // streaming splits that land mid-chunk.
+        let data: Vec<u8> = (0..1021u32)
+            .map(|i| (i.wrapping_mul(131) >> 3) as u8)
+            .collect();
+        for len in [0, 1, 7, 8, 9, 63, 64, 65, 1021] {
+            let slice = &data[..len];
+            let mut reference = 0xFFFF_FFFFu32;
+            for &b in slice {
+                reference =
+                    CRC_TABLES[0][((reference ^ b as u32) & 0xFF) as usize] ^ (reference >> 8);
+            }
+            assert_eq!(crc32(slice), reference ^ 0xFFFF_FFFF, "len {len}");
+            let mut streamed = Crc32::new();
+            let split = len / 3;
+            streamed.update(&slice[..split]);
+            streamed.update(&slice[split..]);
+            assert_eq!(streamed.finish(), crc32(slice), "split at {split} of {len}");
+        }
+    }
+
+    #[test]
+    fn stats_report_payload_bytes() {
+        let path = tmp("stats.snap");
+        let stats = sample(&path);
+        let ids = stats.sections.iter().find(|(n, _)| n == "ids").unwrap();
+        assert_eq!(ids.1, 16);
+        let s = Snapshot::open(&path).unwrap();
+        assert_eq!(s.total_bytes(), stats.total_bytes);
+        std::fs::remove_file(&path).ok();
+    }
+}

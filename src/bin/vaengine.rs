@@ -3,24 +3,33 @@
 //! ```text
 //! vaengine generate --flavour pubmed --size 4M --seed 7 --out ./corpus
 //! vaengine analyze  --input ./corpus --procs 8 --out coords.csv
+//! vaengine snapshot --input ./corpus --procs 8 --out engine.isnap
+//! vaengine query    --snapshot engine.isnap --search "heart attack"
 //! vaengine themeview --coords coords.csv --width 80 --height 30
 //! ```
 //!
 //! `analyze` ingests a directory of MEDLINE or TREC-format files (format
 //! sniffed per file), runs the full parallel pipeline on the requested
 //! number of simulated processors, writes the master's coordinate file,
-//! and prints the theme summary. `themeview` re-renders a saved
+//! and prints the theme summary; `--checkpoint-dir` adds per-stage
+//! checkpoints and `--resume` restarts a killed run from the last one.
+//! `snapshot` runs the same pipeline but persists every engine artifact
+//! into one checksummed snapshot file, which `query` then serves —
+//! boolean and ranked retrieval plus cluster/rectangle drill-downs —
+//! without re-running any pipeline stage. `themeview` re-renders a saved
 //! coordinate file as terrain.
 
 use std::path::{Path, PathBuf};
 use std::process::exit;
 use std::sync::Arc;
+use visual_analytics::engine::interact::{select_cluster, select_rect};
 use visual_analytics::engine::io::{read_coords_csv, write_coords_csv};
+use visual_analytics::engine::query::{self, Query};
 use visual_analytics::prelude::*;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  vaengine generate --flavour <pubmed|trec|newswire> --size <bytes[K|M]> [--seed N] --out <dir>\n  vaengine analyze --input <dir> [--procs N] [--clusters K] [--out coords.csv]\n  vaengine themeview --coords <coords.csv> [--width N] [--height N]"
+        "usage:\n  vaengine generate --flavour <pubmed|trec|newswire> --size <bytes[K|M]> [--seed N] --out <dir>\n  vaengine analyze --input <dir> [--procs N] [--clusters K] [--out coords.csv]\n                   [--checkpoint-dir <dir>] [--resume] [--snapshot-out <file.isnap>]\n  vaengine snapshot --input <dir> --out <file.isnap> [--procs N] [--clusters K]\n                    [--checkpoint-dir <dir>] [--resume]\n  vaengine query --snapshot <file.isnap> [--search \"free text\"] [--query \"a AND NOT title:b\"]\n                 [--term <term>] [--top N] [--cluster C] [--rect x0,y0,x1,y1]\n  vaengine themeview --coords <coords.csv> [--width N] [--height N]"
     );
     exit(2);
 }
@@ -38,6 +47,10 @@ impl Args {
 
     fn value_or<'a>(&'a self, flag: &str, default: &'a str) -> &'a str {
         self.value(flag).unwrap_or(default)
+    }
+
+    fn has(&self, flag: &str) -> bool {
+        self.0.iter().any(|a| a == flag)
     }
 }
 
@@ -63,6 +76,8 @@ fn main() {
     match cmd.as_str() {
         "generate" => generate(&args),
         "analyze" => analyze(&args),
+        "snapshot" => snapshot_cmd(&args),
+        "query" => query_cmd(&args),
         "themeview" => themeview_cmd(&args),
         _ => usage(),
     }
@@ -97,12 +112,7 @@ fn generate(args: &Args) {
     );
 }
 
-fn analyze(args: &Args) {
-    let Some(input) = args.value("--input") else {
-        usage()
-    };
-    let procs: usize = args.value_or("--procs", "8").parse().unwrap_or(8);
-    let out = PathBuf::from(args.value_or("--out", "coords.csv"));
+fn load_sources(input: &str) -> SourceSet {
     let sources = corpus::load::load_dir(Path::new(input)).unwrap_or_else(|e| {
         eprintln!("cannot load {input}: {e}");
         exit(1);
@@ -111,26 +121,24 @@ fn analyze(args: &Args) {
         eprintln!("no MEDLINE, TREC, or mbox format files found under {input}");
         exit(1);
     }
-    println!(
-        "loaded {} sources ({:.1} MB); analyzing on {procs} simulated processors…",
-        sources.sources.len(),
-        sources.total_bytes() as f64 / 1e6
-    );
-    let config = EngineConfig {
+    sources
+}
+
+/// Engine configuration from the shared `analyze`/`snapshot` flags.
+fn engine_config(args: &Args) -> EngineConfig {
+    EngineConfig {
         n_clusters: args
             .value("--clusters")
             .and_then(|v| v.parse().ok())
             .unwrap_or(12),
+        checkpoint_dir: args.value("--checkpoint-dir").map(PathBuf::from),
+        resume: args.has("--resume"),
+        snapshot_out: args.value("--snapshot-out").map(PathBuf::from),
         ..EngineConfig::default()
-    };
-    let run = run_engine(procs, Arc::new(CostModel::pnnl_2007()), &sources, &config);
-    let master = run.master();
-    let coords = master.coords.as_ref().expect("master coordinates");
-    write_coords_csv(&out, coords, master.all_assignments.as_deref()).unwrap_or_else(|e| {
-        eprintln!("cannot write {}: {e}", out.display());
-        exit(1);
-    });
+    }
+}
 
+fn print_themes(master: &EngineOutput) {
     println!(
         "\n{} documents, vocabulary {}, N={} major terms, M={} dimensions",
         master.summary.total_docs,
@@ -150,11 +158,208 @@ fn analyze(args: &Args) {
             );
         }
     }
+}
+
+fn print_snapshot_report(report: &SnapshotReport) {
+    println!(
+        "snapshot: {} bytes written in {:.3}s",
+        report.total_bytes, report.write_seconds
+    );
+    for (name, bytes) in &report.sections {
+        println!("  {name:<8} {bytes:>12} bytes");
+    }
+}
+
+fn analyze(args: &Args) {
+    let Some(input) = args.value("--input") else {
+        usage()
+    };
+    let procs: usize = args.value_or("--procs", "8").parse().unwrap_or(8);
+    let out = PathBuf::from(args.value_or("--out", "coords.csv"));
+    let sources = load_sources(input);
+    println!(
+        "loaded {} sources ({:.1} MB); analyzing on {procs} simulated processors…",
+        sources.sources.len(),
+        sources.total_bytes() as f64 / 1e6
+    );
+    let config = engine_config(args);
+    let run = run_engine(procs, Arc::new(CostModel::pnnl_2007()), &sources, &config);
+    let master = run.master();
+    let coords = master.coords.as_ref().expect("master coordinates");
+    write_coords_csv(&out, coords, master.all_assignments.as_deref()).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", out.display());
+        exit(1);
+    });
+
+    print_themes(master);
+    if let Some(report) = &master.snapshot_report {
+        print_snapshot_report(report);
+    }
     println!(
         "\nvirtual time: {:.1}s on {procs} procs of the modeled 2007 cluster",
         run.virtual_time
     );
     println!("coordinates written to {}", out.display());
+}
+
+fn snapshot_cmd(args: &Args) {
+    let Some(input) = args.value("--input") else {
+        usage()
+    };
+    let Some(out) = args.value("--out") else {
+        usage()
+    };
+    let procs: usize = args.value_or("--procs", "8").parse().unwrap_or(8);
+    let sources = load_sources(input);
+    println!(
+        "loaded {} sources ({:.1} MB); building snapshot on {procs} simulated processors…",
+        sources.sources.len(),
+        sources.total_bytes() as f64 / 1e6
+    );
+    let config = EngineConfig {
+        snapshot_out: Some(PathBuf::from(out)),
+        ..engine_config(args)
+    };
+    let run = run_engine(procs, Arc::new(CostModel::pnnl_2007()), &sources, &config);
+    let master = run.master();
+    print_themes(master);
+    let Some(report) = &master.snapshot_report else {
+        eprintln!("snapshot write failed; see warnings above");
+        exit(1);
+    };
+    print_snapshot_report(report);
+    println!("snapshot written to {out}");
+}
+
+fn query_cmd(args: &Args) {
+    let Some(path) = args.value("--snapshot") else {
+        usage()
+    };
+    let top: usize = args.value_or("--top", "10").parse().unwrap_or(10);
+    let started = std::time::Instant::now();
+    let snap = EngineSnapshot::open(Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("cannot load snapshot {path}: {e}");
+        exit(1);
+    });
+    let meta = snap.meta().clone();
+    println!(
+        "snapshot {path}: stage {:?}, {} docs, vocabulary {}, {} bytes, written at P={}",
+        meta.stage,
+        meta.total_docs,
+        meta.vocab_size,
+        snap.store().total_bytes(),
+        meta.nprocs,
+    );
+
+    // Serve on a single rank: queries read only partition-independent
+    // state, so any snapshot loads here regardless of its writer's P.
+    let rt = Runtime::new(Arc::new(CostModel::zero()));
+    let mut res = rt.run(1, |ctx| -> Result<(), String> {
+        let scan = snap.restore_scan(ctx).map_err(|e| e.to_string())?;
+        let index = if meta.stage >= Stage::Index {
+            Some(snap.restore_index(ctx).map_err(|e| e.to_string())?)
+        } else {
+            None
+        };
+        println!("loaded in {:.1} ms", started.elapsed().as_secs_f64() * 1e3);
+
+        let need_index = || -> Result<&visual_analytics::engine::index::InvertedIndex, String> {
+            index
+                .as_ref()
+                .ok_or_else(|| format!("stage {:?} snapshot has no inverted index", meta.stage))
+        };
+
+        if let Some(term) = args.value("--term") {
+            let posts = query::lookup(ctx, &scan, need_index()?, term);
+            let mut docs: Vec<u32> = posts.iter().map(|p| p.doc).collect();
+            docs.dedup();
+            println!(
+                "term {term:?}: {} postings in {} documents",
+                posts.len(),
+                docs.len()
+            );
+            for p in posts.iter().take(top) {
+                println!("  doc {:>7}  field {}  freq {}", p.doc, p.field, p.freq);
+            }
+        }
+
+        if let Some(expr) = args.value("--query") {
+            let parsed = Query::parse(expr).map_err(|e| format!("bad query {expr:?}: {e}"))?;
+            let docs = query::evaluate(ctx, &scan, need_index()?, &parsed);
+            println!("query {expr:?}: {} matching documents", docs.len());
+            for d in docs.iter().take(top) {
+                println!("  doc {d}");
+            }
+            if docs.len() > top {
+                println!("  … and {} more", docs.len() - top);
+            }
+        }
+
+        if let Some(text) = args.value("--search") {
+            let hits = query::search(ctx, &scan, need_index()?, text, top);
+            println!("search {text:?}: top {} of ranked hits", hits.len());
+            for h in &hits {
+                println!("  doc {:>7}  score {:.4}", h.doc, h.score);
+            }
+        }
+
+        let drill = args.value("--cluster").is_some() || args.value("--rect").is_some();
+        if drill {
+            if meta.stage != Stage::Final {
+                return Err(format!(
+                    "stage {:?} snapshot has no clustering/projection to drill into",
+                    meta.stage
+                ));
+            }
+            let output = snap.restore_output(ctx).map_err(|e| e.to_string())?;
+            let coords = output.coords.as_ref().expect("serving rank holds coords");
+            let assignments = output
+                .all_assignments
+                .as_ref()
+                .expect("serving rank holds assignments");
+            if let Some(c) = args.value("--cluster") {
+                let c: u32 = c.parse().map_err(|_| format!("bad cluster id {c:?}"))?;
+                let docs = select_cluster(assignments, c);
+                let label = output
+                    .cluster_labels
+                    .get(c as usize)
+                    .map(|l| l.join(", "))
+                    .unwrap_or_default();
+                println!("cluster {c} ({label}): {} documents", docs.len());
+                for d in docs.iter().take(top) {
+                    let (x, y) = coords[*d as usize];
+                    println!("  doc {d:>7}  ({x:.4}, {y:.4})");
+                }
+            }
+            if let Some(rect) = args.value("--rect") {
+                let parts: Vec<f64> = rect.split(',').filter_map(|v| v.parse().ok()).collect();
+                if parts.len() != 4 {
+                    return Err(format!("bad --rect {rect:?}, expected x0,y0,x1,y1"));
+                }
+                let (min, max) = (
+                    (parts[0].min(parts[2]), parts[1].min(parts[3])),
+                    (parts[0].max(parts[2]), parts[1].max(parts[3])),
+                );
+                let docs = select_rect(coords, min, max);
+                println!(
+                    "rect ({:.3},{:.3})–({:.3},{:.3}): {} documents",
+                    min.0,
+                    min.1,
+                    max.0,
+                    max.1,
+                    docs.len()
+                );
+                for d in docs.iter().take(top) {
+                    println!("  doc {d:>7}  cluster {}", assignments[*d as usize]);
+                }
+            }
+        }
+        Ok(())
+    });
+    if let Err(e) = res.results.remove(0) {
+        eprintln!("query failed: {e}");
+        exit(1);
+    }
 }
 
 fn themeview_cmd(args: &Args) {

@@ -56,7 +56,10 @@ pub mod prelude {
     pub use corpus::{CorpusSpec, CorpusStats, Flavour, SourceSet};
     pub use inspire_core::pipeline::{run_engine, EngineOutput, EngineRun};
     pub use inspire_core::seq::run_sequential;
-    pub use inspire_core::{Balancing, ClusterMethod, EngineConfig, Selection, Session, Theme};
+    pub use inspire_core::{
+        Balancing, ClusterMethod, EngineConfig, EngineSnapshot, Selection, Session, SnapshotReport,
+        Stage, Theme,
+    };
     pub use perfmodel::{ClusterSpec, CostModel, WorkloadScale};
     pub use spmd::{Component, Runtime};
     pub use themeview::{render_ascii, render_csv, render_pgm, Terrain};

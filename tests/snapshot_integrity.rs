@@ -1,0 +1,183 @@
+//! Snapshot integrity and serving-identity tests.
+//!
+//! Two guarantees from the snapshot subsystem are verified here from the
+//! outside, through the same public API `vaengine` uses:
+//!
+//! 1. **No silent corruption**: any single bit flip, any truncation, and
+//!    any appended garbage must turn a valid snapshot into a descriptive
+//!    load error — never a panic, never a partially loaded engine.
+//! 2. **Serving identity**: queries answered from a loaded snapshot are
+//!    byte-identical (document ids and score bits) to queries answered by
+//!    the freshly run in-memory pipeline, for snapshots written at both
+//!    P=1 and P=4.
+
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+use visual_analytics::engine::query::{self, Query};
+use visual_analytics::engine::snapshot::EngineSnapshot;
+use visual_analytics::engine::{index::invert, scan::scan};
+use visual_analytics::prelude::*;
+
+fn corpus() -> SourceSet {
+    CorpusSpec {
+        source_bytes: 8 * 1024,
+        ..CorpusSpec::pubmed(96 * 1024, 41)
+    }
+    .generate()
+}
+
+fn snapshot_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("va-integrity-{}-{tag}.isnap", std::process::id()))
+}
+
+/// One engine snapshot, built once and shared by the corruption tests.
+fn snapshot_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let path = snapshot_path("shared");
+        let cfg = EngineConfig {
+            snapshot_out: Some(path.clone()),
+            ..EngineConfig::for_testing()
+        };
+        run_engine(2, Arc::new(CostModel::zero()), &corpus(), &cfg);
+        let bytes = std::fs::read(&path).expect("snapshot written");
+        let _ = std::fs::remove_file(&path);
+        bytes
+    })
+}
+
+/// Loading `bytes` as an engine snapshot must fail with a descriptive
+/// `io::Error`, and must not panic.
+fn assert_rejected(bytes: &[u8], what: &str) {
+    let res = inspire_store::Snapshot::from_bytes(bytes, "corrupted")
+        .and_then(EngineSnapshot::from_store);
+    match res {
+        Ok(_) => panic!("{what}: corrupted snapshot was accepted"),
+        Err(e) => {
+            let msg = e.to_string();
+            assert!(
+                msg.contains("corrupted") && msg.len() > 12,
+                "{what}: error lacks context: {msg:?}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_single_bit_flip_is_rejected(pos_seed in 0u64.., bit in 0u8..8) {
+        let good = snapshot_bytes();
+        let pos = (pos_seed % good.len() as u64) as usize;
+        let mut bad = good.to_vec();
+        bad[pos] ^= 1 << bit;
+        assert_rejected(&bad, &format!("bit {bit} of byte {pos}"));
+    }
+
+    #[test]
+    fn any_truncation_is_rejected(len_seed in 0u64..) {
+        let good = snapshot_bytes();
+        let keep = (len_seed % good.len() as u64) as usize;
+        assert_rejected(&good[..keep], &format!("truncated to {keep} bytes"));
+    }
+
+    #[test]
+    fn appended_garbage_is_rejected(extra in prop::collection::vec(0u8..=255, 1..64)) {
+        let mut bad = snapshot_bytes().to_vec();
+        bad.extend_from_slice(&extra);
+        assert_rejected(&bad, &format!("{} garbage bytes appended", extra.len()));
+    }
+}
+
+#[test]
+fn the_pristine_snapshot_itself_loads() {
+    let snap = inspire_store::Snapshot::from_bytes(snapshot_bytes(), "pristine")
+        .and_then(EngineSnapshot::from_store)
+        .expect("uncorrupted snapshot loads");
+    assert_eq!(snap.meta().stage, Stage::Final);
+    assert_eq!(snap.meta().nprocs, 2);
+}
+
+/// Hits from `query::search` with doc id and raw score bits, plus the
+/// boolean-evaluation ids, gathered identically on every rank.
+type ServedAnswers = (Vec<(u32, u64)>, Vec<u32>);
+
+fn answer_queries(
+    ctx: &spmd::Ctx,
+    scan: &visual_analytics::engine::scan::ScanOutput,
+    index: &visual_analytics::engine::index::InvertedIndex,
+    free_text: &str,
+    boolean: &Query,
+) -> ServedAnswers {
+    let hits = query::search(ctx, scan, index, free_text, 20)
+        .into_iter()
+        .map(|h| (h.doc, h.score.to_bits()))
+        .collect();
+    let docs = query::evaluate(ctx, scan, index, boolean);
+    (hits, docs)
+}
+
+#[test]
+fn snapshot_served_queries_match_in_memory_pipeline() {
+    let src = corpus();
+    let cfg = EngineConfig::for_testing();
+    let zero = Arc::new(CostModel::zero());
+
+    // Pick query terms from the actual vocabulary (single-rank probe).
+    let (term_a, term_b) = {
+        let src = src.clone();
+        let cfg = cfg.clone();
+        let mut res = Runtime::new(zero.clone()).run(1, move |ctx| {
+            let s = scan(ctx, &src, &cfg);
+            let idx = invert(ctx, &s, &cfg);
+            let mut picks = (0..s.vocab_size())
+                .filter(|&t| idx.df[t] >= 4)
+                .map(|t| s.terms[t].to_string());
+            (picks.next().unwrap(), picks.next().unwrap())
+        });
+        res.results.remove(0)
+    };
+    let free_text = format!("{term_a} {term_b}");
+    let boolean = Query::parse(&format!("{term_a} OR title:{term_b}")).unwrap();
+
+    for p in [1usize, 4] {
+        // In-memory reference: scan + invert + query, no snapshot at all.
+        let reference: ServedAnswers = {
+            let (src, cfg, free_text, boolean) =
+                (src.clone(), cfg.clone(), free_text.clone(), boolean.clone());
+            let mut res = Runtime::new(zero.clone()).run(p, move |ctx| {
+                let s = scan(ctx, &src, &cfg);
+                let idx = invert(ctx, &s, &cfg);
+                answer_queries(ctx, &s, &idx, &free_text, &boolean)
+            });
+            res.results.remove(0)
+        };
+
+        // Snapshot route: run the engine at P, then serve on one rank.
+        let path = snapshot_path(&format!("serve-p{p}"));
+        let _ = std::fs::remove_file(&path);
+        let snap_cfg = EngineConfig {
+            snapshot_out: Some(path.clone()),
+            ..cfg.clone()
+        };
+        run_engine(p, zero.clone(), &src, &snap_cfg);
+        let snap = EngineSnapshot::open(&path).expect("snapshot loads");
+        assert_eq!(snap.meta().nprocs, p);
+        let served: ServedAnswers = {
+            let (free_text, boolean) = (free_text.clone(), boolean.clone());
+            let mut res = Runtime::new(zero.clone()).run(1, move |ctx| {
+                let s = snap.restore_scan(ctx).expect("scan restores");
+                let idx = snap.restore_index(ctx).expect("index restores");
+                answer_queries(ctx, &s, &idx, &free_text, &boolean)
+            });
+            res.results.remove(0)
+        };
+
+        assert_eq!(
+            served, reference,
+            "P={p}: snapshot-served answers diverge from the in-memory run"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}
