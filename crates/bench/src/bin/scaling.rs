@@ -26,6 +26,11 @@
 //! report shows how much faster serving from a snapshot is than
 //! re-running the pipeline on the same corpus.
 //!
+//! An `imbalance` section profiles one P=4 full-pipeline run on the
+//! modeled cluster through the engine's run report: per-stage busy-time
+//! imbalance across ranks, collective wait share, and the stage holding
+//! the largest critical-path share (Figure 9's load-balance view).
+//!
 //! Output: `results/BENCH_intra_rank_scaling_<unix-ts>.json` plus an
 //! append-only row in `results/scaling_history.md`.
 
@@ -159,6 +164,7 @@ fn main() {
 
     let comm = comm_run(&src, &cfg);
     let snap_bench = snapshot_run(&src, &cfg);
+    let imbalance = imbalance_run(&src, &cfg);
     // Compare against the newest prior BENCH JSON of the same shape, if
     // one exists, so the JSON records the measured wall-clock delta.
     let baseline_wall_s_1 = previous_wall1(smoke);
@@ -200,6 +206,11 @@ fn main() {
         snap_bench.pipeline_wall_s,
         snap_bench.load_speedup()
     );
+    println!(
+        "imbalance @P={IMBALANCE_PROCS}: max {:.1}% busy-time spread, critical-path stage {}",
+        imbalance.max_imbalance_pct(),
+        imbalance.critical_path_stage().unwrap_or("-")
+    );
 
     let ts = SystemTime::now()
         .duration_since(UNIX_EPOCH)
@@ -219,6 +230,7 @@ fn main() {
             &widths,
             &comm,
             &snap_bench,
+            &imbalance,
             baseline_wall_s_1,
             wall_clock_improvement,
         ),
@@ -226,7 +238,15 @@ fn main() {
     .expect("write BENCH json");
     println!("wrote {}", json_path.display());
 
-    append_history(ts, smoke, corpus_bytes, docs, host_cpus, &widths);
+    append_history(
+        ts,
+        smoke,
+        corpus_bytes,
+        docs,
+        host_cpus,
+        &widths,
+        &imbalance,
+    );
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<usize> {
@@ -326,6 +346,18 @@ fn snapshot_run(src: &corpus::SourceSet, cfg: &EngineConfig) -> SnapshotBench {
     }
 }
 
+/// Processor count of the load-imbalance profile run.
+const IMBALANCE_PROCS: usize = 4;
+
+/// One full-pipeline run at P=4 on the modeled 2007 cluster, folded into
+/// the engine's structured run report: per-stage busy-time imbalance,
+/// collective wait share, and critical-path attribution.
+fn imbalance_run(src: &corpus::SourceSet, cfg: &EngineConfig) -> inspire_trace::RunReport {
+    let t0 = Instant::now();
+    let run = run_engine(IMBALANCE_PROCS, Arc::new(CostModel::pnnl_2007()), src, cfg);
+    inspire_core::build_run_report("scaling-imbalance", &run.run, t0.elapsed().as_secs_f64())
+}
+
 /// `wall_s_median` at width 1 from the newest prior BENCH JSON with the
 /// same smoke flag, if any. Field-level scrape — no JSON parser offline.
 fn previous_wall1(smoke: bool) -> Option<f64> {
@@ -381,6 +413,7 @@ fn to_json(
     widths: &[WidthResult],
     comm: &CommReport,
     snap: &SnapshotBench,
+    imbalance: &inspire_trace::RunReport,
     baseline_wall_s_1: Option<f64>,
     wall_clock_improvement: Option<f64>,
 ) -> String {
@@ -449,6 +482,44 @@ fn to_json(
     }
     s.push_str("    }\n");
     s.push_str("  },\n");
+    s.push_str("  \"imbalance\": {\n");
+    s.push_str(&format!("    \"procs\": {IMBALANCE_PROCS},\n"));
+    s.push_str(&format!(
+        "    \"virtual_time_s\": {:.6},\n",
+        imbalance.virtual_time_s
+    ));
+    s.push_str(&format!(
+        "    \"critical_path_s\": {:.6},\n",
+        imbalance.critical_path_s()
+    ));
+    s.push_str(&format!(
+        "    \"critical_path_stage\": \"{}\",\n",
+        imbalance.critical_path_stage().unwrap_or("")
+    ));
+    s.push_str(&format!(
+        "    \"max_imbalance_pct\": {:.4},\n",
+        imbalance.max_imbalance_pct()
+    ));
+    s.push_str("    \"stages\": [\n");
+    for (i, row) in imbalance.stages.iter().enumerate() {
+        s.push_str(&format!(
+            "      {{\"name\": \"{}\", \"busy_max_s\": {:.6}, \"busy_min_s\": {:.6}, \
+             \"wait_max_s\": {:.6}, \"imbalance_pct\": {:.4}, \"wait_share_pct\": {:.4}}}{}\n",
+            row.name,
+            row.busy_max_s,
+            row.busy_min_s,
+            row.wait_max_s,
+            row.imbalance_pct(),
+            row.wait_share_pct(),
+            if i + 1 < imbalance.stages.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    s.push_str("    ]\n");
+    s.push_str("  },\n");
     s.push_str("  \"widths\": [\n");
     for (i, w) in widths.iter().enumerate() {
         s.push_str(&format!(
@@ -474,6 +545,7 @@ fn append_history(
     docs: u32,
     host_cpus: usize,
     widths: &[WidthResult],
+    imbalance: &inspire_trace::RunReport,
 ) {
     use std::io::Write;
     let path = results_dir().join("scaling_history.md");
@@ -488,16 +560,16 @@ fn append_history(
         writeln!(f).unwrap();
         writeln!(
             f,
-            "| date (utc) | smoke | corpus_bytes | docs | host_cpus | wall_s@1 | wall_s@max | measured_x@max | projected_x@max |"
+            "| date (utc) | smoke | corpus_bytes | docs | host_cpus | wall_s@1 | wall_s@max | measured_x@max | projected_x@max | imbal%@4 | crit_stage |"
         )
         .unwrap();
-        writeln!(f, "|---|---|---|---|---|---|---|---|---|").unwrap();
+        writeln!(f, "|---|---|---|---|---|---|---|---|---|---|---|").unwrap();
     }
     let first = widths.first().expect("at least width 1");
     let last = widths.last().expect("at least width 1");
     writeln!(
         f,
-        "| {} | {} | {} | {} | {} | {:.4} | {:.4} | {:.2} | {:.2} |",
+        "| {} | {} | {} | {} | {} | {:.4} | {:.4} | {:.2} | {:.2} | {:.1} | {} |",
         utc_date(ts),
         smoke,
         corpus_bytes,
@@ -507,6 +579,8 @@ fn append_history(
         last.wall_s_median,
         last.measured_speedup,
         last.projected_speedup,
+        imbalance.max_imbalance_pct(),
+        imbalance.critical_path_stage().unwrap_or("-"),
     )
     .unwrap();
     println!("appended {}", path.display());

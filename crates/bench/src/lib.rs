@@ -192,7 +192,7 @@ impl RunRecord {
             nominal_gb: ds.nominal_gb,
             procs,
             minutes: run.virtual_time / 60.0,
-            component_seconds: run.components.seconds,
+            component_seconds: run.components.seconds.into_values(),
             index_rank_seconds: master.summary.load.iter().map(|l| l.seconds).collect(),
             vocab_size: master.summary.vocab_size,
             total_docs: master.summary.total_docs,

@@ -95,6 +95,10 @@ pub struct EngineConfig {
     /// When set, write the complete engine output as a single-file
     /// snapshot (servable by `vaengine query --snapshot`) at this path.
     pub snapshot_out: Option<PathBuf>,
+    /// Record per-rank stage/collective spans for Chrome trace-event
+    /// export (`vaengine analyze --trace-out`). Off by default; tracing
+    /// only reads clocks, so engine output is identical either way.
+    pub trace: bool,
 }
 
 impl Default for EngineConfig {
@@ -120,6 +124,7 @@ impl Default for EngineConfig {
             checkpoint_dir: None,
             resume: false,
             snapshot_out: None,
+            trace: false,
         }
     }
 }

@@ -48,6 +48,7 @@ pub mod linalg;
 pub mod pipeline;
 pub mod project;
 pub mod query;
+pub mod report;
 pub mod scan;
 pub mod seq;
 pub mod session;
@@ -58,6 +59,7 @@ pub mod topicality;
 
 pub use config::{Balancing, ClusterMethod, EngineConfig};
 pub use pipeline::{Engine, EngineOutput, EngineSummary};
+pub use report::build_run_report;
 pub use session::{Selection, Session, Theme};
 pub use snapshot::{EngineSnapshot, SnapshotReport, Stage};
 

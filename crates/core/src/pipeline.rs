@@ -94,13 +94,17 @@ impl Engine {
         };
         if ctx.rank() == 0 {
             if let Err(e) = std::fs::create_dir_all(dir) {
-                eprintln!("warning: cannot create {}: {e}", dir.display());
+                inspire_trace::log_warn!(ctx.rank(), "cannot create {}: {e}", dir.display());
             }
         }
         let path = snapshot::checkpoint_path(dir, stage);
         if let Err(e) = write_engine_snapshot(ctx, &path, inp) {
             if ctx.rank() == 0 {
-                eprintln!("warning: checkpoint write {} failed: {e}", path.display());
+                inspire_trace::log_warn!(
+                    ctx.rank(),
+                    "checkpoint write {} failed: {e}",
+                    path.display()
+                );
             }
         }
     }
@@ -142,7 +146,7 @@ impl Engine {
         let corpus_fp = corpus_fingerprint(sources);
         let warn0 = |what: &str, e: &std::io::Error| {
             if ctx.rank() == 0 {
-                eprintln!("warning: {what} ({e}); recomputing");
+                inspire_trace::log_warn!(ctx.rank(), "{what} ({e}); recomputing");
             }
         };
 
@@ -319,7 +323,11 @@ impl Engine {
                 Ok(report) => snapshot_report = report,
                 Err(e) => {
                     if ctx.rank() == 0 {
-                        eprintln!("warning: snapshot write {} failed: {e}", path.display());
+                        inspire_trace::log_warn!(
+                            ctx.rank(),
+                            "snapshot write {} failed: {e}",
+                            path.display()
+                        );
                     }
                 }
             }
@@ -411,7 +419,9 @@ pub fn run_engine(
     sources: &SourceSet,
     config: &EngineConfig,
 ) -> EngineRun {
-    let rt = Runtime::new(model).with_threads_per_rank(config.threads_per_rank);
+    let rt = Runtime::new(model)
+        .with_threads_per_rank(config.threads_per_rank)
+        .with_tracing(config.trace);
     let engine = Engine::new(config.clone());
     let mut outputs: Vec<Option<EngineOutput>> = Vec::new();
     let res = rt.run(nprocs, |ctx| engine.run(ctx, sources));
@@ -425,6 +435,7 @@ pub fn run_engine(
         clocks: res.clocks,
         timers: res.timers,
         stats: res.stats,
+        traces: res.traces,
     };
     EngineRun {
         outputs: outputs.into_iter().map(|o| o.unwrap()).collect(),

@@ -1,0 +1,134 @@
+//! Folding a finished SPMD run into a structured
+//! [`RunReport`](inspire_trace::RunReport).
+//!
+//! The runtime already collects everything the report needs — per-rank
+//! component timers (virtual, wall, and collective-wait seconds), comm
+//! counters, and final clocks. This module reduces those per-rank vectors
+//! into the per-stage rows the report renders: cross-rank max/min/sum of
+//! virtual time (imbalance), slowest-rank wall time, and wait-time
+//! attribution, in the paper's component order.
+
+use inspire_trace::report::{CommTotals, RunReport, StageRow};
+use spmd::timer::Component;
+use spmd::RunResult;
+
+/// Build a run report from any finished [`RunResult`]. `wall_time_s` is
+/// the host wall clock for the whole run (the runtime's threads share
+/// one epoch, so the caller measures around `Runtime::run`).
+///
+/// The `meta` vector is seeded with the processor count; callers append
+/// their own context (corpus size, model name, …) and attach query
+/// summaries before rendering.
+pub fn build_run_report<R>(title: &str, res: &RunResult<R>, wall_time_s: f64) -> RunReport {
+    let nprocs = res.timers.len();
+    let mut stages = Vec::with_capacity(Component::COUNT);
+    for c in Component::ALL {
+        let mut row = StageRow {
+            name: c.label().to_string(),
+            virt_min_s: f64::INFINITY,
+            busy_min_s: f64::INFINITY,
+            ..StageRow::default()
+        };
+        for t in &res.timers {
+            let v = t.get(c);
+            row.virt_max_s = row.virt_max_s.max(v);
+            row.virt_min_s = row.virt_min_s.min(v);
+            row.virt_sum_s += v;
+            row.wall_max_s = row.wall_max_s.max(t.get_wall(c));
+            let w = t.get_wait(c);
+            row.wait_max_s = row.wait_max_s.max(w);
+            row.wait_sum_s += w;
+            // Elapsed virtual time is collective-synchronized; busy time
+            // (elapsed minus wait) is where ranks actually differ.
+            let b = (v - w).max(0.0);
+            row.busy_max_s = row.busy_max_s.max(b);
+            row.busy_min_s = row.busy_min_s.min(b);
+        }
+        if !row.virt_min_s.is_finite() {
+            row.virt_min_s = 0.0;
+        }
+        if !row.busy_min_s.is_finite() {
+            row.busy_min_s = 0.0;
+        }
+        stages.push(row);
+    }
+    let totals = res.total_stats();
+    let bytes = totals.one_sided_bytes
+        + totals.local_bytes
+        + totals.collective_bytes
+        + 8 * totals.remote_atomics;
+    RunReport {
+        title: title.to_string(),
+        meta: vec![("nprocs".to_string(), nprocs.to_string())],
+        virtual_time_s: res.virtual_time(),
+        wall_time_s,
+        stages,
+        comm: CommTotals {
+            messages: totals.total_msgs(),
+            bytes,
+        },
+        queries: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::pipeline::run_engine;
+    use corpus::CorpusSpec;
+    use spmd::CostModel;
+    use std::sync::Arc;
+
+    #[test]
+    fn report_covers_an_engine_run() {
+        let sources = CorpusSpec {
+            source_bytes: 8 * 1024,
+            ..CorpusSpec::pubmed(192 * 1024, 23)
+        }
+        .generate();
+        let config = EngineConfig::for_testing();
+        let run = run_engine(4, Arc::new(CostModel::pnnl_2007()), &sources, &config);
+        let report = build_run_report("pipeline", &run.run, 0.5);
+
+        assert_eq!(report.stages.len(), Component::COUNT);
+        assert_eq!(report.meta[0], ("nprocs".to_string(), "4".to_string()));
+        assert!(report.virtual_time_s > 0.0);
+        // Stage maxima agree with the run's critical-path component times.
+        for (row, c) in report.stages.iter().zip(Component::ALL) {
+            assert_eq!(row.name, c.label());
+            assert!((row.virt_max_s - run.components.get(c)).abs() < 1e-12);
+            assert!(row.virt_min_s <= row.virt_max_s);
+            assert!(row.virt_sum_s >= row.virt_max_s);
+            assert!(row.busy_min_s <= row.busy_max_s);
+            assert!(row.busy_max_s <= row.virt_max_s + 1e-12);
+        }
+        // Busy time actually varies across ranks in at least one stage.
+        assert!(report
+            .stages
+            .iter()
+            .any(|s| s.busy_max_s > s.busy_min_s + 1e-12));
+        // The pipeline is collective-heavy: some stage accrued wait.
+        assert!(report.stages.iter().any(|s| s.wait_sum_s > 0.0));
+        assert!(report.comm.messages > 0);
+        assert!(report.comm.bytes > 0);
+        // Critical path share sums to ~100 and the JSON round-trips.
+        let doc = inspire_trace::json::parse(&report.to_json()).expect("report JSON parses");
+        let rows = doc.get("stages").unwrap().as_arr().unwrap();
+        let share: f64 = rows
+            .iter()
+            .map(|r| r.get("critical_share_pct").unwrap().as_f64().unwrap())
+            .sum();
+        assert!((share - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_run_reports_zeroes() {
+        let rt = spmd::Runtime::for_testing();
+        let res = rt.run(2, |_ctx| ());
+        let report = build_run_report("noop", &res, 0.0);
+        assert_eq!(report.virtual_time_s, 0.0);
+        assert_eq!(report.max_imbalance_pct(), 0.0);
+        assert!(report.stages.iter().all(|s| s.virt_min_s == 0.0));
+    }
+}

@@ -5,9 +5,11 @@ use crate::pool::IntraPool;
 use crate::rendezvous::Rendezvous;
 use crate::stats::CommStats;
 use crate::timer::{Component, Timers};
+use inspire_trace::span::{Phase, RankTrace, SpanRecorder};
 use perfmodel::{CostModel, WorkKind};
 use std::cell::Cell;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Reduction operators for the numeric allreduce helpers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +44,8 @@ pub struct Ctx {
     pub stats: CommStats,
     /// Component time attribution.
     pub timers: Timers,
+    /// Span recorder (disabled unless the runtime enables tracing).
+    trace: SpanRecorder,
     /// Intra-rank worker pool for pure per-chunk parallelism.
     pool: IntraPool,
 }
@@ -53,6 +57,7 @@ impl Ctx {
         model: Arc<CostModel>,
         shared: Arc<SharedState>,
         threads_per_rank: usize,
+        trace: SpanRecorder,
     ) -> Self {
         Ctx {
             rank,
@@ -63,6 +68,7 @@ impl Ctx {
             pressure: Cell::new(1.0),
             stats: CommStats::new(),
             timers: Timers::new(),
+            trace,
             pool: IntraPool::new(threads_per_rank),
         }
     }
@@ -178,14 +184,53 @@ impl Ctx {
         }
     }
 
+    /// Is span tracing enabled for this run?
+    pub fn tracing(&self) -> bool {
+        self.trace.enabled()
+    }
+
+    /// Record a span-begin at the current virtual time. A no-op unless
+    /// the runtime enabled tracing; never touches the clock.
+    #[inline]
+    pub fn trace_begin(&self, cat: &'static str, name: &'static str) {
+        self.trace.record(cat, name, Phase::Begin, self.now());
+    }
+
+    /// Record a span-end at the current virtual time.
+    #[inline]
+    pub fn trace_end(&self, cat: &'static str, name: &'static str) {
+        self.trace.record(cat, name, Phase::End, self.now());
+    }
+
+    /// Record a point event at the current virtual time.
+    #[inline]
+    pub fn trace_instant(&self, cat: &'static str, name: &'static str) {
+        self.trace.record(cat, name, Phase::Instant, self.now());
+    }
+
+    /// Drain this rank's recorded events (used by the runtime at the end
+    /// of a run).
+    pub(crate) fn take_trace(&self) -> RankTrace {
+        self.trace.take(self.rank)
+    }
+
     /// Run `f` attributing its virtual-time delta to `component` and its
-    /// charged communication to the component's per-stage counters.
+    /// charged communication to the component's per-stage counters. The
+    /// stage's host wall time is measured as well (observational only),
+    /// and when tracing is on the stage is bracketed by a span.
     pub fn component<R>(&self, component: Component, f: impl FnOnce() -> R) -> R {
         let start = self.now();
+        let wall_start = Instant::now();
         let prev = self.stats.set_stage(component);
+        self.trace
+            .record("stage", component.label(), Phase::Begin, start);
         let out = f();
+        self.trace
+            .record("stage", component.label(), Phase::End, self.now());
         self.stats.set_stage(prev);
         self.timers.accrue(component, self.now() - start);
+        self.timers
+            .accrue_wall(component, wall_start.elapsed().as_secs_f64());
         out
     }
 
@@ -194,19 +239,42 @@ impl Ctx {
     // the same order, with compatible types.
     // ---------------------------------------------------------------
 
+    /// Bookkeeping at collective entry: count the payload, open the trace
+    /// span, and return the entry clock for wait attribution.
+    #[inline]
+    fn enter_collective(&self, name: &'static str, bytes: u64) -> f64 {
+        self.stats.record_collective(bytes);
+        let entry = self.now();
+        self.trace.record("collective", name, Phase::Begin, entry);
+        entry
+    }
+
+    /// Bookkeeping at collective exit: the gap between entering the
+    /// rendezvous and departing it — peer skew plus the modeled transfer
+    /// cost — is this rank's wait, attributed to the active pipeline
+    /// stage. Only reads and sets the clock the rendezvous already
+    /// computed, so tracing cannot perturb virtual time.
+    #[inline]
+    fn leave_collective(&self, name: &'static str, entry: f64, departed: f64) {
+        self.timers
+            .accrue_wait(self.stats.stage(), departed - entry);
+        self.clock.set(departed);
+        self.trace.record("collective", name, Phase::End, departed);
+    }
+
     /// Synchronize all ranks; clocks advance to the latest participant plus
     /// the modeled barrier cost.
     pub fn barrier(&self) {
         let p = self.nprocs;
         let cost = self.model.barrier(p);
-        self.stats.record_collective(0);
+        let entry = self.enter_collective("barrier", 0);
         let (_r, clock) =
             self.shared
                 .rendezvous
-                .round(self.rank, (), self.now(), move |_vals: Vec<()>, mx| {
+                .round(self.rank, (), entry, move |_vals: Vec<()>, mx| {
                     ((), mx + cost)
                 });
-        self.clock.set(clock);
+        self.leave_collective("barrier", entry, clock);
     }
 
     /// Broadcast from `root`. The root passes `Some(value)`, everyone else
@@ -222,17 +290,17 @@ impl Ctx {
             "exactly the root must supply the broadcast value"
         );
         let cost = self.model.broadcast(self.nprocs, bytes);
-        self.stats.record_collective(bytes);
+        let entry = self.enter_collective("broadcast", bytes);
         let (res, clock) = self.shared.rendezvous.round(
             self.rank,
             value,
-            self.now(),
+            entry,
             move |mut vals: Vec<Option<T>>, mx| {
                 let v = vals[root].take().expect("root deposited a value");
                 (v, mx + cost)
             },
         );
-        self.clock.set(clock);
+        self.leave_collective("broadcast", entry, clock);
         (*res).clone()
     }
 
@@ -246,11 +314,11 @@ impl Ctx {
         // (already scaled) is what grows with the nominal workload.
         let flops = value.len() as u64 * (self.nprocs.max(1) as u64 - 1);
         self.charge_fixed(WorkKind::Flops, flops);
-        self.stats.record_collective(bytes);
+        let entry = self.enter_collective("allreduce", bytes);
         let (res, clock) = self.shared.rendezvous.round(
             self.rank,
             value,
-            self.now(),
+            entry,
             move |vals: Vec<Vec<f64>>, mx| {
                 let mut it = vals.into_iter();
                 let mut acc = it.next().expect("at least one rank");
@@ -267,7 +335,7 @@ impl Ctx {
                 (acc, mx + cost)
             },
         );
-        self.clock.set(clock);
+        self.leave_collective("allreduce", entry, clock);
         (*res).clone()
     }
 
@@ -277,11 +345,11 @@ impl Ctx {
         let cost = self.model.allreduce(self.nprocs, bytes);
         let flops = value.len() as u64 * (self.nprocs.max(1) as u64 - 1);
         self.charge_fixed(WorkKind::Flops, flops);
-        self.stats.record_collective(bytes);
+        let entry = self.enter_collective("allreduce", bytes);
         let (res, clock) = self.shared.rendezvous.round(
             self.rank,
             value,
-            self.now(),
+            entry,
             move |vals: Vec<Vec<u64>>, mx| {
                 let mut it = vals.into_iter();
                 let mut acc = it.next().expect("at least one rank");
@@ -298,7 +366,7 @@ impl Ctx {
                 (acc, mx + cost)
             },
         );
-        self.clock.set(clock);
+        self.leave_collective("allreduce", entry, clock);
         (*res).clone()
     }
 
@@ -318,14 +386,14 @@ impl Ctx {
         T: Clone + Send + Sync + 'static,
     {
         let cost = self.model.allgather(self.nprocs, bytes_per_rank);
-        self.stats.record_collective(bytes_per_rank);
+        let entry = self.enter_collective("allgather", bytes_per_rank);
         let (res, clock) =
             self.shared
                 .rendezvous
-                .round(self.rank, value, self.now(), move |vals: Vec<T>, mx| {
+                .round(self.rank, value, entry, move |vals: Vec<T>, mx| {
                     (vals, mx + cost)
                 });
-        self.clock.set(clock);
+        self.leave_collective("allgather", entry, clock);
         (*res).clone()
     }
 
@@ -338,14 +406,14 @@ impl Ctx {
     {
         assert!(root < self.nprocs, "gather root out of range");
         let cost = self.model.gather(self.nprocs, bytes_per_rank);
-        self.stats.record_collective(bytes_per_rank);
+        let entry = self.enter_collective("gather", bytes_per_rank);
         let (res, clock) =
             self.shared
                 .rendezvous
-                .round(self.rank, value, self.now(), move |vals: Vec<T>, mx| {
+                .round(self.rank, value, entry, move |vals: Vec<T>, mx| {
                     (vals, mx + cost)
                 });
-        self.clock.set(clock);
+        self.leave_collective("gather", entry, clock);
         if self.rank == root {
             Some((*res).clone())
         } else {
@@ -361,14 +429,14 @@ impl Ctx {
     {
         assert!(root < self.nprocs, "gather root out of range");
         let cost = self.model.gather_data(self.nprocs, bytes_per_rank);
-        self.stats.record_collective(bytes_per_rank);
+        let entry = self.enter_collective("gather_data", bytes_per_rank);
         let (res, clock) =
             self.shared
                 .rendezvous
-                .round(self.rank, value, self.now(), move |vals: Vec<T>, mx| {
+                .round(self.rank, value, entry, move |vals: Vec<T>, mx| {
                     (vals, mx + cost)
                 });
-        self.clock.set(clock);
+        self.leave_collective("gather_data", entry, clock);
         if self.rank == root {
             Some((*res).clone())
         } else {
@@ -400,16 +468,15 @@ impl Ctx {
     {
         assert_eq!(send.len(), self.nprocs, "alltoall needs one item per rank");
         let cost = self.model.alltoall(self.nprocs, bytes_per_pair);
-        self.stats
-            .record_collective(bytes_per_pair * self.nprocs as u64);
+        let entry = self.enter_collective("alltoall", bytes_per_pair * self.nprocs as u64);
         let me = self.rank;
-        let (res, clock) = self.shared.rendezvous.round(
-            self.rank,
-            send,
-            self.now(),
-            move |mats: Vec<Vec<T>>, mx| (mats, mx + cost),
-        );
-        self.clock.set(clock);
+        let (res, clock) =
+            self.shared
+                .rendezvous
+                .round(self.rank, send, entry, move |mats: Vec<Vec<T>>, mx| {
+                    (mats, mx + cost)
+                });
+        self.leave_collective("alltoall", entry, clock);
         // Transpose: my inbox is column `me`.
         res.iter().map(|row| row[me].clone()).collect()
     }
@@ -428,13 +495,13 @@ impl Ctx {
         let cost = self.model.reduce_scatter(self.nprocs, total_bytes);
         let flops = value.len() as u64 * (self.nprocs.max(1) as u64 - 1);
         self.charge_fixed(WorkKind::Flops, flops);
-        self.stats.record_collective(total_bytes);
+        let entry = self.enter_collective("reduce_scatter", total_bytes);
         let p = self.nprocs;
         let me = self.rank;
         let (res, clock) = self.shared.rendezvous.round(
             self.rank,
             value,
-            self.now(),
+            entry,
             move |vals: Vec<Vec<f64>>, mx| {
                 let mut it = vals.into_iter();
                 let mut acc = it.next().expect("at least one rank");
@@ -450,7 +517,7 @@ impl Ctx {
                 (blocks, mx + cost)
             },
         );
-        self.clock.set(clock);
+        self.leave_collective("reduce_scatter", entry, clock);
         res[me].clone()
     }
 }

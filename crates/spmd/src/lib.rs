@@ -26,6 +26,11 @@
 //!   while collectives, clocks and timers stay on the rank thread. Chunk
 //!   boundaries are width-independent, so results are bit-identical at
 //!   any `threads_per_rank` (see [`Runtime::with_threads_per_rank`]).
+//! * With [`Runtime::with_tracing`], each rank records stage and
+//!   collective spans into an `inspire-trace` ring buffer (stamped with
+//!   both virtual and wall clocks) that [`RunResult::traces`] exposes for
+//!   Chrome trace-event export. Recording only *reads* clocks — engine
+//!   output is bit-identical with tracing on or off.
 //!
 //! The wall-clock/virtual-clock split is the substitution documented in
 //! DESIGN.md §2: the machine running this reproduction has a single core,
@@ -45,6 +50,6 @@ pub use gate::VirtualGate;
 pub use pool::IntraPool;
 pub use runtime::{RunResult, Runtime};
 pub use stats::CommStats;
-pub use timer::{Component, Timers};
+pub use timer::{Component, PerStage, Timers};
 
 pub use perfmodel::{CostModel, WorkKind};

@@ -5,8 +5,10 @@ use crate::ctx::{Ctx, SharedState};
 use crate::rendezvous::Rendezvous;
 use crate::stats::CommStatsSnapshot;
 use crate::timer::TimerSnapshot;
+use inspire_trace::span::{RankTrace, SpanRecorder};
 use perfmodel::CostModel;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Outcome of one SPMD execution.
 #[derive(Debug)]
@@ -19,6 +21,9 @@ pub struct RunResult<R> {
     pub timers: Vec<TimerSnapshot>,
     /// Per-rank communication statistics.
     pub stats: Vec<CommStatsSnapshot>,
+    /// Per-rank recorded spans, indexed by rank; empty unless the runtime
+    /// was built [`Runtime::with_tracing`].
+    pub traces: Vec<RankTrace>,
 }
 
 impl<R> RunResult<R> {
@@ -46,6 +51,8 @@ impl<R> RunResult<R> {
 pub struct Runtime {
     model: Arc<CostModel>,
     threads_per_rank: usize,
+    tracing: bool,
+    trace_capacity: usize,
 }
 
 impl Runtime {
@@ -53,6 +60,8 @@ impl Runtime {
         Runtime {
             model,
             threads_per_rank: 1,
+            tracing: false,
+            trace_capacity: inspire_trace::span::DEFAULT_CAPACITY,
         }
     }
 
@@ -74,6 +83,26 @@ impl Runtime {
     /// Intra-rank pool width ranks will be given.
     pub fn threads_per_rank(&self) -> usize {
         self.threads_per_rank
+    }
+
+    /// Record stage and collective spans on every rank, exposed through
+    /// [`RunResult::traces`]. Off by default; recording only reads the
+    /// virtual clock, so results are bit-identical either way.
+    pub fn with_tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
+        self
+    }
+
+    /// Cap the per-rank span ring at `events` entries (oldest dropped
+    /// beyond it). Only meaningful together with [`Runtime::with_tracing`].
+    pub fn with_trace_capacity(mut self, events: usize) -> Self {
+        self.trace_capacity = events;
+        self
+    }
+
+    /// Is span tracing enabled?
+    pub fn tracing(&self) -> bool {
+        self.tracing
     }
 
     pub fn model(&self) -> &Arc<CostModel> {
@@ -109,47 +138,65 @@ impl Runtime {
 
         let model = &self.model;
         let threads_per_rank = self.threads_per_rank;
+        let tracing = self.tracing;
+        let trace_capacity = self.trace_capacity;
+        // One epoch per run so wall stamps align across rank lanes.
+        let epoch = Instant::now();
         let f = &f;
-        let outputs: Vec<(R, f64, TimerSnapshot, CommStatsSnapshot)> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..nprocs)
-                    .map(|rank| {
-                        let shared = shared.clone();
-                        let model = model.clone();
-                        scope.spawn(move || {
-                            let _guard = PoisonOnPanic {
-                                shared: shared.clone(),
-                            };
-                            let ctx = Ctx::new(rank, nprocs, model, shared, threads_per_rank);
-                            let out = f(&ctx);
-                            (out, ctx.now(), ctx.timers.snapshot(), ctx.stats.snapshot())
-                        })
+        type RankOutput<R> = (R, f64, TimerSnapshot, CommStatsSnapshot, RankTrace);
+        let outputs: Vec<RankOutput<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..nprocs)
+                .map(|rank| {
+                    let shared = shared.clone();
+                    let model = model.clone();
+                    scope.spawn(move || {
+                        let _guard = PoisonOnPanic {
+                            shared: shared.clone(),
+                        };
+                        let trace = if tracing {
+                            SpanRecorder::enabled_with(epoch, trace_capacity)
+                        } else {
+                            SpanRecorder::disabled()
+                        };
+                        let ctx = Ctx::new(rank, nprocs, model, shared, threads_per_rank, trace);
+                        let out = f(&ctx);
+                        (
+                            out,
+                            ctx.now(),
+                            ctx.timers.snapshot(),
+                            ctx.stats.snapshot(),
+                            ctx.take_trace(),
+                        )
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| match h.join() {
-                        Ok(v) => v,
-                        Err(e) => std::panic::resume_unwind(e),
-                    })
-                    .collect()
-            });
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(e) => std::panic::resume_unwind(e),
+                })
+                .collect()
+        });
 
         let mut results = Vec::with_capacity(nprocs);
         let mut clocks = Vec::with_capacity(nprocs);
         let mut timers = Vec::with_capacity(nprocs);
         let mut stats = Vec::with_capacity(nprocs);
-        for (r, c, t, s) in outputs {
+        let mut traces = Vec::with_capacity(nprocs);
+        for (r, c, t, s, tr) in outputs {
             results.push(r);
             clocks.push(c);
             timers.push(t);
             stats.push(s);
+            traces.push(tr);
         }
         RunResult {
             results,
             clocks,
             timers,
             stats,
+            traces,
         }
     }
 }
@@ -235,6 +282,82 @@ mod tests {
         for v in &res.results {
             assert_eq!(*v, res.results[0]);
         }
+    }
+
+    #[test]
+    fn tracing_records_balanced_monotone_spans() {
+        use crate::timer::Component;
+        use inspire_trace::span::Phase;
+        let rt = Runtime::new(Arc::new(CostModel::pnnl_2007())).with_tracing(true);
+        let res = rt.run(3, |ctx| {
+            assert!(ctx.tracing());
+            ctx.component(Component::Scan, || {
+                ctx.charge(WorkKind::ScanBytes, 1_000_000 * (ctx.rank() as u64 + 1));
+                ctx.barrier();
+            });
+            ctx.allreduce_scalar_u64(1, crate::ctx::ReduceOp::Sum);
+        });
+        assert_eq!(res.traces.len(), 3);
+        for (rank, t) in res.traces.iter().enumerate() {
+            assert_eq!(t.rank, rank);
+            assert_eq!(t.dropped, 0);
+            let begins = t.events.iter().filter(|e| e.phase == Phase::Begin).count();
+            let ends = t.events.iter().filter(|e| e.phase == Phase::End).count();
+            assert_eq!(begins, ends, "rank {rank} spans unbalanced");
+            assert!(t
+                .events
+                .iter()
+                .any(|e| e.cat == "stage" && e.name == "scan"));
+            assert!(t
+                .events
+                .iter()
+                .any(|e| e.cat == "collective" && e.name == "barrier"));
+            for w in t.events.windows(2) {
+                assert!(
+                    w[0].virt_us <= w[1].virt_us,
+                    "rank {rank}: virtual stamps must be monotone"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tracing_off_by_default_and_invisible_to_results() {
+        let model = Arc::new(CostModel::pnnl_2007());
+        let work = |ctx: &Ctx| {
+            ctx.charge(WorkKind::Flops, (ctx.rank() as u64 + 1) * 10_000_000);
+            ctx.barrier();
+            ctx.allreduce_scalar_f64(ctx.now(), ReduceOp::Max).to_bits()
+        };
+        let plain = Runtime::new(model.clone()).run(4, work);
+        assert!(plain.traces.iter().all(|t| t.events.is_empty()));
+        let traced = Runtime::new(model).with_tracing(true).run(4, work);
+        assert!(traced.traces.iter().any(|t| !t.events.is_empty()));
+        // Bit-identical outputs and clocks.
+        assert_eq!(plain.results, traced.results);
+        assert_eq!(plain.clocks, traced.clocks);
+    }
+
+    #[test]
+    fn collective_wait_attributed_to_active_stage() {
+        use crate::timer::Component;
+        let rt = Runtime::new(Arc::new(CostModel::pnnl_2007()));
+        let res = rt.run(2, |ctx| {
+            ctx.component(Component::Index, || {
+                // Rank 1 does 10x the work; rank 0 waits at the barrier.
+                ctx.charge(WorkKind::Flops, (1 + 9 * ctx.rank() as u64) * 12_000_000);
+                ctx.barrier();
+            });
+        });
+        let fast = res.timers[0];
+        let slow = res.timers[1];
+        assert!(
+            fast.get_wait(Component::Index) > slow.get_wait(Component::Index),
+            "the underloaded rank must accrue more wait"
+        );
+        // The fast rank's wait covers the skew: ~9x its own compute.
+        assert!(fast.get_wait(Component::Index) > 8.0 * fast.get(Component::Index) / 10.0);
+        assert_eq!(fast.get_wait(Component::Scan), 0.0);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! dynamic load balancer actually performed remote steals) and by the
 //! benchmark harness to report communication volumes alongside timings.
 
-use crate::timer::Component;
+use crate::timer::{Component, PerStage};
 use std::cell::{Cell, RefCell};
 
 /// Counters for one rank. Not shared across threads; each [`Ctx`]
@@ -24,12 +24,12 @@ pub struct CommStats {
     remote_atomics: Cell<u64>,
     collectives: Cell<u64>,
     collective_bytes: Cell<u64>,
-    /// Index of the active stage in [`Component::ALL`] order.
-    stage: Cell<usize>,
+    /// The active stage.
+    stage: Cell<Component>,
     /// Charged operations per stage (every record_* counts one message).
-    stage_msgs: RefCell<[u64; 7]>,
+    stage_msgs: RefCell<PerStage<u64>>,
     /// Payload bytes per stage.
-    stage_bytes: RefCell<[u64; 7]>,
+    stage_bytes: RefCell<PerStage<u64>>,
 }
 
 impl Default for CommStats {
@@ -43,9 +43,9 @@ impl Default for CommStats {
             collectives: Cell::new(0),
             collective_bytes: Cell::new(0),
             // Unbracketed work lands in Other, matching the timers.
-            stage: Cell::new(Component::Other.index()),
-            stage_msgs: RefCell::new([0; 7]),
-            stage_bytes: RefCell::new([0; 7]),
+            stage: Cell::new(Component::Other),
+            stage_msgs: RefCell::new(PerStage::default()),
+            stage_bytes: RefCell::new(PerStage::default()),
         }
     }
 }
@@ -60,10 +60,10 @@ pub struct CommStatsSnapshot {
     pub remote_atomics: u64,
     pub collectives: u64,
     pub collective_bytes: u64,
-    /// Charged operations per stage, indexed in [`Component::ALL`] order.
-    pub stage_msgs: [u64; 7],
-    /// Payload bytes per stage, indexed in [`Component::ALL`] order.
-    pub stage_bytes: [u64; 7],
+    /// Charged operations per stage.
+    pub stage_msgs: PerStage<u64>,
+    /// Payload bytes per stage.
+    pub stage_bytes: PerStage<u64>,
 }
 
 impl CommStats {
@@ -74,21 +74,19 @@ impl CommStats {
     /// Attribute subsequent operations to `stage`; returns the previous
     /// stage so callers can restore it (nesting-safe).
     pub fn set_stage(&self, stage: Component) -> Component {
-        let prev = self.stage.get();
-        self.stage.set(stage.index());
-        Component::ALL[prev]
+        self.stage.replace(stage)
     }
 
     /// The stage currently receiving attribution.
     pub fn stage(&self) -> Component {
-        Component::ALL[self.stage.get()]
+        self.stage.get()
     }
 
     #[inline]
     fn attribute(&self, bytes: u64) {
-        let i = self.stage.get();
-        self.stage_msgs.borrow_mut()[i] += 1;
-        self.stage_bytes.borrow_mut()[i] += bytes;
+        let stage = self.stage.get();
+        self.stage_msgs.borrow_mut()[stage] += 1;
+        self.stage_bytes.borrow_mut()[stage] += bytes;
     }
 
     pub fn record_one_sided(&self, bytes: u64) {
@@ -135,10 +133,8 @@ impl CommStatsSnapshot {
     pub fn merge(&self, other: &CommStatsSnapshot) -> CommStatsSnapshot {
         let mut stage_msgs = self.stage_msgs;
         let mut stage_bytes = self.stage_bytes;
-        for i in 0..7 {
-            stage_msgs[i] += other.stage_msgs[i];
-            stage_bytes[i] += other.stage_bytes[i];
-        }
+        stage_msgs.add_assign(&other.stage_msgs);
+        stage_bytes.add_assign(&other.stage_bytes);
         CommStatsSnapshot {
             one_sided_ops: self.one_sided_ops + other.one_sided_ops,
             one_sided_bytes: self.one_sided_bytes + other.one_sided_bytes,
@@ -154,12 +150,12 @@ impl CommStatsSnapshot {
 
     /// Messages attributed to `stage`.
     pub fn stage_msgs_for(&self, stage: Component) -> u64 {
-        self.stage_msgs[stage.index()]
+        self.stage_msgs[stage]
     }
 
     /// Payload bytes attributed to `stage`.
     pub fn stage_bytes_for(&self, stage: Component) -> u64 {
-        self.stage_bytes[stage.index()]
+        self.stage_bytes[stage]
     }
 
     /// Total charged operations across all kinds.
@@ -201,15 +197,15 @@ mod tests {
             remote_atomics: 5,
             collectives: 6,
             collective_bytes: 7,
-            stage_msgs: [1, 0, 0, 0, 0, 0, 2],
-            stage_bytes: [10, 0, 0, 0, 0, 0, 20],
+            stage_msgs: PerStage::new([1, 0, 0, 0, 0, 0, 2]),
+            stage_bytes: PerStage::new([10, 0, 0, 0, 0, 0, 20]),
         };
         let b = a;
         let m = a.merge(&b);
         assert_eq!(m.one_sided_ops, 2);
         assert_eq!(m.collective_bytes, 14);
-        assert_eq!(m.stage_msgs, [2, 0, 0, 0, 0, 0, 4]);
-        assert_eq!(m.stage_bytes, [20, 0, 0, 0, 0, 0, 40]);
+        assert_eq!(m.stage_msgs, PerStage::new([2, 0, 0, 0, 0, 0, 4]));
+        assert_eq!(m.stage_bytes, PerStage::new([20, 0, 0, 0, 0, 0, 40]));
     }
 
     #[test]

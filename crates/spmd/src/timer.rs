@@ -4,9 +4,19 @@
 //! each component* (scan, index, topic, AM, DocVec, ClusProj); Figure 8
 //! reports per-component speedups. The engine brackets each stage with
 //! [`Ctx::component`](crate::Ctx::component), which measures the virtual
-//! clock delta and accrues it here.
+//! clock delta and accrues it here. Three parallel accumulators feed the
+//! run report:
+//!
+//! * **virtual seconds** — modeled compute time on the virtual clock;
+//! * **wall seconds** — host wall clock measured around each stage
+//!   bracket (observational only: never folded into engine output, so
+//!   results stay deterministic);
+//! * **wait seconds** — virtual time spent blocked in collectives,
+//!   attributed to the stage active when the collective ran (the
+//!   max−min rendezvous gap the paper's Figure 9 load analysis studies).
 
 use std::cell::RefCell;
+use std::ops::{Index, IndexMut};
 
 /// The pipeline components exactly as the paper's Figures 6b/7b label them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -30,8 +40,11 @@ pub enum Component {
 }
 
 impl Component {
+    /// Number of components — the length of every [`PerStage`] array.
+    pub const COUNT: usize = 7;
+
     /// All components in the paper's presentation order.
-    pub const ALL: [Component; 7] = [
+    pub const ALL: [Component; Component::COUNT] = [
         Component::Scan,
         Component::Index,
         Component::Topic,
@@ -55,7 +68,7 @@ impl Component {
     }
 
     /// Dense index of this component in [`Component::ALL`] order — the
-    /// array slot used by [`Timers`] and the per-stage comm counters.
+    /// array slot used by [`PerStage`].
     pub fn index(&self) -> usize {
         self.idx()
     }
@@ -73,16 +86,91 @@ impl Component {
     }
 }
 
-/// Per-rank component timer accumulator (virtual seconds).
+/// One value of type `T` per pipeline [`Component`], indexable by the
+/// component itself. Shared by the timers, the per-stage comm counters,
+/// and the wait accumulators, so "one slot per stage" is written once
+/// instead of as scattered `[_; 7]` literals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PerStage<T>([T; Component::COUNT]);
+
+impl<T> PerStage<T> {
+    /// Wrap an explicit array in [`Component::ALL`] order.
+    pub fn new(values: [T; Component::COUNT]) -> Self {
+        PerStage(values)
+    }
+
+    /// The underlying array, in [`Component::ALL`] order.
+    pub fn values(&self) -> &[T; Component::COUNT] {
+        &self.0
+    }
+
+    pub fn values_mut(&mut self) -> &mut [T; Component::COUNT] {
+        &mut self.0
+    }
+
+    /// Consume into the underlying array.
+    pub fn into_values(self) -> [T; Component::COUNT] {
+        self.0
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.0.iter()
+    }
+
+    /// `(component, value)` pairs in presentation order.
+    pub fn labeled(&self) -> impl Iterator<Item = (Component, &T)> {
+        Component::ALL.iter().copied().zip(self.0.iter())
+    }
+}
+
+impl<T: Default + Copy> Default for PerStage<T> {
+    fn default() -> Self {
+        PerStage([T::default(); Component::COUNT])
+    }
+}
+
+impl<T> Index<Component> for PerStage<T> {
+    type Output = T;
+    fn index(&self, c: Component) -> &T {
+        &self.0[c.idx()]
+    }
+}
+
+impl<T> IndexMut<Component> for PerStage<T> {
+    fn index_mut(&mut self, c: Component) -> &mut T {
+        &mut self.0[c.idx()]
+    }
+}
+
+impl<T: Copy + std::ops::AddAssign> PerStage<T> {
+    /// Element-wise `self += other`.
+    pub fn add_assign(&mut self, other: &PerStage<T>) {
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a += *b;
+        }
+    }
+}
+
+/// Per-rank component timer accumulator.
 #[derive(Debug, Default)]
 pub struct Timers {
-    acc: RefCell<[f64; 7]>,
+    /// Virtual compute seconds per stage.
+    acc: RefCell<PerStage<f64>>,
+    /// Measured host wall seconds per stage (observational only).
+    wall: RefCell<PerStage<f64>>,
+    /// Virtual seconds blocked in collectives, per attributed stage.
+    wait: RefCell<PerStage<f64>>,
 }
 
 /// A plain snapshot of the per-component times for one rank.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct TimerSnapshot {
-    pub seconds: [f64; 7],
+    /// Virtual compute seconds per stage.
+    pub seconds: PerStage<f64>,
+    /// Measured host wall seconds per stage.
+    pub wall: PerStage<f64>,
+    /// Virtual collective-wait seconds per attributed stage.
+    pub wait: PerStage<f64>,
 }
 
 impl Timers {
@@ -92,45 +180,72 @@ impl Timers {
 
     /// Accrue `seconds` of virtual time to `component`.
     pub fn accrue(&self, component: Component, seconds: f64) {
-        self.acc.borrow_mut()[component.idx()] += seconds;
+        self.acc.borrow_mut()[component] += seconds;
+    }
+
+    /// Accrue measured host wall `seconds` to `component`.
+    pub fn accrue_wall(&self, component: Component, seconds: f64) {
+        self.wall.borrow_mut()[component] += seconds;
+    }
+
+    /// Accrue `seconds` of virtual collective wait to `component`.
+    pub fn accrue_wait(&self, component: Component, seconds: f64) {
+        self.wait.borrow_mut()[component] += seconds;
     }
 
     pub fn get(&self, component: Component) -> f64 {
-        self.acc.borrow()[component.idx()]
+        self.acc.borrow()[component]
+    }
+
+    pub fn get_wait(&self, component: Component) -> f64 {
+        self.wait.borrow()[component]
     }
 
     pub fn snapshot(&self) -> TimerSnapshot {
         TimerSnapshot {
             seconds: *self.acc.borrow(),
+            wall: *self.wall.borrow(),
+            wait: *self.wait.borrow(),
         }
     }
 }
 
 impl TimerSnapshot {
     pub fn get(&self, component: Component) -> f64 {
-        self.seconds[component.idx()]
+        self.seconds[component]
+    }
+
+    pub fn get_wall(&self, component: Component) -> f64 {
+        self.wall[component]
+    }
+
+    pub fn get_wait(&self, component: Component) -> f64 {
+        self.wait[component]
     }
 
     /// Element-wise maximum — the cross-rank critical path per component.
     pub fn max(&self, other: &TimerSnapshot) -> TimerSnapshot {
         let mut out = *self;
-        for i in 0..7 {
-            out.seconds[i] = out.seconds[i].max(other.seconds[i]);
+        for i in 0..Component::COUNT {
+            out.seconds.values_mut()[i] = out.seconds.values()[i].max(other.seconds.values()[i]);
+            out.wall.values_mut()[i] = out.wall.values()[i].max(other.wall.values()[i]);
+            out.wait.values_mut()[i] = out.wait.values()[i].max(other.wait.values()[i]);
         }
         out
     }
 
-    /// Total across components.
+    /// Total virtual compute across components.
     pub fn total(&self) -> f64 {
         self.seconds.iter().sum()
     }
 
-    /// Percentage share per component (summing to 100 when total > 0).
-    pub fn percentages(&self) -> [f64; 7] {
+    /// Percentage share of virtual compute per component (summing to 100
+    /// when total > 0).
+    pub fn percentages(&self) -> PerStage<f64> {
         let t = self.total();
-        let mut out = [0.0; 7];
+        let mut out = PerStage::default();
         if t > 0.0 {
-            for (o, s) in out.iter_mut().zip(&self.seconds) {
+            for (o, s) in out.values_mut().iter_mut().zip(self.seconds.iter()) {
                 *o = 100.0 * s / t;
             }
         }
@@ -154,27 +269,64 @@ mod tests {
     }
 
     #[test]
+    fn wall_and_wait_accrue_independently() {
+        let t = Timers::new();
+        t.accrue(Component::Scan, 1.0);
+        t.accrue_wall(Component::Scan, 0.25);
+        t.accrue_wait(Component::Scan, 0.5);
+        t.accrue_wait(Component::Scan, 0.25);
+        let s = t.snapshot();
+        assert_eq!(s.get(Component::Scan), 1.0);
+        assert_eq!(s.get_wall(Component::Scan), 0.25);
+        assert_eq!(s.get_wait(Component::Scan), 0.75);
+        assert_eq!(s.get_wait(Component::Index), 0.0);
+        // Wait time never leaks into the compute total.
+        assert_eq!(s.total(), 1.0);
+    }
+
+    #[test]
     fn percentages_sum_to_100() {
         let t = Timers::new();
         t.accrue(Component::Scan, 2.0);
         t.accrue(Component::DocVec, 6.0);
         let p = t.snapshot().percentages();
         assert!((p.iter().sum::<f64>() - 100.0).abs() < 1e-9);
-        assert!((p[Component::Scan.idx()] - 25.0).abs() < 1e-9);
+        assert!((p[Component::Scan] - 25.0).abs() < 1e-9);
     }
 
     #[test]
     fn snapshot_max_is_elementwise() {
         let a = TimerSnapshot {
-            seconds: [1.0, 5.0, 0.0, 0.0, 2.0, 0.0, 0.0],
+            seconds: PerStage::new([1.0, 5.0, 0.0, 0.0, 2.0, 0.0, 0.0]),
+            wall: PerStage::default(),
+            wait: PerStage::new([0.5, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]),
         };
         let b = TimerSnapshot {
-            seconds: [2.0, 1.0, 0.0, 0.0, 3.0, 0.0, 0.0],
+            seconds: PerStage::new([2.0, 1.0, 0.0, 0.0, 3.0, 0.0, 0.0]),
+            wall: PerStage::default(),
+            wait: PerStage::new([0.25, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0]),
         };
         let m = a.max(&b);
-        assert_eq!(m.seconds[0], 2.0);
-        assert_eq!(m.seconds[1], 5.0);
-        assert_eq!(m.seconds[4], 3.0);
+        assert_eq!(m.seconds[Component::Scan], 2.0);
+        assert_eq!(m.seconds[Component::Index], 5.0);
+        assert_eq!(m.seconds[Component::DocVec], 3.0);
+        assert_eq!(m.wait[Component::Scan], 0.5);
+        assert_eq!(m.wait[Component::Index], 1.0);
+    }
+
+    #[test]
+    fn per_stage_indexing_and_labels() {
+        let mut p = PerStage::new([0u64; Component::COUNT]);
+        p[Component::Index] = 7;
+        assert_eq!(p[Component::Index], 7);
+        assert_eq!(p.values()[1], 7);
+        let labeled: Vec<_> = p.labeled().map(|(c, &v)| (c.label(), v)).collect();
+        assert_eq!(labeled[1], ("index", 7));
+        let mut q = PerStage::default();
+        q.add_assign(&p);
+        q.add_assign(&p);
+        assert_eq!(q[Component::Index], 14);
+        assert_eq!(q.into_values()[1], 14);
     }
 
     #[test]
@@ -189,6 +341,6 @@ mod tests {
     #[test]
     fn empty_percentages_are_zero() {
         let t = Timers::new();
-        assert_eq!(t.snapshot().percentages(), [0.0; 7]);
+        assert_eq!(t.snapshot().percentages(), PerStage::default());
     }
 }

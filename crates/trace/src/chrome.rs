@@ -1,0 +1,306 @@
+//! Chrome trace-event export.
+//!
+//! Converts per-rank [`RankTrace`]s into the JSON Object Format consumed
+//! by `chrome://tracing` and Perfetto: one process (`pid: 0`), one
+//! thread lane per rank (`tid: rank`), duration events (`ph: "B"/"E"`)
+//! for stages and collectives, instants (`ph: "i"`) for point events.
+//! The `ts` axis is the SPMD **virtual** clock in microseconds — the
+//! timeline the paper's model reasons about — and each event carries the
+//! host wall-clock microseconds in `args.wall_us` for correlation.
+//!
+//! Because the recorder is a drop-oldest ring, a drained trace can open
+//! mid-span. Export reconciles this so the emitted file is always
+//! balanced per lane: `End` events with no matching `Begin` are skipped,
+//! and `Begin` events still open at the end of the lane get a synthetic
+//! `End` at the lane's last timestamp.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::json::{self, Value};
+use crate::span::{Phase, RankTrace};
+
+/// Render traces to a complete Chrome trace-event JSON document.
+pub fn to_chrome_json(traces: &[RankTrace]) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"traceEvents\":[\n");
+    let mut first = true;
+    let mut push = |line: String, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str(&line);
+    };
+    for trace in traces {
+        push(
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\
+                 \"args\":{{\"name\":\"rank {}\"}}}}",
+                trace.rank, trace.rank
+            ),
+            &mut first,
+        );
+        let last_ts = trace.events.last().map(|e| e.virt_us).unwrap_or(0.0);
+        // Names of spans currently open in this lane, for reconciliation.
+        let mut open: Vec<(&'static str, &'static str)> = Vec::new();
+        for ev in &trace.events {
+            let ph = match ev.phase {
+                Phase::Begin => {
+                    open.push((ev.cat, ev.name));
+                    "B"
+                }
+                Phase::End => {
+                    // An End must close the innermost open Begin; a ring
+                    // that dropped the Begin produces an orphan — skip it.
+                    match open.last() {
+                        Some(&(_, name)) if name == ev.name => {
+                            open.pop();
+                        }
+                        _ => continue,
+                    }
+                    "E"
+                }
+                Phase::Instant => "i",
+            };
+            let scope = if ev.phase == Phase::Instant {
+                ",\"s\":\"t\""
+            } else {
+                ""
+            };
+            push(
+                format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{ph}\",\"ts\":{},\
+                     \"pid\":0,\"tid\":{}{scope},\"args\":{{\"wall_us\":{}}}}}",
+                    json::escape(ev.name),
+                    json::escape(ev.cat),
+                    json::num(ev.virt_us),
+                    trace.rank,
+                    json::num(ev.wall_us)
+                ),
+                &mut first,
+            );
+        }
+        // Close any spans still open (their End fell past the drain).
+        while let Some((cat, name)) = open.pop() {
+            push(
+                format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"E\",\"ts\":{},\
+                     \"pid\":0,\"tid\":{},\"args\":{{\"synthetic\":true}}}}",
+                    json::escape(name),
+                    json::escape(cat),
+                    json::num(last_ts),
+                    trace.rank
+                ),
+                &mut first,
+            );
+        }
+    }
+    let dropped: u64 = traces.iter().map(|t| t.dropped).sum();
+    out.push_str("\n],\"displayTimeUnit\":\"ms\",\"otherData\":{");
+    out.push_str(&format!(
+        "\"clock\":\"virtual_us\",\"ranks\":{},\"dropped_events\":{}",
+        traces.len(),
+        dropped
+    ));
+    out.push_str("}}\n");
+    out
+}
+
+/// Write the Chrome trace for `traces` to `path`.
+pub fn write_chrome_trace(path: &Path, traces: &[RankTrace]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(to_chrome_json(traces).as_bytes())
+}
+
+/// What [`validate_chrome_json`] learned about a well-formed trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Distinct `tid` lanes seen (ranks).
+    pub lanes: usize,
+    /// Total `B`/`E` pairs across all lanes.
+    pub spans: usize,
+    /// Total `i` events.
+    pub instants: usize,
+}
+
+/// Parse `s` as a Chrome trace-event document and check the invariants
+/// our exporter guarantees: `traceEvents` is an array; per lane, every
+/// `E` closes the innermost open `B` of the same name, every `B` is
+/// closed, and `ts` is monotone non-decreasing.
+pub fn validate_chrome_json(s: &str) -> Result<TraceSummary, String> {
+    let doc = json::parse(s)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .ok_or("missing traceEvents array")?;
+    let mut lanes: Vec<(f64, Vec<String>)> = Vec::new(); // (last_ts, open stack) per tid
+    let mut tids: Vec<i64> = Vec::new();
+    let mut summary = TraceSummary::default();
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        if ph == "M" {
+            continue; // metadata carries no ts
+        }
+        let tid = ev
+            .get("tid")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("event {i}: missing tid"))? as i64;
+        let ts = ev
+            .get("ts")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("event {i}: missing ts"))?;
+        let name = ev
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing name"))?;
+        let lane = match tids.iter().position(|&t| t == tid) {
+            Some(ix) => ix,
+            None => {
+                tids.push(tid);
+                lanes.push((f64::NEG_INFINITY, Vec::new()));
+                lanes.len() - 1
+            }
+        };
+        let (last_ts, stack) = &mut lanes[lane];
+        if ts < *last_ts {
+            return Err(format!(
+                "event {i} (tid {tid}): ts {ts} < previous {last_ts} — not monotone"
+            ));
+        }
+        *last_ts = ts;
+        match ph {
+            "B" => stack.push(name.to_string()),
+            "E" => match stack.pop() {
+                Some(top) if top == name => summary.spans += 1,
+                Some(top) => {
+                    return Err(format!(
+                        "event {i} (tid {tid}): E \"{name}\" does not close innermost B \"{top}\""
+                    ))
+                }
+                None => {
+                    return Err(format!(
+                        "event {i} (tid {tid}): E \"{name}\" with no open B"
+                    ))
+                }
+            },
+            "i" => summary.instants += 1,
+            other => return Err(format!("event {i}: unsupported ph {other:?}")),
+        }
+    }
+    for (lane, (_, stack)) in lanes.iter().enumerate() {
+        if let Some(open) = stack.last() {
+            return Err(format!("tid {}: span \"{open}\" never closed", tids[lane]));
+        }
+    }
+    summary.lanes = lanes.len();
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Event, Phase};
+
+    fn ev(name: &'static str, cat: &'static str, phase: Phase, virt_us: f64) -> Event {
+        Event {
+            name,
+            cat,
+            phase,
+            virt_us,
+            wall_us: virt_us / 10.0,
+        }
+    }
+
+    fn trace(rank: usize, events: Vec<Event>) -> RankTrace {
+        RankTrace {
+            rank,
+            events,
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn exports_balanced_lanes_that_validate() {
+        let traces = vec![
+            trace(
+                0,
+                vec![
+                    ev("scan", "stage", Phase::Begin, 0.0),
+                    ev("barrier", "collective", Phase::Begin, 10.0),
+                    ev("barrier", "collective", Phase::End, 15.0),
+                    ev("scan", "stage", Phase::End, 20.0),
+                ],
+            ),
+            trace(
+                1,
+                vec![
+                    ev("scan", "stage", Phase::Begin, 0.0),
+                    ev("steal", "queue", Phase::Instant, 5.0),
+                    ev("scan", "stage", Phase::End, 25.0),
+                ],
+            ),
+        ];
+        let s = to_chrome_json(&traces);
+        let sum = validate_chrome_json(&s).expect("valid trace");
+        assert_eq!(sum.lanes, 2);
+        assert_eq!(sum.spans, 3);
+        assert_eq!(sum.instants, 1);
+    }
+
+    #[test]
+    fn ring_truncation_is_reconciled() {
+        // Orphan End (its Begin was dropped by the ring) and an unclosed
+        // Begin at the tail.
+        let traces = vec![trace(
+            0,
+            vec![
+                ev("scan", "stage", Phase::End, 5.0), // orphan: skipped
+                ev("cluster", "stage", Phase::Begin, 6.0),
+                ev("barrier", "collective", Phase::Begin, 8.0), // unclosed: synthesized
+            ],
+        )];
+        let s = to_chrome_json(&traces);
+        let sum = validate_chrome_json(&s).expect("reconciled trace validates");
+        assert_eq!(sum.spans, 2); // cluster + barrier, both closed synthetically
+        assert!(s.contains("\"synthetic\":true"));
+    }
+
+    #[test]
+    fn validator_rejects_imbalance_and_time_travel() {
+        let bad_balance = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":1,"pid":0,"tid":0}
+        ]}"#;
+        assert!(validate_chrome_json(bad_balance)
+            .unwrap_err()
+            .contains("never closed"));
+
+        let bad_order = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":10,"pid":0,"tid":0},
+            {"name":"a","ph":"E","ts":5,"pid":0,"tid":0}
+        ]}"#;
+        assert!(validate_chrome_json(bad_order)
+            .unwrap_err()
+            .contains("monotone"));
+
+        let bad_nest = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":1,"pid":0,"tid":0},
+            {"name":"b","ph":"B","ts":2,"pid":0,"tid":0},
+            {"name":"a","ph":"E","ts":3,"pid":0,"tid":0},
+            {"name":"b","ph":"E","ts":4,"pid":0,"tid":0}
+        ]}"#;
+        assert!(validate_chrome_json(bad_nest)
+            .unwrap_err()
+            .contains("innermost"));
+    }
+
+    #[test]
+    fn empty_trace_set_is_valid() {
+        let s = to_chrome_json(&[]);
+        let sum = validate_chrome_json(&s).unwrap();
+        assert_eq!(sum, TraceSummary::default());
+    }
+}

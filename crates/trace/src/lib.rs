@@ -1,0 +1,41 @@
+//! # inspire-trace — observability for the engine
+//!
+//! The paper's entire evaluation is observational: Figures 6b/7b report
+//! per-component time shares, Figure 8 per-component speedups, Figure 9
+//! per-rank load balance. This crate is the instrumentation layer that
+//! makes such measurements first-class in every run instead of something
+//! only the bench harness reconstructs:
+//!
+//! * [`log`] — a leveled, rank-prefixed structured logger
+//!   (`INSPIRE_LOG=error|warn|info|debug`) replacing ad-hoc `eprintln!`
+//!   warnings, so `P>1` runs don't interleave unattributed lines.
+//! * [`span`] — a per-rank ring-buffered span recorder. Every event is
+//!   stamped with both the host wall clock and the SPMD **virtual**
+//!   clock; recording is off by default and a single branch when off.
+//! * [`chrome`] — export of recorded spans to the Chrome trace-event
+//!   JSON format (`chrome://tracing`, Perfetto): one lane per rank,
+//!   stage spans, collective wait spans, task-queue events.
+//! * [`metrics`] — log-bucketed latency histograms (p50/p95/p99 with
+//!   bounded relative error) and gauges behind a string-keyed registry,
+//!   used by the snapshot-serving query path.
+//! * [`report`] — the structured run report: a pretty table for stderr
+//!   plus a machine-readable JSON artifact, covering per-stage wall and
+//!   virtual time, communication totals, per-stage load imbalance, and
+//!   critical-path shares.
+//! * [`json`] — the minimal JSON writer/parser the exporters share
+//!   (no external dependencies anywhere in this crate).
+//!
+//! Nothing in this crate advances a virtual clock or charges work:
+//! engine output is bit-identical with tracing enabled or disabled.
+
+pub mod chrome;
+pub mod json;
+pub mod log;
+pub mod metrics;
+pub mod report;
+pub mod span;
+
+pub use log::Level;
+pub use metrics::{Histogram, HistogramSummary, Registry};
+pub use report::{RunReport, StageRow};
+pub use span::{Event, Phase, RankTrace, SpanRecorder};

@@ -1,0 +1,190 @@
+//! Leveled, rank-prefixed logging.
+//!
+//! The level is read once per process from `INSPIRE_LOG`
+//! (`error|warn|info|debug`, default `warn`); every line carries the
+//! emitting rank so warnings from a `P>1` run are attributable even when
+//! the rank threads interleave on stderr:
+//!
+//! ```text
+//! [inspire r3 WARN] checkpoint write ckpt/ckpt_scan.isnap failed: ...
+//! ```
+//!
+//! Use through the crate-level macros, which skip all formatting when the
+//! level is disabled:
+//!
+//! ```
+//! let rank = 3usize;
+//! inspire_trace::log_warn!(rank, "checkpoint write {} failed", "x.isnap");
+//! inspire_trace::log_info!(None, "no rank context here");
+//! ```
+
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Error,
+    Warn,
+    Info,
+    Debug,
+}
+
+impl Level {
+    /// Parse an `INSPIRE_LOG` value. Unknown strings return `None`.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+
+    /// Label as printed in the line prefix.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+        }
+    }
+}
+
+static MAX_LEVEL: OnceLock<Level> = OnceLock::new();
+
+/// The process-wide maximum level: `INSPIRE_LOG`, read once, default
+/// [`Level::Warn`].
+pub fn max_level() -> Level {
+    *MAX_LEVEL.get_or_init(|| {
+        std::env::var("INSPIRE_LOG")
+            .ok()
+            .and_then(|v| Level::parse(&v))
+            .unwrap_or(Level::Warn)
+    })
+}
+
+/// Would a line at `level` be emitted?
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    level <= max_level()
+}
+
+/// Rank context for a log line: a bare `usize` or `None` outside any
+/// rank (CLI front-end, test harness).
+pub trait IntoRank {
+    fn into_rank(self) -> Option<usize>;
+}
+
+impl IntoRank for usize {
+    fn into_rank(self) -> Option<usize> {
+        Some(self)
+    }
+}
+
+impl IntoRank for Option<usize> {
+    fn into_rank(self) -> Option<usize> {
+        self
+    }
+}
+
+/// Emit one line to stderr. Prefer the `log_*` macros, which check
+/// [`enabled`] before formatting.
+pub fn log(level: Level, rank: Option<usize>, args: fmt::Arguments<'_>) {
+    if !enabled(level) {
+        return;
+    }
+    // One write_fmt per line so concurrent ranks cannot interleave
+    // mid-line (eprintln! already locks stderr per call).
+    match rank {
+        Some(r) => eprintln!("[inspire r{r} {}] {args}", level.label()),
+        None => eprintln!("[inspire {}] {args}", level.label()),
+    }
+}
+
+#[macro_export]
+macro_rules! log_error {
+    ($rank:expr, $($arg:tt)+) => {
+        $crate::log::log(
+            $crate::log::Level::Error,
+            $crate::log::IntoRank::into_rank($rank),
+            format_args!($($arg)+),
+        )
+    };
+}
+
+#[macro_export]
+macro_rules! log_warn {
+    ($rank:expr, $($arg:tt)+) => {
+        $crate::log::log(
+            $crate::log::Level::Warn,
+            $crate::log::IntoRank::into_rank($rank),
+            format_args!($($arg)+),
+        )
+    };
+}
+
+#[macro_export]
+macro_rules! log_info {
+    ($rank:expr, $($arg:tt)+) => {
+        $crate::log::log(
+            $crate::log::Level::Info,
+            $crate::log::IntoRank::into_rank($rank),
+            format_args!($($arg)+),
+        )
+    };
+}
+
+#[macro_export]
+macro_rules! log_debug {
+    ($rank:expr, $($arg:tt)+) => {
+        $crate::log::log(
+            $crate::log::Level::Debug,
+            $crate::log::IntoRank::into_rank($rank),
+            format_args!($($arg)+),
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_all_levels() {
+        assert_eq!(Level::parse("error"), Some(Level::Error));
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse(" warning "), Some(Level::Warn));
+        assert_eq!(Level::parse("Info"), Some(Level::Info));
+        assert_eq!(Level::parse("debug"), Some(Level::Debug));
+        assert_eq!(Level::parse("verbose"), None);
+        assert_eq!(Level::parse(""), None);
+    }
+
+    #[test]
+    fn severity_orders_most_severe_first() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+
+    #[test]
+    fn rank_conversions() {
+        assert_eq!(IntoRank::into_rank(5usize), Some(5));
+        assert_eq!(IntoRank::into_rank(None), None);
+        assert_eq!(IntoRank::into_rank(Some(2usize)), Some(2));
+    }
+
+    #[test]
+    fn default_level_is_warn() {
+        // The test process does not set INSPIRE_LOG.
+        if std::env::var("INSPIRE_LOG").is_err() {
+            assert_eq!(max_level(), Level::Warn);
+            assert!(enabled(Level::Error));
+            assert!(enabled(Level::Warn));
+            assert!(!enabled(Level::Debug));
+        }
+    }
+}

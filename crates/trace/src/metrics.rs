@@ -1,0 +1,376 @@
+//! Latency metrics: log-bucketed histograms and a string-keyed registry.
+//!
+//! [`Histogram`] is an HDR-style log-linear histogram over `u64` values
+//! (nanoseconds, by convention): each power-of-two octave is split into
+//! `2^SUB_BITS = 8` linear sub-buckets, so any reported quantile's bucket
+//! upper bound is within `1/8 = 12.5%` of a value actually recorded into
+//! that bucket; values below 8 are exact. Recording is two shifts and an
+//! increment — cheap enough for the per-query serving path.
+//!
+//! Histograms merge by bucket-wise addition, and merged quantiles
+//! *bracket* the per-shard quantiles: `quantile` returns the upper bound
+//! of the first bucket whose cumulative count reaches `ceil(q·n)`, so
+//! the merged value is `>=` the minimum and `<=` the maximum of the
+//! shards' values for the same `q` (the property the proptest in
+//! `tests/hist_props.rs` exercises).
+
+use std::collections::BTreeMap;
+
+/// Sub-bucket resolution: 8 linear buckets per power-of-two octave.
+const SUB_BITS: u32 = 3;
+const SUB: u64 = 1 << SUB_BITS;
+
+/// A log-bucketed histogram of `u64` values with ≤12.5% relative error.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Histogram {
+    counts: BTreeMap<u32, u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+/// Bucket index for `v`: exact below `SUB`, then `SUB_BITS` linear
+/// sub-buckets per octave above.
+fn bucket_of(v: u64) -> u32 {
+    if v < SUB {
+        return v as u32;
+    }
+    let octave = 63 - v.leading_zeros(); // floor(log2 v), >= SUB_BITS
+    let sub = ((v >> (octave - SUB_BITS)) - SUB) as u32; // 0..SUB
+    (octave - SUB_BITS + 1) * SUB as u32 + sub
+}
+
+/// Largest value mapping to `bucket` (inclusive upper bound).
+fn upper_bound(bucket: u32) -> u64 {
+    if bucket < SUB as u32 {
+        return bucket as u64;
+    }
+    let octave = bucket / SUB as u32 + SUB_BITS - 1;
+    let sub = (bucket % SUB as u32) as u64;
+    // Start of the sub-bucket plus its width, minus one.
+    ((SUB + sub) << (octave - SUB_BITS)) + (1u64 << (octave - SUB_BITS)) - 1
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            counts: BTreeMap::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, v: u64) {
+        *self.counts.entry(bucket_of(v)).or_insert(0) += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Record a duration in nanoseconds.
+    pub fn record_ns(&mut self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the inclusive upper bound
+    /// of the first bucket whose cumulative count reaches
+    /// `ceil(q·count)` (clamped to at least 1). Returns 0 on an empty
+    /// histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (&bucket, &n) in &self.counts {
+            cum += n;
+            if cum >= target {
+                return upper_bound(bucket).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge `other` into `self` bucket-wise.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (&bucket, &n) in &other.counts {
+            *self.counts.entry(bucket).or_insert(0) += n;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Snapshot the standard percentiles under `name`.
+    pub fn summarize(&self, name: &str) -> HistogramSummary {
+        HistogramSummary {
+            name: name.to_string(),
+            count: self.count,
+            min_ns: self.min(),
+            max_ns: self.max(),
+            mean_ns: self.mean(),
+            p50_ns: self.quantile(0.50),
+            p95_ns: self.quantile(0.95),
+            p99_ns: self.quantile(0.99),
+        }
+    }
+}
+
+/// Percentile snapshot of one histogram; nanosecond units by convention.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    pub name: String,
+    pub count: u64,
+    pub min_ns: u64,
+    pub max_ns: u64,
+    pub mean_ns: f64,
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+}
+
+/// Render nanoseconds human-readably (`850ns`, `12.4µs`, `3.1ms`, `2.0s`).
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0}ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.1}µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.1}ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns / 1_000_000_000.0)
+    }
+}
+
+impl HistogramSummary {
+    /// One JSON object per summary, e.g. for the run report's `queries`
+    /// section.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"count\":{},\"min_ns\":{},\"max_ns\":{},\
+             \"mean_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{}}}",
+            crate::json::escape(&self.name),
+            self.count,
+            self.min_ns,
+            self.max_ns,
+            crate::json::num(self.mean_ns),
+            self.p50_ns,
+            self.p95_ns,
+            self.p99_ns
+        )
+    }
+}
+
+/// A string-keyed registry of histograms and gauges. Not thread-safe by
+/// design: each serving rank owns its own registry and summaries merge
+/// after the run, mirroring how `CommStats` works.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    hists: BTreeMap<String, Histogram>,
+    gauges: BTreeMap<String, f64>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Record `d` into histogram `name`, creating it on first use.
+    pub fn observe(&mut self, name: &str, d: std::time::Duration) {
+        self.hists.entry(name.to_string()).or_default().record_ns(d);
+    }
+
+    /// Time `f`, recording its duration into histogram `name`.
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let start = std::time::Instant::now();
+        let out = f();
+        self.observe(name, start.elapsed());
+        out
+    }
+
+    /// Set gauge `name` to `v` (last write wins).
+    pub fn gauge(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Summaries of all histograms, sorted by name.
+    pub fn summaries(&self) -> Vec<HistogramSummary> {
+        self.hists.iter().map(|(k, h)| h.summarize(k)).collect()
+    }
+
+    /// A `latency p50 p95 p99` table for stderr.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<24} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+            "metric", "count", "p50", "p95", "p99", "max"
+        ));
+        for s in self.summaries() {
+            out.push_str(&format!(
+                "{:<24} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+                s.name,
+                s.count,
+                fmt_ns(s.p50_ns as f64),
+                fmt_ns(s.p95_ns as f64),
+                fmt_ns(s.p99_ns as f64),
+                fmt_ns(s.max_ns as f64)
+            ));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("{k:<24} {v}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..SUB {
+            h.record(v);
+        }
+        for v in 0..SUB {
+            assert_eq!(bucket_of(v), v as u32);
+            assert_eq!(upper_bound(v as u32), v);
+        }
+        assert_eq!(h.count(), SUB);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), SUB - 1);
+    }
+
+    #[test]
+    fn upper_bound_is_tight_and_monotone() {
+        // Every value maps to a bucket whose upper bound is >= the value
+        // and within 12.5% above it.
+        for v in [8u64, 9, 15, 16, 100, 1_000, 123_456, u32::MAX as u64] {
+            let ub = upper_bound(bucket_of(v));
+            assert!(ub >= v, "ub({v}) = {ub} < v");
+            assert!(
+                (ub - v) as f64 <= v as f64 / 8.0 + 1.0,
+                "ub({v}) = {ub} too loose"
+            );
+        }
+        let mut prev = 0;
+        for b in 0..200u32 {
+            let ub = upper_bound(b);
+            assert!(ub >= prev, "upper_bound not monotone at bucket {b}");
+            prev = ub;
+        }
+    }
+
+    #[test]
+    fn bucket_of_and_upper_bound_agree() {
+        // upper_bound(b) itself lands in bucket b.
+        for b in 0..300u32 {
+            assert_eq!(bucket_of(upper_bound(b)), b, "bucket {b}");
+        }
+    }
+
+    #[test]
+    fn quantiles_bound_recorded_values() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000);
+        }
+        let p50 = h.quantile(0.5);
+        assert!((500_000..=563_000).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((990_000..=1_114_000).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.quantile(1.0), 1_000_000); // clamped to observed max
+        assert_eq!(h.min(), 1000);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_preserves_extremes() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [10u64, 20, 30] {
+            a.record(v);
+        }
+        for v in [1_000u64, 2_000] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 2_000);
+        assert!(a.quantile(0.5) >= 30);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn registry_observe_and_render() {
+        let mut r = Registry::new();
+        for i in 1..=100u64 {
+            r.observe("query.term", std::time::Duration::from_micros(i));
+        }
+        r.gauge("snapshot.docs", 1234.0);
+        let sums = r.summaries();
+        assert_eq!(sums.len(), 1);
+        assert_eq!(sums[0].count, 100);
+        let table = r.render_table();
+        assert!(table.contains("query.term"));
+        assert!(table.contains("snapshot.docs"));
+        let json = sums[0].to_json();
+        crate::json::parse(&json).expect("summary JSON parses");
+    }
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert_eq!(fmt_ns(850.0), "850ns");
+        assert_eq!(fmt_ns(12_400.0), "12.4µs");
+        assert_eq!(fmt_ns(3_100_000.0), "3.1ms");
+        assert_eq!(fmt_ns(2.0e9), "2.00s");
+    }
+}

@@ -1,0 +1,199 @@
+//! Per-rank span recording.
+//!
+//! A [`SpanRecorder`] is owned by one rank (it is deliberately not
+//! `Sync`, like the rank's clock) and collects [`Event`]s into a bounded
+//! ring: when the buffer is full the **oldest** events are dropped and
+//! counted, so a run can never exhaust memory by tracing. Every event
+//! carries two timestamps:
+//!
+//! * `virt_us` — the rank's SPMD virtual clock (microseconds on the
+//!   modeled cluster), the time axis the exported trace uses, and
+//! * `wall_us` — host wall clock microseconds since the runtime's epoch,
+//!   for correlating with real execution.
+//!
+//! Recording is a single branch when disabled and never touches the
+//! virtual clock, so engine output is bit-identical with tracing on or
+//! off.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Default per-rank event capacity (events, not bytes).
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// Trace-event phase, mirroring the Chrome trace-event `ph` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Duration span opens (`ph: "B"`).
+    Begin,
+    /// Duration span closes (`ph: "E"`).
+    End,
+    /// Point event (`ph: "i"`).
+    Instant,
+}
+
+/// One recorded event. `name` and `cat` are `&'static str` so recording
+/// never allocates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Span or instant name (e.g. a stage label, `"barrier"`).
+    pub name: &'static str,
+    /// Category lane: `"stage"`, `"collective"`, `"queue"`, …
+    pub cat: &'static str,
+    /// Begin / End / Instant.
+    pub phase: Phase,
+    /// Virtual clock at the event, microseconds.
+    pub virt_us: f64,
+    /// Host wall clock at the event, microseconds since the run epoch.
+    pub wall_us: f64,
+}
+
+/// The ring-buffered recorder one rank writes into.
+pub struct SpanRecorder {
+    enabled: bool,
+    epoch: Instant,
+    capacity: usize,
+    buf: RefCell<VecDeque<Event>>,
+    dropped: Cell<u64>,
+}
+
+impl SpanRecorder {
+    /// A recorder that records nothing; [`SpanRecorder::record`] is a
+    /// single branch.
+    pub fn disabled() -> Self {
+        SpanRecorder {
+            enabled: false,
+            epoch: Instant::now(),
+            capacity: 0,
+            buf: RefCell::new(VecDeque::new()),
+            dropped: Cell::new(0),
+        }
+    }
+
+    /// An enabled recorder. `epoch` should be shared by all ranks of one
+    /// run so wall timestamps align across lanes.
+    pub fn enabled_with(epoch: Instant, capacity: usize) -> Self {
+        let capacity = capacity.max(16);
+        SpanRecorder {
+            enabled: true,
+            epoch,
+            capacity,
+            buf: RefCell::new(VecDeque::with_capacity(capacity.min(4096))),
+            dropped: Cell::new(0),
+        }
+    }
+
+    /// Is this recorder collecting events?
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record one event at `virt_seconds` on the virtual clock. A no-op
+    /// when disabled.
+    #[inline]
+    pub fn record(&self, cat: &'static str, name: &'static str, phase: Phase, virt_seconds: f64) {
+        if !self.enabled {
+            return;
+        }
+        let wall_us = self.epoch.elapsed().as_secs_f64() * 1e6;
+        let mut buf = self.buf.borrow_mut();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+            self.dropped.set(self.dropped.get() + 1);
+        }
+        buf.push_back(Event {
+            name,
+            cat,
+            phase,
+            virt_us: virt_seconds * 1e6,
+            wall_us,
+        });
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.borrow().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.borrow().is_empty()
+    }
+
+    /// Drain the buffer into a sendable per-rank trace.
+    pub fn take(&self, rank: usize) -> RankTrace {
+        RankTrace {
+            rank,
+            events: self.buf.borrow_mut().drain(..).collect(),
+            dropped: self.dropped.replace(0),
+        }
+    }
+}
+
+/// One rank's recorded events, in record order, safe to send across
+/// threads once the run is over.
+#[derive(Debug, Clone, Default)]
+pub struct RankTrace {
+    pub rank: usize,
+    pub events: Vec<Event>,
+    /// Oldest events overwritten by the ring while recording.
+    pub dropped: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let r = SpanRecorder::disabled();
+        r.record("stage", "scan", Phase::Begin, 0.0);
+        r.record("stage", "scan", Phase::End, 1.0);
+        assert!(r.is_empty());
+        assert_eq!(r.take(0).events.len(), 0);
+    }
+
+    #[test]
+    fn records_in_order_with_virtual_micros() {
+        let r = SpanRecorder::enabled_with(Instant::now(), 64);
+        r.record("stage", "scan", Phase::Begin, 0.5);
+        r.record("collective", "barrier", Phase::Begin, 0.75);
+        r.record("collective", "barrier", Phase::End, 1.0);
+        r.record("stage", "scan", Phase::End, 1.25);
+        let t = r.take(2);
+        assert_eq!(t.rank, 2);
+        assert_eq!(t.dropped, 0);
+        let names: Vec<_> = t.events.iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["scan", "barrier", "barrier", "scan"]);
+        assert_eq!(t.events[0].virt_us, 0.5e6);
+        assert_eq!(t.events[3].virt_us, 1.25e6);
+        // Wall stamps are monotone in record order.
+        for w in t.events.windows(2) {
+            assert!(w[0].wall_us <= w[1].wall_us);
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let r = SpanRecorder::enabled_with(Instant::now(), 16);
+        for i in 0..40 {
+            r.record("queue", "tick", Phase::Instant, i as f64);
+        }
+        let t = r.take(0);
+        assert_eq!(t.events.len(), 16);
+        assert_eq!(t.dropped, 24);
+        // The survivors are the newest 16.
+        assert_eq!(t.events[0].virt_us, 24.0e6);
+        assert_eq!(t.events[15].virt_us, 39.0e6);
+    }
+
+    #[test]
+    fn take_resets_the_buffer() {
+        let r = SpanRecorder::enabled_with(Instant::now(), 64);
+        r.record("stage", "scan", Phase::Instant, 1.0);
+        assert_eq!(r.take(0).events.len(), 1);
+        assert!(r.is_empty());
+        assert_eq!(r.take(0).dropped, 0);
+    }
+}

@@ -18,18 +18,28 @@
 //! boolean and ranked retrieval plus cluster/rectangle drill-downs —
 //! without re-running any pipeline stage. `themeview` re-renders a saved
 //! coordinate file as terrain.
+//!
+//! Observability: `--trace-out` records per-rank stage/collective spans
+//! and writes a Chrome trace-event file (open in `chrome://tracing` or
+//! Perfetto); `--report-out` writes the structured run report as JSON
+//! (the same per-stage table printed on stderr); `query --repeat N`
+//! repeats each requested query kind and reports p50/p95/p99 serving
+//! latency. `INSPIRE_LOG=error|warn|info|debug` sets the log level.
 
+use inspire_trace::report::RunReport;
+use inspire_trace::Registry;
 use std::path::{Path, PathBuf};
 use std::process::exit;
 use std::sync::Arc;
 use visual_analytics::engine::interact::{select_cluster, select_rect};
 use visual_analytics::engine::io::{read_coords_csv, write_coords_csv};
 use visual_analytics::engine::query::{self, Query};
+use visual_analytics::engine::report::build_run_report;
 use visual_analytics::prelude::*;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  vaengine generate --flavour <pubmed|trec|newswire> --size <bytes[K|M]> [--seed N] --out <dir>\n  vaengine analyze --input <dir> [--procs N] [--clusters K] [--out coords.csv]\n                   [--checkpoint-dir <dir>] [--resume] [--snapshot-out <file.isnap>]\n  vaengine snapshot --input <dir> --out <file.isnap> [--procs N] [--clusters K]\n                    [--checkpoint-dir <dir>] [--resume]\n  vaengine query --snapshot <file.isnap> [--search \"free text\"] [--query \"a AND NOT title:b\"]\n                 [--term <term>] [--top N] [--cluster C] [--rect x0,y0,x1,y1]\n  vaengine themeview --coords <coords.csv> [--width N] [--height N]"
+        "usage:\n  vaengine generate --flavour <pubmed|trec|newswire> --size <bytes[K|M]> [--seed N] --out <dir>\n  vaengine analyze|run --input <dir> [--procs N] [--clusters K] [--out coords.csv]\n                   [--checkpoint-dir <dir>] [--resume] [--snapshot-out <file.isnap>]\n                   [--trace-out <trace.json>] [--report-out <report.json>]\n  vaengine snapshot --input <dir> --out <file.isnap> [--procs N] [--clusters K]\n                    [--checkpoint-dir <dir>] [--resume]\n                    [--trace-out <trace.json>] [--report-out <report.json>]\n  vaengine query --snapshot <file.isnap> [--search \"free text\"] [--query \"a AND NOT title:b\"]\n                 [--term <term>] [--top N] [--cluster C] [--rect x0,y0,x1,y1]\n                 [--repeat N] [--report-out <report.json>]\n  vaengine themeview --coords <coords.csv> [--width N] [--height N]"
     );
     exit(2);
 }
@@ -75,7 +85,7 @@ fn main() {
     let args = Args(argv[1..].to_vec());
     match cmd.as_str() {
         "generate" => generate(&args),
-        "analyze" => analyze(&args),
+        "analyze" | "run" => analyze(&args),
         "snapshot" => snapshot_cmd(&args),
         "query" => query_cmd(&args),
         "themeview" => themeview_cmd(&args),
@@ -134,7 +144,40 @@ fn engine_config(args: &Args) -> EngineConfig {
         checkpoint_dir: args.value("--checkpoint-dir").map(PathBuf::from),
         resume: args.has("--resume"),
         snapshot_out: args.value("--snapshot-out").map(PathBuf::from),
+        trace: args.value("--trace-out").is_some(),
         ..EngineConfig::default()
+    }
+}
+
+/// Shared `--trace-out` / `--report-out` handling for `analyze` and
+/// `snapshot`: export the Chrome trace, print the run-report table on
+/// stderr, and persist the report JSON.
+fn emit_observability(args: &Args, title: &str, run: &EngineRun, wall_s: f64) {
+    if let Some(path) = args.value("--trace-out") {
+        inspire_trace::chrome::write_chrome_trace(Path::new(path), &run.run.traces).unwrap_or_else(
+            |e| {
+                eprintln!("cannot write trace {path}: {e}");
+                exit(1);
+            },
+        );
+        println!("chrome trace written to {path}");
+    }
+    let mut report = build_run_report(title, &run.run, wall_s);
+    let master = run.master();
+    report.meta.push((
+        "documents".to_string(),
+        master.summary.total_docs.to_string(),
+    ));
+    report
+        .meta
+        .push(("vocab".to_string(), master.summary.vocab_size.to_string()));
+    eprint!("{}", report.render_table());
+    if let Some(path) = args.value("--report-out") {
+        report.write_json(Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("cannot write report {path}: {e}");
+            exit(1);
+        });
+        println!("run report written to {path}");
     }
 }
 
@@ -183,7 +226,9 @@ fn analyze(args: &Args) {
         sources.total_bytes() as f64 / 1e6
     );
     let config = engine_config(args);
+    let started = std::time::Instant::now();
     let run = run_engine(procs, Arc::new(CostModel::pnnl_2007()), &sources, &config);
+    let wall_s = started.elapsed().as_secs_f64();
     let master = run.master();
     let coords = master.coords.as_ref().expect("master coordinates");
     write_coords_csv(&out, coords, master.all_assignments.as_deref()).unwrap_or_else(|e| {
@@ -200,6 +245,7 @@ fn analyze(args: &Args) {
         run.virtual_time
     );
     println!("coordinates written to {}", out.display());
+    emit_observability(args, "analyze", &run, wall_s);
 }
 
 fn snapshot_cmd(args: &Args) {
@@ -220,7 +266,9 @@ fn snapshot_cmd(args: &Args) {
         snapshot_out: Some(PathBuf::from(out)),
         ..engine_config(args)
     };
+    let started = std::time::Instant::now();
     let run = run_engine(procs, Arc::new(CostModel::pnnl_2007()), &sources, &config);
+    let wall_s = started.elapsed().as_secs_f64();
     let master = run.master();
     print_themes(master);
     let Some(report) = &master.snapshot_report else {
@@ -229,6 +277,7 @@ fn snapshot_cmd(args: &Args) {
     };
     print_snapshot_report(report);
     println!("snapshot written to {out}");
+    emit_observability(args, "snapshot", &run, wall_s);
 }
 
 fn query_cmd(args: &Args) {
@@ -236,6 +285,12 @@ fn query_cmd(args: &Args) {
         usage()
     };
     let top: usize = args.value_or("--top", "10").parse().unwrap_or(10);
+    let repeat: usize = args
+        .value_or("--repeat", "1")
+        .parse()
+        .ok()
+        .filter(|&n| n >= 1)
+        .unwrap_or(1);
     let started = std::time::Instant::now();
     let snap = EngineSnapshot::open(Path::new(path)).unwrap_or_else(|e| {
         eprintln!("cannot load snapshot {path}: {e}");
@@ -254,13 +309,15 @@ fn query_cmd(args: &Args) {
     // Serve on a single rank: queries read only partition-independent
     // state, so any snapshot loads here regardless of its writer's P.
     let rt = Runtime::new(Arc::new(CostModel::zero()));
-    let mut res = rt.run(1, |ctx| -> Result<(), String> {
+    let mut res = rt.run(1, |ctx| -> Result<Registry, String> {
+        let mut metrics = Registry::new();
         let scan = snap.restore_scan(ctx).map_err(|e| e.to_string())?;
         let index = if meta.stage >= Stage::Index {
             Some(snap.restore_index(ctx).map_err(|e| e.to_string())?)
         } else {
             None
         };
+        metrics.observe("snapshot.load", started.elapsed());
         println!("loaded in {:.1} ms", started.elapsed().as_secs_f64() * 1e3);
 
         let need_index = || -> Result<&visual_analytics::engine::index::InvertedIndex, String> {
@@ -269,37 +326,53 @@ fn query_cmd(args: &Args) {
                 .ok_or_else(|| format!("stage {:?} snapshot has no inverted index", meta.stage))
         };
 
-        if let Some(term) = args.value("--term") {
-            let posts = query::lookup(ctx, &scan, need_index()?, term);
-            let mut docs: Vec<u32> = posts.iter().map(|p| p.doc).collect();
-            docs.dedup();
-            println!(
-                "term {term:?}: {} postings in {} documents",
-                posts.len(),
-                docs.len()
-            );
-            for p in posts.iter().take(top) {
-                println!("  doc {:>7}  field {}  freq {}", p.doc, p.field, p.freq);
-            }
-        }
+        // Each requested query kind runs `repeat` times against the
+        // serving metrics registry; results print on the first pass only.
+        for pass in 0..repeat {
+            let first = pass == 0;
 
-        if let Some(expr) = args.value("--query") {
-            let parsed = Query::parse(expr).map_err(|e| format!("bad query {expr:?}: {e}"))?;
-            let docs = query::evaluate(ctx, &scan, need_index()?, &parsed);
-            println!("query {expr:?}: {} matching documents", docs.len());
-            for d in docs.iter().take(top) {
-                println!("  doc {d}");
+            if let Some(term) = args.value("--term") {
+                let idx = need_index()?;
+                let posts = metrics.time("query.term", || query::lookup(ctx, &scan, idx, term));
+                if first {
+                    let mut docs: Vec<u32> = posts.iter().map(|p| p.doc).collect();
+                    docs.dedup();
+                    println!(
+                        "term {term:?}: {} postings in {} documents",
+                        posts.len(),
+                        docs.len()
+                    );
+                    for p in posts.iter().take(top) {
+                        println!("  doc {:>7}  field {}  freq {}", p.doc, p.field, p.freq);
+                    }
+                }
             }
-            if docs.len() > top {
-                println!("  … and {} more", docs.len() - top);
-            }
-        }
 
-        if let Some(text) = args.value("--search") {
-            let hits = query::search(ctx, &scan, need_index()?, text, top);
-            println!("search {text:?}: top {} of ranked hits", hits.len());
-            for h in &hits {
-                println!("  doc {:>7}  score {:.4}", h.doc, h.score);
+            if let Some(expr) = args.value("--query") {
+                let parsed = Query::parse(expr).map_err(|e| format!("bad query {expr:?}: {e}"))?;
+                let idx = need_index()?;
+                let docs = metrics.time("query.eval", || query::evaluate(ctx, &scan, idx, &parsed));
+                if first {
+                    println!("query {expr:?}: {} matching documents", docs.len());
+                    for d in docs.iter().take(top) {
+                        println!("  doc {d}");
+                    }
+                    if docs.len() > top {
+                        println!("  … and {} more", docs.len() - top);
+                    }
+                }
+            }
+
+            if let Some(text) = args.value("--search") {
+                let idx = need_index()?;
+                let hits =
+                    metrics.time("query.search", || query::search(ctx, &scan, idx, text, top));
+                if first {
+                    println!("search {text:?}: top {} of ranked hits", hits.len());
+                    for h in &hits {
+                        println!("  doc {:>7}  score {:.4}", h.doc, h.score);
+                    }
+                }
             }
         }
 
@@ -354,11 +427,35 @@ fn query_cmd(args: &Args) {
                 }
             }
         }
-        Ok(())
+        Ok(metrics)
     });
-    if let Err(e) = res.results.remove(0) {
-        eprintln!("query failed: {e}");
-        exit(1);
+    let metrics = match res.results.remove(0) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("query failed: {e}");
+            exit(1);
+        }
+    };
+    let summaries = metrics.summaries();
+    if !summaries.is_empty() {
+        eprint!("{}", metrics.render_table());
+    }
+    if let Some(out) = args.value("--report-out") {
+        let report = RunReport {
+            title: "query".to_string(),
+            meta: vec![
+                ("snapshot".to_string(), path.to_string()),
+                ("repeat".to_string(), repeat.to_string()),
+            ],
+            wall_time_s: started.elapsed().as_secs_f64(),
+            queries: summaries,
+            ..RunReport::default()
+        };
+        report.write_json(Path::new(out)).unwrap_or_else(|e| {
+            eprintln!("cannot write report {out}: {e}");
+            exit(1);
+        });
+        println!("serving report written to {out}");
     }
 }
 
