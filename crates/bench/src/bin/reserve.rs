@@ -1,0 +1,141 @@
+//! Cursor-reservation microbenchmark: batched `fetch_add_batch` versus
+//! the scalar `read_inc` schedule it replaced in the FAST-INV scatter
+//! pass.
+//!
+//! The workload mirrors the scatter's reservation pattern: each rank
+//! holds a load of (cursor, delta) groups — one group per distinct term
+//! in the load, deltas being the group's posting count — and reserves
+//! all of them. The scalar schedule pays one remote atomic per group;
+//! the batched schedule pays one message per destination rank. Both are
+//! timed on the host clock and accounted in the runtime's comm
+//! counters, and the batched slots are checked against the scalar
+//! final state (windows tile exactly).
+//!
+//! Writes `results/BENCH_cursor_reservation_<ts>.json`; CI uploads it
+//! as an artifact. `--smoke` shrinks the op count for quick runs.
+
+use ga::GlobalArray;
+use inspire_bench::results_dir;
+use perfmodel::CostModel;
+use spmd::Runtime;
+use std::sync::Arc;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Distinct cursors (stands in for the global term space).
+const CURSORS: usize = 4096;
+
+struct Side {
+    wall_s: f64,
+    msgs: u64,
+    remote_atomics: u64,
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// The (cursor, delta) groups rank `rank` reserves per load.
+fn load_ops(rank: usize, load: usize, groups: usize) -> Vec<(usize, i64)> {
+    let mut seed = 0x9E37_79B9 ^ ((rank as u64) << 32) ^ load as u64;
+    (0..groups)
+        .map(|_| {
+            let c = (xorshift(&mut seed) % CURSORS as u64) as usize;
+            let d = 1 + (xorshift(&mut seed) % 16) as i64;
+            (c, d)
+        })
+        .collect()
+}
+
+fn run_side(procs: usize, loads: usize, groups: usize, batched: bool) -> (Side, Vec<i64>) {
+    let rt = Runtime::new(Arc::new(CostModel::zero()));
+    let res = rt.run(procs, |ctx| {
+        let cursors = GlobalArray::<i64>::create(ctx, CURSORS);
+        ctx.barrier();
+        let t0 = Instant::now();
+        for load in 0..loads {
+            let ops = load_ops(ctx.rank(), load, groups);
+            if batched {
+                let slots = cursors.fetch_add_batch(ctx, &ops);
+                assert_eq!(slots.len(), ops.len());
+            } else {
+                for &(c, d) in &ops {
+                    cursors.read_inc(ctx, c, d);
+                }
+            }
+        }
+        let wall_s = t0.elapsed().as_secs_f64();
+        ctx.barrier();
+        let snap = ctx.stats.snapshot();
+        (
+            wall_s,
+            snap.total_msgs(),
+            snap.remote_atomics,
+            cursors.get(ctx, 0..CURSORS),
+        )
+    });
+    let finals = res.results[0].3.clone();
+    let side = Side {
+        wall_s: res.results.iter().map(|r| r.0).fold(0.0, f64::max),
+        msgs: res.results.iter().map(|r| r.1).sum(),
+        remote_atomics: res.results.iter().map(|r| r.2).sum(),
+    };
+    (side, finals)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (procs, loads, groups) = if smoke { (4, 16, 256) } else { (4, 64, 1024) };
+
+    let (scalar, scalar_finals) = run_side(procs, loads, groups, false);
+    let (batch, batch_finals) = run_side(procs, loads, groups, true);
+    // Same workload either way: the cursors must land on identical
+    // final values — the reserved windows tile the same totals.
+    assert_eq!(scalar_finals, batch_finals, "reservation totals diverge");
+
+    let msg_factor = if batch.msgs > 0 {
+        scalar.msgs as f64 / batch.msgs as f64
+    } else {
+        0.0
+    };
+    let wall_factor = if batch.wall_s > 0.0 {
+        scalar.wall_s / batch.wall_s
+    } else {
+        0.0
+    };
+
+    println!("cursor reservation — P={procs}, {loads} loads x {groups} groups, {CURSORS} cursors");
+    println!(
+        "scalar read_inc : {:>9} msgs ({} remote atomics)  wall {:.4}s",
+        scalar.msgs, scalar.remote_atomics, scalar.wall_s
+    );
+    println!(
+        "fetch_add_batch : {:>9} msgs ({} remote atomics)  wall {:.4}s",
+        batch.msgs, batch.remote_atomics, batch.wall_s
+    );
+    println!("message reduction {msg_factor:.1}x, wall-clock {wall_factor:.2}x");
+
+    let ts = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .expect("clock before 1970")
+        .as_secs();
+    let path = results_dir().join(format!("BENCH_cursor_reservation_{ts}.json"));
+    let json = format!(
+        "{{\n  \"bench\": \"cursor_reservation\",\n  \"smoke\": {smoke},\n  \
+         \"procs\": {procs},\n  \"loads\": {loads},\n  \"groups_per_load\": {groups},\n  \
+         \"cursors\": {CURSORS},\n  \
+         \"scalar_msgs\": {},\n  \"scalar_remote_atomics\": {},\n  \"scalar_wall_s\": {:.6},\n  \
+         \"batched_msgs\": {},\n  \"batched_remote_atomics\": {},\n  \"batched_wall_s\": {:.6},\n  \
+         \"msg_reduction_factor\": {msg_factor:.4},\n  \"wall_clock_factor\": {wall_factor:.4}\n}}\n",
+        scalar.msgs,
+        scalar.remote_atomics,
+        scalar.wall_s,
+        batch.msgs,
+        batch.remote_atomics,
+        batch.wall_s,
+    );
+    std::fs::write(&path, json).expect("write BENCH json");
+    println!("wrote {}", path.display());
+}

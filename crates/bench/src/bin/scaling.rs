@@ -61,6 +61,12 @@ struct CommReport {
     scan_bytes: u64,
     index_msgs: u64,
     index_bytes: u64,
+    /// Index-stage messages that were destination-aggregated batches
+    /// (cursor reservations, packed posting puts, term-stat accs).
+    index_batched_msgs: u64,
+    /// Scalar one-sided operations those batches folded away — what the
+    /// pre-aggregation scatter would have charged for the same traffic.
+    index_scalar_equiv: u64,
     vocab_rpc_msgs_batched: u64,
     vocab_rpc_scalar_equiv: u64,
 }
@@ -70,6 +76,15 @@ impl CommReport {
     fn batching_factor(&self) -> f64 {
         if self.vocab_rpc_msgs_batched > 0 {
             self.vocab_rpc_scalar_equiv as f64 / self.vocab_rpc_msgs_batched as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Scalar-equivalent index-stage ops per charged batched message.
+    fn index_batching_factor(&self) -> f64 {
+        if self.index_batched_msgs > 0 {
+            self.index_scalar_equiv as f64 / self.index_batched_msgs as f64
         } else {
             0.0
         }
@@ -195,6 +210,12 @@ fn main() {
         comm.vocab_rpc_scalar_equiv,
         comm.batching_factor()
     );
+    println!(
+        "index exchange: {} batched messages for {} scalar-equivalent ops ({:.1}x batching)",
+        comm.index_batched_msgs,
+        comm.index_scalar_equiv,
+        comm.index_batching_factor()
+    );
     if let (Some(b), Some(x)) = (baseline_wall_s_1, wall_clock_improvement) {
         println!("wall@1 vs previous run: {b:.4}s -> {wall1_median:.4}s ({x:.2}x)");
     }
@@ -245,6 +266,7 @@ fn main() {
         docs,
         host_cpus,
         &widths,
+        &comm,
         &imbalance,
     );
 }
@@ -301,6 +323,8 @@ fn comm_run(src: &corpus::SourceSet, cfg: &EngineConfig) -> CommReport {
             scan_bytes: snap.stage_bytes_for(Component::Scan),
             index_msgs: snap.stage_msgs_for(Component::Index),
             index_bytes: snap.stage_bytes_for(Component::Index),
+            index_batched_msgs: snap.stage_batched_msgs_for(Component::Index),
+            index_scalar_equiv: snap.stage_scalar_equiv_for(Component::Index),
             vocab_rpc_msgs_batched: s.vocab_rpc_msgs,
             vocab_rpc_scalar_equiv: s.vocab_rpc_scalar_equiv,
         }
@@ -441,6 +465,18 @@ fn to_json(
     s.push_str(&format!("    \"index_msgs\": {},\n", comm.index_msgs));
     s.push_str(&format!("    \"index_bytes\": {},\n", comm.index_bytes));
     s.push_str(&format!(
+        "    \"index_batched_msgs\": {},\n",
+        comm.index_batched_msgs
+    ));
+    s.push_str(&format!(
+        "    \"index_scalar_equiv\": {},\n",
+        comm.index_scalar_equiv
+    ));
+    s.push_str(&format!(
+        "    \"index_batching_factor\": {:.4},\n",
+        comm.index_batching_factor()
+    ));
+    s.push_str(&format!(
         "    \"vocab_rpc_msgs_batched\": {},\n",
         comm.vocab_rpc_msgs_batched
     ));
@@ -537,7 +573,14 @@ fn to_json(
     s
 }
 
+/// Marker for the history table format carrying comm columns; rows
+/// written before the aggregated-exchange PR lack these columns, so a
+/// fresh header is appended (history stays append-only) the first time
+/// the new format writes into an old file.
+const HISTORY_COMM_MARKER: &str = "| index_msgs |";
+
 /// Append one row to the append-only history table (created on first use).
+#[allow(clippy::too_many_arguments)]
 fn append_history(
     ts: u64,
     smoke: bool,
@@ -545,11 +588,15 @@ fn append_history(
     docs: u32,
     host_cpus: usize,
     widths: &[WidthResult],
+    comm: &CommReport,
     imbalance: &inspire_trace::RunReport,
 ) {
     use std::io::Write;
     let path = results_dir().join("scaling_history.md");
     let fresh = !path.exists();
+    let has_comm_header = std::fs::read_to_string(&path)
+        .map(|t| t.contains(HISTORY_COMM_MARKER))
+        .unwrap_or(false);
     let mut f = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
@@ -557,19 +604,21 @@ fn append_history(
         .expect("open scaling history");
     if fresh {
         writeln!(f, "# Intra-rank scaling history (append-only)").unwrap();
+    }
+    if !has_comm_header {
         writeln!(f).unwrap();
         writeln!(
             f,
-            "| date (utc) | smoke | corpus_bytes | docs | host_cpus | wall_s@1 | wall_s@max | measured_x@max | projected_x@max | imbal%@4 | crit_stage |"
+            "| date (utc) | smoke | corpus_bytes | docs | host_cpus | wall_s@1 | wall_s@max | measured_x@max | projected_x@max | index_msgs | index_batch_x | imbal%@4 | crit_stage |"
         )
         .unwrap();
-        writeln!(f, "|---|---|---|---|---|---|---|---|---|---|---|").unwrap();
+        writeln!(f, "|---|---|---|---|---|---|---|---|---|---|---|---|---|").unwrap();
     }
     let first = widths.first().expect("at least width 1");
     let last = widths.last().expect("at least width 1");
     writeln!(
         f,
-        "| {} | {} | {} | {} | {} | {:.4} | {:.4} | {:.2} | {:.2} | {:.1} | {} |",
+        "| {} | {} | {} | {} | {} | {:.4} | {:.4} | {:.2} | {:.2} | {} | {:.1} | {:.1} | {} |",
         utc_date(ts),
         smoke,
         corpus_bytes,
@@ -579,6 +628,8 @@ fn append_history(
         last.wall_s_median,
         last.measured_speedup,
         last.projected_speedup,
+        comm.index_msgs,
+        comm.index_batching_factor(),
         imbalance.max_imbalance_pct(),
         imbalance.critical_path_stage().unwrap_or("-"),
     )

@@ -84,17 +84,18 @@ pub fn build(
             .map_chunks(scan.docs.len(), ASSOC_DOC_CHUNK, |chunk| {
                 let mut cooc = vec![0.0f64; n * m];
                 let mut ops = 0u64;
+                // Scratch reused across the chunk's documents; the
+                // accumulation order is unchanged, so the merged matrix
+                // stays bit-identical.
+                let mut rows: Vec<usize> = Vec::new();
+                let mut cols: Vec<usize> = Vec::new();
                 for d in &scan.docs[chunk] {
                     let distinct = d.distinct_terms();
                     ops += distinct.len() as u64;
-                    let rows: Vec<usize> = distinct
-                        .iter()
-                        .filter_map(|(t, _)| row_of.get(t).copied())
-                        .collect();
-                    let cols: Vec<usize> = distinct
-                        .iter()
-                        .filter_map(|(t, _)| col_of.get(t).copied())
-                        .collect();
+                    rows.clear();
+                    rows.extend(distinct.iter().filter_map(|(t, _)| row_of.get(t).copied()));
+                    cols.clear();
+                    cols.extend(distinct.iter().filter_map(|(t, _)| col_of.get(t).copied()));
                     ops += (rows.len() * cols.len()) as u64;
                     for &i in &rows {
                         for &j in &cols {

@@ -132,6 +132,40 @@ impl<T: Copy + Default + Send + Sync + 'static> GlobalArray<T> {
         self.get(ctx, i..i + 1)[0]
     }
 
+    /// Destination-aggregated get of many ranges: at most one message per
+    /// rank that owns any requested data, carrying every range segment
+    /// that rank serves (the batched counterpart of [`get`]
+    /// (GlobalArray::get), with the same per-destination packing as
+    /// [`put_batch`](GlobalArray::put_batch)). Returns one vector per
+    /// input range, in input order.
+    pub fn get_batch(&self, ctx: &Ctx, ranges: &[Range<usize>]) -> Vec<Vec<T>> {
+        let p = self.storage.blocks.len();
+        let mut bytes = vec![0u64; p];
+        let mut segs = vec![0u64; p];
+        for range in ranges {
+            self.for_blocks(range.clone(), |r, seg, _local| {
+                bytes[r] += (seg.len() * std::mem::size_of::<T>()) as u64;
+                segs[r] += 1;
+            });
+        }
+        for r in 0..p {
+            if segs[r] > 0 {
+                ctx.charge_one_sided_batch(bytes[r], r, segs[r]);
+            }
+        }
+        ranges
+            .iter()
+            .map(|range| {
+                let mut out = Vec::with_capacity(range.len());
+                self.for_blocks(range.clone(), |r, seg, local| {
+                    let block = self.storage.blocks[r].read();
+                    out.extend_from_slice(&block[local..local + seg.len()]);
+                });
+                out
+            })
+            .collect()
+    }
+
     /// One-sided put of `data` starting at global index `start`.
     pub fn put(&self, ctx: &Ctx, start: usize, data: &[T]) {
         self.for_blocks(start..start + data.len(), |r, seg, local| {
@@ -143,49 +177,52 @@ impl<T: Copy + Default + Send + Sync + 'static> GlobalArray<T> {
         });
     }
 
-    /// One-sided put of many `(start, data)` pairs, **coalescing adjacent
-    /// destinations**: the puts are ordered by start index and maximal
-    /// runs where one put ends exactly where the next begins are charged
-    /// as a single message per overlapped block (one round trip carrying
-    /// the run's whole payload), instead of one message per put. The
-    /// stored result is identical to issuing every put individually.
+    /// One-sided put of many `(start, data)` pairs as a
+    /// **destination-aggregated exchange**: every span (or span segment,
+    /// when a span straddles a block boundary) bound for one rank is
+    /// packed into a single message to that rank — ARMCI-style
+    /// aggregation of one-sided operations. Spans need not be contiguous
+    /// or sorted; the message carries the scattered spans with their
+    /// target offsets. The stored result is identical to issuing every
+    /// put individually, and the charged payload bytes are unchanged;
+    /// only the *message count* collapses, from one per span to at most
+    /// one per destination rank.
     ///
     /// This is the transport for scatter passes that emit many small
-    /// writes to mostly-consecutive slots (FAST-INV posting placement).
+    /// writes across the array (FAST-INV posting placement).
     pub fn put_batch(&self, ctx: &Ctx, puts: &[(usize, &[T])]) {
-        self.coalesced_charge_then(ctx, puts, |ga, start, data| {
+        self.dest_packed_charge_then(ctx, puts, |ga, start, data| {
             ga.write_unmetered(start, data);
         });
     }
 
-    /// Charge each maximal adjacent run of `ops` as one message per
-    /// overlapped block, then apply `apply` to every op (unmetered).
-    fn coalesced_charge_then(
+    /// Charge at most one message per destination rank for `ops` (payload
+    /// = the sum of the rank's span-segment bytes, scalar-equivalent = the
+    /// number of span segments packed), then apply `apply` to every op
+    /// (unmetered).
+    fn dest_packed_charge_then(
         &self,
         ctx: &Ctx,
         ops: &[(usize, &[T])],
         apply: impl Fn(&Self, usize, &[T]),
     ) {
-        let mut order: Vec<usize> = (0..ops.len()).collect();
-        order.sort_by_key(|&i| ops[i].0);
-        let mut i = 0;
-        while i < order.len() {
-            let start = ops[order[i]].0;
-            let mut end = start + ops[order[i]].1.len();
-            let mut j = i + 1;
-            while j < order.len() && ops[order[j]].0 == end {
-                end += ops[order[j]].1.len();
-                j += 1;
-            }
-            // One message per block the coalesced run overlaps.
-            self.for_blocks(start..end, |r, seg, _local| {
-                let bytes = (seg.len() * std::mem::size_of::<T>()) as u64;
-                ctx.charge_one_sided(bytes, r);
+        let p = self.storage.blocks.len();
+        // Per-destination payload bytes and span-segment counts.
+        let mut bytes = vec![0u64; p];
+        let mut segs = vec![0u64; p];
+        for &(start, data) in ops {
+            self.for_blocks(start..start + data.len(), |r, seg, _local| {
+                bytes[r] += (seg.len() * std::mem::size_of::<T>()) as u64;
+                segs[r] += 1;
             });
-            for &k in &order[i..j] {
-                apply(self, ops[k].0, ops[k].1);
+        }
+        for r in 0..p {
+            if segs[r] > 0 {
+                ctx.charge_one_sided_batch(bytes[r], r, segs[r]);
             }
-            i = j;
+        }
+        for &(start, data) in ops {
+            apply(self, start, data);
         }
     }
 
@@ -252,11 +289,12 @@ where
         });
     }
 
-    /// Batched [`acc`](GlobalArray::acc) with the same adjacent-run
-    /// coalescing and charging discipline as
-    /// [`put_batch`](GlobalArray::put_batch).
+    /// Batched [`acc`](GlobalArray::acc) with the same
+    /// destination-aggregated packing and charging discipline as
+    /// [`put_batch`](GlobalArray::put_batch): at most one message per
+    /// destination rank, scattered spans inside.
     pub fn acc_batch(&self, ctx: &Ctx, accs: &[(usize, &[T])]) {
-        self.coalesced_charge_then(ctx, accs, |ga, start, data| {
+        self.dest_packed_charge_then(ctx, accs, |ga, start, data| {
             ga.for_blocks(start..start + data.len(), |r, seg, local| {
                 let mut block = ga.storage.blocks[r].write();
                 let src = &data[seg.start - start..seg.end - start];
@@ -280,6 +318,45 @@ impl GlobalArray<i64> {
         let old = block[local];
         block[local] += delta;
         old
+    }
+
+    /// Batched fetch-and-add: apply every `(index, delta)` op and return
+    /// the pre-increment values in **submission order**, charging one
+    /// aggregated RPC per destination rank instead of one remote atomic
+    /// per op. Block distribution makes ownership computable locally, so
+    /// the ops bound for one rank travel in a single message; the owner
+    /// applies its sub-batch atomically (under one block lock) in
+    /// submission order, which makes the returned values exactly what a
+    /// scalar [`read_inc`](GlobalArray::read_inc) sequence would have
+    /// seen had no other rank interleaved — and, because each op still
+    /// reserves a disjoint `[old, old+delta)` window, the *set* of
+    /// reserved windows is identical to the scalar sequence under any
+    /// interleaving.
+    pub fn fetch_add_batch(&self, ctx: &Ctx, ops: &[(usize, i64)]) -> Vec<i64> {
+        let p = self.storage.blocks.len();
+        let mut out = vec![0i64; ops.len()];
+        // Group op indices by owning rank, preserving submission order.
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); p];
+        for (i, &(idx, _)) in ops.iter().enumerate() {
+            groups[self.owner(idx)].push(i);
+        }
+        for (r, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            // One round trip carrying the rank's (index, delta) pairs and
+            // returning one old value per pair.
+            let bytes = (group.len() * 16) as u64;
+            ctx.charge_one_sided_batch(bytes, r, group.len() as u64);
+            let mut block = self.storage.blocks[r].write();
+            for &i in group {
+                let (idx, delta) = ops[i];
+                let local = idx - self.storage.starts[r];
+                out[i] = block[local];
+                block[local] += delta;
+            }
+        }
+        out
     }
 }
 
@@ -447,7 +524,7 @@ mod tests {
     }
 
     #[test]
-    fn put_batch_charges_one_message_per_run() {
+    fn put_batch_charges_one_message_per_destination() {
         let rt = Runtime::for_testing();
         rt.run(1, |ctx| {
             let a = GlobalArray::<u32>::create(ctx, 100);
@@ -463,26 +540,30 @@ mod tests {
             let scalar_msgs = ctx.stats.snapshot().total_msgs() - before.total_msgs();
             assert_eq!(scalar_msgs, 10);
 
-            // The same writes batched: all 10 are one adjacent run.
+            // The same writes batched: one destination rank, one message.
             let before = ctx.stats.snapshot();
             a.put_batch(ctx, &refs);
             let snap = ctx.stats.snapshot();
             let batch_msgs = snap.total_msgs() - before.total_msgs();
             assert_eq!(batch_msgs, 1);
-            // Payload bytes are unchanged by coalescing.
+            // Payload bytes are unchanged by packing, and the fold is
+            // recorded: 10 scalar-equivalent spans in 1 batched message.
             assert_eq!(
                 snap.local_bytes - before.local_bytes,
                 (20 * std::mem::size_of::<u32>()) as u64
             );
+            assert_eq!(snap.batched_rpcs - before.batched_rpcs, 1);
+            assert_eq!(snap.batched_scalar_equiv - before.batched_scalar_equiv, 10);
         });
     }
 
     #[test]
-    fn put_batch_gaps_break_runs() {
+    fn put_batch_packs_gapped_spans_into_one_message() {
         let rt = Runtime::for_testing();
         rt.run(1, |ctx| {
             let a = GlobalArray::<u32>::create(ctx, 100);
-            // Two adjacent pairs separated by a gap: 2 runs, 2 messages.
+            // Scattered, gapped spans — still one destination, so the
+            // aggregated exchange ships them in a single message.
             let payloads: Vec<(usize, Vec<u32>)> = vec![
                 (0, vec![1, 2]),
                 (2, vec![3]),
@@ -494,9 +575,39 @@ mod tests {
             let before = ctx.stats.snapshot();
             a.put_batch(ctx, &refs);
             let msgs = ctx.stats.snapshot().total_msgs() - before.total_msgs();
-            assert_eq!(msgs, 2);
+            assert_eq!(msgs, 1);
             assert_eq!(a.get(ctx, 0..3), vec![1, 2, 3]);
             assert_eq!(a.get(ctx, 50..53), vec![4, 5, 6]);
+        });
+    }
+
+    #[test]
+    fn put_batch_charges_per_destination_rank() {
+        let rt = Runtime::for_testing();
+        rt.run(4, |ctx| {
+            // 40 elements over 4 ranks: blocks of 10.
+            let a = GlobalArray::<u32>::create(ctx, 40);
+            if ctx.rank() == 0 {
+                // Spans on ranks 0 and 2 only, plus one straddling 1|2.
+                let payloads: Vec<(usize, Vec<u32>)> = vec![
+                    (0, vec![1]),
+                    (5, vec![2, 3]),
+                    (25, vec![4]),
+                    (18, vec![5, 6, 7, 8]), // 18..22 straddles ranks 1 and 2
+                ];
+                let refs: Vec<(usize, &[u32])> =
+                    payloads.iter().map(|(s, d)| (*s, d.as_slice())).collect();
+                let before = ctx.stats.snapshot();
+                a.put_batch(ctx, &refs);
+                let snap = ctx.stats.snapshot();
+                // Destinations touched: 0, 1, 2 → exactly 3 messages.
+                assert_eq!(snap.total_msgs() - before.total_msgs(), 3);
+                // 5 span segments folded (the straddler splits in two).
+                assert_eq!(snap.batched_scalar_equiv - before.batched_scalar_equiv, 5);
+            }
+            ctx.barrier();
+            assert_eq!(a.get(ctx, 18..22), vec![5, 6, 7, 8]);
+            assert_eq!(a.get_one(ctx, 25), 4);
         });
     }
 
@@ -517,9 +628,139 @@ mod tests {
         });
         for (v, msgs) in res.results {
             assert_eq!(v, vec![4u64; 20]);
-            // 0..20 spans all 4 blocks: one run, one message per block.
+            // 0..20 touches all 4 blocks: one message per destination.
             assert_eq!(msgs, 4);
         }
+    }
+
+    #[test]
+    fn get_batch_matches_scalar_gets_with_fewer_messages() {
+        let rt = Runtime::for_testing();
+        rt.run(3, |ctx| {
+            let a = GlobalArray::<u32>::create(ctx, 60);
+            if ctx.rank() == 0 {
+                a.put(ctx, 0, &(0..60).collect::<Vec<u32>>());
+            }
+            ctx.barrier();
+            let ranges = [3..9, 0..2, 40..45, 12..12, 19..23];
+            let before = ctx.stats.snapshot();
+            let batched = a.get_batch(ctx, &ranges);
+            let snap = ctx.stats.snapshot();
+            let msgs = snap.total_msgs() - before.total_msgs();
+            for (range, got) in ranges.iter().zip(&batched) {
+                assert_eq!(got, &a.get(ctx, range.clone()));
+            }
+            // Blocks of 20: destinations touched are rank 0 (3..9, 0..2,
+            // 19..20), rank 1 (20..23) and rank 2 (40..45) → 3 messages
+            // for what 5 scalar gets would have charged as 6.
+            assert!(msgs <= 3, "get_batch charged {msgs} messages");
+            assert_eq!(snap.batched_scalar_equiv - before.batched_scalar_equiv, 5);
+        });
+    }
+
+    #[test]
+    fn fetch_add_batch_matches_scalar_sequence_single_rank() {
+        let rt = Runtime::for_testing();
+        rt.run(3, |ctx| {
+            let scalar = GlobalArray::<i64>::create(ctx, 17);
+            let batch = GlobalArray::<i64>::create(ctx, 17);
+            if ctx.rank() == 1 {
+                // Repeated indices, mixed deltas, out of order.
+                let ops: Vec<(usize, i64)> =
+                    vec![(3, 2), (0, 1), (3, 5), (16, 7), (0, 4), (9, 1), (3, 1)];
+                let want: Vec<i64> = ops
+                    .iter()
+                    .map(|&(i, d)| scalar.read_inc(ctx, i, d))
+                    .collect();
+                let got = batch.fetch_add_batch(ctx, &ops);
+                assert_eq!(got, want);
+            }
+            ctx.barrier();
+            assert_eq!(
+                scalar.get(ctx, 0..17),
+                batch.get(ctx, 0..17),
+                "final cursor state must agree"
+            );
+        });
+    }
+
+    #[test]
+    fn fetch_add_batch_charges_one_message_per_destination() {
+        let rt = Runtime::for_testing();
+        rt.run(4, |ctx| {
+            let a = GlobalArray::<i64>::create(ctx, 40);
+            if ctx.rank() == 0 {
+                // 12 ops spread over 3 of the 4 blocks.
+                let ops: Vec<(usize, i64)> = (0..12).map(|i| ((i * 7) % 30, 1)).collect();
+                let before = ctx.stats.snapshot();
+                a.fetch_add_batch(ctx, &ops);
+                let snap = ctx.stats.snapshot();
+                assert_eq!(snap.total_msgs() - before.total_msgs(), 3);
+                assert_eq!(snap.batched_scalar_equiv - before.batched_scalar_equiv, 12);
+                assert_eq!(snap.remote_atomics, before.remote_atomics);
+            }
+            ctx.barrier();
+        });
+    }
+
+    #[test]
+    fn fetch_add_batch_reserves_disjoint_windows_concurrently() {
+        let rt = Runtime::for_testing();
+        let res = rt.run(6, |ctx| {
+            let a = GlobalArray::<i64>::create(ctx, 5);
+            // Every rank reserves 30 windows of width 1..=4 across 5
+            // cursors, in two batches.
+            let mut seed = 0x9e3779b97f4a7c15u64 ^ (ctx.rank() as u64);
+            let mut next = move || {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                seed
+            };
+            let ops: Vec<(usize, i64)> = (0..30)
+                .map(|_| ((next() % 5) as usize, (next() % 4) as i64 + 1))
+                .collect();
+            let old_a = a.fetch_add_batch(ctx, &ops[..13]);
+            let old_b = a.fetch_add_batch(ctx, &ops[13..]);
+            let windows: Vec<(usize, i64, i64)> = ops
+                .iter()
+                .zip(old_a.iter().chain(&old_b))
+                .map(|(&(i, d), &old)| (i, old, old + d))
+                .collect();
+            ctx.barrier();
+            (windows, a.get(ctx, 0..5))
+        });
+        // Per cursor: all reserved windows are disjoint and exactly tile
+        // [0, final), under whatever interleaving the run produced.
+        let final_vals = res.results[0].1.clone();
+        for (cursor, &final_val) in final_vals.iter().enumerate() {
+            let mut windows: Vec<(i64, i64)> = res
+                .results
+                .iter()
+                .flat_map(|(w, _)| w.iter().filter(|t| t.0 == cursor).map(|t| (t.1, t.2)))
+                .collect();
+            windows.sort_unstable();
+            let mut at = 0i64;
+            for (lo, hi) in windows {
+                assert_eq!(lo, at, "cursor {cursor}: window gap or overlap");
+                at = hi;
+            }
+            assert_eq!(at, final_val, "cursor {cursor}: final value");
+        }
+    }
+
+    #[test]
+    fn empty_batches_are_free() {
+        let rt = Runtime::for_testing();
+        rt.run(2, |ctx| {
+            let a = GlobalArray::<i64>::create(ctx, 10);
+            let before = ctx.stats.snapshot();
+            assert!(a.fetch_add_batch(ctx, &[]).is_empty());
+            a.put_batch(ctx, &[]);
+            a.acc_batch(ctx, &[]);
+            assert!(a.get_batch(ctx, &[]).is_empty());
+            assert_eq!(ctx.stats.snapshot(), before);
+        });
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Property tests for batched cursor reservation: `fetch_add_batch`
+//! must be indistinguishable from the scalar `read_inc` schedule it
+//! replaces — identical slots when applied sequentially, and disjoint
+//! exactly-tiling reservation windows under concurrent interleaving —
+//! at any process count and therefore any block distribution.
+
+use ga::GlobalArray;
+use proptest::prelude::*;
+use spmd::Runtime;
+
+proptest! {
+    /// Sequential equivalence: one rank issuing a batch gets exactly
+    /// the slots the scalar read_inc sequence would have produced, and
+    /// leaves the array in the identical final state. P varies so the
+    /// batch is split across every possible block distribution.
+    #[test]
+    fn batched_matches_scalar_read_inc_sequence(
+        len in 1usize..48,
+        p in 1usize..6,
+        raw in prop::collection::vec((0usize..4096, 1i64..12), 0..80),
+    ) {
+        let ops: Vec<(usize, i64)> = raw.iter().map(|&(i, d)| (i % len, d)).collect();
+        let rt = Runtime::for_testing();
+        let res = rt.run(p, |ctx| {
+            let batch = GlobalArray::<i64>::create(ctx, len);
+            let scalar = GlobalArray::<i64>::create(ctx, len);
+            let out = if ctx.rank() == 0 {
+                let got = batch.fetch_add_batch(ctx, &ops);
+                let want: Vec<i64> =
+                    ops.iter().map(|&(i, d)| scalar.read_inc(ctx, i, d)).collect();
+                Some((got, want))
+            } else {
+                None
+            };
+            ctx.barrier();
+            (out, batch.get(ctx, 0..len), scalar.get(ctx, 0..len))
+        });
+        for (out, final_batch, final_scalar) in res.results {
+            prop_assert_eq!(final_batch, final_scalar);
+            if let Some((got, want)) = out {
+                prop_assert_eq!(got, want);
+            }
+        }
+    }
+
+    /// Concurrent interleaving: every rank issues its own batch against
+    /// shared cursors. Whatever order the per-destination sub-batches
+    /// land in, each op must be granted a window `[slot, slot+delta)`
+    /// such that, per cursor, the windows of all ops from all ranks are
+    /// pairwise disjoint and tile `[0, total_delta)` exactly — the same
+    /// invariant the scalar read_inc schedule guarantees.
+    #[test]
+    fn concurrent_batches_tile_reservation_windows(
+        len in 1usize..24,
+        p in 1usize..6,
+        raw in prop::collection::vec((0usize..4096, 1i64..9), 0..40),
+    ) {
+        let ops: Vec<(usize, i64)> = raw.iter().map(|&(i, d)| (i % len, d)).collect();
+        let rt = Runtime::for_testing();
+        let res = rt.run(p, |ctx| {
+            let cursors = GlobalArray::<i64>::create(ctx, len);
+            // Each rank rotates the shared op list so batches collide on
+            // the same cursors in different orders.
+            let mut mine = ops.clone();
+            let by = ctx.rank().min(mine.len());
+            mine.rotate_left(by);
+            let slots = cursors.fetch_add_batch(ctx, &mine);
+            ctx.barrier();
+            (mine, slots, cursors.get(ctx, 0..len))
+        });
+        // Collect every granted window per cursor across all ranks.
+        let mut windows: Vec<Vec<(i64, i64)>> = vec![Vec::new(); len];
+        let mut finals = None;
+        for (mine, slots, final_cursors) in res.results {
+            prop_assert_eq!(mine.len(), slots.len());
+            for (&(idx, delta), &slot) in mine.iter().zip(&slots) {
+                windows[idx].push((slot, slot + delta));
+            }
+            if let Some(prev) = &finals {
+                prop_assert_eq!(prev, &final_cursors);
+            } else {
+                finals = Some(final_cursors);
+            }
+        }
+        let finals = finals.unwrap();
+        for (idx, mut ws) in windows.into_iter().enumerate() {
+            ws.sort_unstable();
+            let mut expect_start = 0i64;
+            for (lo, hi) in ws {
+                prop_assert_eq!(lo, expect_start, "gap or overlap at cursor {}", idx);
+                expect_start = hi;
+            }
+            prop_assert_eq!(expect_start, finals[idx], "cursor {} final value", idx);
+        }
+    }
+}

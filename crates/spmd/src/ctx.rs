@@ -161,6 +161,22 @@ impl Ctx {
         }
     }
 
+    /// Charge one **aggregated** one-sided message to `target`: `bytes`
+    /// of payload that replaces `scalar_ops` individual one-sided
+    /// operations (ARMCI-style destination aggregation). Costs a single
+    /// pipelined message; the counters record both the one message
+    /// actually sent and the scalar-equivalent count it folded, so
+    /// batching factors are observable per stage.
+    pub fn charge_one_sided_batch(&self, bytes: u64, target: usize, scalar_ops: u64) {
+        if target == self.rank {
+            self.stats.record_local_batch(bytes, scalar_ops);
+            self.advance(self.model.local_access(bytes));
+        } else {
+            self.stats.record_one_sided_batch(bytes, scalar_ops);
+            self.advance(self.model.one_sided(bytes));
+        }
+    }
+
     /// Charge a one-sided RPC whose population scales with the vocabulary
     /// (distributed-hashmap term registration) rather than the corpus.
     pub fn charge_one_sided_vocab(&self, bytes: u64, target: usize) {

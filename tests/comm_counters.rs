@@ -1,11 +1,15 @@
-//! Comm-plane counter tests for the batched vocabulary hot path.
+//! Comm-plane counter tests for the batched hot paths.
 //!
-//! Two guarantees from the batching PR, checked on a fixture corpus:
+//! Guarantees from the batching PRs, checked on a fixture corpus:
 //!
-//! 1. **Batching factor** — the scan stage's charged vocabulary RPC
-//!    count drops at least 5x versus the scalar one-message-per-term
+//! 1. **Scan batching factor** — the scan stage's charged vocabulary
+//!    RPC count drops at least 5x versus the scalar one-message-per-term
 //!    discipline it replaced (the scan output carries both counts).
-//! 2. **Width invariance** — charged message/byte counters are a
+//! 2. **Index aggregation** — the index stage's aggregated exchange
+//!    (batched cursor reservation + destination-packed posting puts)
+//!    keeps the stage's message count under a fixed ceiling, far below
+//!    the scalar-equivalent operation count it folds.
+//! 3. **Width invariance** — charged message/byte counters are a
 //!    function of the workload, not of the intra-rank pool width:
 //!    `threads_per_rank` ∈ {1, 2, 4} must produce bit-identical
 //!    per-stage counters on every rank.
@@ -85,6 +89,86 @@ fn scan_stage_counters_attribute_to_scan_and_index() {
             snap.total_msgs(),
             "rank {rank}: stage attribution must cover every charged op"
         );
+    }
+}
+
+/// Ceiling on the index stage's total charged message count on the
+/// 64 KiB fixture, summed over all ranks, for P ∈ {1, 2, 4}. The
+/// pre-aggregation scatter charged one read_inc per (term, load) plus
+/// one put per posting run — thousands of messages on this fixture
+/// (the scalar-equivalent counter records ~5,600 folded operations). The aggregated exchange pays O(P) messages per load, so a
+/// fixed small ceiling holds at every P and catches any regression to
+/// per-term traffic.
+const INDEX_STAGE_MSG_CEILING: u64 = 1024;
+
+#[test]
+fn index_stage_msgs_under_fixed_ceiling() {
+    let src = CorpusSpec::pubmed(FIXTURE_BYTES, 2007).generate();
+    for procs in [1usize, 2, 4] {
+        let prof = comm_profile(&src, procs, 1);
+        let index_msgs: u64 = prof
+            .iter()
+            .map(|r| r.0.stage_msgs_for(Component::Index))
+            .sum();
+        let batched: u64 = prof
+            .iter()
+            .map(|r| r.0.stage_batched_msgs_for(Component::Index))
+            .sum();
+        let scalar_equiv: u64 = prof
+            .iter()
+            .map(|r| r.0.stage_scalar_equiv_for(Component::Index))
+            .sum();
+        eprintln!(
+            "p={procs}: index_msgs={index_msgs} batched={batched} scalar_equiv={scalar_equiv}"
+        );
+        assert!(
+            index_msgs <= INDEX_STAGE_MSG_CEILING,
+            "p={procs}: index stage charged {index_msgs} messages, \
+             ceiling is {INDEX_STAGE_MSG_CEILING}"
+        );
+        // The batched messages must stand in for far more scalar
+        // operations than were actually charged: the aggregation is
+        // doing real folding, not forwarding singleton batches.
+        assert!(batched > 0, "p={procs}: no batched RPCs in index stage");
+        assert!(
+            scalar_equiv >= 10 * batched,
+            "p={procs}: index batching factor below 10x: \
+             {scalar_equiv} scalar-equivalent ops over {batched} batches"
+        );
+    }
+}
+
+#[test]
+fn index_stage_msgs_invariant_in_pool_width() {
+    let src = CorpusSpec::pubmed(FIXTURE_BYTES, 2007).generate();
+    for procs in [1usize, 2] {
+        let base: Vec<(u64, u64, u64)> = comm_profile(&src, procs, 1)
+            .iter()
+            .map(|r| {
+                (
+                    r.0.stage_msgs_for(Component::Index),
+                    r.0.stage_batched_msgs_for(Component::Index),
+                    r.0.stage_scalar_equiv_for(Component::Index),
+                )
+            })
+            .collect();
+        for threads in [2usize, 4] {
+            let wide: Vec<(u64, u64, u64)> = comm_profile(&src, procs, threads)
+                .iter()
+                .map(|r| {
+                    (
+                        r.0.stage_msgs_for(Component::Index),
+                        r.0.stage_batched_msgs_for(Component::Index),
+                        r.0.stage_scalar_equiv_for(Component::Index),
+                    )
+                })
+                .collect();
+            assert_eq!(
+                base, wide,
+                "p={procs}: index-stage counters differ between \
+                 threads_per_rank=1 and {threads}"
+            );
+        }
     }
 }
 
