@@ -237,27 +237,29 @@ fn main() {
         .duration_since(UNIX_EPOCH)
         .expect("clock before 1970")
         .as_secs();
+    let json = to_json(
+        smoke,
+        corpus_bytes,
+        docs,
+        host_cpus,
+        iters,
+        parallel_fraction,
+        &profile,
+        &widths,
+        &comm,
+        &snap_bench,
+        &imbalance,
+        baseline_wall_s_1,
+        wall_clock_improvement,
+    );
     let json_path = results_dir().join(format!("BENCH_intra_rank_scaling_{ts}.json"));
-    std::fs::write(
-        &json_path,
-        to_json(
-            smoke,
-            corpus_bytes,
-            docs,
-            host_cpus,
-            iters,
-            parallel_fraction,
-            &profile,
-            &widths,
-            &comm,
-            &snap_bench,
-            &imbalance,
-            baseline_wall_s_1,
-            wall_clock_improvement,
-        ),
-    )
-    .expect("write BENCH json");
+    std::fs::write(&json_path, &json).expect("write BENCH json");
+    // Stable pointer so CI validation never has to guess which
+    // timestamped file the run just produced.
+    let latest = results_dir().join("BENCH_latest.json");
+    std::fs::write(&latest, &json).expect("write BENCH latest pointer");
     println!("wrote {}", json_path.display());
+    println!("wrote {}", latest.display());
 
     append_history(
         ts,

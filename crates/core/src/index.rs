@@ -53,7 +53,10 @@ fn pack_posting(p: Posting) -> u64 {
     (p.doc as u64) | ((p.field as u64) << 32) | ((p.freq.min(0xFF_FFFF) as u64) << 40)
 }
 
-fn unpack_posting(e: u64) -> Posting {
+/// Unpack a posting from its global-array encoding (doc 32 | field 8 |
+/// freq 24). Public so the serving tier can read a snapshot's flattened
+/// posting array with the exact decoding the engine wrote.
+pub fn unpack_posting(e: u64) -> Posting {
     Posting {
         doc: (e & 0xFFFF_FFFF) as DocId,
         field: ((e >> 32) & 0xFF) as FieldId,

@@ -7,9 +7,56 @@
 
 use crate::index::{InvertedIndex, Posting};
 use crate::scan::ScanOutput;
-use crate::{DocId, FieldId};
+use crate::{DocId, FieldId, TermId};
 use spmd::Ctx;
 use std::collections::HashMap;
+
+/// Read-only view of the term statistics and postings a query needs.
+///
+/// Both retrieval backends implement this: [`LiveIndex`] adapts the
+/// engine's rank-resident [`ScanOutput`] + [`InvertedIndex`] (postings
+/// fetched through the SPMD context), and the serving tier's extracted
+/// snapshot state answers from plain shared vectors with no context at
+/// all. Every query algorithm below is written against this trait once,
+/// so the two paths cannot drift: a served answer is byte-identical to
+/// the single-shot CLI answer by construction.
+pub trait SearchIndex {
+    /// Canonical id of `term`, if indexed.
+    fn term_id(&self, term: &str) -> Option<TermId>;
+    /// A term's postings, sorted by (doc, field) for determinism.
+    fn postings_of(&self, term: TermId) -> Vec<Posting>;
+    /// Document frequency of `term`.
+    fn df(&self, term: TermId) -> u32;
+    /// Total documents in the collection.
+    fn total_docs(&self) -> u32;
+}
+
+/// [`SearchIndex`] over the engine's live rank state: term lookups hit
+/// the canonical vocabulary and postings are fetched through the SPMD
+/// context (paying modeled communication when the index is distributed).
+pub struct LiveIndex<'a> {
+    pub ctx: &'a Ctx,
+    pub scan: &'a ScanOutput,
+    pub index: &'a InvertedIndex,
+}
+
+impl SearchIndex for LiveIndex<'_> {
+    fn term_id(&self, term: &str) -> Option<TermId> {
+        self.scan.term_id(term)
+    }
+
+    fn postings_of(&self, term: TermId) -> Vec<Posting> {
+        self.index.postings_of(self.ctx, term)
+    }
+
+    fn df(&self, term: TermId) -> u32 {
+        self.index.df[term as usize]
+    }
+
+    fn total_docs(&self) -> u32 {
+        self.index.total_docs
+    }
+}
 
 /// A boolean retrieval expression over terms.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -207,12 +254,40 @@ impl Query {
         }
         Ok(q)
     }
+
+    /// Canonical text form: fully parenthesized with explicit keywords,
+    /// so any two expressions that parse to the same tree normalize to
+    /// the same string (`a AND b`, `a b`, `(a) (b)` all become
+    /// `(a AND b)`). The serving tier keys its result cache on this.
+    /// Normalized text reparses to the original tree.
+    pub fn normalized(&self) -> String {
+        match self {
+            Query::Term(t) => t.clone(),
+            Query::FieldTerm(f, t) => format!("{f}:{t}"),
+            Query::And(parts) => {
+                let inner: Vec<String> = parts.iter().map(|p| p.normalized()).collect();
+                format!("({})", inner.join(" AND "))
+            }
+            Query::Or(parts) => {
+                let inner: Vec<String> = parts.iter().map(|p| p.normalized()).collect();
+                format!("({})", inner.join(" OR "))
+            }
+            Query::AndNot(keep, drop) => {
+                format!("({} AND NOT {})", keep.normalized(), drop.normalized())
+            }
+        }
+    }
 }
 
 /// Postings for a term string, or empty when the term is unknown.
 pub fn lookup(ctx: &Ctx, scan: &ScanOutput, index: &InvertedIndex, term: &str) -> Vec<Posting> {
-    match scan.term_id(term) {
-        Some(t) => index.postings_of(ctx, t),
+    lookup_in(&LiveIndex { ctx, scan, index }, term)
+}
+
+/// [`lookup`] against any [`SearchIndex`] backend.
+pub fn lookup_in(ix: &impl SearchIndex, term: &str) -> Vec<Posting> {
+    match ix.term_id(term) {
+        Some(t) => ix.postings_of(t),
         None => Vec::new(),
     }
 }
@@ -229,17 +304,19 @@ pub struct Hit {
 /// evaluation: term postings are fetched once, deduplicated to document
 /// sets, and combined with sorted-set operations.
 pub fn evaluate(ctx: &Ctx, scan: &ScanOutput, index: &InvertedIndex, query: &Query) -> Vec<DocId> {
+    evaluate_in(&LiveIndex { ctx, scan, index }, query)
+}
+
+/// [`evaluate`] against any [`SearchIndex`] backend.
+pub fn evaluate_in(ix: &impl SearchIndex, query: &Query) -> Vec<DocId> {
     match query {
-        Query::Term(t) => docs_of(ctx, scan, index, t, None),
+        Query::Term(t) => docs_of(ix, t, None),
         Query::FieldTerm(field, t) => {
             let fid = crate::field_id(field);
-            docs_of(ctx, scan, index, t, fid)
+            docs_of(ix, t, fid)
         }
         Query::And(parts) => {
-            let mut sets: Vec<Vec<DocId>> = parts
-                .iter()
-                .map(|p| evaluate(ctx, scan, index, p))
-                .collect();
+            let mut sets: Vec<Vec<DocId>> = parts.iter().map(|p| evaluate_in(ix, p)).collect();
             // Intersect smallest-first for efficiency.
             sets.sort_by_key(|s| s.len());
             let mut it = sets.into_iter();
@@ -257,13 +334,13 @@ pub fn evaluate(ctx: &Ctx, scan: &ScanOutput, index: &InvertedIndex, query: &Que
         Query::Or(parts) => {
             let mut acc: Vec<DocId> = Vec::new();
             for p in parts {
-                acc = union(&acc, &evaluate(ctx, scan, index, p));
+                acc = union(&acc, &evaluate_in(ix, p));
             }
             acc
         }
         Query::AndNot(keep, drop) => {
-            let keep = evaluate(ctx, scan, index, keep);
-            let drop = evaluate(ctx, scan, index, drop);
+            let keep = evaluate_in(ix, keep);
+            let drop = evaluate_in(ix, drop);
             difference(&keep, &drop)
         }
     }
@@ -271,18 +348,12 @@ pub fn evaluate(ctx: &Ctx, scan: &ScanOutput, index: &InvertedIndex, query: &Que
 
 /// Sorted distinct documents containing `term`, optionally restricted to
 /// one field — this is where the paper's *term-to-field* index pays off.
-fn docs_of(
-    ctx: &Ctx,
-    scan: &ScanOutput,
-    index: &InvertedIndex,
-    term: &str,
-    field: Option<FieldId>,
-) -> Vec<DocId> {
-    let Some(t) = scan.term_id(term) else {
+fn docs_of(ix: &impl SearchIndex, term: &str, field: Option<FieldId>) -> Vec<DocId> {
+    let Some(t) = ix.term_id(term) else {
         return Vec::new();
     };
-    let mut docs: Vec<DocId> = index
-        .postings_of(ctx, t)
+    let mut docs: Vec<DocId> = ix
+        .postings_of(t)
         .into_iter()
         .filter(|p| field.is_none_or(|f| p.field == f))
         .map(|p| p.doc)
@@ -351,24 +422,29 @@ pub fn search(
     query: &str,
     top: usize,
 ) -> Vec<Hit> {
+    search_in(&LiveIndex { ctx, scan, index }, query, top)
+}
+
+/// [`search`] against any [`SearchIndex`] backend.
+pub fn search_in(ix: &impl SearchIndex, query: &str, top: usize) -> Vec<Hit> {
     let tokenizer = crate::tokenize::Tokenizer::default();
     let mut terms = Vec::new();
     tokenizer.tokenize_into(query, |t| terms.push(t.to_string()));
 
-    let d = index.total_docs as f64;
+    let d = ix.total_docs() as f64;
     let mut scores: HashMap<DocId, f64> = HashMap::new();
     for term in terms {
-        let Some(t) = scan.term_id(&term) else {
+        let Some(t) = ix.term_id(&term) else {
             continue;
         };
-        let df = index.df[t as usize] as f64;
+        let df = ix.df(t) as f64;
         if df == 0.0 {
             continue;
         }
         let idf = ((d + 1.0) / (df + 1.0)).ln();
         // Merge field postings per document.
         let mut per_doc: HashMap<DocId, u32> = HashMap::new();
-        for p in index.postings_of(ctx, t) {
+        for p in ix.postings_of(t) {
             *per_doc.entry(p.doc).or_insert(0) += p.freq;
         }
         for (doc, freq) in per_doc {
@@ -606,6 +682,33 @@ mod tests {
                 ]))
             )
         );
+    }
+
+    #[test]
+    fn normalized_is_canonical_and_reparses() {
+        // Equivalent spellings normalize to the same string.
+        for (a, b) in [
+            ("heart attack", "heart AND attack"),
+            ("a (b)", "a AND b"),
+            ("x OR y OR z", "x or y or z"),
+            ("a NOT b", "a AND NOT b"),
+        ] {
+            assert_eq!(
+                Query::parse(a).unwrap().normalized(),
+                Query::parse(b).unwrap().normalized(),
+                "{a:?} vs {b:?}"
+            );
+        }
+        // Normalized text reparses to the same tree.
+        for e in [
+            "heart",
+            "title:heart OR (lung AND NOT mesh:cancer)",
+            "a NOT b NOT c",
+            "(a OR b) (c OR d)",
+        ] {
+            let q = Query::parse(e).unwrap();
+            assert_eq!(Query::parse(&q.normalized()).unwrap(), q, "{e:?}");
+        }
     }
 
     #[test]

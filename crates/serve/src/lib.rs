@@ -1,0 +1,35 @@
+//! Concurrent snapshot-serving tier.
+//!
+//! `vaengine serve` turns one immutable engine snapshot into a
+//! long-lived query service: a zero-dependency HTTP/1.1 server over
+//! `std::net::TcpListener` answering the engine's five query kinds
+//! (`/term`, `/query`, `/search`, `/cluster`, `/rect`) as deterministic
+//! JSON, plus `/healthz` and `/metrics`.
+//!
+//! The crate splits along the obvious seams:
+//!
+//! - [`state`] — [`state::ServeState`]: a `Send + Sync` extraction of
+//!   the snapshot's scan/index/output sections, implementing the core
+//!   [`inspire_core::query::SearchIndex`] trait so served answers run
+//!   the exact algorithms the CLI runs.
+//! - [`request`] — typed routes, normalized cache keys, and the shared
+//!   [`request::execute`] renderer both front ends use, which is what
+//!   makes served bodies byte-identical to `vaengine query --json`.
+//! - [`lru`] — the fixed-capacity result cache with hit/miss/eviction
+//!   counters surfaced at `/metrics`.
+//! - [`http`] — hand-rolled request parsing (total, never panics, hard
+//!   head limits), response writing, and a tiny blocking client.
+//! - [`server`] — accept thread, bounded queue with 429 backpressure,
+//!   an [`spmd::IntraPool`] worker pool, and graceful drain on
+//!   shutdown.
+
+pub mod http;
+pub mod lru;
+pub mod request;
+pub mod server;
+pub mod state;
+
+pub use lru::{CacheStats, LruCache};
+pub use request::{execute, RequestError, ServeRequest};
+pub use server::{ServeConfig, ServeSummary, Server};
+pub use state::ServeState;

@@ -1,0 +1,246 @@
+//! LRU query-result cache with hit/miss/eviction accounting.
+//!
+//! Classic intrusive doubly-linked LRU over a slab: `map` resolves a
+//! normalized query key to a slab slot, and the slab links slots from
+//! most- to least-recently used. Every operation is O(1) (amortized over
+//! the hash map); capacity is a fixed entry count chosen at server start.
+//! The cache stores fully rendered response bodies behind `Arc<str>` so
+//! a hit clones a pointer, not the payload.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Monotonic counters the `/metrics` endpoint reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub insertions: u64,
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from cache (0 when none yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Node {
+    key: String,
+    value: Arc<str>,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+/// A fixed-capacity least-recently-used map from normalized query keys
+/// to rendered response bodies.
+pub struct LruCache {
+    map: HashMap<String, usize>,
+    slab: Vec<Node>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+    stats: CacheStats,
+}
+
+impl LruCache {
+    /// A cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        LruCache {
+            map: HashMap::with_capacity(capacity + 1),
+            slab: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            stats: CacheStats::default(),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Look `key` up, counting a hit (and refreshing recency) or a miss.
+    pub fn get(&mut self, key: &str) -> Option<Arc<str>> {
+        match self.map.get(key).copied() {
+            Some(at) => {
+                self.stats.hits += 1;
+                self.unlink(at);
+                self.push_front(at);
+                Some(Arc::clone(&self.slab[at].value))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) `key`, evicting the least-recently-used entry
+    /// when the cache is full.
+    pub fn insert(&mut self, key: &str, value: Arc<str>) {
+        self.stats.insertions += 1;
+        if let Some(&at) = self.map.get(key) {
+            self.slab[at].value = value;
+            self.unlink(at);
+            self.push_front(at);
+            return;
+        }
+        let at = if self.map.len() >= self.capacity {
+            // Reuse the LRU slot: drop its key, keep its slab cell.
+            let victim = self.tail;
+            self.unlink(victim);
+            let old_key = std::mem::replace(&mut self.slab[victim].key, key.to_string());
+            self.map.remove(&old_key);
+            self.slab[victim].value = value;
+            self.stats.evictions += 1;
+            victim
+        } else {
+            self.slab.push(Node {
+                key: key.to_string(),
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slab.len() - 1
+        };
+        self.map.insert(key.to_string(), at);
+        self.push_front(at);
+    }
+
+    /// Keys from most- to least-recently used (for tests).
+    pub fn keys_mru(&self) -> Vec<&str> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut at = self.head;
+        while at != NIL {
+            out.push(self.slab[at].key.as_str());
+            at = self.slab[at].next;
+        }
+        out
+    }
+
+    fn unlink(&mut self, at: usize) {
+        let (prev, next) = (self.slab[at].prev, self.slab[at].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else if self.head == at {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else if self.tail == at {
+            self.tail = prev;
+        }
+        self.slab[at].prev = NIL;
+        self.slab[at].next = NIL;
+    }
+
+    fn push_front(&mut self, at: usize) {
+        self.slab[at].prev = NIL;
+        self.slab[at].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = at;
+        }
+        self.head = at;
+        if self.tail == NIL {
+            self.tail = at;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Arc<str> {
+        Arc::from(s)
+    }
+
+    #[test]
+    fn eviction_follows_lru_order() {
+        let mut c = LruCache::new(3);
+        c.insert("a", v("1"));
+        c.insert("b", v("2"));
+        c.insert("c", v("3"));
+        assert_eq!(c.keys_mru(), ["c", "b", "a"]);
+        // Touch `a`, making `b` the LRU entry.
+        assert_eq!(c.get("a").as_deref(), Some("1"));
+        c.insert("d", v("4"));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.keys_mru(), ["d", "a", "c"]);
+        assert!(c.get("b").is_none());
+        // Next eviction takes `c`.
+        c.insert("e", v("5"));
+        assert_eq!(c.keys_mru(), ["e", "d", "a"]);
+        assert_eq!(c.stats().evictions, 2);
+    }
+
+    #[test]
+    fn counters_account_every_operation() {
+        let mut c = LruCache::new(2);
+        assert!(c.get("x").is_none());
+        c.insert("x", v("1"));
+        assert_eq!(c.get("x").as_deref(), Some("1"));
+        c.insert("y", v("2"));
+        c.insert("z", v("3")); // evicts x
+        assert!(c.get("x").is_none());
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.insertions, 3);
+        assert_eq!(s.evictions, 1);
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_and_recency() {
+        let mut c = LruCache::new(2);
+        c.insert("a", v("1"));
+        c.insert("b", v("2"));
+        c.insert("a", v("1'"));
+        assert_eq!(c.keys_mru(), ["a", "b"]);
+        assert_eq!(c.get("a").as_deref(), Some("1'"));
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn capacity_one_works() {
+        let mut c = LruCache::new(1);
+        c.insert("a", v("1"));
+        c.insert("b", v("2"));
+        assert_eq!(c.len(), 1);
+        assert!(c.get("a").is_none());
+        assert_eq!(c.get("b").as_deref(), Some("2"));
+        assert_eq!(c.keys_mru(), ["b"]);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut c = LruCache::new(0);
+        assert_eq!(c.capacity(), 1);
+        c.insert("a", v("1"));
+        assert_eq!(c.get("a").as_deref(), Some("1"));
+    }
+}

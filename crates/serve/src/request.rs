@@ -1,0 +1,461 @@
+//! Query requests: route parsing, normalized cache keys, and execution.
+//!
+//! A [`ServeRequest`] is the typed form of one query URL. The same
+//! request type backs both front ends — the HTTP server routes
+//! `GET /search?q=…` here, and `vaengine query --json` builds requests
+//! from CLI flags — so both produce their response bodies from
+//! [`execute`], and a served body is byte-identical to the single-shot
+//! CLI body for the same query by construction.
+//!
+//! Bodies are deterministic JSON, one line, newline-terminated. Floats
+//! render through [`inspire_trace::json::num`] (shortest round-trip
+//! form), and every body is built from the query result alone — no
+//! timestamps, no server identity — so identical queries against the
+//! same snapshot always yield identical bytes (what the result cache
+//! and the load generator's oracle check both rely on).
+
+use crate::state::ServeState;
+use inspire_core::interact::{select_cluster, select_rect};
+use inspire_core::query::{self, Query};
+use inspire_trace::json::{escape, num};
+
+/// One typed query, any of the five kinds the engine serves.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeRequest {
+    /// Raw postings of one term: `/term?t=<term>`.
+    Term { term: String, top: usize },
+    /// Boolean retrieval: `/query?q=<expr>`.
+    Boolean { expr: Query, top: usize },
+    /// TF-IDF ranked retrieval: `/search?q=<text>`.
+    Search { text: String, top: usize },
+    /// Documents of one cluster: `/cluster?c=<id>`.
+    Cluster { cluster: u32, top: usize },
+    /// Documents inside a coordinate rectangle: `/rect?x0=&y0=&x1=&y1=`.
+    Rect {
+        min: (f64, f64),
+        max: (f64, f64),
+        top: usize,
+    },
+}
+
+/// A client error: HTTP status plus a message for the JSON error body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestError {
+    pub status: u16,
+    pub message: String,
+}
+
+impl RequestError {
+    pub fn bad(message: impl Into<String>) -> Self {
+        RequestError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+}
+
+/// Default and maximum `top` (result rows per response).
+pub const DEFAULT_TOP: usize = 10;
+pub const MAX_TOP: usize = 10_000;
+
+/// Decode `%XX` escapes and `+`-as-space in a URL query component.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' if i + 2 < bytes.len() => {
+                let hex = |b: u8| -> Option<u8> {
+                    match b {
+                        b'0'..=b'9' => Some(b - b'0'),
+                        b'a'..=b'f' => Some(b - b'a' + 10),
+                        b'A'..=b'F' => Some(b - b'A' + 10),
+                        _ => None,
+                    }
+                };
+                match (hex(bytes[i + 1]), hex(bytes[i + 2])) {
+                    (Some(h), Some(l)) => {
+                        out.push(h << 4 | l);
+                        i += 2;
+                    }
+                    _ => out.push(b'%'),
+                }
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Split a request target into `(path, decoded query params)`.
+pub fn split_target(target: &str) -> (&str, Vec<(String, String)>) {
+    let (path, qs) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let params = qs
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect();
+    (path, params)
+}
+
+fn param<'a>(params: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    params
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+fn parse_top(params: &[(String, String)]) -> Result<usize, RequestError> {
+    match param(params, "top") {
+        None => Ok(DEFAULT_TOP),
+        Some(v) => v
+            .parse::<usize>()
+            .ok()
+            .filter(|n| (1..=MAX_TOP).contains(n))
+            .ok_or_else(|| RequestError::bad(format!("bad top={v:?} (1..={MAX_TOP})"))),
+    }
+}
+
+fn parse_f64(params: &[(String, String)], key: &str) -> Result<f64, RequestError> {
+    let v = param(params, key).ok_or_else(|| RequestError::bad(format!("missing {key}=")))?;
+    v.parse::<f64>()
+        .ok()
+        .filter(|x| x.is_finite())
+        .ok_or_else(|| RequestError::bad(format!("bad {key}={v:?}")))
+}
+
+impl ServeRequest {
+    /// Parse a query route (`path` + decoded params) into a request.
+    /// Returns `Err(404)` for unknown paths, `Err(400)` for bad params.
+    pub fn parse(path: &str, params: &[(String, String)]) -> Result<ServeRequest, RequestError> {
+        let top = parse_top(params)?;
+        match path {
+            "/term" => {
+                let term = param(params, "t").ok_or_else(|| RequestError::bad("missing t="))?;
+                if term.is_empty() {
+                    return Err(RequestError::bad("empty t="));
+                }
+                Ok(ServeRequest::Term {
+                    term: term.to_ascii_lowercase(),
+                    top,
+                })
+            }
+            "/query" => {
+                let expr = param(params, "q").ok_or_else(|| RequestError::bad("missing q="))?;
+                let parsed = Query::parse(expr)
+                    .map_err(|e| RequestError::bad(format!("bad query {expr:?}: {e}")))?;
+                Ok(ServeRequest::Boolean { expr: parsed, top })
+            }
+            "/search" => {
+                let text = param(params, "q").ok_or_else(|| RequestError::bad("missing q="))?;
+                if text.is_empty() {
+                    return Err(RequestError::bad("empty q="));
+                }
+                Ok(ServeRequest::Search {
+                    text: text.to_string(),
+                    top,
+                })
+            }
+            "/cluster" => {
+                let c = param(params, "c").ok_or_else(|| RequestError::bad("missing c="))?;
+                let cluster = c
+                    .parse::<u32>()
+                    .map_err(|_| RequestError::bad(format!("bad c={c:?}")))?;
+                Ok(ServeRequest::Cluster { cluster, top })
+            }
+            "/rect" => {
+                let x0 = parse_f64(params, "x0")?;
+                let y0 = parse_f64(params, "y0")?;
+                let x1 = parse_f64(params, "x1")?;
+                let y1 = parse_f64(params, "y1")?;
+                Ok(ServeRequest::Rect {
+                    min: (x0.min(x1), y0.min(y1)),
+                    max: (x0.max(x1), y0.max(y1)),
+                    top,
+                })
+            }
+            other => Err(RequestError {
+                status: 404,
+                message: format!("unknown route {other:?}"),
+            }),
+        }
+    }
+
+    /// Metric name of this query kind (`serve.<kind>` histograms).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeRequest::Term { .. } => "term",
+            ServeRequest::Boolean { .. } => "query",
+            ServeRequest::Search { .. } => "search",
+            ServeRequest::Cluster { .. } => "cluster",
+            ServeRequest::Rect { .. } => "rect",
+        }
+    }
+
+    /// Normalized cache key: two requests that must produce the same
+    /// body map to the same key (boolean expressions are canonicalized
+    /// through [`Query::normalized`], search text through the indexing
+    /// tokenizer).
+    pub fn cache_key(&self) -> String {
+        match self {
+            ServeRequest::Term { term, top } => format!("term\u{1}{term}\u{1}{top}"),
+            ServeRequest::Boolean { expr, top } => {
+                format!("query\u{1}{}\u{1}{top}", expr.normalized())
+            }
+            ServeRequest::Search { text, top } => {
+                let tokenizer = inspire_core::tokenize::Tokenizer::default();
+                let mut terms = Vec::new();
+                tokenizer.tokenize_into(text, |t| terms.push(t.to_string()));
+                format!("search\u{1}{}\u{1}{top}", terms.join(" "))
+            }
+            ServeRequest::Cluster { cluster, top } => format!("cluster\u{1}{cluster}\u{1}{top}"),
+            ServeRequest::Rect { min, max, top } => format!(
+                "rect\u{1}{},{},{},{}\u{1}{top}",
+                num(min.0),
+                num(min.1),
+                num(max.0),
+                num(max.1)
+            ),
+        }
+    }
+}
+
+/// Execute `req` against `state`, producing the JSON response body
+/// (newline-terminated). Errors are client errors: missing index
+/// sections for the requested kind, unknown cluster ids.
+pub fn execute(state: &ServeState, req: &ServeRequest) -> Result<String, RequestError> {
+    match req {
+        ServeRequest::Term { term, top } => {
+            require_index(state)?;
+            let posts = query::lookup_in(state, term);
+            let mut docs: Vec<u32> = posts.iter().map(|p| p.doc).collect();
+            docs.dedup();
+            let mut body = format!(
+                "{{\"kind\":\"term\",\"term\":\"{}\",\"postings\":{},\"documents\":{},\"hits\":[",
+                escape(term),
+                posts.len(),
+                docs.len()
+            );
+            for (i, p) in posts.iter().take(*top).enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                body.push_str(&format!(
+                    "{{\"doc\":{},\"field\":{},\"freq\":{}}}",
+                    p.doc, p.field, p.freq
+                ));
+            }
+            body.push_str("]}\n");
+            Ok(body)
+        }
+        ServeRequest::Boolean { expr, top } => {
+            require_index(state)?;
+            let docs = query::evaluate_in(state, expr);
+            let mut body = format!(
+                "{{\"kind\":\"query\",\"query\":\"{}\",\"matches\":{},\"docs\":[",
+                escape(&expr.normalized()),
+                docs.len()
+            );
+            for (i, d) in docs.iter().take(*top).enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                body.push_str(&d.to_string());
+            }
+            body.push_str("]}\n");
+            Ok(body)
+        }
+        ServeRequest::Search { text, top } => {
+            require_index(state)?;
+            let hits = query::search_in(state, text, *top);
+            let mut body = format!(
+                "{{\"kind\":\"search\",\"text\":\"{}\",\"hits\":[",
+                escape(text)
+            );
+            for (i, h) in hits.iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                body.push_str(&format!("{{\"doc\":{},\"score\":{}}}", h.doc, num(h.score)));
+            }
+            body.push_str("]}\n");
+            Ok(body)
+        }
+        ServeRequest::Cluster { cluster, top } => {
+            let (coords, assignments) = require_layout(state)?;
+            if *cluster as usize >= state.cluster_sizes.len() {
+                return Err(RequestError::bad(format!(
+                    "unknown cluster {cluster} (0..{})",
+                    state.cluster_sizes.len()
+                )));
+            }
+            let docs = select_cluster(assignments, *cluster);
+            let label = state
+                .cluster_labels
+                .get(*cluster as usize)
+                .map(|l| l.join(", "))
+                .unwrap_or_default();
+            let mut body = format!(
+                "{{\"kind\":\"cluster\",\"cluster\":{},\"label\":\"{}\",\"size\":{},\"docs\":[",
+                cluster,
+                escape(&label),
+                docs.len()
+            );
+            for (i, d) in docs.iter().take(*top).enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                let (x, y) = coords[*d as usize];
+                body.push_str(&format!(
+                    "{{\"doc\":{},\"x\":{},\"y\":{}}}",
+                    d,
+                    num(x),
+                    num(y)
+                ));
+            }
+            body.push_str("]}\n");
+            Ok(body)
+        }
+        ServeRequest::Rect { min, max, top } => {
+            let (coords, assignments) = require_layout(state)?;
+            let docs = select_rect(coords, *min, *max);
+            let mut body = format!(
+                "{{\"kind\":\"rect\",\"x0\":{},\"y0\":{},\"x1\":{},\"y1\":{},\"matches\":{},\"docs\":[",
+                num(min.0),
+                num(min.1),
+                num(max.0),
+                num(max.1),
+                docs.len()
+            );
+            for (i, d) in docs.iter().take(*top).enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                body.push_str(&format!(
+                    "{{\"doc\":{},\"cluster\":{}}}",
+                    d, assignments[*d as usize]
+                ));
+            }
+            body.push_str("]}\n");
+            Ok(body)
+        }
+    }
+}
+
+fn require_index(state: &ServeState) -> Result<(), RequestError> {
+    if state.has_index() {
+        Ok(())
+    } else {
+        Err(RequestError {
+            status: 409,
+            message: format!(
+                "stage {:?} snapshot has no inverted index",
+                state.meta.stage
+            ),
+        })
+    }
+}
+
+/// The layout pair a `/cluster` or `/rect` request drills into:
+/// per-document projected coordinates and cluster assignments.
+type Layout<'a> = (&'a [(f64, f64)], &'a [u32]);
+
+fn require_layout(state: &ServeState) -> Result<Layout<'_>, RequestError> {
+    match (&state.coords, &state.assignments) {
+        (Some(c), Some(a)) => Ok((c, a)),
+        _ => Err(RequestError {
+            status: 409,
+            message: format!(
+                "stage {:?} snapshot has no clustering/projection to drill into",
+                state.meta.stage
+            ),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("heart+attack"), "heart attack");
+        assert_eq!(percent_decode("a%20AND%20b"), "a AND b");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+        assert_eq!(percent_decode(""), "");
+    }
+
+    #[test]
+    fn target_splitting() {
+        let (path, params) = split_target("/search?q=heart+attack&top=5");
+        assert_eq!(path, "/search");
+        assert_eq!(
+            params,
+            vec![
+                ("q".to_string(), "heart attack".to_string()),
+                ("top".to_string(), "5".to_string())
+            ]
+        );
+        let (path, params) = split_target("/healthz");
+        assert_eq!(path, "/healthz");
+        assert!(params.is_empty());
+    }
+
+    #[test]
+    fn parse_routes_and_errors() {
+        let ok = |t: &str| {
+            let (p, q) = split_target(t);
+            ServeRequest::parse(p, &q)
+        };
+        assert!(matches!(
+            ok("/term?t=Protein"),
+            Ok(ServeRequest::Term { ref term, top: DEFAULT_TOP }) if term == "protein"
+        ));
+        assert!(ok("/query?q=a+AND+b&top=3").is_ok());
+        assert!(ok("/search?q=heart").is_ok());
+        assert!(ok("/cluster?c=2").is_ok());
+        assert!(ok("/rect?x0=0&y0=0&x1=1&y1=1").is_ok());
+        // Rect corners normalize to (min, max).
+        match ok("/rect?x0=5&y0=3&x1=-1&y1=0").unwrap() {
+            ServeRequest::Rect { min, max, .. } => {
+                assert_eq!(min, (-1.0, 0.0));
+                assert_eq!(max, (5.0, 3.0));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(ok("/nope").unwrap_err().status, 404);
+        assert_eq!(ok("/term").unwrap_err().status, 400);
+        assert_eq!(ok("/term?t=").unwrap_err().status, 400);
+        assert_eq!(ok("/query?q=AND").unwrap_err().status, 400);
+        assert_eq!(ok("/rect?x0=0&y0=0&x1=1").unwrap_err().status, 400);
+        assert_eq!(ok("/rect?x0=nan&y0=0&x1=1&y1=1").unwrap_err().status, 400);
+        assert_eq!(ok("/term?t=x&top=0").unwrap_err().status, 400);
+        assert_eq!(ok("/term?t=x&top=abc").unwrap_err().status, 400);
+    }
+
+    #[test]
+    fn cache_keys_normalize_equivalent_queries() {
+        let key = |t: &str| {
+            let (p, q) = split_target(t);
+            ServeRequest::parse(p, &q).unwrap().cache_key()
+        };
+        assert_eq!(key("/query?q=a+AND+b"), key("/query?q=a+b"));
+        assert_eq!(key("/query?q=a+OR+b"), key("/query?q=(a)+or+(b)"));
+        assert_ne!(key("/query?q=a+AND+b"), key("/query?q=a+OR+b"));
+        assert_ne!(key("/query?q=a&top=5"), key("/query?q=a&top=6"));
+        // Search normalizes through the tokenizer (case, punctuation).
+        assert_eq!(key("/search?q=Heart+Attack"), key("/search?q=heart,attack"));
+        // Different kinds never collide.
+        assert_ne!(key("/term?t=a"), key("/search?q=a"));
+    }
+}

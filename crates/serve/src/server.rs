@@ -1,0 +1,372 @@
+//! The serving loop: accept thread, worker pool, bounded queue,
+//! result cache, metrics, and graceful shutdown.
+//!
+//! One accept thread owns the listener and pushes connections into a
+//! bounded queue; when the queue is full it answers `429` with
+//! `Retry-After` on the accept thread itself so overload is rejected in
+//! microseconds instead of queued into timeout. A fixed-width
+//! [`spmd::IntraPool`] — the same pool the engine uses for intra-rank
+//! data parallelism — runs the workers: each worker blocks on the queue,
+//! speaks one request per connection, and consults the shared LRU cache
+//! before executing. Shutdown flips one flag: the accept thread stops
+//! accepting immediately, workers drain everything already queued, and
+//! [`Server::shutdown`] joins all threads before returning the final
+//! counters.
+
+use crate::http::{self, HttpError};
+use crate::lru::{CacheStats, LruCache};
+use crate::request::{self, ServeRequest};
+use crate::state::ServeState;
+use inspire_trace::json::num;
+use inspire_trace::Registry;
+use spmd::IntraPool;
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tunables. Defaults match the CLI defaults.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads answering queries.
+    pub workers: usize,
+    /// Result-cache capacity in entries.
+    pub cache_capacity: usize,
+    /// Accepted-but-unserved connection bound; beyond it, 429.
+    pub queue_depth: usize,
+    /// Per-connection read timeout.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: 8,
+            cache_capacity: 1024,
+            queue_depth: 256,
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Final counters returned by [`Server::shutdown`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeSummary {
+    pub served: u64,
+    pub errors: u64,
+    pub rejected_429: u64,
+    pub max_in_flight: usize,
+    pub cache: CacheStats,
+}
+
+/// State shared by the accept thread and every worker.
+struct Shared {
+    state: Arc<ServeState>,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    queue_depth: usize,
+    read_timeout: Duration,
+    shutdown: AtomicBool,
+    cache: Mutex<LruCache>,
+    registry: Mutex<Registry>,
+    served: AtomicU64,
+    errors: AtomicU64,
+    rejected_429: AtomicU64,
+    in_flight: AtomicUsize,
+    max_in_flight: AtomicUsize,
+    started: Instant,
+}
+
+/// A running server. Dropping the handle without calling
+/// [`Server::shutdown`] leaks the threads; always shut down.
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    pool_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spin up the worker pool, and start accepting.
+    pub fn start(state: Arc<ServeState>, cfg: &ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            state,
+            queue: Mutex::new(VecDeque::with_capacity(cfg.queue_depth)),
+            available: Condvar::new(),
+            queue_depth: cfg.queue_depth.max(1),
+            read_timeout: cfg.read_timeout,
+            shutdown: AtomicBool::new(false),
+            cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
+            registry: Mutex::new(Registry::new()),
+            served: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            rejected_429: AtomicU64::new(0),
+            in_flight: AtomicUsize::new(0),
+            max_in_flight: AtomicUsize::new(0),
+            started: Instant::now(),
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("serve-accept".to_string())
+            .spawn(move || accept_loop(listener, &accept_shared))?;
+
+        // The worker pool is the engine's own IntraPool: `workers` chunks
+        // of one item each, so every chunk becomes one long-lived worker
+        // loop on its own pool thread. `map_chunks` blocks until all
+        // workers return, so it runs on a dedicated host thread.
+        let pool_shared = Arc::clone(&shared);
+        let pool_thread = std::thread::Builder::new()
+            .name("serve-pool".to_string())
+            .spawn(move || {
+                let pool = IntraPool::new(workers);
+                pool.map_chunks(workers, 1, |_range| worker_loop(&pool_shared));
+            })?;
+
+        Ok(Server {
+            local_addr,
+            shared,
+            accept_thread: Some(accept_thread),
+            pool_thread: Some(pool_thread),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Render the `/metrics` JSON right now.
+    pub fn metrics_json(&self) -> String {
+        metrics_json(&self.shared)
+    }
+
+    /// Stop accepting, drain every queued and in-flight request, join
+    /// all threads, and return the final counters.
+    pub fn shutdown(mut self) -> ServeSummary {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.available.notify_all();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.pool_thread.take() {
+            let _ = t.join();
+        }
+        ServeSummary {
+            served: self.shared.served.load(Ordering::Relaxed),
+            errors: self.shared.errors.load(Ordering::Relaxed),
+            rejected_429: self.shared.rejected_429.load(Ordering::Relaxed),
+            max_in_flight: self.shared.max_in_flight.load(Ordering::Relaxed),
+            cache: self.shared.cache.lock().unwrap().stats(),
+        }
+    }
+}
+
+/// Accept until shutdown. Nonblocking accept + short sleep so the
+/// shutdown flag is observed within a millisecond; the backpressure
+/// check runs here so a full queue answers 429 without ever touching
+/// the worker pool.
+fn accept_loop(listener: TcpListener, shared: &Shared) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((mut stream, _peer)) => {
+                let mut q = shared.queue.lock().unwrap();
+                if q.len() < shared.queue_depth {
+                    q.push_back(stream);
+                    drop(q);
+                    shared.available.notify_one();
+                } else {
+                    drop(q);
+                    shared.rejected_429.fetch_add(1, Ordering::Relaxed);
+                    let err = HttpError {
+                        status: 429,
+                        message: "server saturated, retry shortly".to_string(),
+                    };
+                    let _ = http::write_response(
+                        &mut stream,
+                        429,
+                        "application/json",
+                        &http::error_body(&err),
+                        &["Retry-After: 1"],
+                    );
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+    // Dropping the listener here closes the socket, so the port is free
+    // the moment shutdown begins.
+}
+
+/// One worker: pop connections until shutdown *and* the queue is empty,
+/// so everything accepted before shutdown is still answered.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(s) = q.pop_front() {
+                    break Some(s);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _timed_out) = shared
+                    .available
+                    .wait_timeout(q, Duration::from_millis(50))
+                    .unwrap();
+                q = guard;
+            }
+        };
+        let Some(mut stream) = stream else { return };
+        let now_in_flight = shared.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+        shared
+            .max_in_flight
+            .fetch_max(now_in_flight, Ordering::SeqCst);
+        handle_connection(shared, &mut stream);
+        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Speak one request/response exchange on `stream`.
+fn handle_connection(shared: &Shared, stream: &mut TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.read_timeout));
+    let outcome = http::read_head(stream)
+        .and_then(|head| http::parse_head(&head))
+        .and_then(|req| respond(shared, &req.target));
+    match outcome {
+        Ok((body, content_type)) => {
+            shared.served.fetch_add(1, Ordering::Relaxed);
+            let _ = http::write_response(stream, 200, content_type, &body, &[]);
+        }
+        Err(err) => {
+            shared.errors.fetch_add(1, Ordering::Relaxed);
+            let _ = http::write_response(
+                stream,
+                err.status,
+                "application/json",
+                &http::error_body(&err),
+                &[],
+            );
+            if err.status == 413 {
+                // The client sent more than we read. Closing now would
+                // RST the connection and discard the response we just
+                // wrote; drain (bounded) so close sends a clean FIN.
+                drain(stream);
+            }
+        }
+    }
+}
+
+/// Best-effort bounded read-and-discard of whatever the peer already
+/// sent, so the subsequent close delivers the response.
+fn drain(stream: &mut TcpStream) {
+    use std::io::Read;
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut scratch = [0u8; 4096];
+    let mut total = 0usize;
+    while total < 256 * 1024 {
+        match stream.read(&mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => total += n,
+        }
+    }
+}
+
+/// Route one target to its response body. Query kinds go through the
+/// cache; the latency histogram observes the full lookup-or-execute
+/// path per kind either way.
+fn respond(shared: &Shared, target: &str) -> Result<(String, &'static str), HttpError> {
+    let (path, params) = request::split_target(target);
+    match path {
+        "/healthz" => return Ok(("ok\n".to_string(), "text/plain")),
+        "/metrics" => return Ok((metrics_json(shared), "application/json")),
+        _ => {}
+    }
+    let req = ServeRequest::parse(path, &params).map_err(|e| HttpError {
+        status: e.status,
+        message: e.message,
+    })?;
+    let t0 = Instant::now();
+    let body = answer(shared, &req)?;
+    let elapsed = t0.elapsed();
+    shared
+        .registry
+        .lock()
+        .unwrap()
+        .observe(&format!("serve.{}", req.kind()), elapsed);
+    Ok((body, "application/json"))
+}
+
+/// Cache-or-execute for one parsed request.
+fn answer(shared: &Shared, req: &ServeRequest) -> Result<String, HttpError> {
+    let key = req.cache_key();
+    if let Some(hit) = shared.cache.lock().unwrap().get(&key) {
+        return Ok(hit.to_string());
+    }
+    let body = request::execute(&shared.state, req).map_err(|e| HttpError {
+        status: e.status,
+        message: e.message,
+    })?;
+    shared
+        .cache
+        .lock()
+        .unwrap()
+        .insert(&key, Arc::from(body.as_str()));
+    Ok(body)
+}
+
+/// Build the `/metrics` document: request counters, cache counters, and
+/// per-kind latency histograms from the trace registry.
+fn metrics_json(shared: &Shared) -> String {
+    let cache = shared.cache.lock().unwrap();
+    let stats = cache.stats();
+    let (len, capacity) = (cache.len(), cache.capacity());
+    drop(cache);
+    let mut s = format!(
+        "{{\"uptime_s\":{},\"requests\":{{\"served\":{},\"errors\":{},\"rejected_429\":{},\
+         \"in_flight\":{},\"max_in_flight\":{}}},\
+         \"cache\":{{\"hits\":{},\"misses\":{},\"insertions\":{},\"evictions\":{},\
+         \"hit_rate\":{},\"len\":{},\"capacity\":{}}},\"histograms\":[",
+        num(shared.started.elapsed().as_secs_f64()),
+        shared.served.load(Ordering::Relaxed),
+        shared.errors.load(Ordering::Relaxed),
+        shared.rejected_429.load(Ordering::Relaxed),
+        shared.in_flight.load(Ordering::Relaxed),
+        shared.max_in_flight.load(Ordering::Relaxed),
+        stats.hits,
+        stats.misses,
+        stats.insertions,
+        stats.evictions,
+        num(stats.hit_rate()),
+        len,
+        capacity
+    );
+    let registry = shared.registry.lock().unwrap();
+    let mut summaries = registry.summaries();
+    drop(registry);
+    summaries.sort_by(|a, b| a.name.cmp(&b.name));
+    for (i, sum) in summaries.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&sum.to_json());
+    }
+    s.push_str("]}\n");
+    s
+}

@@ -1,0 +1,147 @@
+//! Context-free serving state extracted from an engine snapshot.
+//!
+//! The engine's query path works against rank-resident state
+//! (`ScanOutput` + `InvertedIndex`) through an SPMD context, which is
+//! `!Send` by design: it pins one rank's virtual clock and communication
+//! accounting to one thread. A long-lived server needs the opposite — an
+//! immutable, `Send + Sync` view of the same data that any worker thread
+//! can read concurrently with no coordination. [`ServeState`] is that
+//! view: opening a snapshot restores the scan and index state once on a
+//! throwaway single-rank runtime, copies the (already replicated or
+//! single-rank-local) arrays into plain vectors, and drops every runtime
+//! handle. Queries then run through the exact same algorithms as the CLI
+//! path via [`inspire_core::query::SearchIndex`].
+
+use inspire_core::index::Posting;
+use inspire_core::query::SearchIndex;
+use inspire_core::snapshot::EngineMeta;
+use inspire_core::{EngineSnapshot, Stage, TermId};
+use intern::TermTable;
+use perfmodel::CostModel;
+use spmd::Runtime;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Immutable, shareable query-serving state from one engine snapshot.
+///
+/// Holds everything the five query kinds read: the canonical vocabulary,
+/// flattened postings with per-term offsets, term statistics, and — for
+/// `Final`-stage snapshots — the projected coordinates, cluster
+/// assignments, labels, and sizes.
+pub struct ServeState {
+    /// Snapshot metadata (stage, fingerprints, corpus shape).
+    pub meta: EngineMeta,
+    /// Canonical sorted vocabulary.
+    pub terms: Arc<TermTable>,
+    /// Posting-range offsets per term (`vocab_size + 1`); empty when the
+    /// snapshot predates the Index stage.
+    pub offsets: Vec<i64>,
+    /// Packed postings (doc 32 | field 8 | freq 24), term-major.
+    pub postings: Vec<u64>,
+    /// Document frequency per term.
+    pub df: Vec<u32>,
+    /// Collection frequency per term.
+    pub tf: Vec<u64>,
+    /// 2-D document coordinates (Final stage only).
+    pub coords: Option<Vec<(f64, f64)>>,
+    /// Cluster assignment per document (Final stage only).
+    pub assignments: Option<Vec<u32>>,
+    /// Topic labels per cluster (Final stage only).
+    pub cluster_labels: Vec<Vec<String>>,
+    /// Documents per cluster (Final stage only).
+    pub cluster_sizes: Vec<u64>,
+}
+
+impl ServeState {
+    /// Open `path`, verify it (every checksum, via [`EngineSnapshot`]),
+    /// and extract the serving state. The snapshot may have been written
+    /// at any processor count; queries read only partition-independent
+    /// state.
+    pub fn load(path: &Path) -> io::Result<ServeState> {
+        let snap = EngineSnapshot::open(path)?;
+        Self::from_snapshot(&snap)
+    }
+
+    /// Extract serving state from an already opened snapshot.
+    pub fn from_snapshot(snap: &EngineSnapshot) -> io::Result<ServeState> {
+        let meta = snap.meta().clone();
+        let stage = meta.stage;
+        let rt = Runtime::new(Arc::new(CostModel::zero()));
+        let mut res = rt.run(1, |ctx| -> io::Result<ServeState> {
+            let scan = snap.restore_scan(ctx)?;
+            let (offsets, postings, df, tf) = if stage >= Stage::Index {
+                let idx = snap.restore_index(ctx)?;
+                let n_postings = *idx.offsets.last().expect("offsets nonempty") as usize;
+                (
+                    idx.offsets.as_ref().clone(),
+                    idx.postings.get(ctx, 0..n_postings),
+                    idx.df.as_ref().clone(),
+                    idx.tf.as_ref().clone(),
+                )
+            } else {
+                (Vec::new(), Vec::new(), Vec::new(), Vec::new())
+            };
+            let (coords, assignments, cluster_labels, cluster_sizes) = if stage == Stage::Final {
+                let out = snap.restore_output(ctx)?;
+                (
+                    out.coords,
+                    out.all_assignments,
+                    out.cluster_labels,
+                    out.cluster_sizes,
+                )
+            } else {
+                (None, None, Vec::new(), Vec::new())
+            };
+            Ok(ServeState {
+                meta: snap.meta().clone(),
+                terms: Arc::clone(&scan.terms),
+                offsets,
+                postings,
+                df,
+                tf,
+                coords,
+                assignments,
+                cluster_labels,
+                cluster_sizes,
+            })
+        });
+        res.results.remove(0)
+    }
+
+    /// Does this snapshot hold an inverted index (term/boolean/search)?
+    pub fn has_index(&self) -> bool {
+        !self.offsets.is_empty()
+    }
+
+    /// Does this snapshot hold clustering + projection (cluster/rect)?
+    pub fn has_layout(&self) -> bool {
+        self.coords.is_some() && self.assignments.is_some()
+    }
+}
+
+impl SearchIndex for ServeState {
+    fn term_id(&self, term: &str) -> Option<TermId> {
+        self.terms.position(term).map(|i| i as TermId)
+    }
+
+    fn postings_of(&self, term: TermId) -> Vec<Posting> {
+        let lo = self.offsets[term as usize] as usize;
+        let hi = self.offsets[term as usize + 1] as usize;
+        // Same unpack + deterministic sort as `InvertedIndex::postings_of`.
+        let mut out: Vec<Posting> = self.postings[lo..hi]
+            .iter()
+            .map(|&e| inspire_core::index::unpack_posting(e))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    fn df(&self, term: TermId) -> u32 {
+        self.df[term as usize]
+    }
+
+    fn total_docs(&self) -> u32 {
+        self.meta.total_docs
+    }
+}

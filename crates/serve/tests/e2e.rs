@@ -1,0 +1,245 @@
+//! End-to-end serving tests over real loopback sockets.
+//!
+//! Each test builds a tiny final-stage snapshot with the actual engine
+//! pipeline, loads it into a [`ServeState`], starts a [`Server`] on an
+//! ephemeral port, and talks to it with the crate's own blocking HTTP
+//! client (plus raw `TcpStream`s for the malformed-input cases). The
+//! central assertion: every body the server returns is byte-identical
+//! to what the in-process [`execute`] path — the same code behind
+//! `vaengine query --json` — produces for the same request.
+
+use corpus::CorpusSpec;
+use inspire_core::pipeline::run_engine;
+use inspire_core::EngineConfig;
+use inspire_serve::request::split_target;
+use inspire_serve::{execute, http, ServeConfig, ServeRequest, ServeState, Server};
+use perfmodel::CostModel;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn build_snapshot(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("va-serve-{}-{tag}.isnap", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let src = CorpusSpec {
+        source_bytes: 8 * 1024,
+        ..CorpusSpec::pubmed(128 * 1024, 29)
+    }
+    .generate();
+    let cfg = EngineConfig {
+        snapshot_out: Some(path.clone()),
+        ..EngineConfig::for_testing()
+    };
+    run_engine(2, Arc::new(CostModel::zero()), &src, &cfg);
+    path
+}
+
+fn start(tag: &str, workers: usize) -> (Arc<ServeState>, Server, SocketAddr, PathBuf) {
+    let path = build_snapshot(tag);
+    let state = Arc::new(ServeState::load(&path).expect("load snapshot"));
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        cache_capacity: 64,
+        queue_depth: 64,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(Arc::clone(&state), &cfg).expect("start server");
+    let addr = server.local_addr();
+    (state, server, addr, path)
+}
+
+/// Plain-word terms from the snapshot vocabulary, skipping anything the
+/// boolean grammar would read as an operator.
+fn pick_terms(state: &ServeState, n: usize) -> Vec<String> {
+    let len = state.terms.len();
+    assert!(len > 0, "empty vocabulary");
+    let mut out = Vec::new();
+    for k in 0..len * 2 {
+        let t = state.terms.get((len / 7 + k) % len);
+        if t.len() >= 2
+            && t.chars().all(|c| c.is_ascii_alphanumeric())
+            && !matches!(t, "and" | "or" | "not")
+            && !out.iter().any(|o| o == t)
+        {
+            out.push(t.to_string());
+            if out.len() == n {
+                return out;
+            }
+        }
+    }
+    panic!("not enough usable terms in vocabulary ({len} total)");
+}
+
+/// A mixed-kind target list exercising every route.
+fn targets(state: &ServeState) -> Vec<String> {
+    let t = pick_terms(state, 6);
+    vec![
+        format!("/term?t={}", t[0]),
+        format!("/term?t={}&top=3", t[1]),
+        format!("/query?q={}+AND+{}", t[0], t[2]),
+        format!("/query?q={}+OR+{}&top=7", t[3], t[4]),
+        format!("/search?q={}+{}&top=5", t[2], t[5]),
+        "/cluster?c=0&top=8".to_string(),
+        "/rect?x0=-1e6&y0=-1e6&x1=1e6&y1=1e6&top=20".to_string(),
+    ]
+}
+
+/// The single-shot path: what `vaengine query --json` prints.
+fn oracle(state: &ServeState, target: &str) -> String {
+    let (path, params) = split_target(target);
+    let req = ServeRequest::parse(path, &params).expect("oracle parse");
+    execute(state, &req).expect("oracle execute")
+}
+
+/// Send raw bytes, return the response status (0 when unparseable).
+fn raw_status(addr: SocketAddr, bytes: &[u8]) -> u16 {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(TIMEOUT)).unwrap();
+    s.write_all(bytes).expect("write");
+    let mut buf = Vec::new();
+    s.read_to_end(&mut buf).expect("read");
+    http::parse_response(&buf).map(|r| r.status).unwrap_or(0)
+}
+
+#[test]
+fn concurrent_served_bodies_match_single_shot_bodies() {
+    let (state, server, addr, path) = start("concurrent", 4);
+    let health = http::get(addr, "/healthz", TIMEOUT).unwrap();
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body, "ok\n");
+
+    let ts = targets(&state);
+    let want: Vec<String> = ts.iter().map(|t| oracle(&state, t)).collect();
+    let clients = 8;
+    std::thread::scope(|s| {
+        for _ in 0..clients {
+            s.spawn(|| {
+                for (t, w) in ts.iter().zip(&want) {
+                    let resp = http::get(addr, t, TIMEOUT).expect(t);
+                    assert_eq!(resp.status, 200, "{t}: {}", resp.body);
+                    assert_eq!(&resp.body, w, "served body diverged for {t}");
+                    assert_eq!(resp.header("content-type"), Some("application/json"));
+                }
+            });
+        }
+    });
+
+    let summary = server.shutdown();
+    assert_eq!(summary.served, 1 + (clients * ts.len()) as u64);
+    assert_eq!(summary.errors, 0);
+    assert_eq!(summary.rejected_429, 0);
+    // 8 clients × 7 targets with only 7 distinct cache keys: almost
+    // everything after the first pass is a hit.
+    assert!(summary.cache.hits > 0, "no cache hits: {:?}", summary.cache);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn second_identical_query_is_served_from_cache() {
+    let (state, server, addr, path) = start("cache", 2);
+    let term = &pick_terms(&state, 1)[0];
+    let target = format!("/search?q={term}");
+
+    let first = http::get(addr, &target, TIMEOUT).unwrap();
+    assert_eq!(first.status, 200);
+    let m1 = http::get(addr, "/metrics", TIMEOUT).unwrap();
+    let v1 = inspire_trace::json::parse(&m1.body).expect("metrics parse");
+    let hits_before = v1
+        .get("cache")
+        .and_then(|c| c.get("hits"))
+        .and_then(|h| h.as_f64())
+        .unwrap();
+
+    let second = http::get(addr, &target, TIMEOUT).unwrap();
+    assert_eq!(second.status, 200);
+    assert_eq!(second.body, first.body, "cached body diverged");
+    // An equivalent spelling must normalize onto the same cache entry.
+    let spelled = format!("/search?q={}", term.to_ascii_uppercase());
+    let third = http::get(addr, &spelled, TIMEOUT).unwrap();
+    assert_eq!(third.body, first.body, "normalized spelling diverged");
+
+    let m2 = http::get(addr, "/metrics", TIMEOUT).unwrap();
+    let v2 = inspire_trace::json::parse(&m2.body).expect("metrics parse");
+    let cache = v2.get("cache").unwrap();
+    let hits_after = cache.get("hits").and_then(|h| h.as_f64()).unwrap();
+    assert_eq!(hits_after, hits_before + 2.0);
+    assert!(cache.get("hit_rate").and_then(|h| h.as_f64()).unwrap() > 0.0);
+    // Per-kind latency histograms cover the three /search requests.
+    let hists = v2.get("histograms").and_then(|h| h.as_arr()).unwrap();
+    let search = hists
+        .iter()
+        .find(|h| h.get("name").and_then(|n| n.as_str()) == Some("serve.search"))
+        .expect("serve.search histogram");
+    assert_eq!(search.get("count").and_then(|c| c.as_f64()), Some(3.0));
+    assert!(search.get("p50_ns").and_then(|p| p.as_f64()).unwrap() > 0.0);
+    assert!(
+        search.get("p99_ns").and_then(|p| p.as_f64()).unwrap()
+            >= search.get("p50_ns").and_then(|p| p.as_f64()).unwrap()
+    );
+
+    let summary = server.shutdown();
+    assert_eq!(summary.cache.hits, hits_before as u64 + 2);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn malformed_requests_get_clean_error_responses() {
+    let (_state, server, addr, path) = start("errors", 2);
+
+    assert_eq!(http::get(addr, "/nope", TIMEOUT).unwrap().status, 404);
+    assert_eq!(http::get(addr, "/term", TIMEOUT).unwrap().status, 400);
+    assert_eq!(
+        http::get(addr, "/rect?x0=nan&y0=0&x1=1&y1=1", TIMEOUT)
+            .unwrap()
+            .status,
+        400
+    );
+    assert_eq!(
+        http::get(addr, "/term?t=x&top=0", TIMEOUT).unwrap().status,
+        400
+    );
+    // Error bodies are parseable JSON with the status echoed.
+    let resp = http::get(addr, "/cluster?c=999999", TIMEOUT).unwrap();
+    assert_eq!(resp.status, 400);
+    let v = inspire_trace::json::parse(&resp.body).expect("error body parses");
+    assert_eq!(v.get("status").and_then(|s| s.as_f64()), Some(400.0));
+
+    // Below the parser: garbage request lines, wrong methods, oversized
+    // heads. The server must answer with a status, never hang or die.
+    assert_eq!(raw_status(addr, b"BLARG\r\n\r\n"), 400);
+    assert_eq!(raw_status(addr, b"GET /healthz SMTP/1.0\r\n\r\n"), 400);
+    assert_eq!(raw_status(addr, b"POST /term?t=x HTTP/1.1\r\n\r\n"), 405);
+    let mut huge = b"GET /healthz HTTP/1.1\r\n".to_vec();
+    while huge.len() <= http::MAX_HEAD_BYTES {
+        huge.extend_from_slice(b"X-Filler: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+    }
+    assert_eq!(raw_status(addr, &huge), 413);
+
+    // And it still serves fine afterwards.
+    assert_eq!(http::get(addr, "/healthz", TIMEOUT).unwrap().status, 200);
+    let summary = server.shutdown();
+    assert_eq!(summary.errors, 9);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn graceful_shutdown_drains_and_frees_the_port() {
+    let (state, server, addr, path) = start("shutdown", 2);
+    let ts = targets(&state);
+    for t in &ts {
+        assert_eq!(http::get(addr, t, TIMEOUT).unwrap().status, 200);
+    }
+    let summary = server.shutdown();
+    assert_eq!(summary.served, ts.len() as u64);
+    assert_eq!(summary.errors, 0);
+
+    // The listener is gone: the exact port rebinds cleanly.
+    let rebind = std::net::TcpListener::bind(addr);
+    assert!(rebind.is_ok(), "port still held after shutdown: {rebind:?}");
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,103 @@
+//! Property tests for the serving result cache: cached answers always
+//! equal fresh recomputation, counters account for every operation, and
+//! the slab-based implementation behaves exactly like a naive
+//! front-is-MRU vector model under arbitrary operation sequences.
+
+use inspire_serve::LruCache;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A deterministic "query executor": what the cache would memoize.
+fn compute(key: u8) -> String {
+    format!(
+        "body-{}-{}",
+        key,
+        (key as u64).wrapping_mul(0x9e37_79b9) % 997
+    )
+}
+
+/// The obvious reference implementation: a vector ordered MRU-first.
+struct NaiveLru {
+    entries: Vec<(u8, String)>,
+    capacity: usize,
+}
+
+impl NaiveLru {
+    fn get(&mut self, k: u8) -> Option<String> {
+        let pos = self.entries.iter().position(|(ek, _)| *ek == k)?;
+        let e = self.entries.remove(pos);
+        let v = e.1.clone();
+        self.entries.insert(0, e);
+        Some(v)
+    }
+
+    fn insert(&mut self, k: u8, v: String) {
+        if let Some(pos) = self.entries.iter().position(|(ek, _)| *ek == k) {
+            self.entries.remove(pos);
+        } else if self.entries.len() == self.capacity {
+            self.entries.pop();
+        }
+        self.entries.insert(0, (k, v));
+    }
+
+    fn keys(&self) -> Vec<String> {
+        self.entries.iter().map(|(k, _)| format!("k{k}")).collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The serving pattern: look up, recompute on miss. Every hit must
+    /// return exactly what recomputation would have produced.
+    #[test]
+    fn cached_answers_equal_uncached_recomputation(
+        keys in prop::collection::vec(0u8..24, 1..256),
+        cap in 1usize..10,
+    ) {
+        let mut cache = LruCache::new(cap);
+        for &k in &keys {
+            let key = format!("k{k}");
+            let fresh = compute(k);
+            match cache.get(&key) {
+                Some(cached) => prop_assert_eq!(cached.as_ref(), fresh.as_str()),
+                None => cache.insert(&key, Arc::from(fresh.as_str())),
+            }
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.hits + s.misses, keys.len() as u64);
+        // Every miss inserts, and every entry is either resident or was
+        // evicted to make room.
+        prop_assert_eq!(s.insertions, s.misses);
+        prop_assert_eq!(s.insertions, s.evictions + cache.len() as u64);
+        prop_assert!(cache.len() <= cap);
+    }
+
+    /// Arbitrary interleavings of gets and inserts match the naive
+    /// MRU-vector model: same hit/miss outcomes, same values, same
+    /// recency order, same evictions.
+    #[test]
+    fn behaves_like_the_naive_model(
+        ops in prop::collection::vec((0u8..12, any::<bool>()), 1..200),
+        cap in 1usize..6,
+    ) {
+        let mut cache = LruCache::new(cap);
+        let mut model = NaiveLru { entries: Vec::new(), capacity: cap };
+        for (step, &(k, is_insert)) in ops.iter().enumerate() {
+            let key = format!("k{k}");
+            if is_insert {
+                // Distinct value per step so refreshes are observable.
+                let v = format!("v{step}");
+                cache.insert(&key, Arc::from(v.as_str()));
+                model.insert(k, v);
+            } else {
+                let got = cache.get(&key).map(|a| a.to_string());
+                prop_assert_eq!(got, model.get(k), "step {}", step);
+            }
+            let keys: Vec<String> =
+                cache.keys_mru().iter().map(|s| s.to_string()).collect();
+            prop_assert_eq!(keys, model.keys(), "step {}", step);
+            prop_assert!(cache.len() <= cap);
+        }
+    }
+}

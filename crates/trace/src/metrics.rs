@@ -237,6 +237,46 @@ impl Registry {
         self.hists.iter().map(|(k, h)| h.summarize(k)).collect()
     }
 
+    /// Merge `other` into `self`: same-named histograms merge bucket-wise
+    /// (count-additive), gauges take `other`'s value on collision. The
+    /// serving tier uses this to fold per-worker registries into one
+    /// `/metrics` view without sharing mutable histograms across threads.
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, h) in &other.hists {
+            self.hists.entry(name.clone()).or_default().merge(h);
+        }
+        for (name, &v) in &other.gauges {
+            self.gauges.insert(name.clone(), v);
+        }
+    }
+
+    /// Export the whole registry as one JSON object: histogram summaries
+    /// under `"histograms"` (sorted by name) and gauges under `"gauges"`.
+    /// This is the payload a serving `/metrics` endpoint returns; it
+    /// round-trips through [`crate::json::parse`].
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"histograms\":[");
+        for (i, sum) in self.summaries().iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&sum.to_json());
+        }
+        s.push_str("],\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\"{}\":{}",
+                crate::json::escape(k),
+                crate::json::num(*v)
+            ));
+        }
+        s.push_str("}}");
+        s
+    }
+
     /// A `latency p50 p95 p99` table for stderr.
     pub fn render_table(&self) -> String {
         let mut out = String::new();
@@ -364,6 +404,30 @@ mod tests {
         assert!(table.contains("snapshot.docs"));
         let json = sums[0].to_json();
         crate::json::parse(&json).expect("summary JSON parses");
+    }
+
+    #[test]
+    fn registry_merge_and_json_export() {
+        let mut a = Registry::new();
+        let mut b = Registry::new();
+        for i in 1..=10u64 {
+            a.observe("serve.term", std::time::Duration::from_micros(i));
+            b.observe("serve.term", std::time::Duration::from_micros(i * 100));
+        }
+        b.observe("serve.search", std::time::Duration::from_millis(1));
+        a.gauge("cache.hits", 3.0);
+        b.gauge("cache.hits", 7.0);
+        a.merge(&b);
+        let sums = a.summaries();
+        assert_eq!(sums.len(), 2);
+        let term = sums.iter().find(|s| s.name == "serve.term").unwrap();
+        assert_eq!(term.count, 20);
+        let json = a.to_json();
+        let v = crate::json::parse(&json).expect("registry JSON parses");
+        let hists = v.get("histograms").and_then(|h| h.as_arr()).unwrap();
+        assert_eq!(hists.len(), 2);
+        let gauges = v.get("gauges").unwrap();
+        assert_eq!(gauges.get("cache.hits").and_then(|g| g.as_f64()), Some(7.0));
     }
 
     #[test]

@@ -26,10 +26,12 @@
 //! repeats each requested query kind and reports p50/p95/p99 serving
 //! latency. `INSPIRE_LOG=error|warn|info|debug` sets the log level.
 
+use inspire_serve::{ServeConfig, ServeRequest, ServeState, Server};
 use inspire_trace::report::RunReport;
 use inspire_trace::Registry;
 use std::path::{Path, PathBuf};
 use std::process::exit;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use visual_analytics::engine::interact::{select_cluster, select_rect};
 use visual_analytics::engine::io::{read_coords_csv, write_coords_csv};
@@ -39,7 +41,7 @@ use visual_analytics::prelude::*;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  vaengine generate --flavour <pubmed|trec|newswire> --size <bytes[K|M]> [--seed N] --out <dir>\n  vaengine analyze|run --input <dir> [--procs N] [--clusters K] [--out coords.csv]\n                   [--checkpoint-dir <dir>] [--resume] [--snapshot-out <file.isnap>]\n                   [--trace-out <trace.json>] [--report-out <report.json>]\n  vaengine snapshot --input <dir> --out <file.isnap> [--procs N] [--clusters K]\n                    [--checkpoint-dir <dir>] [--resume]\n                    [--trace-out <trace.json>] [--report-out <report.json>]\n  vaengine query --snapshot <file.isnap> [--search \"free text\"] [--query \"a AND NOT title:b\"]\n                 [--term <term>] [--top N] [--cluster C] [--rect x0,y0,x1,y1]\n                 [--repeat N] [--report-out <report.json>]\n  vaengine themeview --coords <coords.csv> [--width N] [--height N]"
+        "usage:\n  vaengine generate --flavour <pubmed|trec|newswire> --size <bytes[K|M]> [--seed N] --out <dir>\n  vaengine analyze|run --input <dir> [--procs N] [--clusters K] [--out coords.csv]\n                   [--checkpoint-dir <dir>] [--resume] [--snapshot-out <file.isnap>]\n                   [--trace-out <trace.json>] [--report-out <report.json>]\n  vaengine snapshot --input <dir> --out <file.isnap> [--procs N] [--clusters K]\n                    [--checkpoint-dir <dir>] [--resume]\n                    [--trace-out <trace.json>] [--report-out <report.json>]\n  vaengine query --snapshot <file.isnap> [--search \"free text\"] [--query \"a AND NOT title:b\"]\n                 [--term <term>] [--top N] [--cluster C] [--rect x0,y0,x1,y1]\n                 [--json] [--repeat N] [--report-out <report.json>]\n  vaengine serve --snapshot <file.isnap> [--addr 127.0.0.1:7878] [--workers N]\n                 [--cache N] [--queue N]\n  vaengine themeview --coords <coords.csv> [--width N] [--height N]"
     );
     exit(2);
 }
@@ -88,6 +90,7 @@ fn main() {
         "analyze" | "run" => analyze(&args),
         "snapshot" => snapshot_cmd(&args),
         "query" => query_cmd(&args),
+        "serve" => serve_cmd(&args),
         "themeview" => themeview_cmd(&args),
         _ => usage(),
     }
@@ -280,6 +283,54 @@ fn snapshot_cmd(args: &Args) {
     emit_observability(args, "snapshot", &run, wall_s);
 }
 
+/// Normalized `(min, max)` corners of a `--rect` selection.
+type RectCorners = ((f64, f64), (f64, f64));
+
+/// `--rect x0,y0,x1,y1` → normalized `(min, max)` corners.
+fn parse_rect(rect: &str) -> Result<RectCorners, String> {
+    let parts: Vec<f64> = rect.split(',').filter_map(|v| v.parse().ok()).collect();
+    if parts.len() != 4 {
+        return Err(format!("bad --rect {rect:?}, expected x0,y0,x1,y1"));
+    }
+    Ok((
+        (parts[0].min(parts[2]), parts[1].min(parts[3])),
+        (parts[0].max(parts[2]), parts[1].max(parts[3])),
+    ))
+}
+
+/// Load a snapshot into serving state, printing the standard banner.
+/// `--json` mode moves the banner to stderr so stdout carries only the
+/// query bodies.
+fn load_serve_state(path: &str, json: bool) -> ServeState {
+    let started = std::time::Instant::now();
+    let snap = EngineSnapshot::open(Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("cannot load snapshot {path}: {e}");
+        exit(1);
+    });
+    let meta = snap.meta().clone();
+    let banner = format!(
+        "snapshot {path}: stage {:?}, {} docs, vocabulary {}, {} bytes, written at P={}",
+        meta.stage,
+        meta.total_docs,
+        meta.vocab_size,
+        snap.store().total_bytes(),
+        meta.nprocs,
+    );
+    let state = ServeState::from_snapshot(&snap).unwrap_or_else(|e| {
+        eprintln!("cannot restore snapshot {path}: {e}");
+        exit(1);
+    });
+    let loaded = format!("loaded in {:.1} ms", started.elapsed().as_secs_f64() * 1e3);
+    if json {
+        eprintln!("{banner}");
+        eprintln!("{loaded}");
+    } else {
+        println!("{banner}");
+        println!("{loaded}");
+    }
+    state
+}
+
 fn query_cmd(args: &Args) {
     let Some(path) = args.value("--snapshot") else {
         usage()
@@ -291,151 +342,69 @@ fn query_cmd(args: &Args) {
         .ok()
         .filter(|&n| n >= 1)
         .unwrap_or(1);
+    let json = args.has("--json");
     let started = std::time::Instant::now();
-    let snap = EngineSnapshot::open(Path::new(path)).unwrap_or_else(|e| {
-        eprintln!("cannot load snapshot {path}: {e}");
+    let state = load_serve_state(path, json);
+    let mut metrics = Registry::new();
+    metrics.observe("snapshot.load", started.elapsed());
+    let fail = |e: String| -> ! {
+        eprintln!("query failed: {e}");
         exit(1);
-    });
-    let meta = snap.meta().clone();
-    println!(
-        "snapshot {path}: stage {:?}, {} docs, vocabulary {}, {} bytes, written at P={}",
-        meta.stage,
-        meta.total_docs,
-        meta.vocab_size,
-        snap.store().total_bytes(),
-        meta.nprocs,
-    );
-
-    // Serve on a single rank: queries read only partition-independent
-    // state, so any snapshot loads here regardless of its writer's P.
-    let rt = Runtime::new(Arc::new(CostModel::zero()));
-    let mut res = rt.run(1, |ctx| -> Result<Registry, String> {
-        let mut metrics = Registry::new();
-        let scan = snap.restore_scan(ctx).map_err(|e| e.to_string())?;
-        let index = if meta.stage >= Stage::Index {
-            Some(snap.restore_index(ctx).map_err(|e| e.to_string())?)
-        } else {
-            None
-        };
-        metrics.observe("snapshot.load", started.elapsed());
-        println!("loaded in {:.1} ms", started.elapsed().as_secs_f64() * 1e3);
-
-        let need_index = || -> Result<&visual_analytics::engine::index::InvertedIndex, String> {
-            index
-                .as_ref()
-                .ok_or_else(|| format!("stage {:?} snapshot has no inverted index", meta.stage))
-        };
-
-        // Each requested query kind runs `repeat` times against the
-        // serving metrics registry; results print on the first pass only.
-        for pass in 0..repeat {
-            let first = pass == 0;
-
-            if let Some(term) = args.value("--term") {
-                let idx = need_index()?;
-                let posts = metrics.time("query.term", || query::lookup(ctx, &scan, idx, term));
-                if first {
-                    let mut docs: Vec<u32> = posts.iter().map(|p| p.doc).collect();
-                    docs.dedup();
-                    println!(
-                        "term {term:?}: {} postings in {} documents",
-                        posts.len(),
-                        docs.len()
-                    );
-                    for p in posts.iter().take(top) {
-                        println!("  doc {:>7}  field {}  freq {}", p.doc, p.field, p.freq);
-                    }
-                }
-            }
-
-            if let Some(expr) = args.value("--query") {
-                let parsed = Query::parse(expr).map_err(|e| format!("bad query {expr:?}: {e}"))?;
-                let idx = need_index()?;
-                let docs = metrics.time("query.eval", || query::evaluate(ctx, &scan, idx, &parsed));
-                if first {
-                    println!("query {expr:?}: {} matching documents", docs.len());
-                    for d in docs.iter().take(top) {
-                        println!("  doc {d}");
-                    }
-                    if docs.len() > top {
-                        println!("  … and {} more", docs.len() - top);
-                    }
-                }
-            }
-
-            if let Some(text) = args.value("--search") {
-                let idx = need_index()?;
-                let hits =
-                    metrics.time("query.search", || query::search(ctx, &scan, idx, text, top));
-                if first {
-                    println!("search {text:?}: top {} of ranked hits", hits.len());
-                    for h in &hits {
-                        println!("  doc {:>7}  score {:.4}", h.doc, h.score);
-                    }
-                }
-            }
-        }
-
-        let drill = args.value("--cluster").is_some() || args.value("--rect").is_some();
-        if drill {
-            if meta.stage != Stage::Final {
-                return Err(format!(
-                    "stage {:?} snapshot has no clustering/projection to drill into",
-                    meta.stage
-                ));
-            }
-            let output = snap.restore_output(ctx).map_err(|e| e.to_string())?;
-            let coords = output.coords.as_ref().expect("serving rank holds coords");
-            let assignments = output
-                .all_assignments
-                .as_ref()
-                .expect("serving rank holds assignments");
-            if let Some(c) = args.value("--cluster") {
-                let c: u32 = c.parse().map_err(|_| format!("bad cluster id {c:?}"))?;
-                let docs = select_cluster(assignments, c);
-                let label = output
-                    .cluster_labels
-                    .get(c as usize)
-                    .map(|l| l.join(", "))
-                    .unwrap_or_default();
-                println!("cluster {c} ({label}): {} documents", docs.len());
-                for d in docs.iter().take(top) {
-                    let (x, y) = coords[*d as usize];
-                    println!("  doc {d:>7}  ({x:.4}, {y:.4})");
-                }
-            }
-            if let Some(rect) = args.value("--rect") {
-                let parts: Vec<f64> = rect.split(',').filter_map(|v| v.parse().ok()).collect();
-                if parts.len() != 4 {
-                    return Err(format!("bad --rect {rect:?}, expected x0,y0,x1,y1"));
-                }
-                let (min, max) = (
-                    (parts[0].min(parts[2]), parts[1].min(parts[3])),
-                    (parts[0].max(parts[2]), parts[1].max(parts[3])),
-                );
-                let docs = select_rect(coords, min, max);
-                println!(
-                    "rect ({:.3},{:.3})–({:.3},{:.3}): {} documents",
-                    min.0,
-                    min.1,
-                    max.0,
-                    max.1,
-                    docs.len()
-                );
-                for d in docs.iter().take(top) {
-                    println!("  doc {d:>7}  cluster {}", assignments[*d as usize]);
-                }
-            }
-        }
-        Ok(metrics)
-    });
-    let metrics = match res.results.remove(0) {
-        Ok(m) => m,
-        Err(e) => {
-            eprintln!("query failed: {e}");
-            exit(1);
-        }
     };
+
+    // The typed request list, in CLI flag order. Both output modes
+    // execute these; `--json` prints the exact bodies the HTTP server
+    // serves (same `execute` path, byte for byte).
+    let mut requests: Vec<ServeRequest> = Vec::new();
+    if let Some(term) = args.value("--term") {
+        requests.push(ServeRequest::Term {
+            term: term.to_ascii_lowercase(),
+            top,
+        });
+    }
+    if let Some(expr) = args.value("--query") {
+        let parsed =
+            Query::parse(expr).unwrap_or_else(|e| fail(format!("bad query {expr:?}: {e}")));
+        requests.push(ServeRequest::Boolean { expr: parsed, top });
+    }
+    if let Some(text) = args.value("--search") {
+        requests.push(ServeRequest::Search {
+            text: text.to_string(),
+            top,
+        });
+    }
+    if let Some(c) = args.value("--cluster") {
+        let cluster: u32 = c
+            .parse()
+            .unwrap_or_else(|_| fail(format!("bad cluster id {c:?}")));
+        requests.push(ServeRequest::Cluster { cluster, top });
+    }
+    if let Some(rect) = args.value("--rect") {
+        let (min, max) = parse_rect(rect).unwrap_or_else(|e| fail(e));
+        requests.push(ServeRequest::Rect { min, max, top });
+    }
+
+    // Each requested query kind runs `repeat` times against the serving
+    // metrics registry; results print on the first pass only.
+    for pass in 0..repeat {
+        let first = pass == 0;
+        for req in &requests {
+            let name = format!("query.{}", metric_kind(req));
+            if json {
+                let body = metrics.time(&name, || inspire_serve::execute(&state, req));
+                match body {
+                    Ok(b) => {
+                        if first {
+                            print!("{b}");
+                        }
+                    }
+                    Err(e) => fail(e.message),
+                }
+            } else if let Err(e) = print_human(&state, req, &name, &mut metrics, first) {
+                fail(e);
+            }
+        }
+    }
     let summaries = metrics.summaries();
     if !summaries.is_empty() {
         eprint!("{}", metrics.render_table());
@@ -457,6 +426,191 @@ fn query_cmd(args: &Args) {
         });
         println!("serving report written to {out}");
     }
+}
+
+/// Serving-metric name suffix per query kind. `Boolean` keeps the
+/// historical `query.eval` name the run reports already use.
+fn metric_kind(req: &ServeRequest) -> &'static str {
+    match req {
+        ServeRequest::Term { .. } => "term",
+        ServeRequest::Boolean { .. } => "eval",
+        ServeRequest::Search { .. } => "search",
+        ServeRequest::Cluster { .. } => "cluster",
+        ServeRequest::Rect { .. } => "rect",
+    }
+}
+
+/// Execute one request and print the human-readable result (first pass
+/// only); timings land in `metrics` under `name` on every pass.
+fn print_human(
+    state: &ServeState,
+    req: &ServeRequest,
+    name: &str,
+    metrics: &mut Registry,
+    first: bool,
+) -> Result<(), String> {
+    let need_index = || {
+        if state.has_index() {
+            Ok(())
+        } else {
+            Err(format!(
+                "stage {:?} snapshot has no inverted index",
+                state.meta.stage
+            ))
+        }
+    };
+    type Layout<'a> = (&'a [(f64, f64)], &'a [u32]);
+    let need_layout = || -> Result<Layout<'_>, String> {
+        match (&state.coords, &state.assignments) {
+            (Some(c), Some(a)) => Ok((c, a)),
+            _ => Err(format!(
+                "stage {:?} snapshot has no clustering/projection to drill into",
+                state.meta.stage
+            )),
+        }
+    };
+    match req {
+        ServeRequest::Term { term, top } => {
+            need_index()?;
+            let posts = metrics.time(name, || query::lookup_in(state, term));
+            if first {
+                let mut docs: Vec<u32> = posts.iter().map(|p| p.doc).collect();
+                docs.dedup();
+                println!(
+                    "term {term:?}: {} postings in {} documents",
+                    posts.len(),
+                    docs.len()
+                );
+                for p in posts.iter().take(*top) {
+                    println!("  doc {:>7}  field {}  freq {}", p.doc, p.field, p.freq);
+                }
+            }
+        }
+        ServeRequest::Boolean { expr, top } => {
+            need_index()?;
+            let docs = metrics.time(name, || query::evaluate_in(state, expr));
+            if first {
+                println!(
+                    "query {:?}: {} matching documents",
+                    expr.normalized(),
+                    docs.len()
+                );
+                for d in docs.iter().take(*top) {
+                    println!("  doc {d}");
+                }
+                if docs.len() > *top {
+                    println!("  … and {} more", docs.len() - top);
+                }
+            }
+        }
+        ServeRequest::Search { text, top } => {
+            need_index()?;
+            let hits = metrics.time(name, || query::search_in(state, text, *top));
+            if first {
+                println!("search {text:?}: top {} of ranked hits", hits.len());
+                for h in &hits {
+                    println!("  doc {:>7}  score {:.4}", h.doc, h.score);
+                }
+            }
+        }
+        ServeRequest::Cluster { cluster, top } => {
+            let (coords, assignments) = need_layout()?;
+            let docs = metrics.time(name, || select_cluster(assignments, *cluster));
+            if first {
+                let label = state
+                    .cluster_labels
+                    .get(*cluster as usize)
+                    .map(|l| l.join(", "))
+                    .unwrap_or_default();
+                println!("cluster {cluster} ({label}): {} documents", docs.len());
+                for d in docs.iter().take(*top) {
+                    let (x, y) = coords[*d as usize];
+                    println!("  doc {d:>7}  ({x:.4}, {y:.4})");
+                }
+            }
+        }
+        ServeRequest::Rect { min, max, top } => {
+            let (coords, assignments) = need_layout()?;
+            let docs = metrics.time(name, || select_rect(coords, *min, *max));
+            if first {
+                println!(
+                    "rect ({:.3},{:.3})–({:.3},{:.3}): {} documents",
+                    min.0,
+                    min.1,
+                    max.0,
+                    max.1,
+                    docs.len()
+                );
+                for d in docs.iter().take(*top) {
+                    println!("  doc {d:>7}  cluster {}", assignments[*d as usize]);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// SIGINT/SIGTERM → a flag the serve loop polls. Raw `signal(2)` FFI:
+/// the container bakes in no signal-handling crate, and a
+/// store-to-atomic handler is async-signal-safe.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_shutdown_handler() {
+    extern "C" fn on_signal(_sig: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_shutdown_handler() {}
+
+fn serve_cmd(args: &Args) {
+    let Some(path) = args.value("--snapshot") else {
+        usage()
+    };
+    let cfg = ServeConfig {
+        addr: args.value_or("--addr", "127.0.0.1:7878").to_string(),
+        workers: args.value_or("--workers", "8").parse().unwrap_or(8),
+        cache_capacity: args.value_or("--cache", "1024").parse().unwrap_or(1024),
+        queue_depth: args.value_or("--queue", "256").parse().unwrap_or(256),
+        ..ServeConfig::default()
+    };
+    let state = Arc::new(load_serve_state(path, false));
+    let server = Server::start(Arc::clone(&state), &cfg).unwrap_or_else(|e| {
+        eprintln!("cannot bind {}: {e}", cfg.addr);
+        exit(1);
+    });
+    println!(
+        "serving on http://{} ({} workers, cache {}, queue {})",
+        server.local_addr(),
+        cfg.workers,
+        cfg.cache_capacity,
+        cfg.queue_depth
+    );
+    println!("endpoints: /term /query /search /cluster /rect /metrics /healthz");
+    install_shutdown_handler();
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    println!("shutdown signal received, draining…");
+    let summary = server.shutdown();
+    println!(
+        "drained: {} served, {} errors, {} rejected, cache hit rate {:.1}%",
+        summary.served,
+        summary.errors,
+        summary.rejected_429,
+        summary.cache.hit_rate() * 100.0
+    );
 }
 
 fn themeview_cmd(args: &Args) {

@@ -1,0 +1,229 @@
+#!/usr/bin/env python3
+"""Validate a BENCH JSON file produced by the bench binaries.
+
+Replaces the old CI pattern of `grep -q '"key"'` against the newest
+timestamped file: this actually parses the JSON, checks every section's
+shape, types, and value ranges, and exits non-zero with a readable
+message when something is off.
+
+Usage:
+  validate_bench.py results/BENCH_latest.json --kind scaling [--max-index-msgs N]
+  validate_bench.py results/BENCH_serving_latest.json --kind serving \
+      [--require-zero-wrong] [--min-in-flight N] [--min-cache-hits N]
+
+Stdlib only — the CI image has no third-party Python packages.
+"""
+
+import argparse
+import json
+import sys
+
+FAILURES = []
+
+
+def fail(msg):
+    FAILURES.append(msg)
+
+
+def check(cond, msg):
+    if not cond:
+        fail(msg)
+    return cond
+
+
+def get(obj, path, typ):
+    """Fetch a dotted path, checking presence and type; None on failure."""
+    cur = obj
+    for part in path.split("."):
+        if not isinstance(cur, dict) or part not in cur:
+            fail(f"missing field: {path}")
+            return None
+        cur = cur[part]
+    # bool is an int subclass in Python; keep the check strict.
+    if typ is float:
+        ok = isinstance(cur, (int, float)) and not isinstance(cur, bool)
+    elif typ is int:
+        ok = isinstance(cur, int) and not isinstance(cur, bool)
+    else:
+        ok = isinstance(cur, typ)
+    if not ok:
+        fail(f"field {path}: expected {typ.__name__}, got {type(cur).__name__} ({cur!r})")
+        return None
+    return cur
+
+
+def nonneg(obj, path, typ=float):
+    v = get(obj, path, typ)
+    if v is not None:
+        check(v >= 0, f"field {path}: negative value {v}")
+    return v
+
+
+def check_histogram(h, where):
+    ok = True
+    for field in ("count", "min_ns", "max_ns", "p50_ns", "p95_ns", "p99_ns"):
+        v = h.get(field)
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            fail(f"{where}: bad {field}: {v!r}")
+            ok = False
+    if not isinstance(h.get("name"), str) or not h["name"]:
+        fail(f"{where}: missing histogram name")
+        ok = False
+    if ok and h["count"] > 0:
+        if not h["p50_ns"] <= h["p95_ns"] <= h["p99_ns"] <= h["max_ns"]:
+            fail(
+                f"{where}: percentiles not monotone: "
+                f"p50={h['p50_ns']} p95={h['p95_ns']} p99={h['p99_ns']} max={h['max_ns']}"
+            )
+
+
+def validate_scaling(doc, args):
+    check(get(doc, "bench", str) == "intra_rank_scaling", "bench kind is not intra_rank_scaling")
+    pos_docs = get(doc, "docs", int)
+    check(pos_docs is None or pos_docs > 0, "docs must be positive")
+    pf = get(doc, "parallel_fraction", float)
+    if pf is not None:
+        check(0.0 <= pf <= 1.0, f"parallel_fraction out of [0,1]: {pf}")
+
+    # comm: the aggregated-exchange counters CI used to grep for.
+    for k in ("scan_msgs", "scan_bytes", "index_msgs", "index_bytes",
+              "index_batched_msgs", "index_scalar_equiv",
+              "vocab_rpc_msgs_batched", "vocab_rpc_scalar_equiv"):
+        nonneg(doc, f"comm.{k}", int)
+    for k in ("index_batching_factor", "vocab_rpc_batching_factor"):
+        nonneg(doc, f"comm.{k}", float)
+    index_msgs = doc.get("comm", {}).get("index_msgs")
+    if args.max_index_msgs is not None and isinstance(index_msgs, int):
+        check(
+            index_msgs <= args.max_index_msgs,
+            f"comm.index_msgs regressed: {index_msgs} > cap {args.max_index_msgs}",
+        )
+
+    # snapshot: write/load costs and section byte counts.
+    for k in ("pipeline_wall_s", "write_s", "load_s", "load_speedup_vs_pipeline"):
+        nonneg(doc, f"snapshot.{k}", float)
+    total = nonneg(doc, "snapshot.total_bytes", int)
+    check(total is None or total > 0, "snapshot.total_bytes must be positive")
+    sections = get(doc, "snapshot.sections", dict)
+    if sections is not None:
+        check(len(sections) > 0, "snapshot.sections is empty")
+        for name, size in sections.items():
+            check(
+                isinstance(size, int) and size >= 0,
+                f"snapshot.sections.{name}: bad byte count {size!r}",
+            )
+
+    # imbalance: the P=4 run-report digest.
+    procs = get(doc, "imbalance.procs", int)
+    check(procs is None or procs >= 2, f"imbalance.procs too small: {procs}")
+    nonneg(doc, "imbalance.virtual_time_s", float)
+    nonneg(doc, "imbalance.max_imbalance_pct", float)
+    stages = get(doc, "imbalance.stages", list)
+    if stages is not None:
+        check(len(stages) > 0, "imbalance.stages is empty")
+        for i, row in enumerate(stages):
+            if not isinstance(row, dict) or "name" not in row:
+                fail(f"imbalance.stages[{i}]: not a stage row")
+
+    # widths: the scaling sweep itself.
+    widths = get(doc, "widths", list)
+    if widths is not None:
+        check(len(widths) >= 1, "widths is empty")
+        for i, w in enumerate(widths):
+            if not isinstance(w, dict):
+                fail(f"widths[{i}]: not an object")
+                continue
+            for k in ("wall_s_median", "wall_s_min", "measured_speedup", "projected_speedup"):
+                v = w.get(k)
+                if not isinstance(v, (int, float)) or isinstance(v, bool) or v < 0:
+                    fail(f"widths[{i}].{k}: bad value {v!r}")
+            if w.get("threads") != i + 1:
+                fail(f"widths[{i}].threads: expected {i + 1}, got {w.get('threads')!r}")
+
+
+def validate_serving(doc, args):
+    check(get(doc, "bench", str) == "serving_load", "bench kind is not serving_load")
+    srv = get(doc, "serving", dict)
+    if srv is None:
+        return
+    clients = nonneg(doc, "serving.clients", int)
+    check(clients is None or clients > 0, "serving.clients must be positive")
+    nonneg(doc, "serving.requests", int)
+    nonneg(doc, "serving.wall_s", float)
+    qps = nonneg(doc, "serving.qps", float)
+    ok = nonneg(doc, "serving.ok", int)
+    errors = nonneg(doc, "serving.errors", int)
+    nonneg(doc, "serving.rejected_429", int)
+    wrong = nonneg(doc, "serving.wrong_answers", int)
+    max_in_flight = nonneg(doc, "serving.max_in_flight", int)
+
+    check(ok is None or ok > 0, "serving.ok: no successful requests at all")
+    check(qps is None or qps > 0, "serving.qps must be positive")
+    check(errors is None or errors == 0, f"serving.errors: {errors} failed requests")
+    if args.require_zero_wrong:
+        check(wrong == 0, f"serving.wrong_answers: {wrong} bodies diverged from the oracle")
+    if args.min_in_flight is not None:
+        check(
+            isinstance(max_in_flight, int) and max_in_flight >= args.min_in_flight,
+            f"serving.max_in_flight: {max_in_flight} < required {args.min_in_flight}",
+        )
+
+    hits = nonneg(doc, "serving.cache.hits", int)
+    nonneg(doc, "serving.cache.misses", int)
+    nonneg(doc, "serving.cache.evictions", int)
+    rate = get(doc, "serving.cache.hit_rate", float)
+    if rate is not None:
+        check(0.0 <= rate <= 1.0, f"serving.cache.hit_rate out of [0,1]: {rate}")
+    if args.min_cache_hits is not None:
+        check(
+            isinstance(hits, int) and hits >= args.min_cache_hits,
+            f"serving.cache.hits: {hits} < required {args.min_cache_hits}",
+        )
+
+    kinds = get(doc, "serving.kinds", list)
+    if kinds is not None:
+        check(len(kinds) > 0, "serving.kinds is empty")
+        for h in kinds:
+            if isinstance(h, dict):
+                check_histogram(h, f"serving.kinds[{h.get('name', '?')}]")
+            else:
+                fail("serving.kinds: non-object entry")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("path", help="BENCH JSON file to validate")
+    ap.add_argument("--kind", choices=("scaling", "serving"), required=True)
+    ap.add_argument("--max-index-msgs", type=int, default=None,
+                    help="scaling: fail if comm.index_msgs exceeds this")
+    ap.add_argument("--require-zero-wrong", action="store_true",
+                    help="serving: fail on any wrong_answers")
+    ap.add_argument("--min-in-flight", type=int, default=None,
+                    help="serving: fail if max_in_flight is below this")
+    ap.add_argument("--min-cache-hits", type=int, default=None,
+                    help="serving: fail if cache.hits is below this")
+    args = ap.parse_args()
+
+    try:
+        with open(args.path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"validate_bench: {args.path}: {e}", file=sys.stderr)
+        return 1
+
+    if args.kind == "scaling":
+        validate_scaling(doc, args)
+    else:
+        validate_serving(doc, args)
+
+    if FAILURES:
+        print(f"validate_bench: {args.path}: {len(FAILURES)} problem(s)", file=sys.stderr)
+        for msg in FAILURES:
+            print(f"  - {msg}", file=sys.stderr)
+        return 1
+    print(f"validate_bench: {args.path}: ok ({args.kind})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
