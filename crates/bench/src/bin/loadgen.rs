@@ -24,7 +24,7 @@
 //! `results/BENCH_serving_latest.json`, and an append-only row in
 //! `results/scaling_history.md`.
 
-use inspire_bench::results_dir;
+use inspire_bench::{history, results_dir};
 use inspire_serve::request::split_target;
 use inspire_serve::{execute, http, ServeConfig, ServeRequest, ServeState, Server};
 use inspire_trace::metrics::fmt_ns;
@@ -448,10 +448,14 @@ fn to_json(
     s
 }
 
-/// Marker for the serving-history table format; the first loadgen run
-/// against an older history file appends a fresh header (the file stays
-/// append-only, mirroring the scaling bench's comm-marker upgrade).
-const HISTORY_SERVING_MARKER: &str = "| serve_qps |";
+/// The serving-history table: its marker column locates it inside the
+/// shared history file so rows land under this table even when other
+/// benches have appended tables after it.
+const SERVING_TABLE: history::HistoryTable<'static> = history::HistoryTable {
+    section: Some("## Serving load"),
+    header: "| date (utc) | smoke | clients | requests | serve_qps | search_p95 | cache_hit% | wrong | rejected |",
+    marker: "| serve_qps |",
+};
 
 #[allow(clippy::too_many_arguments)]
 fn append_history(
@@ -465,39 +469,14 @@ fn append_history(
     cache: &CacheScrape,
     merged: &Registry,
 ) {
-    use std::io::Write;
     let path = results_dir().join("scaling_history.md");
-    let fresh = !path.exists();
-    let has_header = std::fs::read_to_string(&path)
-        .map(|t| t.contains(HISTORY_SERVING_MARKER))
-        .unwrap_or(false);
-    let mut f = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(&path)
-        .expect("open scaling history");
-    if fresh {
-        writeln!(f, "# Intra-rank scaling history (append-only)").unwrap();
-    }
-    if !has_header {
-        writeln!(f).unwrap();
-        writeln!(f, "## Serving load").unwrap();
-        writeln!(f).unwrap();
-        writeln!(
-            f,
-            "| date (utc) | smoke | clients | requests | serve_qps | search_p95 | cache_hit% | wrong | rejected |"
-        )
-        .unwrap();
-        writeln!(f, "|---|---|---|---|---|---|---|---|---|").unwrap();
-    }
     let search_p95 = merged
         .summaries()
         .iter()
         .find(|h| h.name == "search")
         .map(|h| fmt_ns(h.p95_ns as f64))
         .unwrap_or_else(|| "-".to_string());
-    writeln!(
-        f,
+    let row = format!(
         "| {} | {} | {} | {} | {:.0} | {} | {:.1} | {} | {} |",
         utc_date(ts),
         smoke,
@@ -508,8 +487,8 @@ fn append_history(
         cache.hit_rate * 100.0,
         wrong,
         rejected,
-    )
-    .unwrap();
+    );
+    history::append_row(&path, &SERVING_TABLE, &row).expect("append serving history row");
     println!("appended {}", path.display());
 }
 

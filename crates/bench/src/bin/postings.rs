@@ -1,0 +1,227 @@
+//! Postings-codec microbenchmark: encode/seek/decode throughput of the
+//! block-compressed posting-list codec, scalar vs unrolled decode.
+//!
+//! The workload is a synthetic term space with a heavy-tailed list
+//! length distribution (most terms rare, a few huge — the shape an
+//! inverted index actually has), doc gaps drawn small-biased the way
+//! delta streams look after sorting, and values carrying the engine's
+//! `freq << 3 | field` packing. Four measurements:
+//!
+//! - **encode**: `encode_list` over every list, MB/s of encoded output
+//!   and postings/s in;
+//! - **decode**: `decode_list` over every list (the unrolled 8-wide
+//!   varint fast path), MB/s of encoded input and postings/s out;
+//! - **scalar reference**: the same byte stream through
+//!   `read_varints_u32_scalar` — the encoded buffer is one contiguous
+//!   sequence of u32 varints, so the scalar/unrolled comparison runs
+//!   over identical bytes;
+//! - **seek**: `decode_from` with a probe into the upper half of each
+//!   multi-block list, versus what a full decode would have paid.
+//!
+//! Writes `results/BENCH_postings_codec_<ts>.json` and the stable
+//! `results/BENCH_postings_latest.json` pointer CI validates. `--smoke`
+//! shrinks the term space for quick runs.
+
+use inspire_bench::results_dir;
+use inspire_store::codec::{
+    decode_from, decode_list, encode_list, read_varints_u32, read_varints_u32_scalar, BLOCK_LEN,
+};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// Heavy-tailed list length: mostly short lists, occasionally huge —
+/// buckets chosen so multi-block lists (>128) carry most postings.
+fn list_len(seed: &mut u64) -> usize {
+    match xorshift(seed) % 16 {
+        0..=7 => 1 + (xorshift(seed) % 8) as usize,
+        8..=11 => 8 + (xorshift(seed) % 56) as usize,
+        12..=13 => 64 + (xorshift(seed) % 192) as usize,
+        14 => 256 + (xorshift(seed) % 1792) as usize,
+        _ => 2048 + (xorshift(seed) % 6144) as usize,
+    }
+}
+
+/// One sorted posting list: small-biased doc gaps, `freq<<3|field` values.
+fn make_list(seed: &mut u64, len: usize) -> Vec<(u32, u32)> {
+    let mut doc = (xorshift(seed) % 1024) as u32;
+    (0..len)
+        .map(|_| {
+            doc += 1 + (xorshift(seed) % 64) as u32;
+            let freq = 1 + (xorshift(seed) % 50) as u32;
+            let field = (xorshift(seed) % 3) as u32;
+            (doc, (freq << 3) | field)
+        })
+        .collect()
+}
+
+struct Encoded {
+    bytes: Vec<u8>,
+    skips: Vec<u64>,
+    n: usize,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (lists_n, iters) = if smoke { (512, 3) } else { (4096, 5) };
+
+    let mut seed = 0x2007_1EE7_u64;
+    let lists: Vec<Vec<(u32, u32)>> = (0..lists_n)
+        .map(|_| {
+            let len = list_len(&mut seed);
+            make_list(&mut seed, len)
+        })
+        .collect();
+    let postings: usize = lists.iter().map(|l| l.len()).sum();
+    let fixed_width_bytes = postings as u64 * 8; // legacy postdat: one u64 per posting
+
+    // --- encode ---------------------------------------------------------
+    let mut encode_s = f64::MAX;
+    let mut encoded: Vec<Encoded> = Vec::new();
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let out: Vec<Encoded> = lists
+            .iter()
+            .map(|pairs| {
+                let mut bytes = Vec::new();
+                let mut skips = Vec::new();
+                encode_list(pairs, &mut bytes, &mut skips);
+                Encoded {
+                    bytes,
+                    skips,
+                    n: pairs.len(),
+                }
+            })
+            .collect();
+        encode_s = encode_s.min(t0.elapsed().as_secs_f64());
+        encoded = out;
+    }
+    let encoded_bytes: u64 = encoded.iter().map(|e| e.bytes.len() as u64).sum();
+    let compression_ratio = fixed_width_bytes as f64 / encoded_bytes.max(1) as f64;
+
+    // --- decode (unrolled fast path via decode_list) --------------------
+    let mut decode_s = f64::MAX;
+    let mut scratch: Vec<(u32, u32)> = Vec::new();
+    let mut checksum = 0u64;
+    for _ in 0..iters {
+        let mut sum = 0u64;
+        let t0 = Instant::now();
+        for e in &encoded {
+            scratch.clear();
+            decode_list(&e.bytes, e.n, &mut scratch).expect("decode");
+            sum += scratch.last().map(|&(k, _)| k as u64).unwrap_or(0);
+        }
+        decode_s = decode_s.min(t0.elapsed().as_secs_f64());
+        checksum = sum;
+    }
+
+    // --- scalar vs unrolled over identical bytes ------------------------
+    // encode_list emits nothing but u32 varints (gaps then values per
+    // block), so each list's buffer is a contiguous stream of 2n varints
+    // both readers can consume whole.
+    let mut scalar_s = f64::MAX;
+    let mut unrolled_s = f64::MAX;
+    let mut vals: Vec<u32> = Vec::new();
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        for e in &encoded {
+            let mut at = 0usize;
+            vals.clear();
+            read_varints_u32_scalar(&e.bytes, &mut at, 2 * e.n, &mut vals).expect("scalar");
+            assert_eq!(at, e.bytes.len());
+        }
+        scalar_s = scalar_s.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        for e in &encoded {
+            let mut at = 0usize;
+            vals.clear();
+            read_varints_u32(&e.bytes, &mut at, 2 * e.n, &mut vals).expect("unrolled");
+            assert_eq!(at, e.bytes.len());
+        }
+        unrolled_s = unrolled_s.min(t0.elapsed().as_secs_f64());
+    }
+
+    // --- seek: decode_from into the upper half of multi-block lists -----
+    let multi: Vec<&Encoded> = encoded.iter().filter(|e| e.n > BLOCK_LEN).collect();
+    let mut seek_s = f64::MAX;
+    let mut seeked_postings = 0u64;
+    for _ in 0..iters {
+        let mut out_count = 0u64;
+        let t0 = Instant::now();
+        for e in &multi {
+            // Probe at the last key of the middle block: the seek skips
+            // roughly half the list's blocks.
+            let mid = e.skips[e.skips.len() / 2];
+            let probe = inspire_store::codec::skip_last_key(mid);
+            scratch.clear();
+            decode_from(&e.bytes, e.n, &e.skips, probe, &mut scratch).expect("decode_from");
+            out_count += scratch.len() as u64;
+        }
+        seek_s = seek_s.min(t0.elapsed().as_secs_f64());
+        seeked_postings = out_count;
+    }
+
+    let mb = |bytes: u64, s: f64| {
+        if s > 0.0 {
+            bytes as f64 / s / 1e6
+        } else {
+            0.0
+        }
+    };
+    let per_s = |count: u64, s: f64| if s > 0.0 { count as f64 / s } else { 0.0 };
+    let encode_mb_s = mb(encoded_bytes, encode_s);
+    let encode_postings_s = per_s(postings as u64, encode_s);
+    let decode_mb_s = mb(encoded_bytes, decode_s);
+    let decode_postings_s = per_s(postings as u64, decode_s);
+    let scalar_mb_s = mb(encoded_bytes, scalar_s);
+    let unrolled_mb_s = mb(encoded_bytes, unrolled_s);
+    let unrolled_speedup = if unrolled_s > 0.0 {
+        scalar_s / unrolled_s
+    } else {
+        0.0
+    };
+    let multi_bytes: u64 = multi.iter().map(|e| e.bytes.len() as u64).sum();
+    let seek_postings_s = per_s(seeked_postings, seek_s);
+
+    println!(
+        "postings codec — {lists_n} lists, {postings} postings, {encoded_bytes} B encoded \
+         ({compression_ratio:.2}x vs {fixed_width_bytes} B fixed-width), checksum {checksum:x}"
+    );
+    println!("encode  : {encode_mb_s:>8.1} MB/s  {encode_postings_s:>12.0} postings/s");
+    println!("decode  : {decode_mb_s:>8.1} MB/s  {decode_postings_s:>12.0} postings/s (unrolled)");
+    println!("varints : scalar {scalar_mb_s:.1} MB/s, unrolled {unrolled_mb_s:.1} MB/s ({unrolled_speedup:.2}x)");
+    println!(
+        "seek    : {} multi-block lists ({multi_bytes} B), {seeked_postings} postings decoded, \
+         {seek_postings_s:.0} postings/s",
+        multi.len()
+    );
+
+    let ts = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .expect("clock before 1970")
+        .as_secs();
+    let json = format!(
+        "{{\n  \"bench\": \"postings_codec\",\n  \"smoke\": {smoke},\n  \
+         \"lists\": {lists_n},\n  \"postings\": {postings},\n  \
+         \"encoded_bytes\": {encoded_bytes},\n  \"fixed_width_bytes\": {fixed_width_bytes},\n  \
+         \"compression_ratio\": {compression_ratio:.4},\n  \
+         \"encode_mb_s\": {encode_mb_s:.2},\n  \"encode_postings_s\": {encode_postings_s:.0},\n  \
+         \"decode_mb_s\": {decode_mb_s:.2},\n  \"decode_postings_s\": {decode_postings_s:.0},\n  \
+         \"scalar_varint_mb_s\": {scalar_mb_s:.2},\n  \"unrolled_varint_mb_s\": {unrolled_mb_s:.2},\n  \
+         \"unrolled_speedup\": {unrolled_speedup:.4},\n  \
+         \"seek_lists\": {},\n  \"seek_postings\": {seeked_postings},\n  \
+         \"seek_postings_s\": {seek_postings_s:.0}\n}}\n",
+        multi.len(),
+    );
+    let path = results_dir().join(format!("BENCH_postings_codec_{ts}.json"));
+    std::fs::write(&path, &json).expect("write BENCH json");
+    let latest = results_dir().join("BENCH_postings_latest.json");
+    std::fs::write(&latest, &json).expect("write BENCH latest pointer");
+    println!("wrote {}", path.display());
+    println!("wrote {}", latest.display());
+}

@@ -35,11 +35,12 @@
 //! append-only row in `results/scaling_history.md`.
 
 use corpus::CorpusSpec;
-use inspire_bench::results_dir;
+use inspire_bench::{history, results_dir};
 use inspire_core::index::invert;
 use inspire_core::pipeline::run_engine;
 use inspire_core::scan::scan;
 use inspire_core::{EngineConfig, EngineSnapshot};
+use inspire_serve::{execute, ServeRequest, ServeState};
 use perfmodel::CostModel;
 use spmd::{Component, Runtime};
 use std::sync::Arc;
@@ -98,7 +99,16 @@ struct SnapshotBench {
     pipeline_wall_s: f64,
     write_s: f64,
     load_s: f64,
+    /// Host wall-clock from `EngineSnapshot::open` through building the
+    /// serving state to the first served query body.
+    load_to_first_query_s: f64,
     total_bytes: u64,
+    /// Bytes of the block-compressed index sections
+    /// (postdir + postblk + postskp + dfv + tfv).
+    index_compressed_bytes: u64,
+    /// What the retired fixed-width layout would have spent on the same
+    /// index (postoff + postdat + df + tf at their fixed element sizes).
+    index_fixed_equiv_bytes: u64,
     sections: Vec<(String, u64)>,
 }
 
@@ -107,6 +117,15 @@ impl SnapshotBench {
     fn load_speedup(&self) -> f64 {
         if self.load_s > 0.0 {
             self.pipeline_wall_s / self.load_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Fixed-width bytes per compressed byte for the index sections.
+    fn index_compression_ratio(&self) -> f64 {
+        if self.index_compressed_bytes > 0 {
+            self.index_fixed_equiv_bytes as f64 / self.index_compressed_bytes as f64
         } else {
             0.0
         }
@@ -226,6 +245,14 @@ fn main() {
         snap_bench.load_s,
         snap_bench.pipeline_wall_s,
         snap_bench.load_speedup()
+    );
+    println!(
+        "index sections: {} B compressed vs {} B fixed-width equivalent ({:.2}x); \
+         load-to-first-query {:.4}s",
+        snap_bench.index_compressed_bytes,
+        snap_bench.index_fixed_equiv_bytes,
+        snap_bench.index_compression_ratio(),
+        snap_bench.load_to_first_query_s
     );
     println!(
         "imbalance @P={IMBALANCE_PROCS}: max {:.1}% busy-time spread, critical-path stage {}",
@@ -361,13 +388,45 @@ fn snapshot_run(src: &corpus::SourceSet, cfg: &EngineConfig) -> SnapshotBench {
         assert!(idx.total_docs > 0 && s.vocab_size() > 0);
     });
     let load_s = t0.elapsed().as_secs_f64();
+
+    // Cold-path serving: open → serving state → first query body. The
+    // zero-copy read path makes this near-instant because postings stay
+    // encoded in the mapped sections until a query touches them.
+    let t0 = Instant::now();
+    let qsnap = EngineSnapshot::open(&path).expect("snapshot reopens for serving");
+    let state = ServeState::from_snapshot(qsnap).expect("serving state builds");
+    let term = state.terms.get(state.terms.len() / 2).to_string();
+    let body = execute(&state, &ServeRequest::Term { term, top: 5 }).expect("first query");
+    assert!(!body.is_empty());
+    let load_to_first_query_s = t0.elapsed().as_secs_f64();
+
+    // Compression accounting against the retired fixed-width layout:
+    // postoff (i64 per term + 1), postdat (u64 per posting), df (u32 per
+    // term), tf (u64 per term).
+    let dir = state
+        .snapshot()
+        .postings_dir()
+        .expect("compressed index directory");
+    let vocab = dir.vocab() as u64;
+    let index_fixed_equiv_bytes =
+        (vocab + 1) * 8 + dir.total_postings() * 8 + vocab * 4 + vocab * 8;
+    let compressed_names = ["postdir", "postblk", "postskp", "dfv", "tfv"];
+    let index_compressed_bytes = report
+        .sections
+        .iter()
+        .filter(|(name, _)| compressed_names.contains(&name.as_str()))
+        .map(|&(_, bytes)| bytes)
+        .sum();
     let _ = std::fs::remove_file(&path);
 
     SnapshotBench {
         pipeline_wall_s,
         write_s: report.write_seconds,
         load_s,
+        load_to_first_query_s,
         total_bytes: report.total_bytes,
+        index_compressed_bytes,
+        index_fixed_equiv_bytes,
         sections: report.sections,
     }
 }
@@ -507,10 +566,26 @@ fn to_json(
     s.push_str(&format!("    \"write_s\": {:.6},\n", snap.write_s));
     s.push_str(&format!("    \"load_s\": {:.6},\n", snap.load_s));
     s.push_str(&format!(
+        "    \"load_to_first_query_s\": {:.6},\n",
+        snap.load_to_first_query_s
+    ));
+    s.push_str(&format!(
         "    \"load_speedup_vs_pipeline\": {:.4},\n",
         snap.load_speedup()
     ));
     s.push_str(&format!("    \"total_bytes\": {},\n", snap.total_bytes));
+    s.push_str(&format!(
+        "    \"index_compressed_bytes\": {},\n",
+        snap.index_compressed_bytes
+    ));
+    s.push_str(&format!(
+        "    \"index_fixed_equiv_bytes\": {},\n",
+        snap.index_fixed_equiv_bytes
+    ));
+    s.push_str(&format!(
+        "    \"index_compression_ratio\": {:.4},\n",
+        snap.index_compression_ratio()
+    ));
     s.push_str("    \"sections\": {\n");
     for (i, (name, bytes)) in snap.sections.iter().enumerate() {
         s.push_str(&format!(
@@ -575,11 +650,14 @@ fn to_json(
     s
 }
 
-/// Marker for the history table format carrying comm columns; rows
-/// written before the aggregated-exchange PR lack these columns, so a
-/// fresh header is appended (history stays append-only) the first time
-/// the new format writes into an old file.
-const HISTORY_COMM_MARKER: &str = "| index_msgs |";
+/// The pipeline-scaling history table, located by its comm-column
+/// marker so rows land under this table even after other benches have
+/// appended their own tables further down the file.
+const COMM_TABLE: history::HistoryTable<'static> = history::HistoryTable {
+    section: None,
+    header: "| date (utc) | smoke | corpus_bytes | docs | host_cpus | wall_s@1 | wall_s@max | measured_x@max | projected_x@max | index_msgs | index_batch_x | imbal%@4 | crit_stage |",
+    marker: "| index_msgs |",
+};
 
 /// Append one row to the append-only history table (created on first use).
 #[allow(clippy::too_many_arguments)]
@@ -593,33 +671,10 @@ fn append_history(
     comm: &CommReport,
     imbalance: &inspire_trace::RunReport,
 ) {
-    use std::io::Write;
     let path = results_dir().join("scaling_history.md");
-    let fresh = !path.exists();
-    let has_comm_header = std::fs::read_to_string(&path)
-        .map(|t| t.contains(HISTORY_COMM_MARKER))
-        .unwrap_or(false);
-    let mut f = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(&path)
-        .expect("open scaling history");
-    if fresh {
-        writeln!(f, "# Intra-rank scaling history (append-only)").unwrap();
-    }
-    if !has_comm_header {
-        writeln!(f).unwrap();
-        writeln!(
-            f,
-            "| date (utc) | smoke | corpus_bytes | docs | host_cpus | wall_s@1 | wall_s@max | measured_x@max | projected_x@max | index_msgs | index_batch_x | imbal%@4 | crit_stage |"
-        )
-        .unwrap();
-        writeln!(f, "|---|---|---|---|---|---|---|---|---|---|---|---|---|").unwrap();
-    }
     let first = widths.first().expect("at least width 1");
     let last = widths.last().expect("at least width 1");
-    writeln!(
-        f,
+    let row = format!(
         "| {} | {} | {} | {} | {} | {:.4} | {:.4} | {:.2} | {:.2} | {} | {:.1} | {:.1} | {} |",
         utc_date(ts),
         smoke,
@@ -634,8 +689,8 @@ fn append_history(
         comm.index_batching_factor(),
         imbalance.max_imbalance_pct(),
         imbalance.critical_path_stage().unwrap_or("-"),
-    )
-    .unwrap();
+    );
+    history::append_row(&path, &COMM_TABLE, &row).expect("append scaling history row");
     println!("appended {}", path.display());
 }
 

@@ -19,6 +19,7 @@ use perfmodel::CostModel;
 use spmd::Component;
 use std::sync::Arc;
 
+pub mod history;
 pub mod timing;
 
 /// One of the paper's evaluation datasets.

@@ -48,8 +48,10 @@ pub struct Posting {
     pub freq: u32,
 }
 
-/// Pack a posting (doc 32 | field 8 | freq 24).
-fn pack_posting(p: Posting) -> u64 {
+/// Pack a posting (doc 32 | field 8 | freq 24). Public counterpart of
+/// [`unpack_posting`] so the snapshot codec can rebuild the engine's
+/// packed layout from decoded postings.
+pub fn pack_posting(p: Posting) -> u64 {
     (p.doc as u64) | ((p.field as u64) << 32) | ((p.freq.min(0xFF_FFFF) as u64) << 40)
 }
 

@@ -25,6 +25,28 @@ pub trait SearchIndex {
     fn term_id(&self, term: &str) -> Option<TermId>;
     /// A term's postings, sorted by (doc, field) for determinism.
     fn postings_of(&self, term: TermId) -> Vec<Posting>;
+    /// Append a term's postings (same order as [`postings_of`]) to a
+    /// caller-owned buffer. Backends that decode postings on demand
+    /// override this to fill `out` directly instead of materializing an
+    /// intermediate vector.
+    ///
+    /// [`postings_of`]: SearchIndex::postings_of
+    fn postings_into(&self, term: TermId, out: &mut Vec<Posting>) {
+        out.extend(self.postings_of(term));
+    }
+    /// Append only the postings with `doc >= min_doc`, preserving order.
+    /// Backends with block-aligned skip pointers override this to seek
+    /// past whole blocks; the default filters the full list, so both
+    /// yield exactly the tail of [`postings_of`].
+    ///
+    /// [`postings_of`]: SearchIndex::postings_of
+    fn postings_from(&self, term: TermId, min_doc: DocId, out: &mut Vec<Posting>) {
+        out.extend(
+            self.postings_of(term)
+                .into_iter()
+                .filter(|p| p.doc >= min_doc),
+        );
+    }
     /// Document frequency of `term`.
     fn df(&self, term: TermId) -> u32;
     /// Total documents in the collection.
@@ -316,18 +338,54 @@ pub fn evaluate_in(ix: &impl SearchIndex, query: &Query) -> Vec<DocId> {
             docs_of(ix, t, fid)
         }
         Query::And(parts) => {
-            let mut sets: Vec<Vec<DocId>> = parts.iter().map(|p| evaluate_in(ix, p)).collect();
-            // Intersect smallest-first for efficiency.
-            sets.sort_by_key(|s| s.len());
-            let mut it = sets.into_iter();
-            let Some(mut acc) = it.next() else {
+            // Split the conjunction into term atoms — whose postings can
+            // be decoded from a lower bound via `postings_from` (the
+            // block-compressed backend seeks over whole blocks below the
+            // first surviving candidate) — and complex sub-queries, which
+            // evaluate fully.
+            let mut atoms: Vec<(TermId, Option<FieldId>)> = Vec::new();
+            let mut complex: Vec<Vec<DocId>> = Vec::new();
+            for p in parts {
+                match p {
+                    Query::Term(t) => match ix.term_id(t) {
+                        Some(id) => atoms.push((id, None)),
+                        None => return Vec::new(),
+                    },
+                    Query::FieldTerm(f, t) => match ix.term_id(t) {
+                        Some(id) => atoms.push((id, crate::field_id(f))),
+                        None => return Vec::new(),
+                    },
+                    other => complex.push(evaluate_in(ix, other)),
+                }
+            }
+            // Cheapest base first: smallest complex set, else the rarest
+            // atom (df orders atoms without touching postings).
+            complex.sort_by_key(|s| s.len());
+            atoms.sort_by_key(|&(t, _)| ix.df(t));
+            let mut atom_it = atoms.into_iter();
+            let mut acc: Vec<DocId> = if !complex.is_empty() {
+                let mut it = complex.into_iter();
+                let mut acc = it.next().unwrap();
+                for s in it {
+                    acc = intersect(&acc, &s);
+                    if acc.is_empty() {
+                        break;
+                    }
+                }
+                acc
+            } else if let Some((t, f)) = atom_it.next() {
+                docs_of_id(ix, t, f)
+            } else {
                 return Vec::new();
             };
-            for s in it {
-                acc = intersect(&acc, &s);
+            let mut scratch: Vec<Posting> = Vec::new();
+            for (t, f) in atom_it {
                 if acc.is_empty() {
                     break;
                 }
+                scratch.clear();
+                ix.postings_from(t, acc[0], &mut scratch);
+                acc = intersect(&acc, &docs_from_postings(&scratch, f));
             }
             acc
         }
@@ -349,12 +407,23 @@ pub fn evaluate_in(ix: &impl SearchIndex, query: &Query) -> Vec<DocId> {
 /// Sorted distinct documents containing `term`, optionally restricted to
 /// one field — this is where the paper's *term-to-field* index pays off.
 fn docs_of(ix: &impl SearchIndex, term: &str, field: Option<FieldId>) -> Vec<DocId> {
-    let Some(t) = ix.term_id(term) else {
-        return Vec::new();
-    };
-    let mut docs: Vec<DocId> = ix
-        .postings_of(t)
-        .into_iter()
+    match ix.term_id(term) {
+        Some(t) => docs_of_id(ix, t, field),
+        None => Vec::new(),
+    }
+}
+
+fn docs_of_id(ix: &impl SearchIndex, term: TermId, field: Option<FieldId>) -> Vec<DocId> {
+    let mut posts = Vec::new();
+    ix.postings_into(term, &mut posts);
+    docs_from_postings(&posts, field)
+}
+
+/// Sorted distinct doc ids of `posts` (already doc-ordered), optionally
+/// restricted to one field.
+fn docs_from_postings(posts: &[Posting], field: Option<FieldId>) -> Vec<DocId> {
+    let mut docs: Vec<DocId> = posts
+        .iter()
         .filter(|p| field.is_none_or(|f| p.field == f))
         .map(|p| p.doc)
         .collect();
@@ -433,6 +502,7 @@ pub fn search_in(ix: &impl SearchIndex, query: &str, top: usize) -> Vec<Hit> {
 
     let d = ix.total_docs() as f64;
     let mut scores: HashMap<DocId, f64> = HashMap::new();
+    let mut posts: Vec<Posting> = Vec::new();
     for term in terms {
         let Some(t) = ix.term_id(&term) else {
             continue;
@@ -443,8 +513,10 @@ pub fn search_in(ix: &impl SearchIndex, query: &str, top: usize) -> Vec<Hit> {
         }
         let idf = ((d + 1.0) / (df + 1.0)).ln();
         // Merge field postings per document.
+        posts.clear();
+        ix.postings_into(t, &mut posts);
         let mut per_doc: HashMap<DocId, u32> = HashMap::new();
-        for p in ix.postings_of(t) {
+        for p in &posts {
             *per_doc.entry(p.doc).or_insert(0) += p.freq;
         }
         for (doc, freq) in per_doc {

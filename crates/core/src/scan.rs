@@ -166,9 +166,11 @@ struct TokenizedChunk {
 
 /// Parse and tokenize one record into the chunk's interner. Pure with
 /// respect to rank state, so it can run on the intra-rank pool. The
-/// tokenize→count loop does zero per-token allocations: terms land in the
-/// chunk arena (distinct terms only), and per-field counting uses the
-/// reusable id-indexed `counts_scratch`/`touched` scratch pair.
+/// tokenize→count loop does zero per-token allocations and one hash pass
+/// per token (the fold path shares the hash between the stopword probe
+/// and the intern probe): terms land in the chunk arena (distinct terms
+/// only), and per-field counting uses the reusable id-indexed
+/// `counts_scratch`/`touched` scratch pair.
 fn tokenize_record(
     source: &Source,
     range: Range<usize>,
@@ -188,8 +190,7 @@ fn tokenize_record(
         if !indexed.contains(&fid) {
             continue;
         }
-        let candidates = tokenizer.tokenize_into(text, |term| {
-            let (id, _) = terms.intern(term);
+        let candidates = tokenizer.tokenize_intern_into(text, terms, |id, _is_new| {
             let at = id as usize;
             if at >= counts_scratch.len() {
                 counts_scratch.resize(at + 1, 0);

@@ -19,7 +19,7 @@
 use crate::assoc::AssociationMatrix;
 use crate::cluster::Clustering;
 use crate::config::EngineConfig;
-use crate::index::{InvertedIndex, RankLoad};
+use crate::index::{pack_posting, unpack_posting, InvertedIndex, Posting, RankLoad};
 use crate::pipeline::{EngineOutput, EngineSummary};
 use crate::scan::{unpack_entry, LocalDoc, LocalField, ScanOutput};
 use crate::signature::{SignatureStats, Signatures};
@@ -27,12 +27,36 @@ use crate::topicality::TopicSelection;
 use crate::{DocId, TermId};
 use corpus::SourceSet;
 use ga::{DistHashMap, GlobalArray, GlobalArray2D};
-use inspire_store::{Snapshot, SnapshotWriter};
+use inspire_store::{codec, Snapshot, SnapshotWriter};
 use intern::TermTable;
 use spmd::Ctx;
 use std::io;
+use std::ops::Range;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+
+// The codec packs the field id into 3 bits of the value varint.
+const _: () = assert!(
+    crate::FIELD_NAMES.len() <= 8,
+    "field ids must fit the codec's 3-bit field slot"
+);
+
+/// Codec pair for one posting: key = doc id, val = `freq << 3 | field`.
+/// Pairs must be produced from [`Posting`]-sorted order (doc, field,
+/// freq) so the decoded sequence matches what the legacy reader's
+/// post-sort produced — served answers stay byte-identical.
+pub fn posting_to_pair(p: Posting) -> (u32, u32) {
+    (p.doc, (p.freq.min(0xFF_FFFF) << 3) | p.field as u32)
+}
+
+/// Inverse of [`posting_to_pair`].
+pub fn pair_to_posting(key: u32, val: u32) -> Posting {
+    Posting {
+        doc: key,
+        field: (val & 0x7) as crate::FieldId,
+        freq: val >> 3,
+    }
+}
 
 /// Pipeline stage a snapshot was taken after.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -285,10 +309,17 @@ pub fn write_engine_snapshot(
             w.add_u64s("rankio", &rankio)?;
 
             if let Some(idx) = inp.index {
-                w.add_i64s("postoff", &idx.offsets)?;
-                w.add_u64s("postdat", postdat.as_ref().unwrap())?;
-                w.add_u32s("df", &idx.df)?;
-                w.add_u64s("tf", &idx.tf)?;
+                let enc = encode_index_sections(
+                    &idx.offsets,
+                    postdat.as_ref().unwrap(),
+                    &idx.df,
+                    &idx.tf,
+                );
+                w.add_packed("postdir", &enc.dir)?;
+                w.add_packed("postblk", &enc.blk)?;
+                w.add_skips("postskp", &enc.skips)?;
+                w.add_packed("dfv", &enc.dfv)?;
+                w.add_packed("tfv", &enc.tfv)?;
                 let load: Vec<u64> = idx
                     .load
                     .iter()
@@ -343,6 +374,140 @@ pub fn write_engine_snapshot(
     }
     ctx.barrier();
     result
+}
+
+/// The block-compressed index sections (DESIGN.md §8): a per-term
+/// directory, concatenated delta/varint posting blocks, skip entries for
+/// multi-block terms only, and varint df/tf streams.
+struct EncodedIndex {
+    dir: Vec<u8>,
+    blk: Vec<u8>,
+    skips: Vec<u64>,
+    dfv: Vec<u8>,
+    tfv: Vec<u8>,
+}
+
+/// Encode the replicated index into the compressed v2 sections. Postings
+/// are sorted per term (scatter order depends on scheduling) before
+/// delta-encoding, which both makes the bytes deterministic and matches
+/// the order every query path serves.
+fn encode_index_sections(offsets: &[i64], postdat: &[u64], df: &[u32], tf: &[u64]) -> EncodedIndex {
+    let vocab = offsets.len().saturating_sub(1);
+    let mut enc = EncodedIndex {
+        dir: Vec::with_capacity(vocab * 3),
+        blk: Vec::new(),
+        skips: Vec::new(),
+        dfv: Vec::with_capacity(vocab * 2),
+        tfv: Vec::with_capacity(vocab * 2),
+    };
+    let mut posts: Vec<Posting> = Vec::new();
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    let mut term_skips: Vec<u64> = Vec::new();
+    for t in 0..vocab {
+        let (lo, hi) = (offsets[t] as usize, offsets[t + 1] as usize);
+        posts.clear();
+        posts.extend(postdat[lo..hi].iter().map(|&e| unpack_posting(e)));
+        posts.sort_unstable();
+        pairs.clear();
+        pairs.extend(posts.iter().map(|&p| posting_to_pair(p)));
+        term_skips.clear();
+        let byte_len = codec::encode_list(&pairs, &mut enc.blk, &mut term_skips);
+        codec::write_u32(&mut enc.dir, pairs.len() as u32);
+        codec::write_u32(&mut enc.dir, byte_len as u32);
+        // Single-block lists need no seek table; deriving "no skips" from
+        // the count keeps the section proportional to long lists only.
+        if pairs.len() > codec::BLOCK_LEN {
+            enc.skips.extend_from_slice(&term_skips);
+        }
+    }
+    for &d in df {
+        codec::write_u32(&mut enc.dfv, d);
+    }
+    for &v in tf {
+        codec::write_u64(&mut enc.tfv, v);
+    }
+    enc
+}
+
+/// Parsed `postdir` directory: where each term's compressed posting list
+/// and skip entries live inside the `postblk` / `postskp` sections.
+/// Parsing touches only the directory (two varints per term); posting
+/// bytes stay unread until a query decodes them.
+pub struct PostingsDir {
+    counts: Vec<u32>,
+    offsets: Vec<u64>,
+    skip_offsets: Vec<u32>,
+}
+
+impl PostingsDir {
+    /// Parse and fully cross-check the directory against the posting and
+    /// skip section lengths.
+    pub fn parse(dir: &[u8], vocab: usize, blk_len: usize, skip_len: usize) -> io::Result<Self> {
+        let err =
+            |msg: String| io::Error::new(io::ErrorKind::InvalidData, format!("postdir: {msg}"));
+        let mut counts = Vec::with_capacity(vocab);
+        let mut offsets = Vec::with_capacity(vocab + 1);
+        let mut skip_offsets = Vec::with_capacity(vocab + 1);
+        let mut at = 0usize;
+        let mut byte_at = 0u64;
+        let mut skip_at = 0u32;
+        for _ in 0..vocab {
+            offsets.push(byte_at);
+            skip_offsets.push(skip_at);
+            let n = codec::read_u32(dir, &mut at)?;
+            let len = codec::read_u32(dir, &mut at)?;
+            counts.push(n);
+            byte_at += len as u64;
+            if n as usize > codec::BLOCK_LEN {
+                skip_at += (n as usize).div_ceil(codec::BLOCK_LEN) as u32;
+            }
+        }
+        offsets.push(byte_at);
+        skip_offsets.push(skip_at);
+        if at != dir.len() {
+            return Err(err(format!("{} trailing bytes", dir.len() - at)));
+        }
+        if byte_at != blk_len as u64 {
+            return Err(err(format!(
+                "directory covers {byte_at} posting bytes, section has {blk_len}"
+            )));
+        }
+        if skip_at as usize != skip_len {
+            return Err(err(format!(
+                "directory expects {skip_at} skip entries, section has {skip_len}"
+            )));
+        }
+        Ok(PostingsDir {
+            counts,
+            offsets,
+            skip_offsets,
+        })
+    }
+
+    pub fn vocab(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Posting count of `term`.
+    pub fn count(&self, term: TermId) -> u32 {
+        self.counts[term as usize]
+    }
+
+    /// Total postings across all terms.
+    pub fn total_postings(&self) -> u64 {
+        self.counts.iter().map(|&c| c as u64).sum()
+    }
+
+    /// Byte range of `term`'s list within `postblk`.
+    pub fn byte_range(&self, term: TermId) -> Range<usize> {
+        self.offsets[term as usize] as usize..self.offsets[term as usize + 1] as usize
+    }
+
+    /// Range of `term`'s entries within `postskp` (empty for lists of at
+    /// most one block).
+    pub fn skip_range(&self, term: TermId) -> Range<usize> {
+        self.skip_offsets[term as usize] as usize..self.skip_offsets[term as usize + 1] as usize
+    }
 }
 
 /// Publish an already-validated on-disk snapshot (typically a
@@ -515,24 +680,50 @@ impl EngineSnapshot {
             m.nprocs * 4,
         )?;
         if m.stage >= Stage::Index {
-            let postoff = self.snap.require("postoff")?.as_i64s()?;
-            expect("postoff", postoff.len(), m.vocab_size + 1)?;
-            let n_post = *postoff.last().unwrap_or(&0) as usize;
-            expect(
-                "postdat",
-                self.snap.require("postdat")?.as_u64s()?.len(),
-                n_post,
-            )?;
-            expect(
-                "df",
-                self.snap.require("df")?.as_u32s()?.len(),
-                m.vocab_size,
-            )?;
-            expect(
-                "tf",
-                self.snap.require("tf")?.as_u64s()?.len(),
-                m.vocab_size,
-            )?;
+            if self.has_compressed_index() {
+                // v2 block-compressed layout: the directory cross-checks
+                // the posting and skip section lengths; posting bytes are
+                // covered by the store CRCs and stay undecoded until a
+                // query needs them.
+                let dir = self.snap.require("postdir")?.as_packed()?;
+                let blk = self.snap.require("postblk")?.as_packed()?;
+                let skips = self.snap.require("postskp")?.as_skips()?;
+                PostingsDir::parse(dir, m.vocab_size, blk.len(), skips.len())
+                    .map_err(|e| bad(src, e.to_string()))?;
+                let dfv = self.snap.require("dfv")?.as_packed()?;
+                let mut at = 0usize;
+                for _ in 0..m.vocab_size {
+                    codec::read_u32(dfv, &mut at).map_err(|e| bad(src, format!("dfv: {e}")))?;
+                }
+                expect("dfv", dfv.len(), at)?;
+                let tfv = self.snap.require("tfv")?.as_packed()?;
+                let mut at = 0usize;
+                for _ in 0..m.vocab_size {
+                    codec::read_u64(tfv, &mut at).map_err(|e| bad(src, format!("tfv: {e}")))?;
+                }
+                expect("tfv", tfv.len(), at)?;
+            } else {
+                // Legacy (format v1) fixed-width layout, retained so
+                // pre-bump snapshots keep loading and serving.
+                let postoff = self.snap.require("postoff")?.as_i64s()?;
+                expect("postoff", postoff.len(), m.vocab_size + 1)?;
+                let n_post = *postoff.last().unwrap_or(&0) as usize;
+                expect(
+                    "postdat",
+                    self.snap.require("postdat")?.as_u64s()?.len(),
+                    n_post,
+                )?;
+                expect(
+                    "df",
+                    self.snap.require("df")?.as_u32s()?.len(),
+                    m.vocab_size,
+                )?;
+                expect(
+                    "tf",
+                    self.snap.require("tf")?.as_u64s()?.len(),
+                    m.vocab_size,
+                )?;
+            }
             expect(
                 "load",
                 self.snap.require("load")?.as_u64s()?.len(),
@@ -605,6 +796,84 @@ impl EngineSnapshot {
     /// The underlying store container (section-level access).
     pub fn store(&self) -> &Snapshot {
         &self.snap
+    }
+
+    /// Whether the index sections use the block-compressed layout
+    /// (format v2) rather than the legacy fixed-width arrays. Sniffed
+    /// from the section table, not the file version: a v2 container may
+    /// legally carry v1 sections.
+    pub fn has_compressed_index(&self) -> bool {
+        self.snap.has("postblk")
+    }
+
+    /// Parse the compressed-postings directory (v2 index sections).
+    pub fn postings_dir(&self) -> io::Result<PostingsDir> {
+        let dir = self.snap.require("postdir")?.as_packed()?;
+        let blk = self.snap.require("postblk")?.as_packed()?;
+        let skips = self.snap.require("postskp")?.as_skips()?;
+        PostingsDir::parse(dir, self.meta.vocab_size, blk.len(), skips.len())
+            .map_err(|e| bad(self.snap.source(), e.to_string()))
+    }
+
+    /// Document frequencies for every term, from whichever layout the
+    /// snapshot carries.
+    pub fn decode_df(&self) -> io::Result<Vec<u32>> {
+        if self.has_compressed_index() {
+            let dfv = self.snap.require("dfv")?.as_packed()?;
+            let mut out = Vec::with_capacity(self.meta.vocab_size);
+            let mut at = 0usize;
+            codec::read_varints_u32(dfv, &mut at, self.meta.vocab_size, &mut out)
+                .map_err(|e| bad(self.snap.source(), format!("dfv: {e}")))?;
+            Ok(out)
+        } else {
+            Ok(self.snap.require("df")?.as_u32s()?.to_vec())
+        }
+    }
+
+    /// Collection frequencies for every term, from whichever layout the
+    /// snapshot carries.
+    pub fn decode_tf(&self) -> io::Result<Vec<u64>> {
+        if self.has_compressed_index() {
+            let tfv = self.snap.require("tfv")?.as_packed()?;
+            let mut out = Vec::with_capacity(self.meta.vocab_size);
+            let mut at = 0usize;
+            for _ in 0..self.meta.vocab_size {
+                out.push(
+                    codec::read_u64(tfv, &mut at)
+                        .map_err(|e| bad(self.snap.source(), format!("tfv: {e}")))?,
+                );
+            }
+            Ok(out)
+        } else {
+            Ok(self.snap.require("tf")?.as_u64s()?.to_vec())
+        }
+    }
+
+    /// Decode every compressed posting list back into the engine's packed
+    /// u64 layout (the resume path rebuilds the full global array; the
+    /// serving tier instead decodes per query via [`PostingsDir`]).
+    fn decode_postings_flat(&self) -> io::Result<(Vec<i64>, Vec<u64>)> {
+        let dir = self.postings_dir()?;
+        let blk = self.snap.require("postblk")?.as_packed()?;
+        let mut offsets = Vec::with_capacity(dir.vocab() + 1);
+        let mut data = Vec::with_capacity(dir.total_postings() as usize);
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        let mut at = 0i64;
+        for t in 0..dir.vocab() {
+            offsets.push(at);
+            let n = dir.count(t as TermId) as usize;
+            pairs.clear();
+            codec::decode_list(&blk[dir.byte_range(t as TermId)], n, &mut pairs)
+                .map_err(|e| bad(self.snap.source(), format!("postings of term {t}: {e}")))?;
+            data.extend(
+                pairs
+                    .iter()
+                    .map(|&(key, val)| pack_posting(pair_to_posting(key, val))),
+            );
+            at += n as i64;
+        }
+        offsets.push(at);
+        Ok((offsets, data))
     }
 
     /// The canonical vocabulary.
@@ -736,10 +1005,16 @@ impl EngineSnapshot {
 
     /// Restore the inverted index and global term statistics. Collective.
     pub fn restore_index(&self, ctx: &Ctx) -> io::Result<InvertedIndex> {
-        let postoff = self.snap.require("postoff")?.as_i64s()?;
-        let postdat = self.snap.require("postdat")?.as_u64s()?;
-        let df = self.snap.require("df")?.as_u32s()?;
-        let tf = self.snap.require("tf")?.as_u64s()?;
+        let (postoff, postdat): (Vec<i64>, Vec<u64>) = if self.has_compressed_index() {
+            self.decode_postings_flat()?
+        } else {
+            (
+                self.snap.require("postoff")?.as_i64s()?.to_vec(),
+                self.snap.require("postdat")?.as_u64s()?.to_vec(),
+            )
+        };
+        let df = self.decode_df()?;
+        let tf = self.decode_tf()?;
 
         let postings = GlobalArray::<u64>::create(ctx, postdat.len());
         postings.with_local_mut(ctx, |local| {
@@ -759,10 +1034,10 @@ impl EngineSnapshot {
             .collect();
 
         Ok(InvertedIndex {
-            offsets: Arc::new(postoff.to_vec()),
+            offsets: Arc::new(postoff),
             postings,
-            df: Arc::new(df.to_vec()),
-            tf: Arc::new(tf.to_vec()),
+            df: Arc::new(df),
+            tf: Arc::new(tf),
             total_docs: self.meta.total_docs,
             total_tokens: self.meta.total_tokens,
             load,

@@ -6,7 +6,7 @@
 //! list includes HTML structural words so GOV2-style markup does not
 //! pollute the vocabulary).
 
-use intern::TermInterner;
+use intern::{fxhash, TermInterner};
 
 /// English function words plus markup noise. Short (the engine's
 /// statistics reject high-df terms anyway); this list mainly keeps the
@@ -100,6 +100,58 @@ impl Tokenizer {
         self.tokenize_into(text, |t| out.push(t.to_string()));
         out
     }
+
+    /// Single-pass tokenize + intern: one traversal per token computes
+    /// the lowercased bytes and the alpha test together, then one fxhash
+    /// is shared between the stopword probe and the vocabulary probe
+    /// (where [`Tokenizer::tokenize_into`] + `TermInterner::intern`
+    /// hashes every surviving token twice). `emit` receives the id from
+    /// `terms` and whether it was newly interned. Returns the candidate
+    /// count, same as `tokenize_into`; the emitted term sequence is
+    /// pinned equal to the two-pass path by test.
+    pub fn tokenize_intern_into(
+        &self,
+        text: &str,
+        terms: &mut TermInterner,
+        mut emit: impl FnMut(u32, bool),
+    ) -> u64 {
+        let mut candidates = 0u64;
+        let mut buf = String::with_capacity(24);
+        for raw in text.split(|c: char| !c.is_ascii_alphanumeric()) {
+            if raw.is_empty() {
+                continue;
+            }
+            candidates += 1;
+            if raw.len() < self.config.min_len || raw.len() > self.config.max_len {
+                continue;
+            }
+            buf.clear();
+            let mut has_alpha = false;
+            for b in raw.bytes() {
+                // Tokens are ASCII alphanumeric by construction, so
+                // `| 0x20` lowercases letters and leaves digits
+                // (0x30..=0x39, bit 5 already set) unchanged.
+                let lower = b | 0x20;
+                has_alpha |= lower >= b'a';
+                buf.push(lower as char);
+            }
+            if self.config.require_alpha && !has_alpha {
+                continue;
+            }
+            let hash = fxhash(buf.as_bytes());
+            if self.config.filter_stopwords
+                && self
+                    .stopwords
+                    .lookup_bytes_hashed(buf.as_bytes(), hash)
+                    .is_some()
+            {
+                continue;
+            }
+            let (id, is_new) = terms.intern_hashed(&buf, hash);
+            emit(id, is_new);
+        }
+        candidates
+    }
 }
 
 impl Default for Tokenizer {
@@ -178,5 +230,57 @@ mod tests {
         let t = Tokenizer::default();
         assert!(t.tokenize("").is_empty());
         assert!(t.tokenize("... --- !!!").is_empty());
+    }
+
+    /// The single-pass fold must emit exactly the same term sequence
+    /// (and candidate count) as tokenize_into + intern.
+    #[test]
+    fn fold_path_matches_two_pass_path() {
+        let texts = [
+            "Cardiomyopathy, HYPERTENSION; renal-failure.",
+            "the cat is on a mat with it",
+            "12345 il6 2024 p53kinase",
+            "<html><body>policy statute</body></html>",
+            "naïve café résumé mixed ASCII-only splits",
+            "repeat repeat REPEAT rePEAT",
+            "",
+            "... --- !!!",
+            "x1 y2 z3 aa0 0aa 000",
+        ];
+        for config in [
+            TokenizerConfig::default(),
+            TokenizerConfig {
+                filter_stopwords: false,
+                ..Default::default()
+            },
+            TokenizerConfig {
+                require_alpha: false,
+                ..Default::default()
+            },
+        ] {
+            let t = Tokenizer::new(config);
+            for text in texts {
+                let mut two_pass_terms = Vec::new();
+                let mut two_pass_interner = TermInterner::new();
+                let two_pass_candidates = t.tokenize_into(text, |term| {
+                    let (id, is_new) = two_pass_interner.intern(term);
+                    two_pass_terms.push((id, is_new));
+                });
+
+                let mut fold_terms = Vec::new();
+                let mut fold_interner = TermInterner::new();
+                let fold_candidates =
+                    t.tokenize_intern_into(text, &mut fold_interner, |id, is_new| {
+                        fold_terms.push((id, is_new))
+                    });
+
+                assert_eq!(two_pass_candidates, fold_candidates, "text={text:?}");
+                assert_eq!(two_pass_terms, fold_terms, "text={text:?}");
+                assert_eq!(two_pass_interner.len(), fold_interner.len());
+                for id in 0..two_pass_interner.len() as u32 {
+                    assert_eq!(two_pass_interner.get(id), fold_interner.get(id));
+                }
+            }
+        }
     }
 }

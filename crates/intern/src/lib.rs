@@ -135,12 +135,23 @@ impl TermInterner {
     /// Intern `term`: returns `(id, newly_inserted)`. Exactly one hash
     /// pass; an existing term allocates nothing.
     pub fn intern(&mut self, term: &str) -> (u32, bool) {
+        self.intern_hashed(term, fxhash(term.as_bytes()))
+    }
+
+    /// [`TermInterner::intern`] with the caller supplying
+    /// `fxhash(term.as_bytes())` — for hot paths that probe several
+    /// interner-backed sets with one hash computation (the single-pass
+    /// tokenizer shares one hash between the stopword set and the
+    /// vocabulary).
+    #[inline]
+    pub fn intern_hashed(&mut self, term: &str, hash: u64) -> (u32, bool) {
+        debug_assert_eq!(hash, fxhash(term.as_bytes()), "caller-supplied hash");
         if self.table.is_empty() || self.spans.len() * 2 >= self.table.len() {
             self.rebuild_table(self.spans.len() + 1);
         }
         let bytes = term.as_bytes();
         let mask = self.mask();
-        let mut at = (fxhash(bytes) as usize) & mask;
+        let mut at = (hash as usize) & mask;
         loop {
             match self.table[at] {
                 0 => break,
@@ -170,12 +181,21 @@ impl TermInterner {
     }
 
     /// Byte-keyed variant of [`TermInterner::lookup`].
+    #[inline]
     pub fn lookup_bytes(&self, bytes: &[u8]) -> Option<u32> {
+        self.lookup_bytes_hashed(bytes, fxhash(bytes))
+    }
+
+    /// [`TermInterner::lookup_bytes`] with the caller supplying
+    /// `fxhash(bytes)` (see [`TermInterner::intern_hashed`]).
+    #[inline]
+    pub fn lookup_bytes_hashed(&self, bytes: &[u8], hash: u64) -> Option<u32> {
+        debug_assert_eq!(hash, fxhash(bytes), "caller-supplied hash");
         if self.table.is_empty() {
             return None;
         }
         let mask = self.mask();
-        let mut at = (fxhash(bytes) as usize) & mask;
+        let mut at = (hash as usize) & mask;
         loop {
             match self.table[at] {
                 0 => return None,

@@ -8,7 +8,7 @@
 //!
 //! The crate splits along the obvious seams:
 //!
-//! - [`state`] — [`state::ServeState`]: a `Send + Sync` extraction of
+//! - [`state`] — [`state::ServeState`]: a `Send + Sync` view over
 //!   the snapshot's scan/index/output sections, implementing the core
 //!   [`inspire_core::query::SearchIndex`] trait so served answers run
 //!   the exact algorithms the CLI runs.

@@ -1,4 +1,4 @@
-//! Context-free serving state extracted from an engine snapshot.
+//! Context-free serving state over an engine snapshot.
 //!
 //! The engine's query path works against rank-resident state
 //! (`ScanOutput` + `InvertedIndex`) through an SPMD context, which is
@@ -6,43 +6,60 @@
 //! accounting to one thread. A long-lived server needs the opposite — an
 //! immutable, `Send + Sync` view of the same data that any worker thread
 //! can read concurrently with no coordination. [`ServeState`] is that
-//! view: opening a snapshot restores the scan and index state once on a
-//! throwaway single-rank runtime, copies the (already replicated or
-//! single-rank-local) arrays into plain vectors, and drops every runtime
-//! handle. Queries then run through the exact same algorithms as the CLI
-//! path via [`inspire_core::query::SearchIndex`].
+//! view: it **owns** the validated snapshot and serves queries straight
+//! from its section views. Postings stay in their block-compressed
+//! on-disk form; each query decodes only the blocks it touches into a
+//! per-thread scratch buffer (with skip-pointer seeks for lower-bounded
+//! reads), so load time is directory parsing plus the small per-term
+//! stats — not a full postings materialization. Queries run through the
+//! exact same algorithms as the CLI path via
+//! [`inspire_core::query::SearchIndex`].
 
 use inspire_core::index::Posting;
 use inspire_core::query::SearchIndex;
-use inspire_core::snapshot::EngineMeta;
+use inspire_core::snapshot::{pair_to_posting, EngineMeta, PostingsDir};
 use inspire_core::{EngineSnapshot, Stage, TermId};
+use inspire_store::codec;
 use intern::TermTable;
-use perfmodel::CostModel;
-use spmd::Runtime;
+use std::cell::RefCell;
 use std::io;
 use std::path::Path;
 use std::sync::Arc;
 
+thread_local! {
+    /// Reusable per-thread decode buffer: one query's block decodes land
+    /// here before conversion to [`Posting`]s, so steady-state serving
+    /// does no per-query pair allocations.
+    static PAIR_SCRATCH: RefCell<Vec<(u32, u32)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// How the owned snapshot stores its postings.
+enum IndexLayout {
+    /// Format v2: block-compressed lists read zero-copy from the
+    /// `postblk`/`postskp` sections, located via the parsed directory.
+    Compressed(PostingsDir),
+    /// Legacy fixed-width `postoff`/`postdat` sections (pre-bump
+    /// snapshots keep serving through the sniffing reader).
+    Legacy,
+}
+
 /// Immutable, shareable query-serving state from one engine snapshot.
 ///
-/// Holds everything the five query kinds read: the canonical vocabulary,
-/// flattened postings with per-term offsets, term statistics, and — for
-/// `Final`-stage snapshots — the projected coordinates, cluster
-/// assignments, labels, and sizes.
+/// Holds the canonical vocabulary, the postings directory (or legacy
+/// offsets), per-term document frequencies, and — for `Final`-stage
+/// snapshots — the projected coordinates, cluster assignments, labels,
+/// and sizes.
 pub struct ServeState {
+    /// The validated snapshot; posting bytes are read from its sections
+    /// on demand.
+    snap: EngineSnapshot,
     /// Snapshot metadata (stage, fingerprints, corpus shape).
     pub meta: EngineMeta,
     /// Canonical sorted vocabulary.
     pub terms: Arc<TermTable>,
-    /// Posting-range offsets per term (`vocab_size + 1`); empty when the
+    /// Postings layout + per-term document frequency; `None` when the
     /// snapshot predates the Index stage.
-    pub offsets: Vec<i64>,
-    /// Packed postings (doc 32 | field 8 | freq 24), term-major.
-    pub postings: Vec<u64>,
-    /// Document frequency per term.
-    pub df: Vec<u32>,
-    /// Collection frequency per term.
-    pub tf: Vec<u64>,
+    index: Option<(IndexLayout, Vec<u32>)>,
     /// 2-D document coordinates (Final stage only).
     pub coords: Option<Vec<(f64, f64)>>,
     /// Cluster assignment per document (Final stage only).
@@ -55,68 +72,82 @@ pub struct ServeState {
 
 impl ServeState {
     /// Open `path`, verify it (every checksum, via [`EngineSnapshot`]),
-    /// and extract the serving state. The snapshot may have been written
+    /// and build the serving state. The snapshot may have been written
     /// at any processor count; queries read only partition-independent
     /// state.
     pub fn load(path: &Path) -> io::Result<ServeState> {
-        let snap = EngineSnapshot::open(path)?;
-        Self::from_snapshot(&snap)
+        Self::from_snapshot(EngineSnapshot::open(path)?)
     }
 
-    /// Extract serving state from an already opened snapshot.
-    pub fn from_snapshot(snap: &EngineSnapshot) -> io::Result<ServeState> {
+    /// Build serving state over an already opened snapshot. Cheap: the
+    /// vocabulary, postings directory, and df stats are materialized
+    /// (all small); posting lists are not touched until queried.
+    pub fn from_snapshot(snap: EngineSnapshot) -> io::Result<ServeState> {
         let meta = snap.meta().clone();
-        let stage = meta.stage;
-        let rt = Runtime::new(Arc::new(CostModel::zero()));
-        let mut res = rt.run(1, |ctx| -> io::Result<ServeState> {
-            let scan = snap.restore_scan(ctx)?;
-            let (offsets, postings, df, tf) = if stage >= Stage::Index {
-                let idx = snap.restore_index(ctx)?;
-                let n_postings = *idx.offsets.last().expect("offsets nonempty") as usize;
-                (
-                    idx.offsets.as_ref().clone(),
-                    idx.postings.get(ctx, 0..n_postings),
-                    idx.df.as_ref().clone(),
-                    idx.tf.as_ref().clone(),
-                )
+        let terms = Arc::new(snap.terms()?);
+        let index = if meta.stage >= Stage::Index {
+            let layout = if snap.has_compressed_index() {
+                IndexLayout::Compressed(snap.postings_dir()?)
             } else {
-                (Vec::new(), Vec::new(), Vec::new(), Vec::new())
+                IndexLayout::Legacy
             };
-            let (coords, assignments, cluster_labels, cluster_sizes) = if stage == Stage::Final {
-                let out = snap.restore_output(ctx)?;
-                (
-                    out.coords,
-                    out.all_assignments,
-                    out.cluster_labels,
-                    out.cluster_sizes,
-                )
-            } else {
-                (None, None, Vec::new(), Vec::new())
-            };
-            Ok(ServeState {
-                meta: snap.meta().clone(),
-                terms: Arc::clone(&scan.terms),
-                offsets,
-                postings,
-                df,
-                tf,
-                coords,
-                assignments,
-                cluster_labels,
+            Some((layout, snap.decode_df()?))
+        } else {
+            None
+        };
+        let (coords, assignments, cluster_labels, cluster_sizes) = if meta.stage == Stage::Final {
+            let dims = meta.projection_dims;
+            let coordnd = snap.store().require("coordnd")?.as_f64s()?;
+            let coords: Vec<(f64, f64)> = coordnd.chunks(dims).map(|r| (r[0], r[1])).collect();
+            let assignments = snap.store().require("assign")?.as_u32s()?.to_vec();
+            let cluster_sizes = snap.store().require("csize")?.as_u64s()?.to_vec();
+            (
+                Some(coords),
+                Some(assignments),
+                snap.labels()?,
                 cluster_sizes,
-            })
-        });
-        res.results.remove(0)
+            )
+        } else {
+            (None, None, Vec::new(), Vec::new())
+        };
+        Ok(ServeState {
+            meta,
+            terms,
+            index,
+            coords,
+            assignments,
+            cluster_labels,
+            cluster_sizes,
+            snap,
+        })
     }
 
     /// Does this snapshot hold an inverted index (term/boolean/search)?
     pub fn has_index(&self) -> bool {
-        !self.offsets.is_empty()
+        self.index.is_some()
     }
 
     /// Does this snapshot hold clustering + projection (cluster/rect)?
     pub fn has_layout(&self) -> bool {
         self.coords.is_some() && self.assignments.is_some()
+    }
+
+    /// Borrow the underlying validated snapshot (postings directory,
+    /// section sizes — what benches and diagnostics need).
+    pub fn snapshot(&self) -> &EngineSnapshot {
+        &self.snap
+    }
+
+    /// Borrow a section validated at open. Sections were checked for
+    /// presence, kind, and CRC by [`EngineSnapshot::from_store`], so a
+    /// miss here is a programming error, not a data error.
+    fn packed(&self, name: &str) -> &[u8] {
+        self.snap
+            .store()
+            .section(name)
+            .expect("section validated at open")
+            .as_packed()
+            .expect("section kind validated at open")
     }
 }
 
@@ -126,22 +157,114 @@ impl SearchIndex for ServeState {
     }
 
     fn postings_of(&self, term: TermId) -> Vec<Posting> {
-        let lo = self.offsets[term as usize] as usize;
-        let hi = self.offsets[term as usize + 1] as usize;
-        // Same unpack + deterministic sort as `InvertedIndex::postings_of`.
-        let mut out: Vec<Posting> = self.postings[lo..hi]
-            .iter()
-            .map(|&e| inspire_core::index::unpack_posting(e))
-            .collect();
-        out.sort_unstable();
+        let mut out = Vec::new();
+        self.postings_into(term, &mut out);
         out
     }
 
+    fn postings_into(&self, term: TermId, out: &mut Vec<Posting>) {
+        let Some((layout, _)) = &self.index else {
+            return;
+        };
+        match layout {
+            IndexLayout::Compressed(dir) => {
+                let blk = self.packed("postblk");
+                let n = dir.count(term) as usize;
+                PAIR_SCRATCH.with(|s| {
+                    let mut pairs = s.borrow_mut();
+                    pairs.clear();
+                    codec::decode_list(&blk[dir.byte_range(term)], n, &mut pairs)
+                        .expect("CRC-verified postings decode");
+                    out.extend(pairs.iter().map(|&(k, v)| pair_to_posting(k, v)));
+                });
+            }
+            IndexLayout::Legacy => {
+                let offsets = self.legacy_offsets();
+                let postdat = self.legacy_postings();
+                let lo = offsets[term as usize] as usize;
+                let hi = offsets[term as usize + 1] as usize;
+                // Same unpack + deterministic sort as
+                // `InvertedIndex::postings_of` (scatter order is
+                // schedule-dependent in legacy snapshots).
+                let from = out.len();
+                out.extend(
+                    postdat[lo..hi]
+                        .iter()
+                        .map(|&e| inspire_core::index::unpack_posting(e)),
+                );
+                out[from..].sort_unstable();
+            }
+        }
+    }
+
+    fn postings_from(&self, term: TermId, min_doc: u32, out: &mut Vec<Posting>) {
+        let Some((layout, _)) = &self.index else {
+            return;
+        };
+        match layout {
+            IndexLayout::Compressed(dir) => {
+                let blk = self.packed("postblk");
+                let skips = self
+                    .snap
+                    .store()
+                    .section("postskp")
+                    .expect("section validated at open")
+                    .as_skips()
+                    .expect("section kind validated at open");
+                let n = dir.count(term) as usize;
+                PAIR_SCRATCH.with(|s| {
+                    let mut pairs = s.borrow_mut();
+                    pairs.clear();
+                    codec::decode_from(
+                        &blk[dir.byte_range(term)],
+                        n,
+                        &skips[dir.skip_range(term)],
+                        min_doc,
+                        &mut pairs,
+                    )
+                    .expect("CRC-verified postings decode");
+                    out.extend(pairs.iter().map(|&(k, v)| pair_to_posting(k, v)));
+                });
+            }
+            IndexLayout::Legacy => {
+                // Decode + sort the full list, then drop the sorted
+                // prefix below `min_doc`.
+                let from = out.len();
+                self.postings_into(term, out);
+                let below = out[from..].partition_point(|p| p.doc < min_doc);
+                out.drain(from..from + below);
+            }
+        }
+    }
+
     fn df(&self, term: TermId) -> u32 {
-        self.df[term as usize]
+        match &self.index {
+            Some((_, df)) => df[term as usize],
+            None => 0,
+        }
     }
 
     fn total_docs(&self) -> u32 {
         self.meta.total_docs
+    }
+}
+
+impl ServeState {
+    fn legacy_offsets(&self) -> &[i64] {
+        self.snap
+            .store()
+            .section("postoff")
+            .expect("section validated at open")
+            .as_i64s()
+            .expect("section kind validated at open")
+    }
+
+    fn legacy_postings(&self) -> &[u64] {
+        self.snap
+            .store()
+            .section("postdat")
+            .expect("section validated at open")
+            .as_u64s()
+            .expect("section kind validated at open")
     }
 }

@@ -1,0 +1,121 @@
+//! Legacy-format compatibility: a checked-in pre-bump (format v1,
+//! fixed-width postings) snapshot must still load through the sniffing
+//! reader and serve answers byte-identical to a freshly written
+//! block-compressed snapshot of the same corpus and configuration.
+
+use corpus::CorpusSpec;
+use inspire_core::pipeline::Engine;
+use inspire_core::query::SearchIndex;
+use inspire_core::snapshot::checkpoint_path;
+use inspire_core::{EngineConfig, EngineSnapshot, Stage, TermId};
+use inspire_serve::request::split_target;
+use inspire_serve::{execute, ServeRequest, ServeState};
+use perfmodel::CostModel;
+use spmd::Runtime;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn fixture_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/data/legacy_v1.isnap")
+}
+
+/// The exact corpus the checked-in fixture was generated from.
+fn fixture_corpus() -> corpus::SourceSet {
+    CorpusSpec {
+        source_bytes: 8 * 1024,
+        ..CorpusSpec::pubmed(16 * 1024, 29)
+    }
+    .generate()
+}
+
+/// Plain-word terms from the vocabulary, skipping boolean operators.
+fn pick_terms(state: &ServeState, n: usize) -> Vec<String> {
+    let len = state.terms.len();
+    assert!(len > 0, "empty vocabulary");
+    let mut out = Vec::new();
+    for k in 0..len * 2 {
+        let t = state.terms.get((len / 7 + k) % len);
+        if t.len() >= 2
+            && t.chars().all(|c| c.is_ascii_alphanumeric())
+            && !matches!(t, "and" | "or" | "not")
+            && !out.iter().any(|o| o == t)
+        {
+            out.push(t.to_string());
+            if out.len() == n {
+                return out;
+            }
+        }
+    }
+    panic!("not enough usable terms in vocabulary ({len} total)");
+}
+
+fn body(state: &ServeState, target: &str) -> String {
+    let (path, params) = split_target(target);
+    let req = ServeRequest::parse(path, &params).expect("parse");
+    execute(state, &req).expect("execute")
+}
+
+#[test]
+fn legacy_v1_snapshot_serves_identically_to_fresh_v2() {
+    let legacy_snap = EngineSnapshot::open(&fixture_path()).expect("legacy fixture opens");
+    assert!(
+        !legacy_snap.has_compressed_index(),
+        "fixture must carry the fixed-width layout"
+    );
+    assert_eq!(legacy_snap.meta().stage, Stage::Index);
+    let legacy = ServeState::from_snapshot(legacy_snap).expect("legacy fixture loads");
+    assert!(legacy.has_index());
+
+    // Re-run the engine on the same corpus at the fixture's processor
+    // count and capture a fresh — now block-compressed — checkpoint.
+    let dir = std::env::temp_dir().join(format!("va-legacy-compat-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let src = fixture_corpus();
+    let cfg = EngineConfig {
+        checkpoint_dir: Some(dir.clone()),
+        ..EngineConfig::for_testing()
+    };
+    let engine = Engine::new(cfg);
+    Runtime::new(Arc::new(CostModel::zero())).run(1, |ctx| {
+        engine.run_until(ctx, &src, Stage::Index);
+    });
+    let fresh_path = checkpoint_path(&dir, Stage::Index);
+    let fresh_snap = EngineSnapshot::open(&fresh_path).expect("fresh checkpoint opens");
+    assert!(fresh_snap.has_compressed_index());
+    let fresh = ServeState::from_snapshot(fresh_snap).expect("fresh snapshot loads");
+
+    // Same corpus and config ⇒ same collection; a mismatch here means the
+    // corpus generator or scan changed and the comparison below would be
+    // meaningless.
+    assert_eq!(legacy.meta.corpus_fp, fresh.meta.corpus_fp);
+    assert_eq!(legacy.meta.total_docs, fresh.meta.total_docs);
+    assert_eq!(legacy.terms.len(), fresh.terms.len());
+
+    // Raw reads agree, order included: the legacy reader's post-sort and
+    // the compressed writer's pre-sort meet at the same sequence.
+    for t in (0..legacy.terms.len()).step_by(97) {
+        let t = t as TermId;
+        assert_eq!(legacy.postings_of(t), fresh.postings_of(t), "term {t}");
+        assert_eq!(legacy.df(t), fresh.df(t), "df of term {t}");
+    }
+
+    // Served bodies are byte-identical through both layouts.
+    let terms = pick_terms(&legacy, 5);
+    let targets = vec![
+        format!("/term?t={}", terms[0]),
+        format!("/term?t={}&top=3", terms[1]),
+        format!("/query?q={}+AND+{}", terms[0], terms[2]),
+        format!("/query?q={}+OR+{}&top=7", terms[3], terms[4]),
+        format!("/query?q={}+AND+NOT+{}", terms[2], terms[0]),
+        format!("/search?q={}+{}&top=5", terms[2], terms[1]),
+    ];
+    for target in &targets {
+        assert_eq!(
+            body(&legacy, target),
+            body(&fresh, target),
+            "served body diverges for {target}"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

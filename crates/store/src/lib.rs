@@ -11,7 +11,7 @@
 //!
 //! ```text
 //! [0 ..  8)  magic  "INSPSNP1"
-//! [8 .. 12)  format version (u32, currently 1)
+//! [8 .. 12)  format version (u32, currently 2)
 //! [12.. 16)  section count (u32)
 //! [16.. 24)  section table offset (u64, 64-byte aligned)
 //! [24.. 32)  total file size (u64)
@@ -39,6 +39,12 @@
 //! * Changing the header, table entry layout, alignment, or the encoding
 //!   of an existing section **bumps** `FORMAT_VERSION`; readers reject
 //!   versions they don't understand rather than guessing.
+//! * Version 2 added the [`SectionKind::Packed`] and [`SectionKind::Skip`]
+//!   element kinds (block-compressed lists, see [`codec`]). A version-1
+//!   reader rejects a version-2 file twice over — by the version number
+//!   and by the unknown kinds — while this reader accepts any version in
+//!   `MIN_FORMAT_VERSION..=FORMAT_VERSION`, so pre-bump fixed-width
+//!   files stay loadable.
 //!
 //! ## Zero-copy typed views
 //!
@@ -46,6 +52,8 @@
 //! payload starts 8 bytes past a 64-byte boundary, `u32`/`u64`/`i64`/
 //! `f64` views are reinterpretations of the section bytes — no per-row
 //! parsing on load.
+
+pub mod codec;
 
 use std::fmt;
 use std::io::{self, Read, Seek, SeekFrom, Write};
@@ -55,7 +63,10 @@ use std::path::Path;
 pub const MAGIC: &[u8; 8] = b"INSPSNP1";
 
 /// Current container format version (see the version-bump rules above).
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Oldest format version this reader still accepts.
+pub const MIN_FORMAT_VERSION: u32 = 1;
 
 /// Section alignment: payloads start 8 bytes past these boundaries.
 pub const ALIGN: u64 = 64;
@@ -174,6 +185,13 @@ pub enum SectionKind {
     F64 = 5,
     /// UTF-8 text.
     Str = 6,
+    /// Block-compressed varint stream (see [`codec`]); opaque bytes to
+    /// the container, but tagged so readers know a raw-bytes view is
+    /// *encoded* data, not a plain blob. Format version ≥ 2.
+    Packed = 7,
+    /// Skip-pointer entries (`u64`, [`codec::skip_entry`] layout) for a
+    /// `Packed` section. Format version ≥ 2.
+    Skip = 8,
 }
 
 impl SectionKind {
@@ -185,16 +203,26 @@ impl SectionKind {
             4 => Some(SectionKind::I64),
             5 => Some(SectionKind::F64),
             6 => Some(SectionKind::Str),
+            7 => Some(SectionKind::Packed),
+            8 => Some(SectionKind::Skip),
             _ => None,
         }
     }
 
-    /// Element size in bytes (1 for `Bytes`/`Str`).
+    /// Element size in bytes (1 for `Bytes`/`Str`/`Packed`).
     pub fn elem_size(self) -> usize {
         match self {
-            SectionKind::Bytes | SectionKind::Str => 1,
+            SectionKind::Bytes | SectionKind::Str | SectionKind::Packed => 1,
             SectionKind::U32 => 4,
-            SectionKind::U64 | SectionKind::I64 | SectionKind::F64 => 8,
+            SectionKind::U64 | SectionKind::I64 | SectionKind::F64 | SectionKind::Skip => 8,
+        }
+    }
+
+    /// Smallest format version whose readers understand this kind.
+    pub fn min_version(self) -> u32 {
+        match self {
+            SectionKind::Packed | SectionKind::Skip => 2,
+            _ => 1,
         }
     }
 }
@@ -208,6 +236,8 @@ impl fmt::Display for SectionKind {
             SectionKind::I64 => "i64",
             SectionKind::F64 => "f64",
             SectionKind::Str => "str",
+            SectionKind::Packed => "packed",
+            SectionKind::Skip => "skip",
         };
         f.write_str(s)
     }
@@ -360,6 +390,20 @@ impl SnapshotWriter {
         self.add_section(name, SectionKind::F64, &le_bytes(data, |v| v.to_le_bytes()))
     }
 
+    /// Append a block-compressed ([`codec`]) byte stream.
+    pub fn add_packed(&mut self, name: &str, payload: &[u8]) -> io::Result<()> {
+        self.add_section(name, SectionKind::Packed, payload)
+    }
+
+    /// Append skip-pointer entries for a `Packed` section.
+    pub fn add_skips(&mut self, name: &str, data: &[u64]) -> io::Result<()> {
+        self.add_section(
+            name,
+            SectionKind::Skip,
+            &le_bytes(data, |v| v.to_le_bytes()),
+        )
+    }
+
     /// Write the section table, patch the header, and flush.
     pub fn finish(mut self) -> io::Result<SnapshotStats> {
         let table_offset = self.pos;
@@ -455,9 +499,10 @@ impl Snapshot {
             return Err(e("not a snapshot container (bad magic)".into()));
         }
         let version = u32::from_le_bytes(whole[8..12].try_into().unwrap());
-        if version != FORMAT_VERSION {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(e(format!(
-                "unsupported format version {version} (reader understands {FORMAT_VERSION})"
+                "unsupported format version {version} \
+                 (reader understands {MIN_FORMAT_VERSION}..={FORMAT_VERSION})"
             )));
         }
         let stored_hcrc = u32::from_le_bytes(whole[32..36].try_into().unwrap());
@@ -513,6 +558,12 @@ impl Snapshot {
             let slen = u64::from_le_bytes(row[16..24].try_into().unwrap());
             let kind = SectionKind::from_u32(u32::from_le_bytes(row[24..28].try_into().unwrap()))
                 .ok_or_else(|| e(format!("section {i}: unknown element kind")))?;
+            if kind.min_version() > version {
+                return Err(e(format!(
+                    "section {i}: {kind} elements need format version {}, file says {version}",
+                    kind.min_version()
+                )));
+            }
             let crc = u32::from_le_bytes(row[28..32].try_into().unwrap());
             if offset != expect_offset {
                 return Err(e(format!(
@@ -684,6 +735,17 @@ impl<'a> SectionView<'a> {
     /// The payload as little-endian `f64` elements.
     pub fn as_f64s(&self) -> io::Result<&'a [f64]> {
         self.typed::<f64>(SectionKind::F64)
+    }
+
+    /// The payload of a block-compressed section (decode via [`codec`]).
+    pub fn as_packed(&self) -> io::Result<&'a [u8]> {
+        self.expect_kind(SectionKind::Packed)?;
+        Ok(self.bytes)
+    }
+
+    /// The payload as skip-pointer entries ([`codec::skip_entry`] layout).
+    pub fn as_skips(&self) -> io::Result<&'a [u64]> {
+        self.typed::<u64>(SectionKind::Skip)
     }
 
     /// The payload as UTF-8 text.
@@ -874,6 +936,73 @@ mod tests {
         assert_eq!(stats.sections.len(), 0);
         let s = Snapshot::open(&path).unwrap();
         assert_eq!(s.sections().count(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn packed_and_skip_sections_roundtrip() {
+        let path = tmp("packed.snap");
+        let pairs: Vec<(u32, u32)> = (0..300).map(|i| (i * 3, i % 7)).collect();
+        let mut blob = Vec::new();
+        let mut skips = Vec::new();
+        codec::encode_list(&pairs, &mut blob, &mut skips);
+        let mut w = SnapshotWriter::create(&path).unwrap();
+        w.add_packed("plist", &blob).unwrap();
+        w.add_skips("pskip", &skips).unwrap();
+        w.finish().unwrap();
+
+        let s = Snapshot::open(&path).unwrap();
+        assert_eq!(s.version(), FORMAT_VERSION);
+        let view = s.require("plist").unwrap();
+        assert_eq!(view.kind(), SectionKind::Packed);
+        assert_eq!(view.as_packed().unwrap(), &blob[..]);
+        assert!(view.as_u32s().is_err(), "packed is not a u32 view");
+        let sv = s.require("pskip").unwrap();
+        assert_eq!(sv.as_skips().unwrap(), &skips[..]);
+        assert!(sv.as_u64s().is_err(), "skip is not a plain u64 view");
+        let mut got = Vec::new();
+        codec::decode_list(view.as_packed().unwrap(), pairs.len(), &mut got).unwrap();
+        assert_eq!(got, pairs);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Rewrite a finished file's header version field (recomputing the
+    /// header CRC), mimicking files written by other format versions.
+    fn with_version(path: &Path, version: u32) -> Vec<u8> {
+        let mut bytes = std::fs::read(path).unwrap();
+        bytes[8..12].copy_from_slice(&version.to_le_bytes());
+        let hcrc = crc32(&bytes[0..32]);
+        bytes[32..36].copy_from_slice(&hcrc.to_le_bytes());
+        bytes
+    }
+
+    #[test]
+    fn version_range_is_enforced() {
+        let path = tmp("versions.snap");
+        sample(&path); // legacy kinds only — valid under either version
+        let v1 = with_version(&path, 1);
+        let s = Snapshot::from_bytes(&v1, "v1").unwrap();
+        assert_eq!(s.version(), 1);
+        assert_eq!(
+            s.require("ids").unwrap().as_u32s().unwrap(),
+            &[1, 2, 3, 0xFFFF_FFFF]
+        );
+        assert!(Snapshot::from_bytes(&with_version(&path, 0), "v0").is_err());
+        assert!(
+            Snapshot::from_bytes(&with_version(&path, FORMAT_VERSION + 1), "vN").is_err(),
+            "future versions must be rejected, not guessed at"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v1_file_with_v2_kinds_is_rejected() {
+        let path = tmp("v1kinds.snap");
+        let mut w = SnapshotWriter::create(&path).unwrap();
+        w.add_packed("plist", &[0, 1, 2]).unwrap();
+        w.finish().unwrap();
+        // Claiming version 1 while carrying a Packed section is malformed.
+        assert!(Snapshot::from_bytes(&with_version(&path, 1), "v1bad").is_err());
         std::fs::remove_file(&path).ok();
     }
 

@@ -316,7 +316,7 @@ fn load_serve_state(path: &str, json: bool) -> ServeState {
         snap.store().total_bytes(),
         meta.nprocs,
     );
-    let state = ServeState::from_snapshot(&snap).unwrap_or_else(|e| {
+    let state = ServeState::from_snapshot(snap).unwrap_or_else(|e| {
         eprintln!("cannot restore snapshot {path}: {e}");
         exit(1);
     });

@@ -7,9 +7,12 @@ shape, types, and value ranges, and exits non-zero with a readable
 message when something is off.
 
 Usage:
-  validate_bench.py results/BENCH_latest.json --kind scaling [--max-index-msgs N]
+  validate_bench.py results/BENCH_latest.json --kind scaling \
+      [--max-index-msgs N] [--min-compression-ratio X]
   validate_bench.py results/BENCH_serving_latest.json --kind serving \
       [--require-zero-wrong] [--min-in-flight N] [--min-cache-hits N]
+  validate_bench.py results/BENCH_postings_latest.json --kind postings \
+      [--min-compression-ratio X]
 
 Stdlib only — the CI image has no third-party Python packages.
 """
@@ -100,10 +103,24 @@ def validate_scaling(doc, args):
         )
 
     # snapshot: write/load costs and section byte counts.
-    for k in ("pipeline_wall_s", "write_s", "load_s", "load_speedup_vs_pipeline"):
+    for k in ("pipeline_wall_s", "write_s", "load_s", "load_to_first_query_s",
+              "load_speedup_vs_pipeline"):
         nonneg(doc, f"snapshot.{k}", float)
     total = nonneg(doc, "snapshot.total_bytes", int)
     check(total is None or total > 0, "snapshot.total_bytes must be positive")
+
+    # Block-compressed index accounting: compressed section bytes vs the
+    # fixed-width equivalent, with an optional hard floor on the ratio.
+    comp = nonneg(doc, "snapshot.index_compressed_bytes", int)
+    check(comp is None or comp > 0, "snapshot.index_compressed_bytes must be positive")
+    nonneg(doc, "snapshot.index_fixed_equiv_bytes", int)
+    ratio = nonneg(doc, "snapshot.index_compression_ratio", float)
+    if args.min_compression_ratio is not None and ratio is not None:
+        check(
+            ratio >= args.min_compression_ratio,
+            f"snapshot.index_compression_ratio regressed: {ratio} < "
+            f"floor {args.min_compression_ratio}",
+        )
     sections = get(doc, "snapshot.sections", dict)
     if sections is not None:
         check(len(sections) > 0, "snapshot.sections is empty")
@@ -190,12 +207,35 @@ def validate_serving(doc, args):
                 fail("serving.kinds: non-object entry")
 
 
+def validate_postings(doc, args):
+    check(get(doc, "bench", str) == "postings_codec", "bench kind is not postings_codec")
+    for k in ("lists", "postings", "encoded_bytes", "fixed_width_bytes",
+              "seek_lists", "seek_postings"):
+        v = nonneg(doc, k, int)
+        if k in ("lists", "postings", "encoded_bytes", "fixed_width_bytes"):
+            check(v is None or v > 0, f"field {k} must be positive")
+    for k in ("encode_mb_s", "encode_postings_s", "decode_mb_s", "decode_postings_s",
+              "scalar_varint_mb_s", "unrolled_varint_mb_s", "seek_postings_s"):
+        v = nonneg(doc, k, float)
+        check(v is None or v > 0, f"field {k}: throughput must be positive")
+    speedup = nonneg(doc, "unrolled_speedup", float)
+    check(speedup is None or speedup > 0, "unrolled_speedup must be positive")
+    ratio = nonneg(doc, "compression_ratio", float)
+    if args.min_compression_ratio is not None and ratio is not None:
+        check(
+            ratio >= args.min_compression_ratio,
+            f"compression_ratio regressed: {ratio} < floor {args.min_compression_ratio}",
+        )
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("path", help="BENCH JSON file to validate")
-    ap.add_argument("--kind", choices=("scaling", "serving"), required=True)
+    ap.add_argument("--kind", choices=("scaling", "serving", "postings"), required=True)
     ap.add_argument("--max-index-msgs", type=int, default=None,
                     help="scaling: fail if comm.index_msgs exceeds this")
+    ap.add_argument("--min-compression-ratio", type=float, default=None,
+                    help="scaling/postings: fail if the compression ratio is below this")
     ap.add_argument("--require-zero-wrong", action="store_true",
                     help="serving: fail on any wrong_answers")
     ap.add_argument("--min-in-flight", type=int, default=None,
@@ -213,6 +253,8 @@ def main():
 
     if args.kind == "scaling":
         validate_scaling(doc, args)
+    elif args.kind == "postings":
+        validate_postings(doc, args)
     else:
         validate_serving(doc, args)
 
