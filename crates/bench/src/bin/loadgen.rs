@@ -13,7 +13,14 @@
 //! loadgen --snapshot engine.isnap --addr 127.0.0.1:7878   # external server
 //! loadgen --snapshot engine.isnap --smoke             # CI serve-smoke sizing
 //! loadgen --snapshot engine.isnap --clients 128 --requests 8192
+//! loadgen --snapshot engine.isnap --flips 8           # hot-swap under load
 //! ```
+//!
+//! `--flips N` (in-process only) hot-swaps the server's state N times
+//! while the client herd is firing — the ingest generation-flip path —
+//! and then **requires** zero errors and zero wrong answers: an
+//! in-flight request must never 5xx or change bytes because the state
+//! it started on was swapped out from under it.
 //!
 //! All client threads synchronize on a barrier **after** marking their
 //! first request in flight and **before** sending it, so the reported
@@ -68,6 +75,7 @@ fn main() {
     let total_requests = flag_num(&args, "--requests")
         .unwrap_or(if smoke { 1280 } else { 4096 })
         .max(clients);
+    let flips = flag_num(&args, "--flips").unwrap_or(0);
 
     let t_load = Instant::now();
     let state = Arc::new(ServeState::load(Path::new(&snapshot)).unwrap_or_else(|e| {
@@ -121,6 +129,24 @@ fn main() {
         targets.len()
     );
 
+    if flips > 0 && server.is_none() {
+        eprintln!("loadgen: --flips needs the in-process server (drop --addr)");
+        std::process::exit(2);
+    }
+    // A second, independently loaded state for `--flips`: identical
+    // answers, different allocation — swapping between the two is
+    // exactly what an ingest generation flip does (minus new docs).
+    let flip_state = if flips > 0 {
+        Some(Arc::new(
+            ServeState::load(Path::new(&snapshot)).unwrap_or_else(|e| {
+                eprintln!("loadgen: cannot reload snapshot for --flips: {e}");
+                std::process::exit(2);
+            }),
+        ))
+    } else {
+        None
+    };
+
     let counters = Counters::default();
     let barrier = Barrier::new(clients);
     let per_client = total_requests / clients;
@@ -138,6 +164,16 @@ fn main() {
                 s.spawn(move || client_loop(c, n, addr, targets, oracle, counters, barrier))
             })
             .collect();
+        if let (Some(srv), Some(other)) = (&server, &flip_state) {
+            let state = &state;
+            s.spawn(move || {
+                for i in 0..flips {
+                    std::thread::sleep(Duration::from_millis(20));
+                    let next = if i % 2 == 0 { other } else { state };
+                    srv.swap_state(Arc::clone(next));
+                }
+            });
+        }
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     let wall_s = t0.elapsed().as_secs_f64();
@@ -167,7 +203,9 @@ fn main() {
         0.0
     };
 
-    println!("serving load — {clients} clients, {total_requests} requests, {addr}");
+    println!(
+        "serving load — {clients} clients, {total_requests} requests, {flips} state flips, {addr}"
+    );
     println!(
         "{ok} ok, {errors} errors, {rejected} rejected (429), {wrong} wrong answers, max {max_in_flight} in flight"
     );
@@ -194,6 +232,10 @@ fn main() {
     if wrong > 0 {
         eprintln!("loadgen: FAILED — {wrong} served bodies diverged from the single-shot oracle");
     }
+    let flip_failure = flips > 0 && errors > 0;
+    if flip_failure {
+        eprintln!("loadgen: FAILED — {errors} requests errored while the state was hot-swapped");
+    }
 
     let ts = SystemTime::now()
         .duration_since(UNIX_EPOCH)
@@ -204,6 +246,7 @@ fn main() {
         &snapshot,
         clients,
         total_requests,
+        flips,
         wall_s,
         qps,
         ok,
@@ -233,7 +276,7 @@ fn main() {
         &merged,
     );
 
-    if wrong > 0 {
+    if wrong > 0 || flip_failure {
         std::process::exit(1);
     }
 }
@@ -400,6 +443,7 @@ fn to_json(
     snapshot: &str,
     clients: usize,
     requests: usize,
+    flips: usize,
     wall_s: f64,
     qps: f64,
     ok: u64,
@@ -421,6 +465,7 @@ fn to_json(
     s.push_str("  \"serving\": {\n");
     s.push_str(&format!("    \"clients\": {clients},\n"));
     s.push_str(&format!("    \"requests\": {requests},\n"));
+    s.push_str(&format!("    \"flips\": {flips},\n"));
     s.push_str(&format!("    \"wall_s\": {wall_s:.6},\n"));
     s.push_str(&format!("    \"qps\": {qps:.2},\n"));
     s.push_str(&format!("    \"ok\": {ok},\n"));

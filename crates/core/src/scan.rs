@@ -231,6 +231,74 @@ fn tokenize_record(
     TokenizedDoc { fields, tokens }
 }
 
+/// One indexed field of a record tokenized by [`tokenize_batch`]: term
+/// counts keyed by the caller's interner ids, sorted by term **bytes**
+/// (the same order the scan pipeline hands to vocabulary registration).
+#[derive(Debug, Clone)]
+pub struct BatchField {
+    pub field: FieldId,
+    /// `(interner term id, count)`, sorted by term bytes.
+    pub counts: Vec<(u32, u32)>,
+}
+
+/// One record tokenized by [`tokenize_batch`]. Fields with no accepted
+/// terms are dropped, exactly as the scan stage drops them from
+/// [`LocalDoc`]; a record may therefore have zero fields but still
+/// occupies one document id.
+#[derive(Debug, Clone)]
+pub struct BatchDoc {
+    pub fields: Vec<BatchField>,
+    /// Accepted tokens across all indexed fields.
+    pub tokens: u32,
+}
+
+/// Tokenize every record of `source` through the exact record framing,
+/// indexed-field filter, and tokenizer path the batch scan uses, interning
+/// terms into the shared `terms`. Record tokenization is context-free, so
+/// the emitted per-field counts are bit-identical to what a full-corpus
+/// scan produces for the same records — this is the incremental-ingestion
+/// sealer's guarantee that a segment built from one batch matches a
+/// from-scratch rebuild posting for posting.
+pub fn tokenize_batch(
+    source: &Source,
+    tokenizer: &Tokenizer,
+    terms: &mut TermInterner,
+) -> Vec<BatchDoc> {
+    let indexed: Vec<FieldId> = INDEXED_FIELDS
+        .iter()
+        .map(|n| crate::field_id(n).expect("indexed field registered"))
+        .collect();
+    let mut counts_scratch: Vec<u32> = Vec::new();
+    let mut touched: Vec<u32> = Vec::new();
+    source
+        .record_ranges()
+        .into_iter()
+        .map(|range| {
+            let tdoc = tokenize_record(
+                source,
+                range,
+                tokenizer,
+                &indexed,
+                terms,
+                &mut counts_scratch,
+                &mut touched,
+            );
+            BatchDoc {
+                fields: tdoc
+                    .fields
+                    .into_iter()
+                    .filter(|f| !f.counts.is_empty())
+                    .map(|f| BatchField {
+                        field: f.field,
+                        counts: f.counts,
+                    })
+                    .collect(),
+                tokens: tdoc.tokens,
+            }
+        })
+        .collect()
+}
+
 /// Run Scan & Map. Collective: every rank calls with the same arguments.
 pub fn scan(ctx: &Ctx, sources: &SourceSet, cfg: &EngineConfig) -> ScanOutput {
     let p = ctx.nprocs();

@@ -379,12 +379,12 @@ pub fn write_engine_snapshot(
 /// The block-compressed index sections (DESIGN.md §8): a per-term
 /// directory, concatenated delta/varint posting blocks, skip entries for
 /// multi-block terms only, and varint df/tf streams.
-struct EncodedIndex {
-    dir: Vec<u8>,
-    blk: Vec<u8>,
-    skips: Vec<u64>,
-    dfv: Vec<u8>,
-    tfv: Vec<u8>,
+pub struct EncodedIndex {
+    pub dir: Vec<u8>,
+    pub blk: Vec<u8>,
+    pub skips: Vec<u64>,
+    pub dfv: Vec<u8>,
+    pub tfv: Vec<u8>,
 }
 
 /// Encode the replicated index into the compressed v2 sections. Postings
@@ -392,7 +392,24 @@ struct EncodedIndex {
 /// delta-encoding, which both makes the bytes deterministic and matches
 /// the order every query path serves.
 fn encode_index_sections(offsets: &[i64], postdat: &[u64], df: &[u32], tf: &[u64]) -> EncodedIndex {
-    let vocab = offsets.len().saturating_sub(1);
+    encode_posting_sections(offsets.len().saturating_sub(1), df, tf, |t, posts| {
+        let (lo, hi) = (offsets[t] as usize, offsets[t + 1] as usize);
+        posts.extend(postdat[lo..hi].iter().map(|&e| unpack_posting(e)));
+    })
+}
+
+/// Encode arbitrary posting lists into the same compressed sections the
+/// batch pipeline writes. `fill` appends term `t`'s postings (any order —
+/// they are [`Posting`]-sorted here). Shared with the incremental-ingest
+/// sealer so segment bytes follow the exact rules of a full rebuild:
+/// saturated freqs, count+len directory varints, and skip entries only
+/// for lists longer than one block.
+pub fn encode_posting_sections(
+    vocab: usize,
+    df: &[u32],
+    tf: &[u64],
+    mut fill: impl FnMut(usize, &mut Vec<Posting>),
+) -> EncodedIndex {
     let mut enc = EncodedIndex {
         dir: Vec::with_capacity(vocab * 3),
         blk: Vec::new(),
@@ -404,9 +421,8 @@ fn encode_index_sections(offsets: &[i64], postdat: &[u64], df: &[u32], tf: &[u64
     let mut pairs: Vec<(u32, u32)> = Vec::new();
     let mut term_skips: Vec<u64> = Vec::new();
     for t in 0..vocab {
-        let (lo, hi) = (offsets[t] as usize, offsets[t + 1] as usize);
         posts.clear();
-        posts.extend(postdat[lo..hi].iter().map(|&e| unpack_posting(e)));
+        fill(t, &mut posts);
         posts.sort_unstable();
         pairs.clear();
         pairs.extend(posts.iter().map(|&p| posting_to_pair(p)));

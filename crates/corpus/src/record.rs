@@ -23,7 +23,7 @@ pub enum FormatKind {
 }
 
 /// One source "file".
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Source {
     pub name: String,
     pub data: Vec<u8>,

@@ -1,0 +1,328 @@
+//! Log-structured incremental indexing over the engine's store format.
+//!
+//! The batch pipeline (scan → invert → signatures) rebuilds the world
+//! on every corpus change. This crate makes the index *live*: documents
+//! are appended to a CRC-covered write-ahead log ([`wal`]), folded by a
+//! sealer into small immutable index segments ([`segment`]) that reuse
+//! the engine's block-compressed posting codec, tracked by a crash-safe
+//! generation manifest ([`manifest`]), and folded back together by a
+//! compactor ([`compact`]). The serving tier unions base snapshot +
+//! segments at read time (merge-on-read, in `inspire-serve`); because
+//! segments are encoded with the batch pipeline's own rules and cover
+//! disjoint ascending document ranges, served answers are bit-identical
+//! to a from-scratch rebuild of the same logical corpus.
+//!
+//! Durability contract: [`IngestDir::append`] returns only after the
+//! WAL record is fsynced — the seal that follows is a cached
+//! convenience. On any later [`IngestDir::open`], the WAL is replayed:
+//! a torn tail (crash mid-append) is truncated, and any durable record
+//! the manifest's `wal_sealed_bytes` watermark does not cover is sealed
+//! again, deterministically producing the same segment bytes.
+
+pub mod compact;
+pub mod manifest;
+pub mod segment;
+pub mod wal;
+
+pub use compact::{compact as compact_dir, CompactReport};
+pub use manifest::{clean_strays, peek_generation, Manifest, SegmentRef, MANIFEST_FILE};
+pub use segment::{Segment, SegmentBuild, SEG_VERSION};
+pub use wal::{Wal, WalRecord, WalReplay, WAL_FILE};
+
+use corpus::Source;
+use inspire_core::snapshot::EngineSnapshot;
+use inspire_core::tokenize::{Tokenizer, TokenizerConfig};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// One sealed mutation, with the numbers the ingest bench reports.
+#[derive(Debug, Clone)]
+pub struct AppendStats {
+    /// Documents the batch added (0 for deletes).
+    pub docs: u32,
+    /// WAL bytes this record occupies (frame included).
+    pub wal_bytes: u64,
+    /// Size of the sealed segment file.
+    pub segment_bytes: u64,
+    /// Seconds spent in the fsynced WAL append.
+    pub wal_s: f64,
+    /// Seconds from WAL durability to the sealed segment being live.
+    pub seal_s: f64,
+    /// Manifest generation after the seal.
+    pub generation: u64,
+    pub segment_file: String,
+}
+
+/// What [`IngestDir::open`] had to repair.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Durable WAL records that were not yet sealed and got sealed now.
+    pub sealed_records: usize,
+    /// Torn-tail bytes truncated off the WAL.
+    pub torn_bytes: u64,
+    /// Stray files (crash leftovers) removed.
+    pub removed_strays: usize,
+}
+
+fn now_unix() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+fn bad(dir: &Path, msg: String) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("{}: {msg}", dir.display()),
+    )
+}
+
+/// A live ingest directory: WAL + manifest + segments (+ a base engine
+/// snapshot referenced by absolute path). All mutation goes through
+/// this handle; readers (the serving tier) only ever open the files the
+/// manifest names.
+pub struct IngestDir {
+    dir: PathBuf,
+    wal: Wal,
+    manifest: Manifest,
+    tokenizer: Tokenizer,
+    /// Filled by [`IngestDir::open`] when it had work to do.
+    pub recovery: RecoveryReport,
+}
+
+impl IngestDir {
+    /// Initialize `dir` over `base` (an engine snapshot of at least the
+    /// Index stage). Errors if `dir` already holds a manifest.
+    pub fn create(dir: &Path, base: Option<&Path>) -> io::Result<IngestDir> {
+        std::fs::create_dir_all(dir)?;
+        if Manifest::load(dir)?.is_some() {
+            return Err(bad(dir, "already an ingest directory".into()));
+        }
+        let (base_abs, base_docs) = match base {
+            Some(p) => {
+                let abs = std::fs::canonicalize(p)?;
+                let snap = EngineSnapshot::open(&abs)?;
+                (Some(abs), snap.meta().total_docs)
+            }
+            None => (None, 0),
+        };
+        let manifest = Manifest::new(base_abs, base_docs);
+        manifest.store(dir)?;
+        Ok(IngestDir {
+            dir: dir.to_path_buf(),
+            wal: Wal::new(dir.join(WAL_FILE)),
+            manifest,
+            tokenizer: Tokenizer::new(TokenizerConfig::default()),
+            recovery: RecoveryReport::default(),
+        })
+    }
+
+    /// Open an existing ingest directory and make it consistent: remove
+    /// stray files, truncate any torn WAL tail, and seal every durable
+    /// WAL record the manifest watermark does not cover. After this
+    /// returns, the directory serves exactly the durable prefix.
+    pub fn open(dir: &Path) -> io::Result<IngestDir> {
+        let manifest = Manifest::load(dir)?
+            .ok_or_else(|| bad(dir, "not an ingest directory (no manifest)".into()))?;
+        let mut me = IngestDir {
+            dir: dir.to_path_buf(),
+            wal: Wal::new(dir.join(WAL_FILE)),
+            manifest,
+            tokenizer: Tokenizer::new(TokenizerConfig::default()),
+            recovery: RecoveryReport::default(),
+        };
+        me.recovery.removed_strays = clean_strays(dir, &me.manifest)?.len();
+        let replay = me.wal.replay()?;
+        me.recovery.torn_bytes = replay.torn_bytes;
+        me.wal.truncate_to(replay.durable_bytes)?;
+        for (end, rec) in &replay.records {
+            if *end > me.manifest.wal_sealed_bytes {
+                me.seal_record(rec, *end)?;
+                me.recovery.sealed_records += 1;
+            }
+        }
+        Ok(me)
+    }
+
+    /// Open if initialized, otherwise create over `base`.
+    pub fn open_or_create(dir: &Path, base: Option<&Path>) -> io::Result<IngestDir> {
+        if Manifest::load(dir)?.is_some() {
+            IngestDir::open(dir)
+        } else {
+            IngestDir::create(dir, base)
+        }
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// Total documents across base + segments.
+    pub fn total_docs(&self) -> u32 {
+        self.manifest.next_doc_base()
+    }
+
+    /// Append one record to the WAL and fsync, without sealing — the
+    /// durability point. Exposed separately so crash tests (and the
+    /// `--crash-after-wal` CLI hook) can die in the window between
+    /// durability and visibility.
+    pub fn append_wal(&mut self, rec: &WalRecord) -> io::Result<u64> {
+        self.wal.append(rec)
+    }
+
+    /// Seal every durable WAL record past the manifest watermark.
+    pub fn seal_pending(&mut self) -> io::Result<Vec<AppendStats>> {
+        let replay = self.wal.replay()?;
+        let mut out = Vec::new();
+        for (end, rec) in &replay.records {
+            if *end > self.manifest.wal_sealed_bytes {
+                out.push(self.seal_record(rec, *end)?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fold one durable record into a segment and flip the manifest.
+    fn seal_record(&mut self, rec: &WalRecord, wal_end: u64) -> io::Result<AppendStats> {
+        let started = Instant::now();
+        let wal_bytes = wal_end - self.manifest.wal_sealed_bytes;
+        let build = match rec {
+            WalRecord::AddBatch(src) => {
+                segment::build_from_batch(src, self.manifest.next_doc_base(), &self.tokenizer)
+            }
+            WalRecord::Delete(ids) => {
+                segment::build_tombstones(self.manifest.next_doc_base(), ids.clone())
+            }
+        };
+        let file = self.manifest.next_segment_file();
+        let segment_bytes = segment::write_segment(&self.dir, &file, &build)?;
+        self.manifest.segments.push(SegmentRef {
+            file: file.clone(),
+            doc_base: build.doc_base,
+            doc_count: build.doc_count,
+        });
+        self.manifest.next_seq += 1;
+        self.manifest.generation += 1;
+        self.manifest.wal_sealed_bytes = wal_end;
+        self.manifest.last_seal_unix = now_unix();
+        self.manifest.store(&self.dir)?;
+        Ok(AppendStats {
+            docs: build.doc_count,
+            wal_bytes,
+            segment_bytes,
+            wal_s: 0.0,
+            seal_s: started.elapsed().as_secs_f64(),
+            generation: self.manifest.generation,
+            segment_file: file,
+        })
+    }
+
+    /// Append one document batch: WAL-durable, then sealed and visible.
+    pub fn append(&mut self, source: Source) -> io::Result<AppendStats> {
+        let rec = WalRecord::AddBatch(source);
+        let t0 = Instant::now();
+        self.append_wal(&rec)?;
+        let wal_s = t0.elapsed().as_secs_f64();
+        let mut sealed = self.seal_pending()?;
+        let mut stats = sealed
+            .pop()
+            .ok_or_else(|| bad(&self.dir, "appended record did not seal".into()))?;
+        stats.wal_s = wal_s;
+        Ok(stats)
+    }
+
+    /// Tombstone existing documents by global id.
+    pub fn delete(&mut self, ids: Vec<u32>) -> io::Result<AppendStats> {
+        let limit = self.total_docs();
+        if let Some(&out_of_range) = ids.iter().find(|&&d| d >= limit) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("cannot delete doc {out_of_range}: only {limit} documents exist"),
+            ));
+        }
+        let rec = WalRecord::Delete(ids);
+        let t0 = Instant::now();
+        self.append_wal(&rec)?;
+        let wal_s = t0.elapsed().as_secs_f64();
+        let mut sealed = self.seal_pending()?;
+        let mut stats = sealed
+            .pop()
+            .ok_or_else(|| bad(&self.dir, "delete record did not seal".into()))?;
+        stats.wal_s = wal_s;
+        Ok(stats)
+    }
+
+    /// Fold all segments into one (see [`compact`]). Reloads the
+    /// manifest so this handle sees the new generation.
+    pub fn compact(&mut self) -> io::Result<Option<CompactReport>> {
+        let report = compact::compact(&self.dir)?;
+        if report.is_some() {
+            self.manifest = Manifest::load(&self.dir)?
+                .ok_or_else(|| bad(&self.dir, "manifest vanished during compaction".into()))?;
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corpus::FormatKind;
+
+    fn medline(name: &str, text: &str) -> Source {
+        Source {
+            name: name.into(),
+            data: text.as_bytes().to_vec(),
+            format: FormatKind::Medline,
+        }
+    }
+
+    #[test]
+    fn append_seal_recover_compact_lifecycle() {
+        let dir = std::env::temp_dir().join(format!("ingest_life_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut ing = IngestDir::create(&dir, None).unwrap();
+        let s1 = ing
+            .append(medline(
+                "a",
+                "TI  - alpha beta\nAB  - gamma alpha words\n\n",
+            ))
+            .unwrap();
+        assert_eq!(s1.docs, 1);
+        assert_eq!(s1.generation, 1);
+
+        // Crash window: durable but unsealed. A reopen must seal it.
+        let rec = WalRecord::AddBatch(medline("b", "TI  - delta beta\n\n"));
+        ing.append_wal(&rec).unwrap();
+        drop(ing);
+        let ing = IngestDir::open(&dir).unwrap();
+        assert_eq!(ing.recovery.sealed_records, 1);
+        assert_eq!(ing.manifest().segments.len(), 2);
+        assert_eq!(ing.total_docs(), 2);
+
+        // Torn tail: half a record appended, then the writer dies.
+        let wal_path = dir.join(WAL_FILE);
+        let mut raw = std::fs::read(&wal_path).unwrap();
+        raw.extend_from_slice(&[42u8; 5]);
+        std::fs::write(&wal_path, &raw).unwrap();
+        let mut ing = IngestDir::open(&dir).unwrap();
+        assert_eq!(ing.recovery.torn_bytes, 5);
+        assert_eq!(ing.recovery.sealed_records, 0);
+        assert_eq!(ing.total_docs(), 2);
+
+        let report = ing.compact().unwrap().expect("two segments fold");
+        assert_eq!(report.segments_before, 2);
+        assert_eq!(ing.manifest().segments.len(), 1);
+        assert!(ing.compact().unwrap().is_none());
+        assert!(ing.delete(vec![99]).is_err());
+        ing.delete(vec![0]).unwrap();
+        assert_eq!(ing.manifest().segments.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,321 @@
+//! The generation manifest: the single source of truth for what an
+//! ingest directory currently serves.
+//!
+//! The manifest is a small text file rewritten atomically (tmp +
+//! rename) on every state change; its last line is a CRC32 over every
+//! preceding byte so a torn rename target or bit rot is rejected rather
+//! than half-trusted. Readers that race a writer see either the old or
+//! the new generation, never a mix — this is the "atomic generation
+//! flip" the serving tier polls.
+//!
+//! ```text
+//! inspire-ingest-manifest v1
+//! generation 7
+//! base /abs/path/base.isnap     (or `-` when there is no base yet)
+//! base_docs 1280
+//! wal_sealed_bytes 18231
+//! last_seal_unix 1765432100
+//! next_seq 4
+//! segment seg-000001.iseg 1280 64
+//! segment seg-000003.iseg 1344 64
+//! crc 0x89ab12cd
+//! ```
+//!
+//! Segment files are named by an ever-increasing sequence number, so a
+//! crashed sealer or compactor can never collide with a live file; any
+//! `seg-*.iseg` on disk that the manifest does not list is a stray from
+//! a crash window and is deleted on the next open.
+
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Manifest file name inside an ingest directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+const MAGIC: &str = "inspire-ingest-manifest v1";
+
+/// One live segment, in document order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentRef {
+    /// File name relative to the ingest directory.
+    pub file: String,
+    /// Global id of the segment's first document.
+    pub doc_base: u32,
+    /// Documents the segment adds (0 for tombstone-only segments).
+    pub doc_count: u32,
+}
+
+/// Parsed manifest state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Bumped on every visible state change (seal, delete, compaction).
+    pub generation: u64,
+    /// Next segment sequence number (never reused).
+    pub next_seq: u64,
+    /// Absolute path of the base engine snapshot, if any.
+    pub base: Option<PathBuf>,
+    /// Documents in the base snapshot.
+    pub base_docs: u32,
+    /// WAL prefix already folded into segments; replay seals only
+    /// records whose end offset lies past this watermark.
+    pub wal_sealed_bytes: u64,
+    /// Wall-clock seconds of the most recent seal (0 before the first).
+    pub last_seal_unix: u64,
+    /// Live segments in ascending `doc_base` order.
+    pub segments: Vec<SegmentRef>,
+}
+
+fn bad(path: &Path, msg: String) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("{}: {msg}", path.display()),
+    )
+}
+
+impl Manifest {
+    /// Fresh manifest over `base` (already validated by the caller).
+    pub fn new(base: Option<PathBuf>, base_docs: u32) -> Manifest {
+        Manifest {
+            generation: 0,
+            next_seq: 1,
+            base,
+            base_docs,
+            wal_sealed_bytes: 0,
+            last_seal_unix: 0,
+            segments: Vec::new(),
+        }
+    }
+
+    /// First unassigned global document id: base docs plus everything
+    /// the segments added.
+    pub fn next_doc_base(&self) -> u32 {
+        self.base_docs + self.segments.iter().map(|s| s.doc_count).sum::<u32>()
+    }
+
+    /// File name for the next sealed segment.
+    pub fn next_segment_file(&self) -> String {
+        format!("seg-{:06}.iseg", self.next_seq)
+    }
+
+    pub fn path_in(dir: &Path) -> PathBuf {
+        dir.join(MANIFEST_FILE)
+    }
+
+    fn render(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str(MAGIC);
+        out.push('\n');
+        out.push_str(&format!("generation {}\n", self.generation));
+        match &self.base {
+            Some(p) => out.push_str(&format!("base {}\n", p.display())),
+            None => out.push_str("base -\n"),
+        }
+        out.push_str(&format!("base_docs {}\n", self.base_docs));
+        out.push_str(&format!("wal_sealed_bytes {}\n", self.wal_sealed_bytes));
+        out.push_str(&format!("last_seal_unix {}\n", self.last_seal_unix));
+        out.push_str(&format!("next_seq {}\n", self.next_seq));
+        for s in &self.segments {
+            out.push_str(&format!(
+                "segment {} {} {}\n",
+                s.file, s.doc_base, s.doc_count
+            ));
+        }
+        out.push_str(&format!(
+            "crc 0x{:08x}\n",
+            inspire_store::crc32(out.as_bytes())
+        ));
+        out
+    }
+
+    /// Atomically replace the manifest under `dir`.
+    pub fn store(&self, dir: &Path) -> io::Result<()> {
+        let path = Self::path_in(dir);
+        let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(self.render().as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        // Make the rename itself durable before acknowledging anything
+        // that depends on this generation.
+        if let Ok(d) = std::fs::File::open(dir) {
+            d.sync_all().ok();
+        }
+        Ok(())
+    }
+
+    /// Load the manifest under `dir`; `Ok(None)` when none exists yet.
+    pub fn load(dir: &Path) -> io::Result<Option<Manifest>> {
+        let path = Self::path_in(dir);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        Self::parse(&path, &text).map(Some)
+    }
+
+    fn parse(path: &Path, text: &str) -> io::Result<Manifest> {
+        let crc_at = text
+            .rfind("crc 0x")
+            .ok_or_else(|| bad(path, "missing crc line".into()))?;
+        let crc_line = text[crc_at..].trim_end();
+        let stored = u32::from_str_radix(crc_line.trim_start_matches("crc 0x"), 16)
+            .map_err(|_| bad(path, format!("malformed crc line `{crc_line}`")))?;
+        let covered = &text[..crc_at];
+        let actual = inspire_store::crc32(covered.as_bytes());
+        if actual != stored {
+            return Err(bad(
+                path,
+                format!("checksum mismatch: stored 0x{stored:08x}, computed 0x{actual:08x}"),
+            ));
+        }
+        let mut lines = covered.lines();
+        if lines.next() != Some(MAGIC) {
+            return Err(bad(path, format!("not a manifest (expected `{MAGIC}`)")));
+        }
+        let mut m = Manifest::new(None, 0);
+        let mut seen_generation = false;
+        for line in lines {
+            let mut it = line.split_whitespace();
+            let key = it.next().unwrap_or("");
+            let parse_u64 = |v: Option<&str>| -> io::Result<u64> {
+                v.and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad(path, format!("malformed line `{line}`")))
+            };
+            match key {
+                "generation" => {
+                    m.generation = parse_u64(it.next())?;
+                    seen_generation = true;
+                }
+                "base" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| bad(path, format!("malformed line `{line}`")))?;
+                    m.base = (v != "-").then(|| PathBuf::from(v));
+                }
+                "base_docs" => m.base_docs = parse_u64(it.next())? as u32,
+                "wal_sealed_bytes" => m.wal_sealed_bytes = parse_u64(it.next())?,
+                "last_seal_unix" => m.last_seal_unix = parse_u64(it.next())?,
+                "next_seq" => m.next_seq = parse_u64(it.next())?,
+                "segment" => {
+                    let file = it
+                        .next()
+                        .ok_or_else(|| bad(path, format!("malformed line `{line}`")))?
+                        .to_string();
+                    let doc_base = parse_u64(it.next())? as u32;
+                    let doc_count = parse_u64(it.next())? as u32;
+                    m.segments.push(SegmentRef {
+                        file,
+                        doc_base,
+                        doc_count,
+                    });
+                }
+                "" => {}
+                other => return Err(bad(path, format!("unknown manifest key `{other}`"))),
+            }
+        }
+        if !seen_generation {
+            return Err(bad(path, "missing generation line".into()));
+        }
+        // Segments must tile the document space contiguously above the
+        // base; a gap means a manifest from one directory is being read
+        // against another's files.
+        let mut next = m.base_docs;
+        for s in &m.segments {
+            if s.doc_base != next {
+                return Err(bad(
+                    path,
+                    format!(
+                        "segment {} starts at doc {} but {} documents precede it",
+                        s.file, s.doc_base, next
+                    ),
+                ));
+            }
+            next += s.doc_count;
+        }
+        Ok(m)
+    }
+}
+
+/// Read just the generation counter, cheaply enough to poll. Errors
+/// (including a mid-flip read) surface as `None` so the poller retries.
+pub fn peek_generation(dir: &Path) -> Option<u64> {
+    Manifest::load(dir).ok().flatten().map(|m| m.generation)
+}
+
+/// Remove crash leftovers: `*.tmp` files and `seg-*.iseg` files the
+/// manifest does not list. Both crash windows of the sealer/compactor
+/// (file written but manifest not flipped; manifest flipped but old
+/// files not yet unlinked) land here.
+pub fn clean_strays(dir: &Path, m: &Manifest) -> io::Result<Vec<PathBuf>> {
+    let mut removed = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy().into_owned();
+        let is_tmp = name.ends_with(".tmp");
+        let is_orphan_seg = name.starts_with("seg-")
+            && name.ends_with(".iseg")
+            && !m.segments.iter().any(|s| s.file == name);
+        if is_tmp || is_orphan_seg {
+            std::fs::remove_file(entry.path())?;
+            removed.push(entry.path());
+        }
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_rejects_corruption_and_checks_tiling() {
+        let dir = std::env::temp_dir().join(format!("manifest_rt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut m = Manifest::new(Some(PathBuf::from("/x/base.isnap")), 100);
+        m.generation = 3;
+        m.next_seq = 3;
+        m.wal_sealed_bytes = 4096;
+        m.last_seal_unix = 1_700_000_000;
+        m.segments.push(SegmentRef {
+            file: "seg-000001.iseg".into(),
+            doc_base: 100,
+            doc_count: 40,
+        });
+        m.segments.push(SegmentRef {
+            file: "seg-000002.iseg".into(),
+            doc_base: 140,
+            doc_count: 0,
+        });
+        m.store(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap().unwrap(), m);
+        assert_eq!(m.next_doc_base(), 140);
+        assert_eq!(peek_generation(&dir), Some(3));
+
+        // Any flipped byte in the covered region is rejected.
+        let path = Manifest::path_in(&dir);
+        let good = std::fs::read(&path).unwrap();
+        let mut bad_bytes = good.clone();
+        bad_bytes[MAGIC.len() + 12] ^= 1;
+        std::fs::write(&path, &bad_bytes).unwrap();
+        assert!(Manifest::load(&dir).is_err());
+        std::fs::write(&path, &good).unwrap();
+
+        // Strays: unlisted segment and tmp files go, listed ones stay.
+        std::fs::write(dir.join("seg-000001.iseg"), b"listed").unwrap();
+        std::fs::write(dir.join("seg-000009.iseg"), b"orphan").unwrap();
+        std::fs::write(dir.join("seg-000010.iseg.tmp"), b"tmp").unwrap();
+        let removed = clean_strays(&dir, &m).unwrap();
+        assert_eq!(removed.len(), 2);
+        assert!(dir.join("seg-000001.iseg").exists());
+        assert!(!dir.join("seg-000009.iseg").exists());
+
+        // A gap in the document tiling is structural corruption.
+        m.segments[1].doc_base = 150;
+        m.store(&dir).unwrap();
+        assert!(Manifest::load(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

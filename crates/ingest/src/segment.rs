@@ -1,0 +1,377 @@
+//! Immutable index segments: one small `inspire-store` container per
+//! sealed WAL batch.
+//!
+//! A segment is a self-contained inverted index over a contiguous run
+//! of global document ids (`doc_base .. doc_base + doc_count`), encoded
+//! with the exact same rules as the full engine snapshot — the
+//! [`inspire_core::snapshot::encode_posting_sections`] codec shared
+//! with the batch pipeline, saturated posting freqs, raw-frequency tf
+//! sums, and per-distinct-doc df counts. That sharing is what makes
+//! merge-on-read answers bit-identical to a from-scratch rebuild: the
+//! union of base + segment postings for a term is byte-for-byte the
+//! list a rebuild would have encoded.
+//!
+//! Sections: `smeta` (u64 ×4: segment version, doc_base, doc_count,
+//! token total), `terms`/`termoff` (segment-local sorted vocabulary),
+//! `postdir`/`postblk`/`postskp` (block-compressed postings over
+//! **global** doc ids), `dfv`/`tfv` (varint stat deltas), and an
+//! optional `tomb` (sorted global doc ids this segment deletes).
+
+use corpus::Source;
+use inspire_core::index::Posting;
+use inspire_core::scan::tokenize_batch;
+use inspire_core::snapshot::{encode_posting_sections, pair_to_posting, PostingsDir};
+use inspire_core::tokenize::Tokenizer;
+use inspire_store::{codec, Snapshot, SnapshotWriter};
+use intern::{TermInterner, TermTable};
+use std::io;
+use std::path::Path;
+
+/// Segment format version recorded in `smeta`.
+pub const SEG_VERSION: u64 = 1;
+
+/// An in-memory segment about to be written: the sealer and the
+/// compactor both produce one of these and hand it to [`write_segment`].
+pub struct SegmentBuild {
+    pub doc_base: u32,
+    pub doc_count: u32,
+    pub tokens: u64,
+    /// Segment-local sorted vocabulary.
+    pub terms: TermTable,
+    /// Per local term id, postings with **global** doc ids.
+    pub lists: Vec<Vec<Posting>>,
+    pub df: Vec<u32>,
+    pub tf: Vec<u64>,
+    /// Sorted global doc ids deleted by this segment.
+    pub tombstones: Vec<u32>,
+}
+
+/// Tokenize one WAL batch into a segment. Per-record tokenization is
+/// context-free (the scan pipeline's own invariant), so the postings,
+/// df, and tf produced here match what a full rebuild over a corpus
+/// ending with these records would compute for them.
+pub fn build_from_batch(source: &Source, doc_base: u32, tokenizer: &Tokenizer) -> SegmentBuild {
+    let mut interner = TermInterner::new();
+    let docs = tokenize_batch(source, tokenizer, &mut interner);
+    let n_terms = interner.len();
+
+    // Segment-local canonical ids: lexicographic, like the global remap.
+    let mut order: Vec<u32> = (0..n_terms as u32).collect();
+    order.sort_unstable_by(|&a, &b| interner.bytes(a).cmp(interner.bytes(b)));
+    let terms = TermTable::from_sorted(order.iter().map(|&i| interner.get(i)));
+    let mut remap = vec![0u32; n_terms];
+    for (tid, &iid) in order.iter().enumerate() {
+        remap[iid as usize] = tid as u32;
+    }
+
+    let mut lists: Vec<Vec<Posting>> = vec![Vec::new(); n_terms];
+    let mut df = vec![0u32; n_terms];
+    let mut tf = vec![0u64; n_terms];
+    let mut tokens = 0u64;
+    let mut distinct: Vec<(u32, u32)> = Vec::new();
+    for (i, doc) in docs.iter().enumerate() {
+        let gdoc = doc_base + i as u32;
+        tokens += doc.tokens as u64;
+        distinct.clear();
+        for f in &doc.fields {
+            for &(iid, cnt) in &f.counts {
+                let tid = remap[iid as usize];
+                lists[tid as usize].push(Posting {
+                    doc: gdoc,
+                    field: f.field,
+                    freq: cnt,
+                });
+                distinct.push((tid, cnt));
+            }
+        }
+        // df counts each document once per term regardless of how many
+        // fields it appears in; tf sums the raw (unsaturated) freqs —
+        // both exactly as the counting pass of the invert stage does.
+        distinct.sort_unstable_by_key(|&(t, _)| t);
+        let mut j = 0;
+        while j < distinct.len() {
+            let t = distinct[j].0 as usize;
+            let mut sum = 0u64;
+            while j < distinct.len() && distinct[j].0 as usize == t {
+                sum += distinct[j].1 as u64;
+                j += 1;
+            }
+            df[t] += 1;
+            tf[t] += sum;
+        }
+    }
+    SegmentBuild {
+        doc_base,
+        doc_count: docs.len() as u32,
+        tokens,
+        terms,
+        lists,
+        df,
+        tf,
+        tombstones: Vec::new(),
+    }
+}
+
+/// A tombstone-only segment: adds no documents, deletes `ids`.
+pub fn build_tombstones(doc_base: u32, mut ids: Vec<u32>) -> SegmentBuild {
+    ids.sort_unstable();
+    ids.dedup();
+    SegmentBuild {
+        doc_base,
+        doc_count: 0,
+        tokens: 0,
+        terms: TermTable::from_sorted(std::iter::empty()),
+        lists: Vec::new(),
+        df: Vec::new(),
+        tf: Vec::new(),
+        tombstones: ids,
+    }
+}
+
+/// Write `b` as `dir/file`, via tmp + rename so a crash mid-write
+/// leaves only a `.tmp` stray (cleaned on the next open), never a
+/// half-written segment under a live name. Returns the file size.
+pub fn write_segment(dir: &Path, file: &str, b: &SegmentBuild) -> io::Result<u64> {
+    let tmp = dir.join(format!("{file}.tmp"));
+    let enc = encode_posting_sections(b.terms.len(), &b.df, &b.tf, |t, posts| {
+        posts.extend_from_slice(&b.lists[t]);
+    });
+    let mut w = SnapshotWriter::create(&tmp)?;
+    w.add_u64s(
+        "smeta",
+        &[SEG_VERSION, b.doc_base as u64, b.doc_count as u64, b.tokens],
+    )?;
+    w.add_bytes("terms", b.terms.arena_bytes())?;
+    w.add_u32s("termoff", b.terms.offsets())?;
+    w.add_bytes("postdir", &enc.dir)?;
+    w.add_packed("postblk", &enc.blk)?;
+    w.add_skips("postskp", &enc.skips)?;
+    w.add_bytes("dfv", &enc.dfv)?;
+    w.add_bytes("tfv", &enc.tfv)?;
+    if !b.tombstones.is_empty() {
+        w.add_u32s("tomb", &b.tombstones)?;
+    }
+    let stats = w.finish()?;
+    std::fs::File::open(&tmp)?.sync_all()?;
+    std::fs::rename(&tmp, dir.join(file))?;
+    if let Ok(d) = std::fs::File::open(dir) {
+        d.sync_all().ok();
+    }
+    Ok(stats.total_bytes)
+}
+
+fn bad(source: &str, msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("{source}: {msg}"))
+}
+
+/// A loaded, validated segment. Checksums are verified at open (via the
+/// store reader); postings stay compressed and are decoded per query.
+pub struct Segment {
+    snap: Snapshot,
+    doc_base: u32,
+    doc_count: u32,
+    tokens: u64,
+    terms: TermTable,
+    dir: PostingsDir,
+    df: Vec<u32>,
+    tf: Vec<u64>,
+    tombstones: Vec<u32>,
+}
+
+impl Segment {
+    pub fn open(path: &Path) -> io::Result<Segment> {
+        let snap = Snapshot::open(path)?;
+        let src = snap.source().to_string();
+        let meta = snap.require("smeta")?.as_u64s()?.to_vec();
+        if meta.len() < 4 {
+            return Err(bad(&src, format!("smeta has {} slots, need 4", meta.len())));
+        }
+        if meta[0] != SEG_VERSION {
+            return Err(bad(
+                &src,
+                format!("segment version {} unsupported", meta[0]),
+            ));
+        }
+        let (doc_base, doc_count, tokens) = (meta[1] as u32, meta[2] as u32, meta[3]);
+        let terms = TermTable::from_parts(
+            snap.require("terms")?.bytes().to_vec(),
+            snap.require("termoff")?.as_u32s()?.to_vec(),
+        )
+        .map_err(|e| bad(&src, format!("vocabulary: {e}")))?;
+        let vocab = terms.len();
+        let dir = PostingsDir::parse(
+            snap.require("postdir")?.bytes(),
+            vocab,
+            snap.require("postblk")?.as_packed()?.len(),
+            snap.require("postskp")?.as_skips()?.len(),
+        )
+        .map_err(|e| bad(&src, e.to_string()))?;
+        let dfv = snap.require("dfv")?.bytes();
+        let tfv = snap.require("tfv")?.bytes();
+        let mut df = Vec::with_capacity(vocab);
+        let mut tf = Vec::with_capacity(vocab);
+        let (mut at_d, mut at_t) = (0usize, 0usize);
+        for _ in 0..vocab {
+            df.push(codec::read_u32(dfv, &mut at_d).map_err(|e| bad(&src, format!("dfv: {e}")))?);
+            tf.push(codec::read_u64(tfv, &mut at_t).map_err(|e| bad(&src, format!("tfv: {e}")))?);
+        }
+        if at_d != dfv.len() || at_t != tfv.len() {
+            return Err(bad(&src, "trailing bytes in df/tf streams".into()));
+        }
+        let tombstones = match snap.section("tomb") {
+            Some(s) => s.as_u32s()?.to_vec(),
+            None => Vec::new(),
+        };
+        if tombstones.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(bad(&src, "tombstones not sorted/deduplicated".into()));
+        }
+        Ok(Segment {
+            snap,
+            doc_base,
+            doc_count,
+            tokens,
+            terms,
+            dir,
+            df,
+            tf,
+            tombstones,
+        })
+    }
+
+    pub fn doc_base(&self) -> u32 {
+        self.doc_base
+    }
+
+    pub fn doc_count(&self) -> u32 {
+        self.doc_count
+    }
+
+    /// One past the last global doc id this segment adds.
+    pub fn doc_end(&self) -> u32 {
+        self.doc_base + self.doc_count
+    }
+
+    pub fn tokens(&self) -> u64 {
+        self.tokens
+    }
+
+    pub fn terms(&self) -> &TermTable {
+        &self.terms
+    }
+
+    pub fn vocab(&self) -> usize {
+        self.terms.len()
+    }
+
+    pub fn df(&self, local: u32) -> u32 {
+        self.df[local as usize]
+    }
+
+    pub fn tf(&self, local: u32) -> u64 {
+        self.tf[local as usize]
+    }
+
+    pub fn tombstones(&self) -> &[u32] {
+        &self.tombstones
+    }
+
+    pub fn total_postings(&self) -> u64 {
+        self.dir.total_postings()
+    }
+
+    fn blk(&self) -> &[u8] {
+        self.snap
+            .section("postblk")
+            .expect("validated at open")
+            .as_packed()
+            .expect("validated at open")
+    }
+
+    fn skips(&self) -> &[u64] {
+        self.snap
+            .section("postskp")
+            .expect("validated at open")
+            .as_skips()
+            .expect("validated at open")
+    }
+
+    /// Append term `local`'s full posting list (global doc ids).
+    pub fn postings_into(&self, local: u32, out: &mut Vec<Posting>) {
+        let n = self.dir.count(local) as usize;
+        if n == 0 {
+            return;
+        }
+        let mut pairs = Vec::with_capacity(n);
+        codec::decode_list(&self.blk()[self.dir.byte_range(local)], n, &mut pairs)
+            .expect("CRC-validated segment postings decode");
+        out.extend(pairs.iter().map(|&(k, v)| pair_to_posting(k, v)));
+    }
+
+    /// Append only postings with `doc ≥ min_doc`, seeking through the
+    /// skip entries for multi-block lists.
+    pub fn postings_from(&self, local: u32, min_doc: u32, out: &mut Vec<Posting>) {
+        let n = self.dir.count(local) as usize;
+        if n == 0 {
+            return;
+        }
+        let mut pairs = Vec::new();
+        codec::decode_from(
+            &self.blk()[self.dir.byte_range(local)],
+            n,
+            &self.skips()[self.dir.skip_range(local)],
+            min_doc,
+            &mut pairs,
+        )
+        .expect("CRC-validated segment postings decode");
+        out.extend(pairs.iter().map(|&(k, v)| pair_to_posting(k, v)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corpus::FormatKind;
+
+    fn medline(name: &str, text: &str) -> Source {
+        Source {
+            name: name.into(),
+            data: text.as_bytes().to_vec(),
+            format: FormatKind::Medline,
+        }
+    }
+
+    #[test]
+    fn seal_and_reopen_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("seg_rt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = medline(
+            "b.txt",
+            "PMID- 1\nTI  - alpha beta alpha\nAB  - gamma alpha\n\nPMID- 2\nTI  - beta delta\n\n",
+        );
+        let tok = Tokenizer::new(Default::default());
+        let b = build_from_batch(&src, 100, &tok);
+        assert_eq!(b.doc_count, 2);
+        write_segment(&dir, "seg-000001.iseg", &b).unwrap();
+        let seg = Segment::open(&dir.join("seg-000001.iseg")).unwrap();
+        assert_eq!(seg.doc_base(), 100);
+        assert_eq!(seg.doc_end(), 102);
+        assert_eq!(seg.vocab(), b.terms.len());
+        let alpha = seg.terms().position("alpha").expect("alpha indexed") as u32;
+        assert_eq!(seg.df(alpha), 1);
+        assert_eq!(seg.tf(alpha), 3);
+        let mut posts = Vec::new();
+        seg.postings_into(alpha, &mut posts);
+        assert!(posts.iter().all(|p| p.doc == 100));
+        assert_eq!(posts.iter().map(|p| p.freq).sum::<u32>(), 3);
+        let mut tail = Vec::new();
+        seg.postings_from(alpha, 101, &mut tail);
+        assert!(tail.is_empty());
+
+        let t = build_tombstones(102, vec![7, 3, 7]);
+        write_segment(&dir, "seg-000002.iseg", &t).unwrap();
+        let tseg = Segment::open(&dir.join("seg-000002.iseg")).unwrap();
+        assert_eq!(tseg.doc_count(), 0);
+        assert_eq!(tseg.tombstones(), &[3, 7]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

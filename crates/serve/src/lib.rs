@@ -20,15 +20,22 @@
 //! - [`http`] — hand-rolled request parsing (total, never panics, hard
 //!   head limits), response writing, and a tiny blocking client.
 //! - [`server`] — accept thread, bounded queue with 429 backpressure,
-//!   an [`spmd::IntraPool`] worker pool, and graceful drain on
-//!   shutdown.
+//!   an [`spmd::IntraPool`] worker pool, graceful drain on shutdown,
+//!   and hot state swaps ([`server::Server::swap_state`]) for ingest
+//!   generation flips.
+//! - [`live`] — merge-on-read over base snapshot + ingest segments:
+//!   [`live::load_live_state`] builds a [`state::ServeState`] whose
+//!   answers are bit-identical to a full rebuild of the same logical
+//!   corpus.
 
 pub mod http;
+pub mod live;
 pub mod lru;
 pub mod request;
 pub mod server;
 pub mod state;
 
+pub use live::load_live_state;
 pub use lru::{CacheStats, LruCache};
 pub use request::{execute, RequestError, ServeRequest};
 pub use server::{ServeConfig, ServeSummary, Server};

@@ -24,7 +24,7 @@ use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -68,7 +68,15 @@ pub struct ServeSummary {
 
 /// State shared by the accept thread and every worker.
 struct Shared {
-    state: Arc<ServeState>,
+    /// The serving state, swappable at a generation flip
+    /// ([`Server::swap_state`]). Workers clone the `Arc` once per
+    /// request, so in-flight requests finish on the state they started
+    /// with — a flip never 5xxes anything.
+    state: RwLock<Arc<ServeState>>,
+    /// Bumped on every swap; prefixes cache keys so entries computed
+    /// against an older state can neither be served nor inserted as
+    /// current after a flip.
+    epoch: AtomicU64,
     queue: Mutex<VecDeque<TcpStream>>,
     available: Condvar,
     queue_depth: usize,
@@ -101,7 +109,8 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let workers = cfg.workers.max(1);
         let shared = Arc::new(Shared {
-            state,
+            state: RwLock::new(state),
+            epoch: AtomicU64::new(0),
             queue: Mutex::new(VecDeque::with_capacity(cfg.queue_depth)),
             available: Condvar::new(),
             queue_depth: cfg.queue_depth.max(1),
@@ -150,6 +159,20 @@ impl Server {
     /// Render the `/metrics` JSON right now.
     pub fn metrics_json(&self) -> String {
         metrics_json(&self.shared)
+    }
+
+    /// Atomically replace the serving state (an ingest-generation
+    /// flip). In-flight requests keep the state they cloned; new
+    /// requests see `next`. The cache epoch is bumped so pre-flip
+    /// bodies can no longer be served or inserted.
+    pub fn swap_state(&self, next: Arc<ServeState>) {
+        *self.shared.state.write().unwrap() = next;
+        self.shared.epoch.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Generation of the state currently being served.
+    pub fn generation(&self) -> u64 {
+        self.shared.state.read().unwrap().generation
     }
 
     /// Stop accepting, drain every queued and in-flight request, join
@@ -313,13 +336,18 @@ fn respond(shared: &Shared, target: &str) -> Result<(String, &'static str), Http
     Ok((body, "application/json"))
 }
 
-/// Cache-or-execute for one parsed request.
+/// Cache-or-execute for one parsed request. The state `Arc` and the
+/// epoch are read together up front: the whole request runs against one
+/// state, and its cache entry is keyed to that state's epoch, so a swap
+/// mid-request can neither corrupt this answer nor poison the cache.
 fn answer(shared: &Shared, req: &ServeRequest) -> Result<String, HttpError> {
-    let key = req.cache_key();
+    let epoch = shared.epoch.load(Ordering::SeqCst);
+    let state = Arc::clone(&shared.state.read().unwrap());
+    let key = format!("{epoch}#{}", req.cache_key());
     if let Some(hit) = shared.cache.lock().unwrap().get(&key) {
         return Ok(hit.to_string());
     }
-    let body = request::execute(&shared.state, req).map_err(|e| HttpError {
+    let body = request::execute(&state, req).map_err(|e| HttpError {
         status: e.status,
         message: e.message,
     })?;
@@ -338,11 +366,21 @@ fn metrics_json(shared: &Shared) -> String {
     let stats = cache.stats();
     let (len, capacity) = (cache.len(), cache.capacity());
     drop(cache);
+    let (segments_open, generation, last_seal) = {
+        let state = shared.state.read().unwrap();
+        (
+            state.segments_open(),
+            state.generation,
+            state.last_seal_unix,
+        )
+    };
     let mut s = format!(
         "{{\"uptime_s\":{},\"requests\":{{\"served\":{},\"errors\":{},\"rejected_429\":{},\
          \"in_flight\":{},\"max_in_flight\":{}}},\
          \"cache\":{{\"hits\":{},\"misses\":{},\"insertions\":{},\"evictions\":{},\
-         \"hit_rate\":{},\"len\":{},\"capacity\":{}}},\"histograms\":[",
+         \"hit_rate\":{},\"len\":{},\"capacity\":{}}},\
+         \"ingest\":{{\"segments_open\":{segments_open},\"snapshot_generation\":{generation},\
+         \"last_seal_unix\":{last_seal}}},\"histograms\":[",
         num(shared.started.elapsed().as_secs_f64()),
         shared.served.load(Ordering::Relaxed),
         shared.errors.load(Ordering::Relaxed),

@@ -68,6 +68,16 @@ pub struct ServeState {
     pub cluster_labels: Vec<Vec<String>>,
     /// Documents per cluster (Final stage only).
     pub cluster_sizes: Vec<u64>,
+    /// Merge-on-read overlay: ingest segments unioned with the base
+    /// snapshot at query time. `None` for plain snapshot serving. When
+    /// set, `terms` is the merged vocabulary and every [`SearchIndex`]
+    /// method routes through the overlay.
+    pub(crate) live: Option<crate::live::LiveIndex>,
+    /// Ingest-manifest generation this state was built from (0 for
+    /// plain snapshots).
+    pub generation: u64,
+    /// `last_seal_unix` of the manifest (0 for plain snapshots).
+    pub last_seal_unix: u64,
 }
 
 impl ServeState {
@@ -119,12 +129,21 @@ impl ServeState {
             cluster_labels,
             cluster_sizes,
             snap,
+            live: None,
+            generation: 0,
+            last_seal_unix: 0,
         })
     }
 
     /// Does this snapshot hold an inverted index (term/boolean/search)?
     pub fn has_index(&self) -> bool {
         self.index.is_some()
+    }
+
+    /// Number of ingest segments merged into this view (0 for plain
+    /// snapshot serving).
+    pub fn segments_open(&self) -> usize {
+        self.live.as_ref().map_or(0, |l| l.segments_open())
     }
 
     /// Does this snapshot hold clustering + projection (cluster/rect)?
@@ -163,6 +182,41 @@ impl SearchIndex for ServeState {
     }
 
     fn postings_into(&self, term: TermId, out: &mut Vec<Posting>) {
+        if let Some(live) = &self.live {
+            live.postings_into(self, term, out);
+            return;
+        }
+        self.base_postings_into(term, out);
+    }
+
+    fn postings_from(&self, term: TermId, min_doc: u32, out: &mut Vec<Posting>) {
+        if let Some(live) = &self.live {
+            live.postings_from(self, term, min_doc, out);
+            return;
+        }
+        self.base_postings_from(term, min_doc, out);
+    }
+
+    fn df(&self, term: TermId) -> u32 {
+        match &self.live {
+            Some(live) => live.df(term),
+            None => self.base_df(term),
+        }
+    }
+
+    fn total_docs(&self) -> u32 {
+        match &self.live {
+            Some(live) => live.total_docs(),
+            None => self.meta.total_docs,
+        }
+    }
+}
+
+impl ServeState {
+    /// Postings of a **base-local** term id, straight from the owned
+    /// snapshot (ignoring any live overlay). The overlay calls this for
+    /// the base component of a merged list.
+    pub(crate) fn base_postings_into(&self, term: TermId, out: &mut Vec<Posting>) {
         let Some((layout, _)) = &self.index else {
             return;
         };
@@ -197,7 +251,8 @@ impl SearchIndex for ServeState {
         }
     }
 
-    fn postings_from(&self, term: TermId, min_doc: u32, out: &mut Vec<Posting>) {
+    /// Lower-bounded postings of a **base-local** term id.
+    pub(crate) fn base_postings_from(&self, term: TermId, min_doc: u32, out: &mut Vec<Posting>) {
         let Some((layout, _)) = &self.index else {
             return;
         };
@@ -230,26 +285,21 @@ impl SearchIndex for ServeState {
                 // Decode + sort the full list, then drop the sorted
                 // prefix below `min_doc`.
                 let from = out.len();
-                self.postings_into(term, out);
+                self.base_postings_into(term, out);
                 let below = out[from..].partition_point(|p| p.doc < min_doc);
                 out.drain(from..from + below);
             }
         }
     }
 
-    fn df(&self, term: TermId) -> u32 {
+    /// Document frequency of a **base-local** term id.
+    pub(crate) fn base_df(&self, term: TermId) -> u32 {
         match &self.index {
             Some((_, df)) => df[term as usize],
             None => 0,
         }
     }
 
-    fn total_docs(&self) -> u32 {
-        self.meta.total_docs
-    }
-}
-
-impl ServeState {
     fn legacy_offsets(&self) -> &[i64] {
         self.snap
             .store()

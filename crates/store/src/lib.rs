@@ -554,26 +554,31 @@ impl Snapshot {
             {
                 return Err(e(format!("section {i}: malformed name")));
             }
+            // Name every later complaint: with a base snapshot plus N
+            // ingest segments open at once, "section 3" alone does not
+            // say which list of which file went bad.
+            let label = String::from_utf8_lossy(&name[..name_end]).into_owned();
             let offset = u64::from_le_bytes(row[8..16].try_into().unwrap());
             let slen = u64::from_le_bytes(row[16..24].try_into().unwrap());
-            let kind = SectionKind::from_u32(u32::from_le_bytes(row[24..28].try_into().unwrap()))
-                .ok_or_else(|| e(format!("section {i}: unknown element kind")))?;
+            let kind =
+                SectionKind::from_u32(u32::from_le_bytes(row[24..28].try_into().unwrap()))
+                    .ok_or_else(|| e(format!("section {i} (`{label}`): unknown element kind")))?;
             if kind.min_version() > version {
                 return Err(e(format!(
-                    "section {i}: {kind} elements need format version {}, file says {version}",
+                    "section {i} (`{label}`): {kind} elements need format version {}, file says {version}",
                     kind.min_version()
                 )));
             }
             let crc = u32::from_le_bytes(row[28..32].try_into().unwrap());
             if offset != expect_offset {
                 return Err(e(format!(
-                    "section {i} at offset {offset}, expected {expect_offset} (sections must be contiguous)"
+                    "section {i} (`{label}`) at offset {offset}, expected {expect_offset} (sections must be contiguous)"
                 )));
             }
             let ext = extent(slen);
             if offset + ext > table_offset {
                 return Err(e(format!(
-                    "section {i} extent [{offset}, {}) overlaps the table",
+                    "section {i} (`{label}`) extent [{offset}, {}) overlaps the table",
                     offset + ext
                 )));
             }
@@ -587,16 +592,16 @@ impl Snapshot {
             let prefixed = u64::from_le_bytes(body[0..8].try_into().unwrap());
             if prefixed != slen {
                 return Err(e(format!(
-                    "section {i}: length prefix {prefixed} disagrees with table length {slen}"
+                    "section {i} (`{label}`): length prefix {prefixed} disagrees with table length {slen}"
                 )));
             }
             if slen % kind.elem_size() as u64 != 0 {
                 return Err(e(format!(
-                    "section {i}: {slen} bytes is not a multiple of the {kind} element size"
+                    "section {i} (`{label}`): {slen} bytes is not a multiple of the {kind} element size"
                 )));
             }
             if entries.iter().any(|p: &Entry| p.name == name) {
-                return Err(e(format!("duplicate section name at entry {i}")));
+                return Err(e(format!("duplicate section name `{label}` at entry {i}")));
             }
             entries.push(Entry {
                 name,

@@ -25,6 +25,13 @@
 //! (the same per-stage table printed on stderr); `query --repeat N`
 //! repeats each requested query kind and reports p50/p95/p99 serving
 //! latency. `INSPIRE_LOG=error|warn|info|debug` sets the log level.
+//!
+//! Live ingestion: `ingest` appends document batches to a write-ahead
+//! log and seals them into immutable index segments over a base
+//! snapshot; `compact` folds the segments back into one; `query` and
+//! `serve` accept `--ingest-dir` to answer from the merged
+//! (base + segments) view, and the server hot-swaps its state whenever
+//! the manifest generation advances — no restart, no dropped requests.
 
 use inspire_serve::{ServeConfig, ServeRequest, ServeState, Server};
 use inspire_trace::report::RunReport;
@@ -41,7 +48,7 @@ use visual_analytics::prelude::*;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  vaengine generate --flavour <pubmed|trec|newswire> --size <bytes[K|M]> [--seed N] --out <dir>\n  vaengine analyze|run --input <dir> [--procs N] [--clusters K] [--out coords.csv]\n                   [--checkpoint-dir <dir>] [--resume] [--snapshot-out <file.isnap>]\n                   [--trace-out <trace.json>] [--report-out <report.json>]\n  vaengine snapshot --input <dir> --out <file.isnap> [--procs N] [--clusters K]\n                    [--checkpoint-dir <dir>] [--resume]\n                    [--trace-out <trace.json>] [--report-out <report.json>]\n  vaengine query --snapshot <file.isnap> [--search \"free text\"] [--query \"a AND NOT title:b\"]\n                 [--term <term>] [--top N] [--cluster C] [--rect x0,y0,x1,y1]\n                 [--json] [--repeat N] [--report-out <report.json>]\n  vaengine serve --snapshot <file.isnap> [--addr 127.0.0.1:7878] [--workers N]\n                 [--cache N] [--queue N]\n  vaengine themeview --coords <coords.csv> [--width N] [--height N]"
+        "usage:\n  vaengine generate --flavour <pubmed|trec|newswire> --size <bytes[K|M]> [--seed N] --out <dir>\n  vaengine analyze|run --input <dir> [--procs N] [--clusters K] [--out coords.csv]\n                   [--checkpoint-dir <dir>] [--resume] [--snapshot-out <file.isnap>]\n                   [--trace-out <trace.json>] [--report-out <report.json>]\n  vaengine snapshot --input <dir> --out <file.isnap> [--procs N] [--clusters K]\n                    [--checkpoint-dir <dir>] [--resume]\n                    [--trace-out <trace.json>] [--report-out <report.json>]\n  vaengine ingest --dir <ingest-dir> [--base <file.isnap>] [--input <file|dir>]\n                  [--delete id,id,...] [--crash-after-wal]\n  vaengine compact --dir <ingest-dir>\n  vaengine query --snapshot <file.isnap> | --ingest-dir <dir>\n                 [--search \"free text\"] [--query \"a AND NOT title:b\"]\n                 [--term <term>] [--top N] [--cluster C] [--rect x0,y0,x1,y1]\n                 [--json] [--repeat N] [--report-out <report.json>]\n  vaengine serve --snapshot <file.isnap> | --ingest-dir <dir>\n                 [--addr 127.0.0.1:7878] [--workers N] [--cache N] [--queue N]\n  vaengine themeview --coords <coords.csv> [--width N] [--height N]"
     );
     exit(2);
 }
@@ -89,6 +96,8 @@ fn main() {
         "generate" => generate(&args),
         "analyze" | "run" => analyze(&args),
         "snapshot" => snapshot_cmd(&args),
+        "ingest" => ingest_cmd(&args),
+        "compact" => compact_cmd(&args),
         "query" => query_cmd(&args),
         "serve" => serve_cmd(&args),
         "themeview" => themeview_cmd(&args),
@@ -283,6 +292,126 @@ fn snapshot_cmd(args: &Args) {
     emit_observability(args, "snapshot", &run, wall_s);
 }
 
+/// Sources to ingest from `--input`: one file, or a directory walked in
+/// the same sorted order `snapshot` uses, so batch-by-batch ingestion
+/// visits documents in the exact order a clean rebuild would.
+fn load_ingest_sources(input: &str) -> Vec<corpus::Source> {
+    let path = Path::new(input);
+    if path.is_dir() {
+        return load_sources(input).sources;
+    }
+    match corpus::load::load_file(path) {
+        Ok(Some(src)) => vec![src],
+        Ok(None) => {
+            eprintln!("{input} is not a recognized MEDLINE, TREC, or mbox file");
+            exit(1);
+        }
+        Err(e) => {
+            eprintln!("cannot load {input}: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn ingest_cmd(args: &Args) {
+    let Some(dir) = args.value("--dir") else {
+        usage()
+    };
+    let base = args.value("--base").map(PathBuf::from);
+    let mut ing = inspire_ingest::IngestDir::open_or_create(Path::new(dir), base.as_deref())
+        .unwrap_or_else(|e| {
+            eprintln!("cannot open ingest dir {dir}: {e}");
+            exit(1);
+        });
+    let rec = &ing.recovery;
+    if rec.sealed_records > 0 || rec.torn_bytes > 0 || rec.removed_strays > 0 {
+        println!(
+            "recovered: {} unsealed WAL records sealed, {} torn bytes truncated, {} strays removed",
+            rec.sealed_records, rec.torn_bytes, rec.removed_strays
+        );
+    }
+    if let Some(input) = args.value("--input") {
+        let sources = load_ingest_sources(input);
+        if args.has("--crash-after-wal") {
+            // Crash-test hook: stop in the window where the records are
+            // durable (WAL fsynced) but not yet visible (unsealed). The
+            // next open replays and seals them.
+            for src in sources {
+                let name = src.name.clone();
+                let bytes = ing
+                    .append_wal(&inspire_ingest::WalRecord::AddBatch(src))
+                    .unwrap_or_else(|e| {
+                        eprintln!("WAL append failed: {e}");
+                        exit(1);
+                    });
+                println!("wal: {name} durable at byte {bytes} (unsealed)");
+            }
+            println!("exiting before seal (--crash-after-wal)");
+            exit(0);
+        }
+        for src in sources {
+            let name = src.name.clone();
+            let stats = ing.append(src).unwrap_or_else(|e| {
+                eprintln!("ingest of {name} failed: {e}");
+                exit(1);
+            });
+            println!(
+                "sealed {name}: {} docs, wal {:.1} ms, seal {:.1} ms, {} ({} bytes), generation {}",
+                stats.docs,
+                stats.wal_s * 1e3,
+                stats.seal_s * 1e3,
+                stats.segment_file,
+                stats.segment_bytes,
+                stats.generation
+            );
+        }
+    }
+    if let Some(list) = args.value("--delete") {
+        let ids: Vec<u32> = list
+            .split(',')
+            .map(|v| {
+                v.trim().parse().unwrap_or_else(|_| {
+                    eprintln!("bad --delete id {v:?}");
+                    exit(2);
+                })
+            })
+            .collect();
+        let n = ids.len();
+        let stats = ing.delete(ids).unwrap_or_else(|e| {
+            eprintln!("delete failed: {e}");
+            exit(1);
+        });
+        println!(
+            "tombstoned {n} documents in {} , generation {}",
+            stats.segment_file, stats.generation
+        );
+    }
+    let m = ing.manifest();
+    println!(
+        "ingest dir {dir}: generation {}, {} segments, {} total docs",
+        m.generation,
+        m.segments.len(),
+        ing.total_docs()
+    );
+}
+
+fn compact_cmd(args: &Args) {
+    let Some(dir) = args.value("--dir") else {
+        usage()
+    };
+    match inspire_ingest::compact_dir(Path::new(dir)) {
+        Ok(Some(r)) => println!(
+            "compacted {} segments into 1 ({} docs, {} bytes, {} tombstoned postings dropped), generation {}",
+            r.segments_before, r.docs, r.bytes_written, r.postings_dropped, r.generation
+        ),
+        Ok(None) => println!("nothing to compact (fewer than two segments)"),
+        Err(e) => {
+            eprintln!("compaction failed: {e}");
+            exit(1);
+        }
+    }
+}
+
 /// Normalized `(min, max)` corners of a `--rect` selection.
 type RectCorners = ((f64, f64), (f64, f64));
 
@@ -331,9 +460,39 @@ fn load_serve_state(path: &str, json: bool) -> ServeState {
     state
 }
 
+/// Load the merged (base + segments) serving view of an ingest
+/// directory, printing a banner in the same style as snapshot loads.
+fn load_live_serve_state(dir: &str, json: bool) -> ServeState {
+    let started = std::time::Instant::now();
+    let state = inspire_serve::load_live_state(Path::new(dir)).unwrap_or_else(|e| {
+        eprintln!("cannot load ingest dir {dir}: {e}");
+        exit(1);
+    });
+    let banner = format!(
+        "ingest dir {dir}: generation {}, {} segments over base of {} docs, {} docs total",
+        state.generation,
+        state.segments_open(),
+        state.meta.total_docs,
+        inspire_core::query::SearchIndex::total_docs(&state),
+    );
+    let loaded = format!("loaded in {:.1} ms", started.elapsed().as_secs_f64() * 1e3);
+    if json {
+        eprintln!("{banner}");
+        eprintln!("{loaded}");
+    } else {
+        println!("{banner}");
+        println!("{loaded}");
+    }
+    state
+}
+
 fn query_cmd(args: &Args) {
-    let Some(path) = args.value("--snapshot") else {
-        usage()
+    let ingest_dir = args.value("--ingest-dir");
+    let snapshot = args.value("--snapshot");
+    let path = match (snapshot, ingest_dir) {
+        (Some(p), None) => p,
+        (None, Some(d)) => d,
+        _ => usage(),
     };
     let top: usize = args.value_or("--top", "10").parse().unwrap_or(10);
     let repeat: usize = args
@@ -344,7 +503,10 @@ fn query_cmd(args: &Args) {
         .unwrap_or(1);
     let json = args.has("--json");
     let started = std::time::Instant::now();
-    let state = load_serve_state(path, json);
+    let state = match ingest_dir {
+        Some(d) => load_live_serve_state(d, json),
+        None => load_serve_state(path, json),
+    };
     let mut metrics = Registry::new();
     metrics.observe("snapshot.load", started.elapsed());
     let fail = |e: String| -> ! {
@@ -575,9 +737,7 @@ fn install_shutdown_handler() {
 fn install_shutdown_handler() {}
 
 fn serve_cmd(args: &Args) {
-    let Some(path) = args.value("--snapshot") else {
-        usage()
-    };
+    let ingest_dir = args.value("--ingest-dir").map(PathBuf::from);
     let cfg = ServeConfig {
         addr: args.value_or("--addr", "127.0.0.1:7878").to_string(),
         workers: args.value_or("--workers", "8").parse().unwrap_or(8),
@@ -585,7 +745,15 @@ fn serve_cmd(args: &Args) {
         queue_depth: args.value_or("--queue", "256").parse().unwrap_or(256),
         ..ServeConfig::default()
     };
-    let state = Arc::new(load_serve_state(path, false));
+    let state = Arc::new(match &ingest_dir {
+        Some(dir) => load_live_serve_state(&dir.display().to_string(), false),
+        None => {
+            let Some(path) = args.value("--snapshot") else {
+                usage()
+            };
+            load_serve_state(path, false)
+        }
+    });
     let server = Server::start(Arc::clone(&state), &cfg).unwrap_or_else(|e| {
         eprintln!("cannot bind {}: {e}", cfg.addr);
         exit(1);
@@ -599,8 +767,30 @@ fn serve_cmd(args: &Args) {
     );
     println!("endpoints: /term /query /search /cluster /rect /metrics /healthz");
     install_shutdown_handler();
+    // 50 ms shutdown poll; every 10th tick (~500 ms) also polls the
+    // ingest manifest and hot-swaps the serving state when a seal or
+    // compaction advanced the generation. In-flight requests keep the
+    // Arc they started with, so a flip never drops or errors a request.
+    let mut ticks = 0u64;
     while !SHUTDOWN.load(Ordering::SeqCst) {
         std::thread::sleep(std::time::Duration::from_millis(50));
+        ticks += 1;
+        if let Some(dir) = &ingest_dir {
+            if ticks.is_multiple_of(10) {
+                if let Some(generation) = inspire_ingest::peek_generation(dir) {
+                    if generation != server.generation() {
+                        match inspire_serve::load_live_state(dir) {
+                            Ok(next) => {
+                                let seg = next.segments_open();
+                                server.swap_state(Arc::new(next));
+                                println!("generation {generation} live ({seg} segments)");
+                            }
+                            Err(e) => eprintln!("generation {generation} reload failed: {e}"),
+                        }
+                    }
+                }
+            }
+        }
     }
     println!("shutdown signal received, draining…");
     let summary = server.shutdown();

@@ -19,6 +19,10 @@
 //!   topicality, association matrix, knowledge signatures, distributed
 //!   k-means, PCA projection.
 //! * [`themeview`] — terrain visualization of the projected documents.
+//! * [`ingest`] (inspire-ingest) — live ingestion: write-ahead log,
+//!   immutable index segments, crash-safe manifest, compaction.
+//! * [`serve`] (inspire-serve) — the concurrent serving tier, including
+//!   merge-on-read over base snapshot + ingest segments.
 //!
 //! ## Quickstart
 //!
@@ -47,6 +51,8 @@
 pub use corpus;
 pub use ga;
 pub use inspire_core as engine;
+pub use inspire_ingest as ingest;
+pub use inspire_serve as serve;
 pub use perfmodel;
 pub use spmd;
 pub use themeview;

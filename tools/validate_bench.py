@@ -13,6 +13,8 @@ Usage:
       [--require-zero-wrong] [--min-in-flight N] [--min-cache-hits N]
   validate_bench.py results/BENCH_postings_latest.json --kind postings \
       [--min-compression-ratio X]
+  validate_bench.py results/BENCH_ingest_latest.json --kind ingest \
+      [--max-ttv SECONDS] [--max-segments N]
 
 Stdlib only — the CI image has no third-party Python packages.
 """
@@ -228,10 +230,55 @@ def validate_postings(doc, args):
         )
 
 
+def validate_ingest(doc, args):
+    check(get(doc, "bench", str) == "ingest", "bench kind is not ingest")
+    ing = get(doc, "ingest", dict)
+    if ing is None:
+        return
+    docs = nonneg(doc, "ingest.docs", int)
+    check(docs is None or docs > 0, "ingest.docs must be positive")
+    batches = nonneg(doc, "ingest.batches", int)
+    check(batches is None or batches > 0, "ingest.batches must be positive")
+    nonneg(doc, "ingest.base_docs", int)
+
+    rate = nonneg(doc, "ingest.wal_append_docs_per_s", float)
+    check(rate is None or rate > 0, "ingest.wal_append_docs_per_s must be positive")
+    nonneg(doc, "ingest.seal_latency_s", float)
+    ttv = nonneg(doc, "ingest.time_to_visibility_s", float)
+    if args.max_ttv is not None and ttv is not None:
+        check(
+            ttv <= args.max_ttv,
+            f"ingest.time_to_visibility_s regressed: {ttv} > cap {args.max_ttv}",
+        )
+
+    amp = nonneg(doc, "ingest.write_amplification", float)
+    check(amp is None or amp >= 1.0,
+          f"ingest.write_amplification below 1: {amp} (physical < logical?)")
+    logical = nonneg(doc, "ingest.logical_bytes", int)
+    check(logical is None or logical > 0, "ingest.logical_bytes must be positive")
+    nonneg(doc, "ingest.physical_bytes", int)
+
+    before = nonneg(doc, "ingest.segments_before_compact", int)
+    after = nonneg(doc, "ingest.segments_after_compact", int)
+    if before is not None and after is not None:
+        check(after <= before,
+              f"compaction grew the segment count: {before} -> {after}")
+    if args.max_segments is not None and after is not None:
+        check(
+            after <= args.max_segments,
+            f"ingest.segments_after_compact: {after} > ceiling {args.max_segments}",
+        )
+
+    wrong = nonneg(doc, "ingest.wrong_answers", int)
+    check(wrong == 0,
+          f"ingest.wrong_answers: {wrong} merged bodies diverged from the rebuild")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("path", help="BENCH JSON file to validate")
-    ap.add_argument("--kind", choices=("scaling", "serving", "postings"), required=True)
+    ap.add_argument("--kind", choices=("scaling", "serving", "postings", "ingest"),
+                    required=True)
     ap.add_argument("--max-index-msgs", type=int, default=None,
                     help="scaling: fail if comm.index_msgs exceeds this")
     ap.add_argument("--min-compression-ratio", type=float, default=None,
@@ -242,6 +289,10 @@ def main():
                     help="serving: fail if max_in_flight is below this")
     ap.add_argument("--min-cache-hits", type=int, default=None,
                     help="serving: fail if cache.hits is below this")
+    ap.add_argument("--max-ttv", type=float, default=None,
+                    help="ingest: fail if time_to_visibility_s exceeds this")
+    ap.add_argument("--max-segments", type=int, default=None,
+                    help="ingest: fail if segments_after_compact exceeds this")
     args = ap.parse_args()
 
     try:
@@ -255,6 +306,8 @@ def main():
         validate_scaling(doc, args)
     elif args.kind == "postings":
         validate_postings(doc, args)
+    elif args.kind == "ingest":
+        validate_ingest(doc, args)
     else:
         validate_serving(doc, args)
 
