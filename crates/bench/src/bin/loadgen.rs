@@ -27,6 +27,16 @@
 //! `max_in_flight` provably reaches the full client count — the CI
 //! gate for "sustains ≥ N concurrent in-flight queries".
 //!
+//! In-process runs also measure the cost of request tracing: the same
+//! herd first runs against a second server started with
+//! `trace_requests: false`, and the reported (traced) run's throughput
+//! is compared against that baseline as `trace_overhead_pct` in the
+//! BENCH JSON. The untraced phase runs *first* so one-time warmup
+//! (page cache, CPU ramp) lands on the baseline, not the measured run;
+//! negative values simply mean the runs were within noise. External
+//! `--addr` runs cannot control the server's config, so the field is
+//! `null` there.
+//!
 //! Output: `results/BENCH_serving_<unix-ts>.json`, a stable copy at
 //! `results/BENCH_serving_latest.json`, and an append-only row in
 //! `results/scaling_history.md`.
@@ -147,39 +157,53 @@ fn main() {
         None
     };
 
-    let counters = Counters::default();
-    let barrier = Barrier::new(clients);
-    let per_client = total_requests / clients;
-    let remainder = total_requests % clients;
+    // Tracing-overhead baseline (in-process only): the identical herd
+    // first runs against a second server over the same state Arc with
+    // request tracing disabled. Its throughput is the denominator of
+    // `trace_overhead_pct`; the traced run below is the measured one.
+    let qps_untraced = if server.is_some() {
+        let cfg = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            queue_depth: clients * 2,
+            trace_requests: false,
+            ..ServeConfig::default()
+        };
+        let baseline = Server::start(Arc::clone(&state), &cfg).unwrap_or_else(|e| {
+            eprintln!("loadgen: cannot start untraced baseline server: {e}");
+            std::process::exit(2);
+        });
+        let p = run_phase(
+            baseline.local_addr(),
+            &targets,
+            &oracle,
+            clients,
+            total_requests,
+            None,
+        );
+        baseline.shutdown();
+        let qps = if p.wall_s > 0.0 {
+            p.ok as f64 / p.wall_s
+        } else {
+            0.0
+        };
+        eprintln!(
+            "loadgen: untraced baseline {qps:.0} req/s ({} ok, {:.3}s)",
+            p.ok, p.wall_s
+        );
+        Some(qps)
+    } else {
+        None
+    };
 
-    let t0 = Instant::now();
-    let registries: Vec<Registry> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..clients)
-            .map(|c| {
-                let n = per_client + usize::from(c < remainder);
-                let targets = &targets;
-                let oracle = &oracle;
-                let counters = &counters;
-                let barrier = &barrier;
-                s.spawn(move || client_loop(c, n, addr, targets, oracle, counters, barrier))
-            })
-            .collect();
-        if let (Some(srv), Some(other)) = (&server, &flip_state) {
-            let state = &state;
-            s.spawn(move || {
-                for i in 0..flips {
-                    std::thread::sleep(Duration::from_millis(20));
-                    let next = if i % 2 == 0 { other } else { state };
-                    srv.swap_state(Arc::clone(next));
-                }
-            });
-        }
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
-    let wall_s = t0.elapsed().as_secs_f64();
+    let flipper = match (&server, &flip_state) {
+        (Some(srv), Some(other)) => Some((srv, &state, other, flips)),
+        _ => None,
+    };
+    let phase = run_phase(addr, &targets, &oracle, clients, total_requests, flipper);
+    let wall_s = phase.wall_s;
 
     let mut merged = Registry::new();
-    for r in &registries {
+    for r in &phase.registries {
         merged.merge(r);
     }
 
@@ -192,16 +216,19 @@ fn main() {
         );
     }
 
-    let ok = counters.ok.load(Ordering::Relaxed);
-    let errors = counters.errors.load(Ordering::Relaxed);
-    let rejected = counters.rejected_429.load(Ordering::Relaxed);
-    let wrong = counters.wrong_answers.load(Ordering::Relaxed);
-    let max_in_flight = counters.max_in_flight.load(Ordering::Relaxed);
+    let ok = phase.ok;
+    let errors = phase.errors;
+    let rejected = phase.rejected;
+    let wrong = phase.wrong;
+    let max_in_flight = phase.max_in_flight;
     let qps = if wall_s > 0.0 {
         ok as f64 / wall_s
     } else {
         0.0
     };
+    let trace_overhead_pct = qps_untraced
+        .filter(|&base| base > 0.0)
+        .map(|base| (base - qps) / base * 100.0);
 
     println!(
         "serving load — {clients} clients, {total_requests} requests, {flips} state flips, {addr}"
@@ -210,6 +237,12 @@ fn main() {
         "{ok} ok, {errors} errors, {rejected} rejected (429), {wrong} wrong answers, max {max_in_flight} in flight"
     );
     println!("wall {wall_s:.3}s → {qps:.0} req/s");
+    match (qps_untraced, trace_overhead_pct) {
+        (Some(base), Some(pct)) => {
+            println!("tracing overhead: {pct:+.2}% vs untraced baseline ({base:.0} req/s)")
+        }
+        _ => println!("tracing overhead: n/a (external server)"),
+    }
     println!(
         "cache: {} hits / {} misses ({:.1}% hit rate), {} evictions",
         cache.hits,
@@ -249,6 +282,8 @@ fn main() {
         flips,
         wall_s,
         qps,
+        qps_untraced,
+        trace_overhead_pct,
         ok,
         errors,
         rejected,
@@ -278,6 +313,67 @@ fn main() {
 
     if wrong > 0 || flip_failure {
         std::process::exit(1);
+    }
+}
+
+/// Everything one herd run produces: wall time, the shared counters'
+/// final values, and one latency registry per client thread.
+struct PhaseResult {
+    wall_s: f64,
+    ok: u64,
+    errors: u64,
+    rejected: u64,
+    wrong: u64,
+    max_in_flight: usize,
+    registries: Vec<Registry>,
+}
+
+/// Run one full client herd against `addr`: every client marks its
+/// first request in flight, the barrier drops, and `total_requests`
+/// spread across `clients` threads fire. `flipper` (main phase only)
+/// hot-swaps the in-process server's state while the herd runs.
+fn run_phase(
+    addr: SocketAddr,
+    targets: &[String],
+    oracle: &[String],
+    clients: usize,
+    total_requests: usize,
+    flipper: Option<(&Server, &Arc<ServeState>, &Arc<ServeState>, usize)>,
+) -> PhaseResult {
+    let counters = Counters::default();
+    let barrier = Barrier::new(clients);
+    let per_client = total_requests / clients;
+    let remainder = total_requests % clients;
+
+    let t0 = Instant::now();
+    let registries: Vec<Registry> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let n = per_client + usize::from(c < remainder);
+                let counters = &counters;
+                let barrier = &barrier;
+                s.spawn(move || client_loop(c, n, addr, targets, oracle, counters, barrier))
+            })
+            .collect();
+        if let Some((srv, a, b, flips)) = flipper {
+            s.spawn(move || {
+                for i in 0..flips {
+                    std::thread::sleep(Duration::from_millis(20));
+                    let next = if i % 2 == 0 { b } else { a };
+                    srv.swap_state(Arc::clone(next));
+                }
+            });
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    PhaseResult {
+        wall_s: t0.elapsed().as_secs_f64(),
+        ok: counters.ok.load(Ordering::Relaxed),
+        errors: counters.errors.load(Ordering::Relaxed),
+        rejected: counters.rejected_429.load(Ordering::Relaxed),
+        wrong: counters.wrong_answers.load(Ordering::Relaxed),
+        max_in_flight: counters.max_in_flight.load(Ordering::Relaxed),
+        registries,
     }
 }
 
@@ -378,15 +474,16 @@ fn pick_terms(state: &ServeState, n: usize) -> Vec<String> {
     out
 }
 
-/// Latency-histogram bucket for a target (its route name).
+/// Latency-histogram name for a target: `client_<kind>_seconds`, the
+/// client-side mirror of the server's `serve_<kind>_seconds` family.
 fn kind_of(target: &str) -> &'static str {
     match target.split(['?', '/']).nth(1) {
-        Some("term") => "term",
-        Some("query") => "query",
-        Some("search") => "search",
-        Some("cluster") => "cluster",
-        Some("rect") => "rect",
-        _ => "other",
+        Some("term") => "client_term_seconds",
+        Some("query") => "client_query_seconds",
+        Some("search") => "client_search_seconds",
+        Some("cluster") => "client_cluster_seconds",
+        Some("rect") => "client_rect_seconds",
+        _ => "client_other_seconds",
     }
 }
 
@@ -446,6 +543,8 @@ fn to_json(
     flips: usize,
     wall_s: f64,
     qps: f64,
+    qps_untraced: Option<f64>,
+    trace_overhead_pct: Option<f64>,
     ok: u64,
     errors: u64,
     rejected: u64,
@@ -468,6 +567,14 @@ fn to_json(
     s.push_str(&format!("    \"flips\": {flips},\n"));
     s.push_str(&format!("    \"wall_s\": {wall_s:.6},\n"));
     s.push_str(&format!("    \"qps\": {qps:.2},\n"));
+    match qps_untraced {
+        Some(v) => s.push_str(&format!("    \"qps_untraced\": {v:.2},\n")),
+        None => s.push_str("    \"qps_untraced\": null,\n"),
+    }
+    match trace_overhead_pct {
+        Some(v) => s.push_str(&format!("    \"trace_overhead_pct\": {v:.3},\n")),
+        None => s.push_str("    \"trace_overhead_pct\": null,\n"),
+    }
     s.push_str(&format!("    \"ok\": {ok},\n"));
     s.push_str(&format!("    \"errors\": {errors},\n"));
     s.push_str(&format!("    \"rejected_429\": {rejected},\n"));
@@ -518,7 +625,7 @@ fn append_history(
     let search_p95 = merged
         .summaries()
         .iter()
-        .find(|h| h.name == "search")
+        .find(|h| h.name == "client_search_seconds")
         .map(|h| fmt_ns(h.p95_ns as f64))
         .unwrap_or_else(|| "-".to_string());
     let row = format!(

@@ -47,6 +47,7 @@ fn bad(dir: &Path, msg: String) -> io::Error {
 /// Fold every live segment of `dir` into one. `Ok(None)` when there is
 /// nothing to fold (zero or one segment).
 pub fn compact(dir: &Path) -> io::Result<Option<CompactReport>> {
+    let started = std::time::Instant::now();
     let Some(mut m) = Manifest::load(dir)? else {
         return Err(bad(dir, "not an ingest directory (no manifest)".into()));
     };
@@ -143,6 +144,12 @@ pub fn compact(dir: &Path) -> io::Result<Option<CompactReport>> {
     for f in &old {
         std::fs::remove_file(dir.join(f)).ok();
     }
+    let mut metrics = crate::metrics::IngestMetrics::load(dir);
+    metrics.observe_seconds(
+        "compaction_duration_seconds",
+        started.elapsed().as_secs_f64(),
+    );
+    metrics.store().ok();
     Ok(Some(CompactReport {
         segments_before: old.len(),
         segments_after: 1,

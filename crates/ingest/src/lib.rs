@@ -21,11 +21,13 @@
 
 pub mod compact;
 pub mod manifest;
+pub mod metrics;
 pub mod segment;
 pub mod wal;
 
 pub use compact::{compact as compact_dir, CompactReport};
 pub use manifest::{clean_strays, peek_generation, Manifest, SegmentRef, MANIFEST_FILE};
+pub use metrics::{load_registry as load_ingest_metrics, IngestMetrics, METRICS_FILE};
 pub use segment::{Segment, SegmentBuild, SEG_VERSION};
 pub use wal::{Wal, WalRecord, WalReplay, WAL_FILE};
 
@@ -79,6 +81,15 @@ fn bad(dir: &Path, msg: String) -> io::Error {
     )
 }
 
+/// WAL backlog for `dir` without opening an [`IngestDir`]: bytes and
+/// complete records past the manifest's sealed watermark. This is what
+/// a serving-tier metrics scrape calls — read-only, no replay.
+pub fn wal_backlog(dir: &Path) -> io::Result<(u64, u64)> {
+    let m = Manifest::load(dir)?
+        .ok_or_else(|| bad(dir, "not an ingest directory (no manifest)".into()))?;
+    Wal::new(dir.join(WAL_FILE)).tail_after(m.wal_sealed_bytes)
+}
+
 /// A live ingest directory: WAL + manifest + segments (+ a base engine
 /// snapshot referenced by absolute path). All mutation goes through
 /// this handle; readers (the serving tier) only ever open the files the
@@ -88,6 +99,8 @@ pub struct IngestDir {
     wal: Wal,
     manifest: Manifest,
     tokenizer: Tokenizer,
+    /// Cumulative latency sidecar (see [`metrics`]); best-effort.
+    metrics: IngestMetrics,
     /// Filled by [`IngestDir::open`] when it had work to do.
     pub recovery: RecoveryReport,
 }
@@ -115,6 +128,7 @@ impl IngestDir {
             wal: Wal::new(dir.join(WAL_FILE)),
             manifest,
             tokenizer: Tokenizer::new(TokenizerConfig::default()),
+            metrics: IngestMetrics::load(dir),
             recovery: RecoveryReport::default(),
         })
     }
@@ -131,6 +145,7 @@ impl IngestDir {
             wal: Wal::new(dir.join(WAL_FILE)),
             manifest,
             tokenizer: Tokenizer::new(TokenizerConfig::default()),
+            metrics: IngestMetrics::load(dir),
             recovery: RecoveryReport::default(),
         };
         me.recovery.removed_strays = clean_strays(dir, &me.manifest)?.len();
@@ -212,12 +227,15 @@ impl IngestDir {
         self.manifest.wal_sealed_bytes = wal_end;
         self.manifest.last_seal_unix = now_unix();
         self.manifest.store(&self.dir)?;
+        let seal_s = started.elapsed().as_secs_f64();
+        self.metrics.observe_seconds("seal_latency_seconds", seal_s);
+        self.metrics.store().ok(); // observational: a failed write never fails a seal
         Ok(AppendStats {
             docs: build.doc_count,
             wal_bytes,
             segment_bytes,
             wal_s: 0.0,
-            seal_s: started.elapsed().as_secs_f64(),
+            seal_s,
             generation: self.manifest.generation,
             segment_file: file,
         })
@@ -234,6 +252,7 @@ impl IngestDir {
             .pop()
             .ok_or_else(|| bad(&self.dir, "appended record did not seal".into()))?;
         stats.wal_s = wal_s;
+        self.observe_visibility(&stats);
         Ok(stats)
     }
 
@@ -255,16 +274,33 @@ impl IngestDir {
             .pop()
             .ok_or_else(|| bad(&self.dir, "delete record did not seal".into()))?;
         stats.wal_s = wal_s;
+        self.observe_visibility(&stats);
         Ok(stats)
     }
 
+    /// Record durability-to-visibility latency for one sealed mutation.
+    fn observe_visibility(&mut self, stats: &AppendStats) {
+        self.metrics
+            .observe_seconds("time_to_visibility_seconds", stats.wal_s + stats.seal_s);
+        self.metrics.store().ok();
+    }
+
+    /// Size and record count of the WAL tail not yet covered by the
+    /// manifest watermark — the `wal_backlog_bytes` /
+    /// `wal_unsealed_records` gauges a metrics scrape reports.
+    pub fn wal_backlog(&self) -> io::Result<(u64, u64)> {
+        self.wal.tail_after(self.manifest.wal_sealed_bytes)
+    }
+
     /// Fold all segments into one (see [`compact`]). Reloads the
-    /// manifest so this handle sees the new generation.
+    /// manifest (and the metrics sidecar the compactor appended to) so
+    /// this handle sees the new generation.
     pub fn compact(&mut self) -> io::Result<Option<CompactReport>> {
         let report = compact::compact(&self.dir)?;
         if report.is_some() {
             self.manifest = Manifest::load(&self.dir)?
                 .ok_or_else(|| bad(&self.dir, "manifest vanished during compaction".into()))?;
+            self.metrics = IngestMetrics::load(&self.dir);
         }
         Ok(report)
     }
@@ -323,6 +359,17 @@ mod tests {
         assert!(ing.delete(vec![99]).is_err());
         ing.delete(vec![0]).unwrap();
         assert_eq!(ing.manifest().segments.len(), 2);
+
+        // The metrics sidecar accumulated across every seal, recovery
+        // seal, and the compaction pass; the backlog gauge reads zero
+        // because everything durable is sealed.
+        let reg = load_ingest_metrics(&dir).expect("sidecar written");
+        let seals = reg.histogram("seal_latency_seconds").expect("seal hist");
+        assert_eq!(seals.count(), 3, "initial append + recovery seal + delete");
+        assert!(reg.histogram("time_to_visibility_seconds").is_some());
+        assert!(reg.histogram("compaction_duration_seconds").is_some());
+        assert_eq!(ing.wal_backlog().unwrap(), (0, 0));
+        assert_eq!(wal_backlog(&dir).unwrap(), (0, 0));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -247,7 +247,9 @@ pub fn peek_generation(dir: &Path) -> Option<u64> {
 /// Remove crash leftovers: `*.tmp` files and `seg-*.iseg` files the
 /// manifest does not list. Both crash windows of the sealer/compactor
 /// (file written but manifest not flipped; manifest flipped but old
-/// files not yet unlinked) land here.
+/// files not yet unlinked) land here. The metrics sidecar
+/// (`ingest_metrics.json`, see [`crate::metrics`]) survives — only its
+/// own `.tmp` from a crashed atomic rewrite is swept.
 pub fn clean_strays(dir: &Path, m: &Manifest) -> io::Result<Vec<PathBuf>> {
     let mut removed = Vec::new();
     for entry in std::fs::read_dir(dir)? {

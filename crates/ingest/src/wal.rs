@@ -236,6 +236,37 @@ impl Wal {
         })
     }
 
+    /// Size and record count of the log tail past `watermark` (a record
+    /// end offset, e.g. the manifest's `wal_sealed_bytes`). Walks frame
+    /// headers only — no payload reads, no CRC checks — so a metrics
+    /// scrape can measure backlog without replaying the log. Bytes
+    /// include any torn tail; the record count covers complete frames.
+    pub fn tail_after(&self, watermark: u64) -> io::Result<(u64, u64)> {
+        use std::io::{Read, Seek, SeekFrom};
+        let len = self.len()?;
+        if len <= watermark {
+            return Ok((0, 0));
+        }
+        let mut f = std::fs::File::open(&self.path)?;
+        let mut at = watermark;
+        let mut records = 0u64;
+        let mut hdr = [0u8; 8];
+        while len - at >= 8 {
+            f.seek(SeekFrom::Start(at))?;
+            f.read_exact(&mut hdr)?;
+            let frame_len = u32::from_le_bytes(hdr[..4].try_into().unwrap()) as u64;
+            let Some(end) = at.checked_add(8).and_then(|v| v.checked_add(frame_len)) else {
+                break;
+            };
+            if end > len {
+                break; // torn tail
+            }
+            records += 1;
+            at = end;
+        }
+        Ok((len - watermark, records))
+    }
+
     /// Discard everything past `durable_bytes` (the torn tail found by
     /// [`Wal::replay`]). No-op when the file is already that short.
     pub fn truncate_to(&self, durable_bytes: u64) -> io::Result<()> {
@@ -299,6 +330,19 @@ mod tests {
             torn.truncate_to(r.durable_bytes).unwrap();
             assert_eq!(torn.len().unwrap(), r.durable_bytes);
         }
+
+        // Backlog tail walk: counts frames past a watermark without
+        // decoding payloads, tolerating a torn tail.
+        assert_eq!(wal.tail_after(0).unwrap(), (full.len() as u64, 3));
+        assert_eq!(
+            wal.tail_after(ends[0]).unwrap(),
+            (full.len() as u64 - ends[0], 2)
+        );
+        assert_eq!(wal.tail_after(ends[2]).unwrap(), (0, 0));
+        std::fs::write(torn.path(), &full[..full.len() - 3]).unwrap();
+        let (tail_bytes, tail_recs) = torn.tail_after(ends[1]).unwrap();
+        assert_eq!(tail_bytes, full.len() as u64 - 3 - ends[1]);
+        assert_eq!(tail_recs, 0, "last frame is torn");
 
         // A flipped payload byte is a torn tail (CRC catches it), and
         // everything before the flip survives.

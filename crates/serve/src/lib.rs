@@ -4,7 +4,9 @@
 //! long-lived query service: a zero-dependency HTTP/1.1 server over
 //! `std::net::TcpListener` answering the engine's five query kinds
 //! (`/term`, `/query`, `/search`, `/cluster`, `/rect`) as deterministic
-//! JSON, plus `/healthz` and `/metrics`.
+//! JSON, plus `/healthz`, `/metrics` (JSON, or Prometheus text via
+//! `?format=prom`), and `/debug/slow` (the worst-N request timelines,
+//! JSON or Chrome-trace via `?format=chrome`).
 //!
 //! The crate splits along the obvious seams:
 //!
@@ -37,6 +39,6 @@ pub mod state;
 
 pub use live::load_live_state;
 pub use lru::{CacheStats, LruCache};
-pub use request::{execute, RequestError, ServeRequest};
+pub use request::{execute, execute_timed, ExecTiming, RequestError, ServeRequest};
 pub use server::{ServeConfig, ServeSummary, Server};
 pub use state::ServeState;

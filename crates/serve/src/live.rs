@@ -174,6 +174,7 @@ pub fn load_live_state(dir: &Path) -> io::Result<ServeState> {
     });
     state.generation = manifest.generation;
     state.last_seal_unix = manifest.last_seal_unix;
+    state.ingest_dir = Some(dir.to_path_buf());
     Ok(state)
 }
 

@@ -49,6 +49,8 @@ pub struct LruCache {
     tail: usize,
     capacity: usize,
     stats: CacheStats,
+    /// Bytes of all resident values (rendered response bodies).
+    resident_bytes: usize,
 }
 
 impl LruCache {
@@ -62,11 +64,18 @@ impl LruCache {
             tail: NIL,
             capacity,
             stats: CacheStats::default(),
+            resident_bytes: 0,
         }
     }
 
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Bytes held by all cached response bodies right now (tracked on
+    /// insert/replace/evict; a `/metrics` gauge).
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes
     }
 
     pub fn len(&self) -> usize {
@@ -102,17 +111,20 @@ impl LruCache {
     pub fn insert(&mut self, key: &str, value: Arc<str>) {
         self.stats.insertions += 1;
         if let Some(&at) = self.map.get(key) {
+            self.resident_bytes = self.resident_bytes - self.slab[at].value.len() + value.len();
             self.slab[at].value = value;
             self.unlink(at);
             self.push_front(at);
             return;
         }
+        self.resident_bytes += value.len();
         let at = if self.map.len() >= self.capacity {
             // Reuse the LRU slot: drop its key, keep its slab cell.
             let victim = self.tail;
             self.unlink(victim);
             let old_key = std::mem::replace(&mut self.slab[victim].key, key.to_string());
             self.map.remove(&old_key);
+            self.resident_bytes -= self.slab[victim].value.len();
             self.slab[victim].value = value;
             self.stats.evictions += 1;
             victim
@@ -222,6 +234,23 @@ mod tests {
         assert_eq!(c.keys_mru(), ["a", "b"]);
         assert_eq!(c.get("a").as_deref(), Some("1'"));
         assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn resident_bytes_tracks_insert_replace_evict() {
+        let mut c = LruCache::new(2);
+        assert_eq!(c.resident_bytes(), 0);
+        c.insert("a", v("12345"));
+        assert_eq!(c.resident_bytes(), 5);
+        // Replacement swaps the old value's bytes for the new value's.
+        c.insert("a", v("123"));
+        assert_eq!(c.resident_bytes(), 3);
+        c.insert("b", v("1234"));
+        assert_eq!(c.resident_bytes(), 7);
+        // Eviction of `a` releases its 3 bytes while admitting 6.
+        c.insert("c", v("123456"));
+        assert_eq!(c.resident_bytes(), 10);
         assert_eq!(c.len(), 2);
     }
 

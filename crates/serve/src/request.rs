@@ -190,7 +190,8 @@ impl ServeRequest {
         }
     }
 
-    /// Metric name of this query kind (`serve.<kind>` histograms).
+    /// Metric name of this query kind (`serve_<kind>_seconds`
+    /// histograms, `client_<kind>_seconds` on the load-generator side).
     pub fn kind(&self) -> &'static str {
         match self {
             ServeRequest::Term { .. } => "term",
@@ -233,12 +234,46 @@ impl ServeRequest {
 /// (newline-terminated). Errors are client errors: missing index
 /// sections for the requested kind, unknown cluster ids.
 pub fn execute(state: &ServeState, req: &ServeRequest) -> Result<String, RequestError> {
+    execute_timed(state, req).map(|(body, _)| body)
+}
+
+/// Wall-time split of one [`execute_timed`] call: query evaluation
+/// (postings decode included) versus response-body rendering.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecTiming {
+    pub eval_ns: u64,
+    pub serialize_ns: u64,
+}
+
+fn ns(d: std::time::Duration) -> u64 {
+    d.as_nanos().min(u64::MAX as u128) as u64
+}
+
+/// Timing split for an arm whose evaluation ran `t0..t1` and whose
+/// serialization ran from `t1` until this call.
+fn split(t0: std::time::Instant, t1: std::time::Instant) -> ExecTiming {
+    ExecTiming {
+        eval_ns: ns(t1 - t0),
+        serialize_ns: ns(t1.elapsed()),
+    }
+}
+
+/// [`execute`] plus an eval/serialize wall-time split for request
+/// tracing. `execute` delegates here, so the body bytes are identical
+/// with and without tracing by construction.
+pub fn execute_timed(
+    state: &ServeState,
+    req: &ServeRequest,
+) -> Result<(String, ExecTiming), RequestError> {
+    use std::time::Instant;
     match req {
         ServeRequest::Term { term, top } => {
             require_index(state)?;
+            let t0 = Instant::now();
             let posts = query::lookup_in(state, term);
             let mut docs: Vec<u32> = posts.iter().map(|p| p.doc).collect();
             docs.dedup();
+            let t1 = Instant::now();
             let mut body = format!(
                 "{{\"kind\":\"term\",\"term\":\"{}\",\"postings\":{},\"documents\":{},\"hits\":[",
                 escape(term),
@@ -255,11 +290,13 @@ pub fn execute(state: &ServeState, req: &ServeRequest) -> Result<String, Request
                 ));
             }
             body.push_str("]}\n");
-            Ok(body)
+            Ok((body, split(t0, t1)))
         }
         ServeRequest::Boolean { expr, top } => {
             require_index(state)?;
+            let t0 = Instant::now();
             let docs = query::evaluate_in(state, expr);
+            let t1 = Instant::now();
             let mut body = format!(
                 "{{\"kind\":\"query\",\"query\":\"{}\",\"matches\":{},\"docs\":[",
                 escape(&expr.normalized()),
@@ -272,11 +309,13 @@ pub fn execute(state: &ServeState, req: &ServeRequest) -> Result<String, Request
                 body.push_str(&d.to_string());
             }
             body.push_str("]}\n");
-            Ok(body)
+            Ok((body, split(t0, t1)))
         }
         ServeRequest::Search { text, top } => {
             require_index(state)?;
+            let t0 = Instant::now();
             let hits = query::search_in(state, text, *top);
+            let t1 = Instant::now();
             let mut body = format!(
                 "{{\"kind\":\"search\",\"text\":\"{}\",\"hits\":[",
                 escape(text)
@@ -288,7 +327,7 @@ pub fn execute(state: &ServeState, req: &ServeRequest) -> Result<String, Request
                 body.push_str(&format!("{{\"doc\":{},\"score\":{}}}", h.doc, num(h.score)));
             }
             body.push_str("]}\n");
-            Ok(body)
+            Ok((body, split(t0, t1)))
         }
         ServeRequest::Cluster { cluster, top } => {
             let (coords, assignments) = require_layout(state)?;
@@ -298,7 +337,9 @@ pub fn execute(state: &ServeState, req: &ServeRequest) -> Result<String, Request
                     state.cluster_sizes.len()
                 )));
             }
+            let t0 = Instant::now();
             let docs = select_cluster(assignments, *cluster);
+            let t1 = Instant::now();
             let label = state
                 .cluster_labels
                 .get(*cluster as usize)
@@ -323,11 +364,13 @@ pub fn execute(state: &ServeState, req: &ServeRequest) -> Result<String, Request
                 ));
             }
             body.push_str("]}\n");
-            Ok(body)
+            Ok((body, split(t0, t1)))
         }
         ServeRequest::Rect { min, max, top } => {
             let (coords, assignments) = require_layout(state)?;
+            let t0 = Instant::now();
             let docs = select_rect(coords, *min, *max);
+            let t1 = Instant::now();
             let mut body = format!(
                 "{{\"kind\":\"rect\",\"x0\":{},\"y0\":{},\"x1\":{},\"y1\":{},\"matches\":{},\"docs\":[",
                 num(min.0),
@@ -346,7 +389,7 @@ pub fn execute(state: &ServeState, req: &ServeRequest) -> Result<String, Request
                 ));
             }
             body.push_str("]}\n");
-            Ok(body)
+            Ok((body, split(t0, t1)))
         }
     }
 }

@@ -18,11 +18,14 @@ use crate::lru::{CacheStats, LruCache};
 use crate::request::{self, ServeRequest};
 use crate::state::ServeState;
 use inspire_trace::json::num;
-use inspire_trace::Registry;
+use inspire_trace::log;
+use inspire_trace::{Registry, ReqTimeline, ReqTrace, SlowLog};
 use spmd::IntraPool;
 use std::collections::VecDeque;
+use std::fs::File;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
@@ -42,6 +45,20 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// Per-connection read timeout.
     pub read_timeout: Duration,
+    /// Record a per-request span timeline on every request (feeds the
+    /// slow-query ring and the access log). Observational only: served
+    /// bodies are byte-identical either way. Off = the untraced
+    /// baseline the load generator measures overhead against.
+    pub trace_requests: bool,
+    /// Worst-N request timelines retained for `/debug/slow`.
+    pub slow_log_n: usize,
+    /// Minimum total milliseconds before a timeline may enter the slow
+    /// ring (0 = keep the worst N regardless of absolute latency).
+    pub slow_threshold_ms: u64,
+    /// Structured access-log destination; `None` logs to stderr. Lines
+    /// are emitted (and the file created) only when `INSPIRE_LOG` is
+    /// `info` or lower.
+    pub access_log: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -52,6 +69,10 @@ impl Default for ServeConfig {
             cache_capacity: 1024,
             queue_depth: 256,
             read_timeout: Duration::from_secs(5),
+            trace_requests: true,
+            slow_log_n: 32,
+            slow_threshold_ms: 0,
+            access_log: None,
         }
     }
 }
@@ -90,6 +111,15 @@ struct Shared {
     in_flight: AtomicUsize,
     max_in_flight: AtomicUsize,
     started: Instant,
+    /// Monotonic request-id source (traced requests only).
+    next_req_id: AtomicU64,
+    /// Whether workers build per-request timelines at all.
+    trace_requests: bool,
+    /// Worst-N request timelines for `/debug/slow`.
+    slow: SlowLog,
+    /// Access-log sink; `None` = stderr. Opened (and the file created)
+    /// only when `INSPIRE_LOG` enables info-level lines.
+    access: Option<Mutex<File>>,
 }
 
 /// A running server. Dropping the handle without calling
@@ -108,6 +138,17 @@ impl Server {
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let workers = cfg.workers.max(1);
+        let access = match &cfg.access_log {
+            // The file is not even created unless logging is enabled:
+            // with INSPIRE_LOG unset the access log is bit-invisible.
+            Some(path) if log::enabled(log::Level::Info) => Some(Mutex::new(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?,
+            )),
+            _ => None,
+        };
         let shared = Arc::new(Shared {
             state: RwLock::new(state),
             epoch: AtomicU64::new(0),
@@ -124,6 +165,10 @@ impl Server {
             in_flight: AtomicUsize::new(0),
             max_in_flight: AtomicUsize::new(0),
             started: Instant::now(),
+            next_req_id: AtomicU64::new(0),
+            trace_requests: cfg.trace_requests,
+            slow: SlowLog::new(cfg.slow_log_n, cfg.slow_threshold_ms.saturating_mul(1_000)),
+            access,
         });
 
         let accept_shared = Arc::clone(&shared);
@@ -265,34 +310,134 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// Per-request tracing context threaded from the connection handler
+/// through routing and execution. When `traced` is off every method is
+/// a no-op, so the untraced path pays only the flag checks.
+struct ReqCtx {
+    traced: bool,
+    tr: ReqTrace,
+    /// Full request target (`/query?q=…`), once the head parsed.
+    detail: String,
+    cache_hit: bool,
+    /// Set once the target parsed as one of the five query kinds; only
+    /// those are eligible for the slow ring.
+    is_query: bool,
+    generation: u64,
+    epoch: u64,
+}
+
+impl ReqCtx {
+    fn new(traced: bool) -> ReqCtx {
+        ReqCtx {
+            traced,
+            tr: ReqTrace::start(),
+            detail: String::new(),
+            cache_hit: false,
+            is_query: false,
+            generation: 0,
+            epoch: 0,
+        }
+    }
+
+    /// Open stage `name` (closing any open stage).
+    fn begin(&mut self, name: &'static str) {
+        if self.traced {
+            self.tr.begin(name);
+        }
+    }
+
+    /// Close the open stage.
+    fn end(&mut self) {
+        if self.traced {
+            self.tr.end();
+        }
+    }
+}
+
 /// Speak one request/response exchange on `stream`.
+///
+/// With tracing on, the timeline covers first byte through response
+/// ready (`parse` opens before the head is read); the socket write is
+/// deliberately outside it, so per-stage micros account for the
+/// server-side work, not the client's read speed.
 fn handle_connection(shared: &Shared, stream: &mut TcpStream) {
     let _ = stream.set_read_timeout(Some(shared.read_timeout));
     let _ = stream.set_write_timeout(Some(shared.read_timeout));
+    let mut ctx = ReqCtx::new(shared.trace_requests);
+    let id = if ctx.traced {
+        shared.next_req_id.fetch_add(1, Ordering::Relaxed) + 1
+    } else {
+        0
+    };
+    ctx.begin("parse");
     let outcome = http::read_head(stream)
         .and_then(|head| http::parse_head(&head))
-        .and_then(|req| respond(shared, &req.target));
-    match outcome {
-        Ok((body, content_type)) => {
-            shared.served.fetch_add(1, Ordering::Relaxed);
-            let _ = http::write_response(stream, 200, content_type, &body, &[]);
-        }
-        Err(err) => {
-            shared.errors.fetch_add(1, Ordering::Relaxed);
-            let _ = http::write_response(
-                stream,
-                err.status,
-                "application/json",
-                &http::error_body(&err),
-                &[],
-            );
-            if err.status == 413 {
-                // The client sent more than we read. Closing now would
-                // RST the connection and discard the response we just
-                // wrote; drain (bounded) so close sends a clean FIN.
-                drain(stream);
+        .and_then(|req| {
+            if ctx.traced {
+                ctx.detail = req.target.clone();
             }
+            respond(shared, &req.target, &mut ctx)
+        });
+    let (status, body, content_type) = match outcome {
+        Ok((body, ct)) => (200u16, body, ct),
+        Err(err) => (err.status, http::error_body(&err), "application/json"),
+    };
+    if ctx.traced {
+        record_request(shared, ctx, id, status, &body);
+    }
+    if status == 200 {
+        shared.served.fetch_add(1, Ordering::Relaxed);
+        let _ = http::write_response(stream, 200, content_type, &body, &[]);
+    } else {
+        shared.errors.fetch_add(1, Ordering::Relaxed);
+        let _ = http::write_response(stream, status, content_type, &body, &[]);
+        if status == 413 {
+            // The client sent more than we read. Closing now would
+            // RST the connection and discard the response we just
+            // wrote; drain (bounded) so close sends a clean FIN.
+            drain(stream);
         }
+    }
+}
+
+/// Finish one traced request: close the timeline, offer it to the slow
+/// ring (query kinds only, after the lock-free floor check), and emit
+/// one structured access-log line when `INSPIRE_LOG` is `info`+.
+fn record_request(shared: &Shared, mut ctx: ReqCtx, id: u64, status: u16, body: &str) {
+    let (spans, total_us) = std::mem::take(&mut ctx.tr).finish();
+    let want_slow = ctx.is_query && shared.slow.would_admit(total_us);
+    let want_access = log::enabled(log::Level::Info);
+    if !want_slow && !want_access {
+        return;
+    }
+    let route = ctx.detail.split('?').next().unwrap_or("").to_string();
+    let timeline = ReqTimeline {
+        id,
+        route,
+        detail: ctx.detail,
+        status,
+        cache_hit: ctx.cache_hit,
+        generation: ctx.generation,
+        epoch: ctx.epoch,
+        bytes: body.len() as u64,
+        total_us,
+        spans,
+    };
+    if want_access {
+        let line = timeline.access_line();
+        match &shared.access {
+            Some(file) => {
+                use std::io::Write;
+                let mut file = file.lock().unwrap();
+                let _ = writeln!(file, "{line}");
+            }
+            // Pure JSON on stderr, one line per request — no level
+            // prefix, so the stream stays machine-parseable.
+            None => eprintln!("{line}"),
+        }
+    }
+    if want_slow {
+        shared.slow.offer(timeline);
     }
 }
 
@@ -312,27 +457,57 @@ fn drain(stream: &mut TcpStream) {
 }
 
 /// Route one target to its response body. Query kinds go through the
-/// cache; the latency histogram observes the full lookup-or-execute
+/// cache; the latency histograms (`serve_<kind>_seconds` plus the
+/// overall `serve_request_seconds`) observe the full lookup-or-execute
 /// path per kind either way.
-fn respond(shared: &Shared, target: &str) -> Result<(String, &'static str), HttpError> {
+fn respond(
+    shared: &Shared,
+    target: &str,
+    ctx: &mut ReqCtx,
+) -> Result<(String, &'static str), HttpError> {
     let (path, params) = request::split_target(target);
+    let format = params
+        .iter()
+        .find(|(k, _)| k == "format")
+        .map(|(_, v)| v.as_str());
     match path {
-        "/healthz" => return Ok(("ok\n".to_string(), "text/plain")),
-        "/metrics" => return Ok((metrics_json(shared), "application/json")),
+        "/healthz" => {
+            ctx.end();
+            return Ok(("ok\n".to_string(), "text/plain"));
+        }
+        "/metrics" => {
+            ctx.end();
+            // Content negotiation by explicit parameter: Prometheus
+            // text exposition on `?format=prom`, JSON otherwise (the
+            // default the smoke tests byte-compare against).
+            return Ok(match format {
+                Some("prom") => (metrics_prom(shared), "text/plain; version=0.0.4"),
+                _ => (metrics_json(shared), "application/json"),
+            });
+        }
+        "/debug/slow" => {
+            ctx.end();
+            return Ok(match format {
+                Some("chrome") => (shared.slow.to_chrome_json(), "application/json"),
+                _ => (shared.slow.to_json(), "application/json"),
+            });
+        }
         _ => {}
     }
     let req = ServeRequest::parse(path, &params).map_err(|e| HttpError {
         status: e.status,
         message: e.message,
     })?;
+    // The `parse` stage ends once the target is a typed request; only
+    // typed query requests are slow-ring eligible.
+    ctx.end();
+    ctx.is_query = true;
     let t0 = Instant::now();
-    let body = answer(shared, &req)?;
+    let body = answer(shared, &req, ctx)?;
     let elapsed = t0.elapsed();
-    shared
-        .registry
-        .lock()
-        .unwrap()
-        .observe(&format!("serve.{}", req.kind()), elapsed);
+    let mut registry = shared.registry.lock().unwrap();
+    registry.observe(&format!("serve_{}_seconds", req.kind()), elapsed);
+    registry.observe("serve_request_seconds", elapsed);
     Ok((body, "application/json"))
 }
 
@@ -340,17 +515,53 @@ fn respond(shared: &Shared, target: &str) -> Result<(String, &'static str), Http
 /// epoch are read together up front: the whole request runs against one
 /// state, and its cache entry is keyed to that state's epoch, so a swap
 /// mid-request can neither corrupt this answer nor poison the cache.
-fn answer(shared: &Shared, req: &ServeRequest) -> Result<String, HttpError> {
+fn answer(shared: &Shared, req: &ServeRequest, ctx: &mut ReqCtx) -> Result<String, HttpError> {
     let epoch = shared.epoch.load(Ordering::SeqCst);
     let state = Arc::clone(&shared.state.read().unwrap());
-    let key = format!("{epoch}#{}", req.cache_key());
-    if let Some(hit) = shared.cache.lock().unwrap().get(&key) {
-        return Ok(hit.to_string());
+    if ctx.traced {
+        ctx.generation = state.generation;
+        ctx.epoch = epoch;
     }
-    let body = request::execute(&state, req).map_err(|e| HttpError {
+    let key = format!("{epoch}#{}", req.cache_key());
+    ctx.begin("cache_probe");
+    if let Some(hit) = shared.cache.lock().unwrap().get(&key) {
+        ctx.cache_hit = true;
+        let body = hit.to_string();
+        ctx.end();
+        return Ok(body);
+    }
+    ctx.end();
+    let to_http = |e: request::RequestError| HttpError {
         status: e.status,
         message: e.message,
-    })?;
+    };
+    if !ctx.traced {
+        let body = request::execute(&state, req).map_err(to_http)?;
+        shared
+            .cache
+            .lock()
+            .unwrap()
+            .insert(&key, Arc::from(body.as_str()));
+        return Ok(body);
+    }
+    // Execute with the per-thread decode timer armed: evaluation wall
+    // time splits into `postings_decode` (accumulated inside the
+    // SearchIndex postings calls) and `rank_merge` (everything else in
+    // the query algorithm), then `serialize` renders the body. The
+    // spans are laid out back-to-back from `mark`, matching how
+    // `execute_timed` measured them.
+    let mark = ctx.tr.mark();
+    crate::state::decode_timer_begin();
+    let result = request::execute_timed(&state, req);
+    let decode_ns = crate::state::decode_timer_take();
+    let (body, timing) = result.map_err(to_http)?;
+    let eval_us = timing.eval_ns / 1_000;
+    let decode_us = (decode_ns / 1_000).min(eval_us);
+    ctx.tr.push_span("postings_decode", mark, decode_us);
+    ctx.tr
+        .push_span("rank_merge", mark + decode_us, eval_us - decode_us);
+    ctx.tr
+        .push_span("serialize", mark + eval_us, timing.serialize_ns / 1_000);
     shared
         .cache
         .lock()
@@ -364,7 +575,7 @@ fn answer(shared: &Shared, req: &ServeRequest) -> Result<String, HttpError> {
 fn metrics_json(shared: &Shared) -> String {
     let cache = shared.cache.lock().unwrap();
     let stats = cache.stats();
-    let (len, capacity) = (cache.len(), cache.capacity());
+    let (len, capacity, resident) = (cache.len(), cache.capacity(), cache.resident_bytes());
     drop(cache);
     let (segments_open, generation, last_seal) = {
         let state = shared.state.read().unwrap();
@@ -378,7 +589,7 @@ fn metrics_json(shared: &Shared) -> String {
         "{{\"uptime_s\":{},\"requests\":{{\"served\":{},\"errors\":{},\"rejected_429\":{},\
          \"in_flight\":{},\"max_in_flight\":{}}},\
          \"cache\":{{\"hits\":{},\"misses\":{},\"insertions\":{},\"evictions\":{},\
-         \"hit_rate\":{},\"len\":{},\"capacity\":{}}},\
+         \"hit_rate\":{},\"len\":{},\"capacity\":{},\"resident_bytes\":{resident}}},\
          \"ingest\":{{\"segments_open\":{segments_open},\"snapshot_generation\":{generation},\
          \"last_seal_unix\":{last_seal}}},\"histograms\":[",
         num(shared.started.elapsed().as_secs_f64()),
@@ -407,4 +618,86 @@ fn metrics_json(shared: &Shared) -> String {
     }
     s.push_str("]}\n");
     s
+}
+
+fn prom_counter(out: &mut String, name: &str, v: u64) {
+    out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+}
+
+fn prom_gauge(out: &mut String, name: &str, v: f64) {
+    out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", num(v)));
+}
+
+/// Build the Prometheus text exposition (`/metrics?format=prom`): the
+/// serve counters and gauges, the per-kind latency summaries from the
+/// trace registry, and — when serving an ingest directory — the live
+/// WAL backlog gauges plus the sealer/compactor histograms accumulated
+/// in the ingest metrics sidecar.
+fn metrics_prom(shared: &Shared) -> String {
+    let cache = shared.cache.lock().unwrap();
+    let stats = cache.stats();
+    let (len, capacity, resident) = (cache.len(), cache.capacity(), cache.resident_bytes());
+    drop(cache);
+    let state = Arc::clone(&shared.state.read().unwrap());
+    let mut out = String::with_capacity(4096);
+    prom_counter(
+        &mut out,
+        "serve_requests_total",
+        shared.served.load(Ordering::Relaxed),
+    );
+    prom_counter(
+        &mut out,
+        "serve_errors_total",
+        shared.errors.load(Ordering::Relaxed),
+    );
+    prom_counter(
+        &mut out,
+        "serve_rejected_total",
+        shared.rejected_429.load(Ordering::Relaxed),
+    );
+    prom_gauge(
+        &mut out,
+        "serve_in_flight",
+        shared.in_flight.load(Ordering::Relaxed) as f64,
+    );
+    prom_gauge(
+        &mut out,
+        "serve_in_flight_max",
+        shared.max_in_flight.load(Ordering::Relaxed) as f64,
+    );
+    prom_counter(&mut out, "serve_cache_hits_total", stats.hits);
+    prom_counter(&mut out, "serve_cache_misses_total", stats.misses);
+    prom_counter(&mut out, "serve_cache_insertions_total", stats.insertions);
+    prom_counter(&mut out, "serve_cache_evictions_total", stats.evictions);
+    prom_gauge(&mut out, "serve_cache_entries", len as f64);
+    prom_gauge(&mut out, "serve_cache_capacity", capacity as f64);
+    prom_gauge(&mut out, "serve_cache_resident_bytes", resident as f64);
+    prom_gauge(
+        &mut out,
+        "serve_uptime_seconds",
+        shared.started.elapsed().as_secs_f64(),
+    );
+    prom_gauge(&mut out, "snapshot_generation", state.generation as f64);
+    prom_gauge(&mut out, "segments_open", state.segments_open() as f64);
+    prom_gauge(&mut out, "last_seal_unix", state.last_seal_unix as f64);
+    prom_gauge(&mut out, "slow_log_retained", shared.slow.len() as f64);
+    out.push_str(&shared.registry.lock().unwrap().to_prometheus());
+    if let Some(dir) = &state.ingest_dir {
+        // Always emit the full ingest family set: a fresh directory
+        // (no sidecar yet, no backlog) scrapes the same names as a
+        // busy one, so dashboards and validators can rely on them.
+        let (bytes, records) = inspire_ingest::wal_backlog(dir).unwrap_or((0, 0));
+        prom_gauge(&mut out, "wal_backlog_bytes", bytes as f64);
+        prom_gauge(&mut out, "wal_unsealed_records", records as f64);
+        let mut reg = inspire_ingest::load_ingest_metrics(dir).unwrap_or_default();
+        for name in [
+            "seal_latency_seconds",
+            "time_to_visibility_seconds",
+            "compaction_duration_seconds",
+        ] {
+            reg.ensure(name);
+        }
+        out.push_str(&reg.to_prometheus());
+    }
+    out
 }

@@ -21,9 +21,9 @@ use inspire_core::snapshot::{pair_to_posting, EngineMeta, PostingsDir};
 use inspire_core::{EngineSnapshot, Stage, TermId};
 use inspire_store::codec;
 use intern::TermTable;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 thread_local! {
@@ -31,6 +31,43 @@ thread_local! {
     /// here before conversion to [`Posting`]s, so steady-state serving
     /// does no per-query pair allocations.
     static PAIR_SCRATCH: RefCell<Vec<(u32, u32)>> = const { RefCell::new(Vec::new()) };
+
+    /// Per-thread postings-decode accumulator for request tracing:
+    /// `None` when no request is being timed (the common case — one
+    /// `Cell` read per postings call), `Some(ns)` between
+    /// [`decode_timer_begin`] and [`decode_timer_take`].
+    static DECODE_NS: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// Arm the per-thread postings-decode timer for the current request.
+/// Every [`SearchIndex::postings_into`]/[`SearchIndex::postings_from`]
+/// call on this thread accumulates its wall time until
+/// [`decode_timer_take`] disarms it.
+pub fn decode_timer_begin() {
+    DECODE_NS.with(|c| c.set(Some(0)));
+}
+
+/// Disarm the decode timer and return the accumulated nanoseconds
+/// (0 when it was never armed).
+pub fn decode_timer_take() -> u64 {
+    DECODE_NS.with(|c| c.take()).unwrap_or(0)
+}
+
+/// Run `f`, charging its wall time to the armed decode timer (or just
+/// running it when the timer is off). Only the two [`SearchIndex`] entry
+/// points call this, so overlay-to-base delegation is never counted
+/// twice.
+fn decode_timed<R>(f: impl FnOnce() -> R) -> R {
+    DECODE_NS.with(|c| match c.get() {
+        None => f(),
+        Some(acc) => {
+            let t0 = std::time::Instant::now();
+            let out = f();
+            let spent = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            c.set(Some(acc.saturating_add(spent)));
+            out
+        }
+    })
 }
 
 /// How the owned snapshot stores its postings.
@@ -78,6 +115,10 @@ pub struct ServeState {
     pub generation: u64,
     /// `last_seal_unix` of the manifest (0 for plain snapshots).
     pub last_seal_unix: u64,
+    /// The ingest directory this state was built from, when live
+    /// serving ([`crate::live::load_live_state`]); lets `/metrics`
+    /// compute WAL backlog gauges and read the ingest metrics sidecar.
+    pub ingest_dir: Option<PathBuf>,
 }
 
 impl ServeState {
@@ -132,6 +173,7 @@ impl ServeState {
             live: None,
             generation: 0,
             last_seal_unix: 0,
+            ingest_dir: None,
         })
     }
 
@@ -182,19 +224,23 @@ impl SearchIndex for ServeState {
     }
 
     fn postings_into(&self, term: TermId, out: &mut Vec<Posting>) {
-        if let Some(live) = &self.live {
-            live.postings_into(self, term, out);
-            return;
-        }
-        self.base_postings_into(term, out);
+        decode_timed(|| {
+            if let Some(live) = &self.live {
+                live.postings_into(self, term, out);
+                return;
+            }
+            self.base_postings_into(term, out);
+        })
     }
 
     fn postings_from(&self, term: TermId, min_doc: u32, out: &mut Vec<Posting>) {
-        if let Some(live) = &self.live {
-            live.postings_from(self, term, min_doc, out);
-            return;
-        }
-        self.base_postings_from(term, min_doc, out);
+        decode_timed(|| {
+            if let Some(live) = &self.live {
+                live.postings_from(self, term, min_doc, out);
+                return;
+            }
+            self.base_postings_from(term, min_doc, out);
+        })
     }
 
     fn df(&self, term: TermId) -> u32 {

@@ -173,8 +173,8 @@ fn second_identical_query_is_served_from_cache() {
     let hists = v2.get("histograms").and_then(|h| h.as_arr()).unwrap();
     let search = hists
         .iter()
-        .find(|h| h.get("name").and_then(|n| n.as_str()) == Some("serve.search"))
-        .expect("serve.search histogram");
+        .find(|h| h.get("name").and_then(|n| n.as_str()) == Some("serve_search_seconds"))
+        .expect("serve_search_seconds histogram");
     assert_eq!(search.get("count").and_then(|c| c.as_f64()), Some(3.0));
     assert!(search.get("p50_ns").and_then(|p| p.as_f64()).unwrap() > 0.0);
     assert!(
@@ -184,6 +184,131 @@ fn second_identical_query_is_served_from_cache() {
 
     let summary = server.shutdown();
     assert_eq!(summary.cache.hits, hits_before as u64 + 2);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn slow_log_captures_an_induced_slow_query() {
+    let (state, server, addr, path) = start("slow", 2);
+
+    // Induce the slowest query this snapshot can serve: cold cache, a
+    // wide OR over many vocabulary terms, large top.
+    let terms = pick_terms(&state, 8);
+    let target = format!("/query?q={}&top=1000", terms.join("+OR+"));
+    let resp = http::get(addr, &target, TIMEOUT).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    // A couple of unremarkable requests around it.
+    assert_eq!(http::get(addr, "/healthz", TIMEOUT).unwrap().status, 200);
+    let cheap = format!("/term?t={}&top=1", terms[0]);
+    assert_eq!(http::get(addr, &cheap, TIMEOUT).unwrap().status, 200);
+
+    let slow = http::get(addr, "/debug/slow", TIMEOUT).unwrap();
+    assert_eq!(slow.status, 200);
+    assert_eq!(slow.header("content-type"), Some("application/json"));
+    let v = inspire_trace::json::parse(&slow.body).expect("slow JSON parses");
+    assert!(v.get("retained").and_then(|x| x.as_f64()).unwrap() >= 1.0);
+    let entries = v.get("slow").and_then(|s| s.as_arr()).unwrap();
+    let tl = entries
+        .iter()
+        .find(|t| t.get("detail").and_then(|d| d.as_str()) == Some(target.as_str()))
+        .expect("induced slow query retained in /debug/slow");
+    assert_eq!(tl.get("status").and_then(|x| x.as_f64()), Some(200.0));
+    assert_eq!(
+        tl.get("cache_hit"),
+        Some(&inspire_trace::json::Value::Bool(false)),
+        "cold-cache query must be a miss"
+    );
+    // Per-stage micros must account for the request: the stage sum is
+    // within 10% of the measured wall total (small fixed gaps — cache
+    // key build, registry observe — are all that's uncovered).
+    let total = tl.get("total_us").and_then(|x| x.as_f64()).unwrap();
+    let stages = tl.get("stages").expect("stages object");
+    let stage_sum: f64 = match stages {
+        inspire_trace::json::Value::Obj(m) => m.values().filter_map(|v| v.as_f64()).sum(),
+        other => panic!("stages not an object: {other:?}"),
+    };
+    assert!(total > 0.0);
+    assert!(
+        (total - stage_sum).abs() <= total * 0.10 + 200.0,
+        "stage micros {stage_sum} vs wall total {total}"
+    );
+    for name in [
+        "parse",
+        "cache_probe",
+        "postings_decode",
+        "rank_merge",
+        "serialize",
+    ] {
+        assert!(
+            stages.get(name).and_then(|x| x.as_f64()).is_some(),
+            "missing stage {name}"
+        );
+    }
+
+    // The Chrome-trace export of the same ring validates structurally.
+    let chrome = http::get(addr, "/debug/slow?format=chrome", TIMEOUT).unwrap();
+    assert_eq!(chrome.status, 200);
+    let sum = inspire_trace::chrome::validate_chrome_json(&chrome.body)
+        .expect("slow-log chrome trace validates");
+    assert!(sum.lanes >= 1);
+    assert!(sum.spans > sum.lanes, "each lane has request + stage spans");
+
+    server.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn prometheus_exposition_negotiates_by_format_param() {
+    let (state, server, addr, path) = start("prom", 2);
+    let term = &pick_terms(&state, 1)[0];
+    assert_eq!(
+        http::get(addr, &format!("/search?q={term}"), TIMEOUT)
+            .unwrap()
+            .status,
+        200
+    );
+
+    // Default stays JSON — the smoke tests byte-compare this shape.
+    let json = http::get(addr, "/metrics", TIMEOUT).unwrap();
+    assert_eq!(json.header("content-type"), Some("application/json"));
+    inspire_trace::json::parse(&json.body).expect("JSON metrics parse");
+
+    let prom = http::get(addr, "/metrics?format=prom", TIMEOUT).unwrap();
+    assert_eq!(prom.status, 200);
+    assert_eq!(
+        prom.header("content-type"),
+        Some("text/plain; version=0.0.4")
+    );
+    for required in [
+        "serve_requests_total",
+        "serve_errors_total",
+        "serve_cache_hits_total",
+        "serve_cache_misses_total",
+        "serve_uptime_seconds",
+        "snapshot_generation",
+        "serve_search_seconds_count",
+        "serve_request_seconds_sum",
+    ] {
+        assert!(
+            prom.body.lines().any(|l| l.starts_with(required)),
+            "missing {required} in prom exposition:\n{}",
+            prom.body
+        );
+    }
+    // Every sample family carries a TYPE line.
+    for line in prom.body.lines().filter(|l| !l.starts_with('#')) {
+        let metric = line.split(['{', ' ']).next().unwrap();
+        let family = metric
+            .strip_suffix("_sum")
+            .or_else(|| metric.strip_suffix("_count"))
+            .unwrap_or(metric);
+        assert!(
+            prom.body.contains(&format!("# TYPE {family} ")),
+            "no TYPE for {metric}"
+        );
+    }
+
+    server.shutdown();
     let _ = std::fs::remove_file(&path);
 }
 

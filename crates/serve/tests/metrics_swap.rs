@@ -1,0 +1,220 @@
+//! Metrics consistency across hot state swaps, and the access log's
+//! bit-invisibility when logging is disabled.
+//!
+//! Drives requests against a server, flips the serving state with
+//! [`Server::swap_state`] mid-run, and checks that the observability
+//! plane stays coherent: counters only ever grow, the latency
+//! histograms lose no samples across the flip, and every `/debug/slow`
+//! timeline records the generation (and epoch) of the state it actually
+//! executed against — not the one serving when it was scraped.
+
+use corpus::CorpusSpec;
+use inspire_core::pipeline::run_engine;
+use inspire_core::EngineConfig;
+use inspire_serve::{http, ServeConfig, ServeState, Server};
+use inspire_trace::json::{parse, Value};
+use perfmodel::CostModel;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn build_snapshot(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("va-swap-{}-{tag}.isnap", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let src = CorpusSpec {
+        source_bytes: 8 * 1024,
+        ..CorpusSpec::pubmed(128 * 1024, 31)
+    }
+    .generate();
+    let cfg = EngineConfig {
+        snapshot_out: Some(path.clone()),
+        ..EngineConfig::for_testing()
+    };
+    run_engine(2, Arc::new(CostModel::zero()), &src, &cfg);
+    path
+}
+
+/// A usable query term from the snapshot vocabulary.
+fn pick_term(state: &ServeState) -> String {
+    let len = state.terms.len();
+    for k in 0..len {
+        let t = state.terms.get((len / 3 + k) % len);
+        if t.len() >= 2
+            && t.chars().all(|c| c.is_ascii_alphanumeric())
+            && !matches!(t, "and" | "or" | "not")
+        {
+            return t.to_string();
+        }
+    }
+    panic!("no usable term");
+}
+
+fn served_count(addr: std::net::SocketAddr) -> (f64, f64) {
+    let m = http::get(addr, "/metrics", TIMEOUT).unwrap();
+    let v = parse(&m.body).expect("metrics parse");
+    let served = v
+        .get("requests")
+        .and_then(|r| r.get("served"))
+        .and_then(|x| x.as_f64())
+        .unwrap();
+    let hist_count = v
+        .get("histograms")
+        .and_then(|h| h.as_arr())
+        .and_then(|hists| {
+            hists
+                .iter()
+                .find(|h| h.get("name").and_then(|n| n.as_str()) == Some("serve_request_seconds"))
+        })
+        .and_then(|h| h.get("count"))
+        .and_then(|c| c.as_f64())
+        .unwrap_or(0.0);
+    (served, hist_count)
+}
+
+#[test]
+fn counters_and_timelines_stay_consistent_across_swaps() {
+    let path = build_snapshot("flip");
+    let mut s1 = ServeState::load(&path).expect("load snapshot");
+    s1.generation = 1;
+    let term = pick_term(&s1);
+    let mut s2 = ServeState::load(&path).expect("load snapshot");
+    s2.generation = 2;
+
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        cache_capacity: 64,
+        queue_depth: 64,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(Arc::new(s1), &cfg).expect("start server");
+    let addr = server.local_addr();
+    assert_eq!(server.generation(), 1);
+
+    // Phase 1: distinct targets against generation 1.
+    let phase1: Vec<String> = (1..=4).map(|n| format!("/term?t={term}&top={n}")).collect();
+    for t in &phase1 {
+        assert_eq!(http::get(addr, t, TIMEOUT).unwrap().status, 200, "{t}");
+    }
+    let (served1, hist1) = served_count(addr);
+    assert!(served1 >= phase1.len() as f64);
+    assert_eq!(hist1, phase1.len() as f64, "histogram lost samples");
+
+    // Hot swap to generation 2; in-flight accounting must not reset.
+    server.swap_state(Arc::new(s2));
+    assert_eq!(server.generation(), 2);
+
+    let phase2: Vec<String> = (5..=8).map(|n| format!("/term?t={term}&top={n}")).collect();
+    for t in &phase2 {
+        assert_eq!(http::get(addr, t, TIMEOUT).unwrap().status, 200, "{t}");
+    }
+    let (served2, hist2) = served_count(addr);
+    assert!(served2 > served1, "served counter went backwards");
+    assert_eq!(
+        hist2,
+        (phase1.len() + phase2.len()) as f64,
+        "histogram count must keep accumulating across the swap"
+    );
+
+    // Every retained timeline names the generation (and epoch) it
+    // executed against, keyed by request detail.
+    let slow = http::get(addr, "/debug/slow", TIMEOUT).unwrap();
+    let v = parse(&slow.body).expect("slow parse");
+    let entries = v.get("slow").and_then(|s| s.as_arr()).unwrap();
+    let lookup = |detail: &str, key: &str| -> f64 {
+        entries
+            .iter()
+            .find(|t| t.get("detail").and_then(|d| d.as_str()) == Some(detail))
+            .unwrap_or_else(|| panic!("{detail} not retained"))
+            .get(key)
+            .and_then(|x| x.as_f64())
+            .unwrap()
+    };
+    for t in &phase1 {
+        assert_eq!(lookup(t, "generation"), 1.0, "{t}");
+        assert_eq!(lookup(t, "epoch"), 0.0, "{t}");
+    }
+    for t in &phase2 {
+        assert_eq!(lookup(t, "generation"), 2.0, "{t}");
+        assert_eq!(lookup(t, "epoch"), 1.0, "{t}");
+    }
+
+    let summary = server.shutdown();
+    assert_eq!(summary.errors, 0);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn access_log_is_bit_invisible_when_logging_disabled() {
+    // This test asserts the *disabled* behavior, so it only runs when
+    // the environment has not enabled logging (mirroring how
+    // tests/observability.rs guards its stderr assertions).
+    if std::env::var_os("INSPIRE_LOG").is_some() {
+        return;
+    }
+    let path = build_snapshot("quiet");
+    let state = Arc::new(ServeState::load(&path).expect("load snapshot"));
+    let term = pick_term(&state);
+    let log_path = std::env::temp_dir().join(format!("va-access-quiet-{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&log_path);
+
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        access_log: Some(log_path.clone()),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(Arc::clone(&state), &cfg).expect("start server");
+    let addr = server.local_addr();
+    for t in [
+        format!("/term?t={term}"),
+        format!("/search?q={term}"),
+        "/healthz".to_string(),
+        "/nope".to_string(),
+    ] {
+        let _ = http::get(addr, &t, TIMEOUT).unwrap();
+    }
+    server.shutdown();
+
+    // With INSPIRE_LOG unset the configured file is never even created.
+    assert!(
+        !log_path.exists(),
+        "access log written despite logging being disabled"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn slow_ring_respects_threshold_and_capacity() {
+    let path = build_snapshot("ring");
+    let state = Arc::new(ServeState::load(&path).expect("load snapshot"));
+    let term = pick_term(&state);
+
+    // An absurd threshold: nothing this snapshot serves takes 1000s, so
+    // the ring must stay empty no matter how many requests land.
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        slow_log_n: 4,
+        slow_threshold_ms: 1_000_000,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(Arc::clone(&state), &cfg).expect("start server");
+    let addr = server.local_addr();
+    for n in 1..=6 {
+        let t = format!("/term?t={term}&top={n}");
+        assert_eq!(http::get(addr, &t, TIMEOUT).unwrap().status, 200);
+    }
+    let slow = http::get(addr, "/debug/slow", TIMEOUT).unwrap();
+    let v = parse(&slow.body).expect("slow parse");
+    assert_eq!(v.get("retained").and_then(|x| x.as_f64()), Some(0.0));
+    assert_eq!(v.get("capacity").and_then(|x| x.as_f64()), Some(4.0));
+    assert_eq!(
+        v.get("slow").map(|s| s == &Value::Arr(Vec::new())),
+        Some(true)
+    );
+    server.shutdown();
+    let _ = std::fs::remove_file(&path);
+}

@@ -125,9 +125,11 @@ pub struct TraceSummary {
 }
 
 /// Parse `s` as a Chrome trace-event document and check the invariants
-/// our exporter guarantees: `traceEvents` is an array; per lane, every
+/// our exporters guarantee: `traceEvents` is an array; per lane, every
 /// `E` closes the innermost open `B` of the same name, every `B` is
-/// closed, and `ts` is monotone non-decreasing.
+/// closed, every `X` complete event (the request-timeline exporter in
+/// [`crate::reqspan`] emits these) carries a non-negative `dur`, and
+/// `ts` is monotone non-decreasing.
 pub fn validate_chrome_json(s: &str) -> Result<TraceSummary, String> {
     let doc = json::parse(s)?;
     let events = doc
@@ -188,6 +190,18 @@ pub fn validate_chrome_json(s: &str) -> Result<TraceSummary, String> {
                 }
             },
             "i" => summary.instants += 1,
+            "X" => {
+                let dur = ev
+                    .get("dur")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("event {i} (tid {tid}): X \"{name}\" without dur"))?;
+                if dur < 0.0 {
+                    return Err(format!(
+                        "event {i} (tid {tid}): X \"{name}\" has negative dur {dur}"
+                    ));
+                }
+                summary.spans += 1;
+            }
             other => return Err(format!("event {i}: unsupported ph {other:?}")),
         }
     }
@@ -295,6 +309,31 @@ mod tests {
         assert!(validate_chrome_json(bad_nest)
             .unwrap_err()
             .contains("innermost"));
+    }
+
+    #[test]
+    fn complete_events_validate_and_require_dur() {
+        let good = r#"{"traceEvents":[
+            {"name":"request","ph":"X","ts":0,"dur":100,"pid":0,"tid":0},
+            {"name":"parse","ph":"X","ts":0,"dur":10,"pid":0,"tid":0},
+            {"name":"serialize","ph":"X","ts":10,"dur":90,"pid":0,"tid":0}
+        ]}"#;
+        let sum = validate_chrome_json(good).expect("X events validate");
+        assert_eq!(sum.spans, 3);
+
+        let no_dur = r#"{"traceEvents":[
+            {"name":"a","ph":"X","ts":0,"pid":0,"tid":0}
+        ]}"#;
+        assert!(validate_chrome_json(no_dur)
+            .unwrap_err()
+            .contains("without dur"));
+
+        let neg_dur = r#"{"traceEvents":[
+            {"name":"a","ph":"X","ts":0,"dur":-1,"pid":0,"tid":0}
+        ]}"#;
+        assert!(validate_chrome_json(neg_dur)
+            .unwrap_err()
+            .contains("negative dur"));
     }
 
     #[test]

@@ -17,7 +17,12 @@
 //!   stage spans, collective wait spans, task-queue events.
 //! * [`metrics`] — log-bucketed latency histograms (p50/p95/p99 with
 //!   bounded relative error) and gauges behind a string-keyed registry,
-//!   used by the snapshot-serving query path.
+//!   used by the snapshot-serving query path; renders as JSON or
+//!   Prometheus text exposition and persists at bucket fidelity.
+//! * [`reqspan`] — the request-scoped counterpart to [`span`]: per-request
+//!   stage timelines built concurrently on serving workers, a structured
+//!   access-log line format, and a thread-safe keep-N-worst slow-query
+//!   ring with JSON and Chrome-trace export.
 //! * [`report`] — the structured run report: a pretty table for stderr
 //!   plus a machine-readable JSON artifact, covering per-stage wall and
 //!   virtual time, communication totals, per-stage load imbalance, and
@@ -33,9 +38,11 @@ pub mod json;
 pub mod log;
 pub mod metrics;
 pub mod report;
+pub mod reqspan;
 pub mod span;
 
 pub use log::Level;
 pub use metrics::{Histogram, HistogramSummary, Registry};
 pub use report::{RunReport, StageRow};
+pub use reqspan::{ReqSpan, ReqTimeline, ReqTrace, SlowLog};
 pub use span::{Event, Phase, RankTrace, SpanRecorder};

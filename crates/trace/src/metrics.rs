@@ -101,6 +101,11 @@ impl Histogram {
         }
     }
 
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     /// The value at quantile `q` in `[0, 1]`: the inclusive upper bound
     /// of the first bucket whose cumulative count reaches
     /// `ceil(q·count)` (clamped to at least 1). Returns 0 on an empty
@@ -137,6 +142,7 @@ impl Histogram {
         HistogramSummary {
             name: name.to_string(),
             count: self.count,
+            sum_ns: self.sum.min(u64::MAX as u128) as u64,
             min_ns: self.min(),
             max_ns: self.max(),
             mean_ns: self.mean(),
@@ -145,6 +151,75 @@ impl Histogram {
             p99_ns: self.quantile(0.99),
         }
     }
+
+    /// Serialize at full bucket fidelity (exact round trip through
+    /// [`Histogram::from_persist`], so persisted histograms stay
+    /// count-additive under [`Histogram::merge`]). Used by the ingest
+    /// metrics sidecar to accumulate across processes.
+    pub fn to_persist_json(&self) -> String {
+        let mut s = format!(
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+            self.count,
+            self.sum,
+            self.min(),
+            self.max
+        );
+        for (i, (&b, &n)) in self.counts.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("[{b},{n}]"));
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Rebuild a histogram from its [`to_persist_json`](Self::to_persist_json)
+    /// form (parsed). Sums above 2^53 lose f64 precision on the way
+    /// through JSON; fine for the latency sidecars this serves.
+    pub fn from_persist(v: &crate::json::Value) -> Result<Histogram, String> {
+        let num = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(crate::json::Value::as_f64)
+                .map(|f| f as u64)
+                .ok_or_else(|| format!("histogram persist: missing {key}"))
+        };
+        let count = num("count")?;
+        let sum = v
+            .get("sum")
+            .and_then(crate::json::Value::as_f64)
+            .ok_or("histogram persist: missing sum")? as u128;
+        let min = num("min")?;
+        let max = num("max")?;
+        let buckets = v
+            .get("buckets")
+            .and_then(crate::json::Value::as_arr)
+            .ok_or("histogram persist: missing buckets")?;
+        let mut counts = BTreeMap::new();
+        let mut bucket_total = 0u64;
+        for (i, pair) in buckets.iter().enumerate() {
+            let pair = pair
+                .as_arr()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| format!("histogram persist: bucket {i} not a pair"))?;
+            let b = pair[0].as_f64().ok_or("bad bucket index")? as u32;
+            let n = pair[1].as_f64().ok_or("bad bucket count")? as u64;
+            bucket_total += n;
+            *counts.entry(b).or_insert(0) += n;
+        }
+        if bucket_total != count {
+            return Err(format!(
+                "histogram persist: bucket counts sum to {bucket_total}, count says {count}"
+            ));
+        }
+        Ok(Histogram {
+            counts,
+            count,
+            sum,
+            min: if count == 0 { u64::MAX } else { min },
+            max,
+        })
+    }
 }
 
 /// Percentile snapshot of one histogram; nanosecond units by convention.
@@ -152,12 +227,27 @@ impl Histogram {
 pub struct HistogramSummary {
     pub name: String,
     pub count: u64,
+    pub sum_ns: u64,
     pub min_ns: u64,
     pub max_ns: u64,
     pub mean_ns: f64,
     pub p50_ns: u64,
     pub p95_ns: u64,
     pub p99_ns: u64,
+}
+
+/// Map a metric name onto the Prometheus charset `[a-zA-Z0-9_:]`,
+/// replacing anything else (and a leading digit) with `_`.
+pub fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
 }
 
 /// Render nanoseconds human-readably (`850ns`, `12.4µs`, `3.1ms`, `2.0s`).
@@ -178,10 +268,11 @@ impl HistogramSummary {
     /// section.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"name\":\"{}\",\"count\":{},\"min_ns\":{},\"max_ns\":{},\
+            "{{\"name\":\"{}\",\"count\":{},\"sum_ns\":{},\"min_ns\":{},\"max_ns\":{},\
              \"mean_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{}}}",
             crate::json::escape(&self.name),
             self.count,
+            self.sum_ns,
             self.min_ns,
             self.max_ns,
             crate::json::num(self.mean_ns),
@@ -222,6 +313,14 @@ impl Registry {
     /// Set gauge `name` to `v` (last write wins).
     pub fn gauge(&mut self, name: &str, v: f64) {
         self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Ensure histogram `name` exists (empty until the first
+    /// observation). Expositions call this so scrapes expose a stable
+    /// family set from the very first request, instead of families
+    /// popping into existence when their first sample lands.
+    pub fn ensure(&mut self, name: &str) {
+        self.hists.entry(name.to_string()).or_default();
     }
 
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
@@ -275,6 +374,94 @@ impl Registry {
         }
         s.push_str("}}");
         s
+    }
+
+    /// Prometheus text exposition (format 0.0.4): each histogram as a
+    /// `summary` metric — `{quantile="0.5|0.95|0.99"}` sample lines plus
+    /// the `_sum`/`_count` pair that keeps scraped series count-additive
+    /// across merges — and each gauge as a `gauge`. Histograms record
+    /// nanoseconds; metrics named `*_seconds` are scaled to seconds on
+    /// the way out, so the exposition speaks base units while the JSON
+    /// views keep their `*_ns` fields.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, h) in &self.hists {
+            let n = prom_name(name);
+            let scale = if n.ends_with("_seconds") { 1e-9 } else { 1.0 };
+            out.push_str(&format!("# TYPE {n} summary\n"));
+            for (q, label) in [(0.50, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                out.push_str(&format!(
+                    "{n}{{quantile=\"{label}\"}} {}\n",
+                    crate::json::num(h.quantile(q) as f64 * scale)
+                ));
+            }
+            out.push_str(&format!(
+                "{n}_sum {}\n",
+                crate::json::num(h.sum() as f64 * scale)
+            ));
+            out.push_str(&format!("{n}_count {}\n", h.count()));
+        }
+        for (name, v) in &self.gauges {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", crate::json::num(*v)));
+        }
+        out
+    }
+
+    /// Full-fidelity serialization: every histogram at bucket level (see
+    /// [`Histogram::to_persist_json`]) plus gauges. Unlike
+    /// [`to_json`](Self::to_json) this round-trips exactly, so a
+    /// registry persisted by one process and reloaded by another keeps
+    /// merging count-additively.
+    pub fn to_persist_json(&self) -> String {
+        let mut s = String::from("{\"histograms\":{");
+        for (i, (name, h)) in self.hists.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\"{}\":{}",
+                crate::json::escape(name),
+                h.to_persist_json()
+            ));
+        }
+        s.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\"{}\":{}",
+                crate::json::escape(k),
+                crate::json::num(*v)
+            ));
+        }
+        s.push_str("}}");
+        s
+    }
+
+    /// Rebuild a registry from [`to_persist_json`](Self::to_persist_json).
+    pub fn from_persist_json(s: &str) -> Result<Registry, String> {
+        let doc = crate::json::parse(s)?;
+        let mut reg = Registry::new();
+        if let Some(crate::json::Value::Obj(hists)) = doc.get("histograms") {
+            for (name, v) in hists {
+                reg.hists.insert(name.clone(), Histogram::from_persist(v)?);
+            }
+        } else {
+            return Err("registry persist: missing histograms".into());
+        }
+        if let Some(crate::json::Value::Obj(gauges)) = doc.get("gauges") {
+            for (name, v) in gauges {
+                let f = v
+                    .as_f64()
+                    .ok_or_else(|| format!("registry persist: gauge {name} not a number"))?;
+                reg.gauges.insert(name.clone(), f);
+            }
+        } else {
+            return Err("registry persist: missing gauges".into());
+        }
+        Ok(reg)
     }
 
     /// A `latency p50 p95 p99` table for stderr.
@@ -436,5 +623,104 @@ mod tests {
         assert_eq!(fmt_ns(12_400.0), "12.4µs");
         assert_eq!(fmt_ns(3_100_000.0), "3.1ms");
         assert_eq!(fmt_ns(2.0e9), "2.00s");
+    }
+
+    #[test]
+    fn summary_carries_sum() {
+        let mut h = Histogram::new();
+        h.record(100);
+        h.record(300);
+        let s = h.summarize("serve_request_seconds");
+        assert_eq!(s.sum_ns, 400);
+        let json = s.to_json();
+        let v = crate::json::parse(&json).unwrap();
+        assert_eq!(v.get("sum_ns").and_then(|x| x.as_f64()), Some(400.0));
+    }
+
+    #[test]
+    fn prom_name_sanitizes() {
+        assert_eq!(prom_name("serve_request_seconds"), "serve_request_seconds");
+        assert_eq!(prom_name("serve.query"), "serve_query");
+        assert_eq!(prom_name("9lives"), "_lives");
+        assert_eq!(prom_name(""), "_");
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let mut r = Registry::new();
+        for i in 1..=100u64 {
+            r.observe("serve_term_seconds", std::time::Duration::from_micros(i));
+        }
+        r.gauge("snapshot_generation", 3.0);
+        let text = r.to_prometheus();
+        assert!(text.contains("# TYPE serve_term_seconds summary\n"));
+        assert!(text.contains("serve_term_seconds{quantile=\"0.5\"}"));
+        assert!(text.contains("serve_term_seconds{quantile=\"0.99\"}"));
+        assert!(text.contains("serve_term_seconds_count 100\n"));
+        assert!(text.contains("# TYPE snapshot_generation gauge\nsnapshot_generation 3\n"));
+        // _sum is scaled ns → s: 1+2+..+100 µs = 5050 µs = 0.00505 s.
+        let sum_line = text
+            .lines()
+            .find(|l| l.starts_with("serve_term_seconds_sum "))
+            .unwrap();
+        let v: f64 = sum_line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert!((v - 0.00505).abs() < 1e-9, "sum {v}");
+        // Every sample line's metric family has a TYPE header.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let metric = line.split(['{', ' ']).next().unwrap();
+            let family = metric
+                .strip_suffix("_sum")
+                .or_else(|| metric.strip_suffix("_count"))
+                .unwrap_or(metric);
+            assert!(
+                text.contains(&format!("# TYPE {family} ")),
+                "no TYPE for {metric}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_persist_round_trips_and_stays_additive() {
+        let mut h = Histogram::new();
+        for v in [1u64, 7, 100, 5_000, 1_000_000, u32::MAX as u64] {
+            h.record(v);
+        }
+        let doc = crate::json::parse(&h.to_persist_json()).unwrap();
+        let back = Histogram::from_persist(&doc).unwrap();
+        assert_eq!(back, h);
+        // Accumulate across a persist/load cycle: equals direct merging.
+        let mut more = Histogram::new();
+        more.record(42);
+        let mut via_persist = back.clone();
+        via_persist.merge(&more);
+        let mut direct = h.clone();
+        direct.merge(&more);
+        assert_eq!(via_persist, direct);
+        // Empty histogram round-trips too (min sentinel preserved).
+        let empty_doc = crate::json::parse(&Histogram::new().to_persist_json()).unwrap();
+        let empty = Histogram::from_persist(&empty_doc).unwrap();
+        assert_eq!(empty, Histogram::new());
+    }
+
+    #[test]
+    fn registry_persist_round_trips() {
+        let mut r = Registry::new();
+        r.observe("seal_latency_seconds", std::time::Duration::from_millis(12));
+        r.observe("seal_latency_seconds", std::time::Duration::from_millis(30));
+        r.gauge("snapshot_generation", 5.0);
+        let s = r.to_persist_json();
+        let back = Registry::from_persist_json(&s).unwrap();
+        assert_eq!(
+            back.histogram("seal_latency_seconds").map(|h| h.count()),
+            Some(2)
+        );
+        assert_eq!(
+            back.histogram("seal_latency_seconds"),
+            r.histogram("seal_latency_seconds")
+        );
+        let gauges: Vec<_> = back.gauges().collect();
+        assert_eq!(gauges, vec![("snapshot_generation", 5.0)]);
+        assert!(Registry::from_persist_json("{}").is_err());
+        assert!(Registry::from_persist_json("not json").is_err());
     }
 }

@@ -48,7 +48,7 @@ use visual_analytics::prelude::*;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  vaengine generate --flavour <pubmed|trec|newswire> --size <bytes[K|M]> [--seed N] --out <dir>\n  vaengine analyze|run --input <dir> [--procs N] [--clusters K] [--out coords.csv]\n                   [--checkpoint-dir <dir>] [--resume] [--snapshot-out <file.isnap>]\n                   [--trace-out <trace.json>] [--report-out <report.json>]\n  vaengine snapshot --input <dir> --out <file.isnap> [--procs N] [--clusters K]\n                    [--checkpoint-dir <dir>] [--resume]\n                    [--trace-out <trace.json>] [--report-out <report.json>]\n  vaengine ingest --dir <ingest-dir> [--base <file.isnap>] [--input <file|dir>]\n                  [--delete id,id,...] [--crash-after-wal]\n  vaengine compact --dir <ingest-dir>\n  vaengine query --snapshot <file.isnap> | --ingest-dir <dir>\n                 [--search \"free text\"] [--query \"a AND NOT title:b\"]\n                 [--term <term>] [--top N] [--cluster C] [--rect x0,y0,x1,y1]\n                 [--json] [--repeat N] [--report-out <report.json>]\n  vaengine serve --snapshot <file.isnap> | --ingest-dir <dir>\n                 [--addr 127.0.0.1:7878] [--workers N] [--cache N] [--queue N]\n  vaengine themeview --coords <coords.csv> [--width N] [--height N]"
+        "usage:\n  vaengine generate --flavour <pubmed|trec|newswire> --size <bytes[K|M]> [--seed N] --out <dir>\n  vaengine analyze|run --input <dir> [--procs N] [--clusters K] [--out coords.csv]\n                   [--checkpoint-dir <dir>] [--resume] [--snapshot-out <file.isnap>]\n                   [--trace-out <trace.json>] [--report-out <report.json>]\n  vaengine snapshot --input <dir> --out <file.isnap> [--procs N] [--clusters K]\n                    [--checkpoint-dir <dir>] [--resume]\n                    [--trace-out <trace.json>] [--report-out <report.json>]\n  vaengine ingest --dir <ingest-dir> [--base <file.isnap>] [--input <file|dir>]\n                  [--delete id,id,...] [--crash-after-wal]\n  vaengine compact --dir <ingest-dir>\n  vaengine query --snapshot <file.isnap> | --ingest-dir <dir>\n                 [--search \"free text\"] [--query \"a AND NOT title:b\"]\n                 [--term <term>] [--top N] [--cluster C] [--rect x0,y0,x1,y1]\n                 [--json] [--repeat N] [--report-out <report.json>]\n  vaengine serve --snapshot <file.isnap> | --ingest-dir <dir>\n                 [--addr 127.0.0.1:7878] [--workers N] [--cache N] [--queue N]\n                 [--access-log <file>] [--slow-log-n N] [--slow-threshold-ms N]\n  vaengine themeview --coords <coords.csv> [--width N] [--height N]"
     );
     exit(2);
 }
@@ -508,7 +508,7 @@ fn query_cmd(args: &Args) {
         None => load_serve_state(path, json),
     };
     let mut metrics = Registry::new();
-    metrics.observe("snapshot.load", started.elapsed());
+    metrics.observe("snapshot_load_seconds", started.elapsed());
     let fail = |e: String| -> ! {
         eprintln!("query failed: {e}");
         exit(1);
@@ -551,7 +551,7 @@ fn query_cmd(args: &Args) {
     for pass in 0..repeat {
         let first = pass == 0;
         for req in &requests {
-            let name = format!("query.{}", metric_kind(req));
+            let name = format!("query_{}_seconds", metric_kind(req));
             if json {
                 let body = metrics.time(&name, || inspire_serve::execute(&state, req));
                 match body {
@@ -590,8 +590,9 @@ fn query_cmd(args: &Args) {
     }
 }
 
-/// Serving-metric name suffix per query kind. `Boolean` keeps the
-/// historical `query.eval` name the run reports already use.
+/// Serving-metric kind segment per query kind (`query_<kind>_seconds`).
+/// `Boolean` keeps the historical `eval` kind the run reports already
+/// use, now in the `subsystem_name_unit` naming convention.
 fn metric_kind(req: &ServeRequest) -> &'static str {
     match req {
         ServeRequest::Term { .. } => "term",
@@ -743,6 +744,12 @@ fn serve_cmd(args: &Args) {
         workers: args.value_or("--workers", "8").parse().unwrap_or(8),
         cache_capacity: args.value_or("--cache", "1024").parse().unwrap_or(1024),
         queue_depth: args.value_or("--queue", "256").parse().unwrap_or(256),
+        access_log: args.value("--access-log").map(PathBuf::from),
+        slow_log_n: args.value_or("--slow-log-n", "32").parse().unwrap_or(32),
+        slow_threshold_ms: args
+            .value_or("--slow-threshold-ms", "0")
+            .parse()
+            .unwrap_or(0),
         ..ServeConfig::default()
     };
     let state = Arc::new(match &ingest_dir {
@@ -765,7 +772,10 @@ fn serve_cmd(args: &Args) {
         cfg.cache_capacity,
         cfg.queue_depth
     );
-    println!("endpoints: /term /query /search /cluster /rect /metrics /healthz");
+    println!("endpoints: /term /query /search /cluster /rect /metrics /healthz /debug/slow");
+    println!(
+        "formats: /metrics?format=prom (Prometheus), /debug/slow?format=chrome (trace viewer)"
+    );
     install_shutdown_handler();
     // 50 ms shutdown poll; every 10th tick (~500 ms) also polls the
     // ingest manifest and hot-swaps the serving state when a seal or
