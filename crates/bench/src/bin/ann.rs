@@ -1,0 +1,293 @@
+//! ANN similarity microbenchmark: IVF + quantized-signature search vs
+//! the exhaustive `f64` oracle, swept over `nprobe`.
+//!
+//! The workload is the real pipeline end to end: generate a PubMed-style
+//! corpus (2 MiB full, 256 KiB smoke), run the engine with `snapshot_out`
+//! so the Final snapshot carries the ANN sections, then query the
+//! snapshot the way `vaengine query --similar` does — rank centroids,
+//! scan the top-`nprobe` clusters with the `u8` kernel, re-rank exactly.
+//! Queries are document signatures sampled evenly across the corpus, so
+//! the oracle's top-k is well defined and recall is exact.
+//!
+//! For every `nprobe` in {1, 2, 4, …, k} the sweep records recall@10
+//! (from a top-10 fetch) and recall@100 (from a top-100 fetch) against
+//! the oracle, mean candidates scanned, and speedup — oracle min-time
+//! over IVF min-time for the *top-10* query batch, the user-facing
+//! similar-documents shape, on both sides. The headline operating point
+//! is the highest-speedup sweep entry with recall@10 ≥ 0.9 —
+//! `nprobe = k` reproduces the oracle bit-for-bit, so that set is never
+//! empty.
+//!
+//! Writes `results/BENCH_ann_<ts>.json` and the stable
+//! `results/BENCH_ann_latest.json` pointer CI validates, and appends an
+//! "ANN similarity" row to `results/scaling_history.md`.
+
+use corpus::CorpusSpec;
+use inspire_bench::{history, results_dir};
+use inspire_core::ann::{self, AnnIndexView};
+use inspire_core::pipeline::run_engine;
+use inspire_core::{EngineConfig, EngineSnapshot};
+use perfmodel::CostModel;
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+struct SweepPoint {
+    nprobe: usize,
+    recall_at_10: f64,
+    recall_at_100: f64,
+    /// Mean quantized candidates scanned per query.
+    candidates: f64,
+    /// Oracle batch time / IVF batch time.
+    speedup: f64,
+    q_per_s: f64,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (corpus_bytes, n_clusters, n_queries, iters) = if smoke {
+        (384 * 1024u64, 12usize, 24usize, 3usize)
+    } else {
+        (2 * 1024 * 1024u64, 64usize, 64usize, 5usize)
+    };
+
+    // --- build: real pipeline, Final snapshot with ANN sections ---------
+    let src = CorpusSpec::pubmed(corpus_bytes, 41).generate();
+    let out = std::env::temp_dir().join(format!("va-ann-bench-{}.isnap", std::process::id()));
+    let _ = std::fs::remove_file(&out);
+    let cfg = EngineConfig {
+        n_clusters,
+        snapshot_out: Some(out.clone()),
+        ..EngineConfig::default()
+    };
+    let t0 = Instant::now();
+    run_engine(1, Arc::new(CostModel::pnnl_2007()), &src, &cfg);
+    let build_s = t0.elapsed().as_secs_f64();
+    let snap = EngineSnapshot::open(&out).expect("snapshot opens");
+    assert!(snap.has_ann(), "Final snapshot must carry ANN sections");
+
+    let meta = snap.meta();
+    let (k, m) = (meta.k, meta.m_dims);
+    let store = snap.store();
+    let sigs = store.require("sigs").unwrap().as_f64s().unwrap();
+    let codes = store.require("qsig").unwrap().as_records(m).unwrap();
+    let sums = ann::code_sums(codes, m);
+    let view = AnnIndexView {
+        k,
+        m,
+        centroids: store.require("centroid").unwrap().as_f64s().unwrap(),
+        ivfoff: store.require("ivfoff").unwrap().as_u64s().unwrap(),
+        ivfdoc: store.require("ivfdoc").unwrap().as_u32s().unwrap(),
+        codes,
+        scale: store.require("qscale").unwrap().as_f64s().unwrap(),
+        offset: store.require("qoff").unwrap().as_f64s().unwrap(),
+        norm: store.require("signrm").unwrap().as_f64s().unwrap(),
+        sums: &sums,
+        exact: sigs,
+    };
+    let docs = view.docs();
+    let quant_bytes: usize = ["qsig", "qscale", "qoff", "signrm", "ivfdoc", "ivfoff"]
+        .iter()
+        .map(|s| store.require(s).unwrap().bytes().len())
+        .sum();
+    let exact_bytes = store.require("sigs").unwrap().bytes().len();
+
+    // --- queries: doc signatures sampled evenly, nulls skipped ----------
+    let mut queries: Vec<&[f64]> = Vec::new();
+    let mut d = 0usize;
+    while queries.len() < n_queries && d < docs {
+        let row = &sigs[d * m..(d + 1) * m];
+        if ann::l2_norm(row) > 0.0 {
+            queries.push(row);
+        }
+        d += (docs / n_queries).max(1);
+    }
+    assert!(!queries.is_empty(), "no non-null query signatures");
+
+    // Recall is measured at both depths; *latency* is measured at the
+    // user-facing top-10 similar-documents query on both sides, so the
+    // speedup compares like for like (the oracle's scan cost barely
+    // depends on `top`, the IVF side's re-rank pool does).
+    let top = 10usize;
+    let deep = 100usize;
+
+    // --- oracle: exhaustive f64 scan, timed over the same batch ---------
+    let oracle: Vec<Vec<inspire_core::query::Hit>> = queries
+        .iter()
+        .map(|q| ann::exhaustive(sigs, m, q, deep))
+        .collect();
+    let mut oracle_s = f64::MAX;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        for q in &queries {
+            std::hint::black_box(ann::exhaustive(sigs, m, q, top));
+        }
+        oracle_s = oracle_s.min(t0.elapsed().as_secs_f64());
+    }
+    let truth10: Vec<HashSet<u32>> = oracle
+        .iter()
+        .map(|h| h.iter().take(top).map(|x| x.doc).collect())
+        .collect();
+    let truth100: Vec<HashSet<u32>> = oracle
+        .iter()
+        .map(|h| h.iter().map(|x| x.doc).collect())
+        .collect();
+
+    // --- sweep nprobe = 1, 2, 4, … , k ----------------------------------
+    let mut probes: Vec<usize> = std::iter::successors(Some(1usize), |&p| Some(p * 2))
+        .take_while(|&p| p < k)
+        .collect();
+    probes.push(k);
+    let mut sweep = Vec::new();
+    for &nprobe in &probes {
+        let mut cand_total = 0usize;
+        let (mut got10, mut got100) = (0usize, 0usize);
+        let (mut want10, mut want100) = (0usize, 0usize);
+        for (i, q) in queries.iter().enumerate() {
+            let mut stats = ann::SearchStats::default();
+            let hits = ann::search(&view, q, top, nprobe, &mut stats);
+            cand_total += stats.candidates;
+            got10 += hits.iter().filter(|h| truth10[i].contains(&h.doc)).count();
+            want10 += truth10[i].len();
+            let mut deep_stats = ann::SearchStats::default();
+            let deep_hits = ann::search(&view, q, deep, nprobe, &mut deep_stats);
+            got100 += deep_hits
+                .iter()
+                .filter(|h| truth100[i].contains(&h.doc))
+                .count();
+            want100 += truth100[i].len();
+        }
+        let mut ivf_s = f64::MAX;
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            for q in &queries {
+                let mut stats = ann::SearchStats::default();
+                std::hint::black_box(ann::search(&view, q, top, nprobe, &mut stats));
+            }
+            ivf_s = ivf_s.min(t0.elapsed().as_secs_f64());
+        }
+        sweep.push(SweepPoint {
+            nprobe,
+            recall_at_10: got10 as f64 / want10.max(1) as f64,
+            recall_at_100: got100 as f64 / want100.max(1) as f64,
+            candidates: cand_total as f64 / queries.len() as f64,
+            speedup: if ivf_s > 0.0 { oracle_s / ivf_s } else { 0.0 },
+            q_per_s: if ivf_s > 0.0 {
+                queries.len() as f64 / ivf_s
+            } else {
+                0.0
+            },
+        });
+    }
+
+    // --- headline: best speedup among recall@10 ≥ 0.9 points ------------
+    let operating = sweep
+        .iter()
+        .filter(|p| p.recall_at_10 >= 0.9)
+        .max_by(|a, b| a.speedup.partial_cmp(&b.speedup).unwrap())
+        .expect("nprobe = k always has recall 1.0");
+    let compression = exact_bytes as f64 / quant_bytes.max(1) as f64;
+
+    println!(
+        "ann — {docs} docs, m={m}, k={k}, {} queries, top {top} (recall@100 at {deep}), built in {build_s:.1}s \
+         ({quant_bytes} B quantized vs {exact_bytes} B exact, {compression:.2}x)",
+        queries.len()
+    );
+    println!(
+        "exhaustive oracle: {:.0} q/s",
+        queries.len() as f64 / oracle_s
+    );
+    for p in &sweep {
+        println!(
+            "nprobe {:>3}: recall@10 {:.3}  recall@100 {:.3}  candidates {:>8.1}  \
+             {:>8.0} q/s  {:.2}x",
+            p.nprobe, p.recall_at_10, p.recall_at_100, p.candidates, p.q_per_s, p.speedup
+        );
+    }
+    println!(
+        "operating point: nprobe {} — recall@10 {:.3}, {:.2}x vs exhaustive",
+        operating.nprobe, operating.recall_at_10, operating.speedup
+    );
+
+    let ts = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .expect("clock before 1970")
+        .as_secs();
+    let sweep_json: Vec<String> = sweep
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"nprobe\": {}, \"recall_at_10\": {:.4}, \"recall_at_100\": {:.4}, \
+                 \"candidates\": {:.1}, \"q_per_s\": {:.0}, \"speedup\": {:.4}}}",
+                p.nprobe, p.recall_at_10, p.recall_at_100, p.candidates, p.q_per_s, p.speedup
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"ann\",\n  \"smoke\": {smoke},\n  \
+         \"corpus_bytes\": {corpus_bytes},\n  \"docs\": {docs},\n  \"m_dims\": {m},\n  \
+         \"k_centroids\": {k},\n  \"queries\": {},\n  \"top\": {top},\n  \"deep\": {deep},\n  \
+         \"quantized_bytes\": {quant_bytes},\n  \"exact_sig_bytes\": {exact_bytes},\n  \
+         \"sig_compression_ratio\": {compression:.4},\n  \
+         \"exhaustive_q_per_s\": {:.0},\n  \
+         \"ann_nprobe\": {},\n  \"ann_recall_at_10\": {:.4},\n  \
+         \"ann_recall_at_100\": {:.4},\n  \"ann_candidate_count\": {:.1},\n  \
+         \"ann_speedup_vs_exhaustive\": {:.4},\n  \"sweep\": [\n{}\n  ]\n}}\n",
+        queries.len(),
+        queries.len() as f64 / oracle_s,
+        operating.nprobe,
+        operating.recall_at_10,
+        operating.recall_at_100,
+        operating.candidates,
+        operating.speedup,
+        sweep_json.join(",\n"),
+    );
+    let path = results_dir().join(format!("BENCH_ann_{ts}.json"));
+    std::fs::write(&path, &json).expect("write BENCH json");
+    let latest = results_dir().join("BENCH_ann_latest.json");
+    std::fs::write(&latest, &json).expect("write BENCH latest pointer");
+    println!("wrote {}", path.display());
+    println!("wrote {}", latest.display());
+
+    let row = format!(
+        "| {} | {} | {} | {} | {} | {} | {:.3} | {:.3} | {:.1} | {:.2} |",
+        utc_date(ts),
+        smoke,
+        docs,
+        k,
+        queries.len(),
+        operating.nprobe,
+        operating.recall_at_10,
+        operating.recall_at_100,
+        operating.candidates,
+        operating.speedup,
+    );
+    let hist = results_dir().join("scaling_history.md");
+    history::append_row(&hist, &ANN_TABLE, &row).expect("append ann history row");
+    println!("appended {}", hist.display());
+
+    let _ = std::fs::remove_file(&out);
+}
+
+/// The ANN-history table inside the shared history file.
+const ANN_TABLE: history::HistoryTable<'static> = history::HistoryTable {
+    section: Some("## ANN similarity"),
+    header: "| date (utc) | smoke | docs | k | queries | nprobe | recall_at_10 | recall_at_100 | ann_candidates | ann_speedup |",
+    marker: "| ann_speedup |",
+};
+
+/// Unix seconds → `YYYY-MM-DD` (civil-from-days, Hinnant's algorithm).
+fn utc_date(ts: u64) -> String {
+    let days = (ts / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}

@@ -1,0 +1,737 @@
+//! IVF-accelerated similarity search over knowledge signatures.
+//!
+//! "Find documents like this one" over the per-document knowledge
+//! signatures (paper §3.4) needs candidate pruning to stay interactive:
+//! an exhaustive scan is O(docs × M) `f64` work per query. This module
+//! reuses the engine's k-means centroids (§3.5) as an **inverted-file
+//! (IVF) coarse quantizer**:
+//!
+//! * At snapshot time every document already carries its nearest-centroid
+//!   assignment; [`build_ivf`] groups documents into per-centroid posting
+//!   lists and re-encodes each signature with **per-signature scalar
+//!   quantization** — `u8` codes plus an `f64` scale/offset pair — and
+//!   records the exact `f64` L2 norm for re-ranking.
+//! * At query time [`search`] ranks centroids by cosine, scans only the
+//!   top-`nprobe` lists with the unrolled `u8` dot-product kernel
+//!   [`dot_u8`], and **exactly re-ranks** the leading candidates in `f64`
+//!   using the quantization error bound [`dot_error_bound`]: re-ranking
+//!   stops once no remaining candidate's upper bound can displace the
+//!   current k-th best exact score. Within the probed lists the result is
+//!   therefore identical to an exhaustive `f64` scan of those lists, so
+//!   `nprobe = k` reproduces [`exhaustive`] exactly.
+//!
+//! Everything here is deterministic: ties break toward the lower doc id
+//! (and lower centroid index), and no accumulation order depends on the
+//! processor count.
+
+use crate::linalg::dot;
+use crate::query::Hit;
+use crate::DocId;
+
+/// Largest quantization code (codes span `0..=255`).
+pub const QMAX: f64 = 255.0;
+
+/// Per-signature scalar quantization parameters: a signature component
+/// `s_i` is encoded as `round((s_i - offset) / scale)` and decoded as
+/// `offset + code * scale`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantParams {
+    pub scale: f64,
+    pub offset: f64,
+}
+
+/// Quantize one signature into `codes` (same length), returning the
+/// per-signature parameters. A constant signature (max == min, including
+/// the all-zero null signature) encodes as all-zero codes with scale 0.
+pub fn quantize_into(sig: &[f64], codes: &mut [u8]) -> QuantParams {
+    debug_assert_eq!(sig.len(), codes.len());
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in sig {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    if sig.is_empty() || hi <= lo {
+        codes.fill(0);
+        return QuantParams {
+            scale: 0.0,
+            offset: if sig.is_empty() { 0.0 } else { lo },
+        };
+    }
+    let scale = (hi - lo) / QMAX;
+    let inv = QMAX / (hi - lo);
+    for (c, &x) in codes.iter_mut().zip(sig) {
+        *c = ((x - lo) * inv).round().clamp(0.0, QMAX) as u8;
+    }
+    QuantParams { scale, offset: lo }
+}
+
+/// Decode one component.
+pub fn dequantize(code: u8, p: QuantParams) -> f64 {
+    p.offset + code as f64 * p.scale
+}
+
+/// Unrolled `u8·u8` dot product: four independent `u32` accumulators so
+/// the compiler can keep vector lanes busy, folded into `u64` per block
+/// of 16384 components (the largest block whose partial sums cannot
+/// overflow `u32`).
+pub fn dot_u8(a: &[u8], b: &[u8]) -> u64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut total = 0u64;
+    for (ca, cb) in a.chunks(16384).zip(b.chunks(16384)) {
+        let (mut s0, mut s1, mut s2, mut s3) = (0u32, 0u32, 0u32, 0u32);
+        let mut ia = ca.chunks_exact(4);
+        let mut ib = cb.chunks_exact(4);
+        for (xa, xb) in (&mut ia).zip(&mut ib) {
+            s0 += xa[0] as u32 * xb[0] as u32;
+            s1 += xa[1] as u32 * xb[1] as u32;
+            s2 += xa[2] as u32 * xb[2] as u32;
+            s3 += xa[3] as u32 * xb[3] as u32;
+        }
+        for (&x, &y) in ia.remainder().iter().zip(ib.remainder()) {
+            s0 += x as u32 * y as u32;
+        }
+        total += s0 as u64 + s1 as u64 + s2 as u64 + s3 as u64;
+    }
+    total
+}
+
+/// Scalar reference for [`dot_u8`] (the oracle the kernel is tested
+/// against).
+pub fn dot_u8_ref(a: &[u8], b: &[u8]) -> u64 {
+    a.iter().zip(b).map(|(&x, &y)| x as u64 * y as u64).sum()
+}
+
+/// Approximate `f64` dot product of two quantized signatures, expanded
+/// from the affine decode without materializing any `f64` vector:
+///
+/// ```text
+/// â·b̂ = Σ (oa + sa·ai)(ob + sb·bi)
+///     = m·oa·ob + oa·sb·Σbi + ob·sa·Σai + sa·sb·Σ ai·bi
+/// ```
+///
+/// `sum_a`/`sum_b` are the plain code sums and the last term is the
+/// [`dot_u8`] kernel.
+#[allow(clippy::too_many_arguments)]
+pub fn approx_dot(
+    m: usize,
+    a: QuantParams,
+    sum_a: u32,
+    b: QuantParams,
+    sum_b: u32,
+    codes_dot: u64,
+) -> f64 {
+    m as f64 * a.offset * b.offset
+        + a.offset * b.scale * sum_b as f64
+        + b.offset * a.scale * sum_a as f64
+        + a.scale * b.scale * codes_dot as f64
+}
+
+/// Upper bound on `|a·b − â·b̂|` for round-to-nearest quantization with
+/// per-component error ≤ scale/2, in terms of the exact L1 norms:
+///
+/// ```text
+/// |a·b − â·b̂| ≤ Σ|aᵢ−âᵢ||bᵢ| + Σ|âᵢ||bᵢ−b̂ᵢ|
+///            ≤ (sa/2)·‖b‖₁ + (sb/2)·(‖a‖₁ + m·sa/2)
+/// ```
+///
+/// The returned value is inflated by a small relative+absolute slack so
+/// the bound stays safe under its own `f64` rounding.
+pub fn dot_error_bound(a: QuantParams, b: QuantParams, l1_a: f64, l1_b: f64, m: usize) -> f64 {
+    let ea = a.scale * 0.5;
+    let eb = b.scale * 0.5;
+    let raw = ea * l1_b + eb * (l1_a + m as f64 * ea);
+    raw * (1.0 + 1e-9) + 1e-15
+}
+
+/// Exact L2 norm of a signature row; the same helper is used at snapshot
+/// write time and by the exhaustive oracle, so stored and recomputed
+/// norms are bit-identical.
+pub fn l2_norm(row: &[f64]) -> f64 {
+    dot(row, row).sqrt()
+}
+
+/// The IVF index and quantized signature store built at snapshot time.
+/// `ivfdoc`, `codes`, `scale`, `offset`, and `norm` are all in **list
+/// order**: documents grouped by centroid (clusters ascending, doc ids
+/// ascending within a cluster) so a probe scans contiguous memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IvfData {
+    pub k: usize,
+    pub m: usize,
+    /// `k + 1` offsets into the list-order arrays; cluster `c` owns list
+    /// positions `ivfoff[c] .. ivfoff[c + 1]`.
+    pub ivfoff: Vec<u64>,
+    /// Global doc id at each list position (a permutation of `0..docs`).
+    pub ivfdoc: Vec<u32>,
+    /// `docs × m` quantized codes, list order.
+    pub codes: Vec<u8>,
+    /// Per-signature quantization scale, list order.
+    pub scale: Vec<f64>,
+    /// Per-signature quantization offset, list order.
+    pub offset: Vec<f64>,
+    /// Exact `f64` L2 norm of each signature, list order.
+    pub norm: Vec<f64>,
+}
+
+/// Build the IVF lists and quantized store from the full `docs × m`
+/// signature matrix and the per-document centroid assignments.
+pub fn build_ivf(sigs: &[f64], m: usize, assignments: &[u32], k: usize) -> IvfData {
+    let docs = assignments.len();
+    debug_assert_eq!(sigs.len(), docs * m);
+    let mut counts = vec![0u64; k + 1];
+    for &a in assignments {
+        debug_assert!((a as usize) < k);
+        counts[a as usize + 1] += 1;
+    }
+    let mut ivfoff = counts;
+    for c in 0..k {
+        ivfoff[c + 1] += ivfoff[c];
+    }
+    let mut next: Vec<u64> = ivfoff[..k].to_vec();
+    let mut ivfdoc = vec![0u32; docs];
+    let mut codes = vec![0u8; docs * m];
+    let mut scale = vec![0.0f64; docs];
+    let mut offset = vec![0.0f64; docs];
+    let mut norm = vec![0.0f64; docs];
+    // Ascending doc order within each cluster falls out of the stable
+    // counting sort: documents are visited in global id order.
+    for (doc, &a) in assignments.iter().enumerate() {
+        let pos = next[a as usize] as usize;
+        next[a as usize] += 1;
+        let row = &sigs[doc * m..(doc + 1) * m];
+        ivfdoc[pos] = doc as u32;
+        let p = quantize_into(row, &mut codes[pos * m..(pos + 1) * m]);
+        scale[pos] = p.scale;
+        offset[pos] = p.offset;
+        norm[pos] = l2_norm(row);
+    }
+    IvfData {
+        k,
+        m,
+        ivfoff,
+        ivfdoc,
+        codes,
+        scale,
+        offset,
+        norm,
+    }
+}
+
+/// Per-list-position code sums (`Σ codes`), precomputed once at state
+/// load so [`search`]'s affine expansion needs no per-query pass.
+pub fn code_sums(codes: &[u8], m: usize) -> Vec<u32> {
+    if m == 0 {
+        return Vec::new();
+    }
+    codes
+        .chunks_exact(m)
+        .map(|row| row.iter().map(|&c| c as u32).sum())
+        .collect()
+}
+
+/// Borrowed view over a (possibly snapshot-backed) IVF index plus the
+/// exact `f64` signatures used for re-ranking.
+#[derive(Debug, Clone, Copy)]
+pub struct AnnIndexView<'a> {
+    pub k: usize,
+    pub m: usize,
+    /// Row-major `k × m` k-means centroids.
+    pub centroids: &'a [f64],
+    pub ivfoff: &'a [u64],
+    pub ivfdoc: &'a [u32],
+    pub codes: &'a [u8],
+    pub scale: &'a [f64],
+    pub offset: &'a [f64],
+    pub norm: &'a [f64],
+    /// Precomputed [`code_sums`].
+    pub sums: &'a [u32],
+    /// Exact `docs × m` signatures in **doc order** (the snapshot's
+    /// `sigs` section), indexed by global doc id for re-ranking.
+    pub exact: &'a [f64],
+}
+
+impl<'a> AnnIndexView<'a> {
+    /// Borrow a freshly built [`IvfData`] (testing and benches).
+    pub fn of(data: &'a IvfData, centroids: &'a [f64], sums: &'a [u32], exact: &'a [f64]) -> Self {
+        AnnIndexView {
+            k: data.k,
+            m: data.m,
+            centroids,
+            ivfoff: &data.ivfoff,
+            ivfdoc: &data.ivfdoc,
+            codes: &data.codes,
+            scale: &data.scale,
+            offset: &data.offset,
+            norm: &data.norm,
+            sums,
+            exact,
+        }
+    }
+
+    pub fn docs(&self) -> usize {
+        self.ivfdoc.len()
+    }
+}
+
+/// Work counters for one [`search`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Clusters probed.
+    pub probed: usize,
+    /// Quantized candidates scanned with the `u8` kernel.
+    pub candidates: usize,
+    /// Candidates exactly re-ranked in `f64`.
+    pub reranked: usize,
+}
+
+/// Cosine similarity between `query` and the exact signature of `doc`,
+/// with the stored norm; 0 when either vector is null.
+fn exact_cos(view: &AnnIndexView, query: &[f64], qnorm: f64, doc: u32, doc_norm: f64) -> f64 {
+    if qnorm == 0.0 || doc_norm == 0.0 {
+        return 0.0;
+    }
+    let m = view.m;
+    let row = &view.exact[doc as usize * m..(doc as usize + 1) * m];
+    dot(query, row) / (qnorm * doc_norm)
+}
+
+/// IVF similarity search: rank centroids by cosine, scan the top
+/// `nprobe` lists with the quantized kernel, then exactly re-rank in
+/// `f64` until the error bound proves no remaining candidate can enter
+/// the top `top`. Results are sorted by exact score descending, doc id
+/// ascending.
+pub fn search(
+    view: &AnnIndexView,
+    query: &[f64],
+    top: usize,
+    nprobe: usize,
+    out_stats: &mut SearchStats,
+) -> Vec<Hit> {
+    *out_stats = SearchStats::default();
+    let m = view.m;
+    let docs = view.docs();
+    if docs == 0 || m == 0 || top == 0 || query.len() != m {
+        return Vec::new();
+    }
+    let qnorm = l2_norm(query);
+    if qnorm == 0.0 {
+        return Vec::new();
+    }
+    let ql1: f64 = query.iter().map(|x| x.abs()).sum();
+    let mut qcodes = vec![0u8; m];
+    let qp = quantize_into(query, &mut qcodes);
+    let qsum: u32 = qcodes.iter().map(|&c| c as u32).sum();
+
+    // ---- Rank centroids by cosine (ties toward the lower index). ----
+    let mut order: Vec<(f64, usize)> = (0..view.k)
+        .map(|c| {
+            let row = &view.centroids[c * m..(c + 1) * m];
+            let cn = l2_norm(row);
+            let cos = if cn == 0.0 {
+                0.0
+            } else {
+                dot(query, row) / (qnorm * cn)
+            };
+            (cos, c)
+        })
+        .collect();
+    order.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    let nprobe = nprobe.clamp(1, view.k);
+
+    // ---- Scan the probed lists with the quantized kernel. ----
+    // Candidate = (approx cosine, cosine error bound, list position).
+    let mut cand: Vec<(f64, f64, u32)> = Vec::new();
+    for &(_, c) in order.iter().take(nprobe) {
+        out_stats.probed += 1;
+        let lo = view.ivfoff[c] as usize;
+        let hi = view.ivfoff[c + 1] as usize;
+        for pos in lo..hi {
+            let dn = view.norm[pos];
+            let dp = QuantParams {
+                scale: view.scale[pos],
+                offset: view.offset[pos],
+            };
+            let (approx, bound) = if dn == 0.0 {
+                (0.0, 0.0)
+            } else {
+                let cd = dot_u8(&qcodes, &view.codes[pos * m..(pos + 1) * m]);
+                let ad = approx_dot(m, qp, qsum, dp, view.sums[pos], cd);
+                // Document signatures are L1-normalized, so a non-null
+                // signature has ‖s‖₁ = 1 exactly.
+                let eb = dot_error_bound(qp, dp, ql1, 1.0, m);
+                (ad / (qnorm * dn), eb / (qnorm * dn))
+            };
+            cand.push((approx, bound, pos as u32));
+        }
+    }
+    out_stats.candidates = cand.len();
+    cand.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap()
+            .then(view.ivfdoc[a.2 as usize].cmp(&view.ivfdoc[b.2 as usize]))
+    });
+
+    // ---- Bounded exact re-rank. ----
+    // `best` holds exact-scored hits sorted (score desc, doc asc); once
+    // it has `top` entries, a candidate whose optimistic score
+    // (approx + bound) cannot beat the current k-th best is provably
+    // outside the top-k, and the candidates after it are ranked lower
+    // still — but their bounds differ, so each is checked individually.
+    let mut best: Vec<Hit> = Vec::with_capacity(top + 1);
+    for &(approx, bound, pos) in &cand {
+        if best.len() == top {
+            let kth = best[top - 1].score;
+            if approx + bound < kth {
+                continue;
+            }
+        }
+        let doc = view.ivfdoc[pos as usize];
+        let score = exact_cos(view, query, qnorm, doc, view.norm[pos as usize]);
+        out_stats.reranked += 1;
+        let hit = Hit { doc, score };
+        let at = best
+            .binary_search_by(|h| {
+                hit.score
+                    .partial_cmp(&h.score)
+                    .unwrap()
+                    .then(h.doc.cmp(&hit.doc))
+            })
+            .unwrap_or_else(|i| i);
+        best.insert(at, hit);
+        if best.len() > top {
+            best.pop();
+        }
+    }
+    best
+}
+
+/// Exhaustive-scan oracle: exact `f64` cosine against every document,
+/// same ordering rules as [`search`].
+pub fn exhaustive(sigs: &[f64], m: usize, query: &[f64], top: usize) -> Vec<Hit> {
+    if m == 0 || sigs.is_empty() || top == 0 || query.len() != m {
+        return Vec::new();
+    }
+    let qnorm = l2_norm(query);
+    if qnorm == 0.0 {
+        return Vec::new();
+    }
+    let docs = sigs.len() / m;
+    let mut hits: Vec<Hit> = (0..docs)
+        .map(|d| {
+            let row = &sigs[d * m..(d + 1) * m];
+            let dn = l2_norm(row);
+            let score = if dn == 0.0 {
+                0.0
+            } else {
+                dot(query, row) / (qnorm * dn)
+            };
+            Hit {
+                doc: d as DocId,
+                score,
+            }
+        })
+        .collect();
+    hits.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap()
+            .then(a.doc.cmp(&b.doc))
+    });
+    hits.truncate(top);
+    hits
+}
+
+/// Combine association-matrix rows into a query signature: the same
+/// frequency-weighted sum + L1 normalization as document signature
+/// generation, so free-text queries live in the same space as documents.
+/// `rows` yields `(row index into assoc, frequency)` pairs.
+pub fn embed_rows(rows: impl Iterator<Item = (usize, f64)>, assoc: &[f64], m: usize) -> Vec<f64> {
+    let mut sig = vec![0.0f64; m];
+    for (r, w) in rows {
+        for (s, &a) in sig.iter_mut().zip(&assoc[r * m..(r + 1) * m]) {
+            *s += w * a;
+        }
+    }
+    let l1: f64 = sig.iter().map(|x| x.abs()).sum();
+    if l1 > 0.0 {
+        for s in &mut sig {
+            *s /= l1;
+        }
+    }
+    sig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift for synthetic signatures.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+        fn f64(&mut self) -> f64 {
+            (self.next() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// `docs` simplex-ish signatures (nonnegative, L1-normalized, some
+    /// null), plus k-means-free synthetic assignments.
+    fn synth(docs: usize, m: usize, k: usize, seed: u64) -> (Vec<f64>, Vec<u32>, Vec<f64>) {
+        let mut rng = Rng(seed | 1);
+        let mut sigs = vec![0.0f64; docs * m];
+        for d in 0..docs {
+            if d % 17 == 9 {
+                continue; // null signature
+            }
+            let row = &mut sigs[d * m..(d + 1) * m];
+            for x in row.iter_mut() {
+                // Sparse-ish nonnegative values.
+                let v = rng.f64();
+                *x = if v < 0.55 { 0.0 } else { v };
+            }
+            let l1: f64 = row.iter().sum();
+            if l1 > 0.0 {
+                for x in row.iter_mut() {
+                    *x /= l1;
+                }
+            }
+        }
+        let assignments: Vec<u32> = (0..docs).map(|d| (d % k) as u32).collect();
+        // Centroids: mean of each cluster's signatures.
+        let mut centroids = vec![0.0f64; k * m];
+        let mut counts = vec![0u64; k];
+        for d in 0..docs {
+            let c = assignments[d] as usize;
+            counts[c] += 1;
+            for j in 0..m {
+                centroids[c * m + j] += sigs[d * m + j];
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for j in 0..m {
+                    centroids[c * m + j] /= counts[c] as f64;
+                }
+            }
+        }
+        (sigs, assignments, centroids)
+    }
+
+    #[test]
+    fn quantize_roundtrip_within_half_scale() {
+        let mut rng = Rng(7);
+        for _ in 0..50 {
+            let sig: Vec<f64> = (0..37).map(|_| rng.f64()).collect();
+            let mut codes = vec![0u8; sig.len()];
+            let p = quantize_into(&sig, &mut codes);
+            for (&c, &x) in codes.iter().zip(&sig) {
+                let err = (dequantize(c, p) - x).abs();
+                assert!(
+                    err <= p.scale * 0.5 + 1e-12,
+                    "err {err} vs scale {}",
+                    p.scale
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_degenerate_rows() {
+        let mut codes = vec![0u8; 4];
+        let p = quantize_into(&[0.0; 4], &mut codes);
+        assert_eq!(
+            p,
+            QuantParams {
+                scale: 0.0,
+                offset: 0.0
+            }
+        );
+        assert_eq!(codes, [0; 4]);
+        let p = quantize_into(&[0.25; 4], &mut codes);
+        assert_eq!(p.scale, 0.0);
+        assert_eq!(p.offset, 0.25);
+        assert_eq!(dequantize(codes[0], p), 0.25);
+        let p = quantize_into(&[], &mut []);
+        assert_eq!(p.scale, 0.0);
+    }
+
+    #[test]
+    fn kernel_matches_reference() {
+        let mut rng = Rng(11);
+        for len in [0usize, 1, 3, 4, 5, 60, 180, 1000, 20000] {
+            let a: Vec<u8> = (0..len).map(|_| rng.next() as u8).collect();
+            let b: Vec<u8> = (0..len).map(|_| rng.next() as u8).collect();
+            assert_eq!(dot_u8(&a, &b), dot_u8_ref(&a, &b), "len {len}");
+        }
+        // Saturated: worst-case magnitudes must not overflow.
+        let a = vec![255u8; 20000];
+        assert_eq!(dot_u8(&a, &a), 20000 * 255 * 255);
+    }
+
+    #[test]
+    fn approx_dot_within_error_bound() {
+        let mut rng = Rng(23);
+        let m = 60;
+        for _ in 0..200 {
+            let a: Vec<f64> = (0..m).map(|_| rng.f64()).collect();
+            let b: Vec<f64> = (0..m).map(|_| rng.f64() * 0.01).collect();
+            let (mut ca, mut cb) = (vec![0u8; m], vec![0u8; m]);
+            let pa = quantize_into(&a, &mut ca);
+            let pb = quantize_into(&b, &mut cb);
+            let sa: u32 = ca.iter().map(|&c| c as u32).sum();
+            let sb: u32 = cb.iter().map(|&c| c as u32).sum();
+            let approx = approx_dot(m, pa, sa, pb, sb, dot_u8(&ca, &cb));
+            let exact = dot(&a, &b);
+            let l1a: f64 = a.iter().sum();
+            let l1b: f64 = b.iter().sum();
+            let bound = dot_error_bound(pa, pb, l1a, l1b, m);
+            assert!(
+                (approx - exact).abs() <= bound,
+                "err {} vs bound {bound}",
+                (approx - exact).abs()
+            );
+        }
+    }
+
+    #[test]
+    fn ivf_lists_partition_docs() {
+        let (sigs, assignments, _) = synth(101, 24, 7, 5);
+        let ivf = build_ivf(&sigs, 24, &assignments, 7);
+        assert_eq!(ivf.ivfoff.len(), 8);
+        assert_eq!(*ivf.ivfoff.last().unwrap(), 101);
+        let mut seen = [false; 101];
+        for c in 0..7 {
+            let lo = ivf.ivfoff[c] as usize;
+            let hi = ivf.ivfoff[c + 1] as usize;
+            for pos in lo..hi {
+                let doc = ivf.ivfdoc[pos];
+                assert_eq!(assignments[doc as usize] as usize, c);
+                assert!(!seen[doc as usize]);
+                seen[doc as usize] = true;
+                if pos > lo {
+                    assert!(ivf.ivfdoc[pos - 1] < doc, "lists ascend by doc id");
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn full_probe_matches_exhaustive_bitwise() {
+        let m = 24;
+        let k = 7;
+        let (sigs, assignments, centroids) = synth(101, m, k, 13);
+        let ivf = build_ivf(&sigs, m, &assignments, k);
+        let sums = code_sums(&ivf.codes, m);
+        let view = AnnIndexView::of(&ivf, &centroids, &sums, &sigs);
+        let mut stats = SearchStats::default();
+        for q in [0usize, 3, 9, 42, 100] {
+            let query = sigs[q * m..(q + 1) * m].to_vec();
+            if l2_norm(&query) == 0.0 {
+                continue;
+            }
+            for top in [1, 10, 100] {
+                let got = search(&view, &query, top, k, &mut stats);
+                let want = exhaustive(&sigs, m, &query, top);
+                assert_eq!(got.len(), want.len());
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(g.doc, w.doc, "doc mismatch, q={q} top={top}");
+                    assert_eq!(
+                        g.score.to_bits(),
+                        w.score.to_bits(),
+                        "score bits differ, q={q} top={top}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rerank_is_bounded_not_exhaustive() {
+        let m = 32;
+        let k = 8;
+        let (sigs, assignments, centroids) = synth(400, m, k, 99);
+        let ivf = build_ivf(&sigs, m, &assignments, k);
+        let sums = code_sums(&ivf.codes, m);
+        let view = AnnIndexView::of(&ivf, &centroids, &sums, &sigs);
+        let query = sigs[8 * m..9 * m].to_vec();
+        let mut stats = SearchStats::default();
+        let got = search(&view, &query, 10, k, &mut stats);
+        assert_eq!(got.len(), 10);
+        assert_eq!(stats.candidates, 400);
+        assert!(
+            stats.reranked < stats.candidates,
+            "re-rank should prune: {} of {}",
+            stats.reranked,
+            stats.candidates
+        );
+    }
+
+    #[test]
+    fn fewer_probes_scan_fewer_candidates() {
+        let m = 24;
+        let k = 8;
+        let (sigs, assignments, centroids) = synth(200, m, k, 3);
+        let ivf = build_ivf(&sigs, m, &assignments, k);
+        let sums = code_sums(&ivf.codes, m);
+        let view = AnnIndexView::of(&ivf, &centroids, &sums, &sigs);
+        let query = sigs[..m].to_vec();
+        let mut s1 = SearchStats::default();
+        let mut s8 = SearchStats::default();
+        search(&view, &query, 5, 1, &mut s1);
+        search(&view, &query, 5, k, &mut s8);
+        assert_eq!(s1.probed, 1);
+        assert_eq!(s8.probed, k);
+        assert!(s1.candidates < s8.candidates);
+    }
+
+    #[test]
+    fn null_query_and_empty_index() {
+        let m = 8;
+        let (sigs, assignments, centroids) = synth(20, m, 2, 1);
+        let ivf = build_ivf(&sigs, m, &assignments, 2);
+        let sums = code_sums(&ivf.codes, m);
+        let view = AnnIndexView::of(&ivf, &centroids, &sums, &sigs);
+        let mut stats = SearchStats::default();
+        assert!(search(&view, &vec![0.0; m], 5, 2, &mut stats).is_empty());
+        assert!(
+            search(&view, &[1.0], 5, 2, &mut stats).is_empty(),
+            "wrong dims"
+        );
+        assert!(exhaustive(&sigs, m, &[0.0; 8], 5).is_empty());
+        let empty = build_ivf(&[], m, &[], 2);
+        let esums = code_sums(&empty.codes, m);
+        let eview = AnnIndexView::of(&empty, &centroids, &esums, &[]);
+        assert!(search(&eview, &sigs[..m], 5, 2, &mut stats).is_empty());
+    }
+
+    #[test]
+    fn embed_rows_matches_signature_semantics() {
+        // Two rows, m = 3.
+        let assoc = [0.2, 0.0, 0.6, 0.1, 0.3, 0.0];
+        let sig = embed_rows([(0usize, 2.0), (1usize, 1.0)].into_iter(), &assoc, 3);
+        // Raw: 2*[0.2,0,0.6] + 1*[0.1,0.3,0] = [0.5,0.3,1.2]; L1 = 2.
+        assert!((sig[0] - 0.25).abs() < 1e-12);
+        assert!((sig[1] - 0.15).abs() < 1e-12);
+        assert!((sig[2] - 0.6).abs() < 1e-12);
+        let l1: f64 = sig.iter().sum();
+        assert!((l1 - 1.0).abs() < 1e-12);
+        assert_eq!(embed_rows(std::iter::empty(), &assoc, 3), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn code_sums_match_rows() {
+        let codes = [1u8, 2, 3, 250, 251, 252];
+        assert_eq!(code_sums(&codes, 3), vec![6, 753]);
+        assert_eq!(code_sums(&[], 3), Vec::<u32>::new());
+        assert_eq!(code_sums(&[], 0), Vec::<u32>::new());
+    }
+}

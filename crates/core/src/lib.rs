@@ -36,6 +36,7 @@
 //! ClusProj). Running the engine with `nprocs = 1` *is* the sequential
 //! reference; [`seq`] wraps that as an explicit oracle for tests.
 
+pub mod ann;
 pub mod assoc;
 pub mod cluster;
 pub mod config;

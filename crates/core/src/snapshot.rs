@@ -361,6 +361,27 @@ pub fn write_engine_snapshot(
                 w.add_bytes("labstr", &labstr)?;
                 w.add_u32s("laboff", &laboff)?;
                 w.add_u32s("labcnt", &labcnt)?;
+
+                // ---- IVF + quantized signature sections (§13) ----
+                // The k-means centroids double as the IVF coarse
+                // quantizer; signatures are re-encoded as u8 codes with
+                // per-signature scale/offset plus an exact f64 norm
+                // table, grouped into per-centroid lists. Skipped for
+                // degenerate corpora with no signature dimensions —
+                // similarity queries are meaningless there.
+                if let (Some(t), Some(sd)) = (inp.topics, sigdat.as_ref()) {
+                    let m_dims = t.m_dims();
+                    let assign_all = assign.as_ref().unwrap().as_ref().unwrap();
+                    if m_dims > 0 && !assign_all.is_empty() {
+                        let ivf = crate::ann::build_ivf(sd, m_dims, assign_all, cl.k);
+                        w.add_quant("qsig", &ivf.codes, assign_all.len(), m_dims)?;
+                        w.add_f64s("qscale", &ivf.scale)?;
+                        w.add_f64s("qoff", &ivf.offset)?;
+                        w.add_f64s("signrm", &ivf.norm)?;
+                        w.add_u32s("ivfdoc", &ivf.ivfdoc)?;
+                        w.add_u64s("ivfoff", &ivf.ivfoff)?;
+                    }
+                }
             }
 
             let stats = w.finish()?;
@@ -801,8 +822,56 @@ impl EngineSnapshot {
                 labstr.len(),
                 *laboff.last().unwrap_or(&0) as usize,
             )?;
+            if self.has_ann() {
+                // The quantized store is validated here, up front and by
+                // name — a malformed section must never surface later as
+                // a short-slice panic in the query path.
+                let qsig = self.snap.require("qsig")?.as_records(m.m_dims)?;
+                expect("qsig", qsig.len(), docs * m.m_dims)?;
+                expect(
+                    "qscale",
+                    self.snap.require("qscale")?.as_f64s()?.len(),
+                    docs,
+                )?;
+                expect("qoff", self.snap.require("qoff")?.as_f64s()?.len(), docs)?;
+                expect(
+                    "signrm",
+                    self.snap.require("signrm")?.as_f64s()?.len(),
+                    docs,
+                )?;
+                let ivfoff = self.snap.require("ivfoff")?.as_u64s()?;
+                expect("ivfoff", ivfoff.len(), m.k + 1)?;
+                if ivfoff.first() != Some(&0)
+                    || ivfoff.windows(2).any(|w| w[0] > w[1])
+                    || *ivfoff.last().unwrap() != docs as u64
+                {
+                    return Err(bad(
+                        src,
+                        format!("section `ivfoff` is not a monotone partition of {docs} documents"),
+                    ));
+                }
+                let ivfdoc = self.snap.require("ivfdoc")?.as_u32s()?;
+                expect("ivfdoc", ivfdoc.len(), docs)?;
+                let mut seen = vec![false; docs];
+                for &d in ivfdoc {
+                    if (d as usize) >= docs || seen[d as usize] {
+                        return Err(bad(
+                            src,
+                            format!("section `ivfdoc` is not a permutation of 0..{docs} (doc {d})"),
+                        ));
+                    }
+                    seen[d as usize] = true;
+                }
+            }
         }
         Ok(())
+    }
+
+    /// Whether the snapshot carries the IVF + quantized-signature
+    /// sections (§13). Pre-ANN snapshots still load and serve; only
+    /// similarity queries require a rebuild.
+    pub fn has_ann(&self) -> bool {
+        self.snap.has("qsig")
     }
 
     pub fn meta(&self) -> &EngineMeta {

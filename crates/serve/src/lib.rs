@@ -2,9 +2,10 @@
 //!
 //! `vaengine serve` turns one immutable engine snapshot into a
 //! long-lived query service: a zero-dependency HTTP/1.1 server over
-//! `std::net::TcpListener` answering the engine's five query kinds
-//! (`/term`, `/query`, `/search`, `/cluster`, `/rect`) as deterministic
-//! JSON, plus `/healthz`, `/metrics` (JSON, or Prometheus text via
+//! `std::net::TcpListener` answering the engine's six query kinds
+//! (`/term`, `/query`, `/search`, `/cluster`, `/rect`, `/similar`) as
+//! deterministic JSON, plus `/healthz`, `/metrics` (JSON, or Prometheus
+//! text via
 //! `?format=prom`), and `/debug/slow` (the worst-N request timelines,
 //! JSON or Chrome-trace via `?format=chrome`).
 //!

@@ -154,6 +154,10 @@ pub fn load_live_state(dir: &Path) -> io::Result<ServeState> {
     }
     let merged_terms = Arc::new(TermTable::from_sorted(vocab.iter().copied()));
 
+    // Segments carry no signature sections; reconstruct their documents'
+    // signatures from postings so `/similar` can brute-force them.
+    state.attach_segment_signatures(&segments);
+
     let mut tombstones: Vec<u32> = segments
         .iter()
         .flat_map(|s| s.tombstones().iter().copied())
@@ -189,6 +193,16 @@ impl LiveIndex {
 
     pub fn df(&self, term: TermId) -> u32 {
         self.df[term as usize]
+    }
+
+    /// Sorted union of segment tombstones (global doc ids).
+    pub(crate) fn tombstones(&self) -> &[u32] {
+        &self.tombstones
+    }
+
+    /// Is `doc` tombstoned?
+    pub(crate) fn is_deleted(&self, doc: u32) -> bool {
+        self.tombstones.binary_search(&doc).is_ok()
     }
 
     /// Drop tombstoned postings from `out[from..]` (which is sorted by

@@ -16,10 +16,10 @@
 
 use crate::state::ServeState;
 use inspire_core::interact::{select_cluster, select_rect};
-use inspire_core::query::{self, Query};
+use inspire_core::query::{self, Query, SearchIndex};
 use inspire_trace::json::{escape, num};
 
-/// One typed query, any of the five kinds the engine serves.
+/// One typed query, any of the six kinds the engine serves.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServeRequest {
     /// Raw postings of one term: `/term?t=<term>`.
@@ -35,6 +35,14 @@ pub enum ServeRequest {
         min: (f64, f64),
         max: (f64, f64),
         top: usize,
+    },
+    /// IVF similarity search: `/similar?doc=<id>` or
+    /// `/similar?text=<free text>`, optional `nprobe=`.
+    Similar {
+        doc: Option<u32>,
+        text: Option<String>,
+        top: usize,
+        nprobe: usize,
     },
 }
 
@@ -57,6 +65,10 @@ impl RequestError {
 /// Default and maximum `top` (result rows per response).
 pub const DEFAULT_TOP: usize = 10;
 pub const MAX_TOP: usize = 10_000;
+
+/// Default `nprobe` for `/similar` (clamped to the centroid count at
+/// search time, so small snapshots effectively scan exhaustively).
+pub const DEFAULT_NPROBE: usize = 8;
 
 /// Decode `%XX` escapes and `+`-as-space in a URL query component.
 pub fn percent_decode(s: &str) -> String {
@@ -183,6 +195,42 @@ impl ServeRequest {
                     top,
                 })
             }
+            "/similar" => {
+                let nprobe = match param(params, "nprobe") {
+                    None => DEFAULT_NPROBE,
+                    Some(v) => v
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|n| *n >= 1)
+                        .ok_or_else(|| RequestError::bad(format!("bad nprobe={v:?} (>= 1)")))?,
+                };
+                match (param(params, "doc"), param(params, "text")) {
+                    (Some(_), Some(_)) => Err(RequestError::bad("give doc= or text=, not both")),
+                    (None, None) => Err(RequestError::bad("missing doc= or text=")),
+                    (Some(d), None) => {
+                        let doc = d
+                            .parse::<u32>()
+                            .map_err(|_| RequestError::bad(format!("bad doc={d:?}")))?;
+                        Ok(ServeRequest::Similar {
+                            doc: Some(doc),
+                            text: None,
+                            top,
+                            nprobe,
+                        })
+                    }
+                    (None, Some(t)) => {
+                        if t.is_empty() {
+                            return Err(RequestError::bad("empty text="));
+                        }
+                        Ok(ServeRequest::Similar {
+                            doc: None,
+                            text: Some(t.to_string()),
+                            top,
+                            nprobe,
+                        })
+                    }
+                }
+            }
             other => Err(RequestError {
                 status: 404,
                 message: format!("unknown route {other:?}"),
@@ -199,6 +247,7 @@ impl ServeRequest {
             ServeRequest::Search { .. } => "search",
             ServeRequest::Cluster { .. } => "cluster",
             ServeRequest::Rect { .. } => "rect",
+            ServeRequest::Similar { .. } => "similar",
         }
     }
 
@@ -226,6 +275,26 @@ impl ServeRequest {
                 num(max.0),
                 num(max.1)
             ),
+            ServeRequest::Similar {
+                doc,
+                text,
+                top,
+                nprobe,
+            } => {
+                // Doc queries key on the id; text queries normalize
+                // through the indexing tokenizer like `/search`.
+                let target = match (doc, text) {
+                    (Some(d), _) => format!("d{d}"),
+                    (None, Some(t)) => {
+                        let tokenizer = inspire_core::tokenize::Tokenizer::default();
+                        let mut terms = Vec::new();
+                        tokenizer.tokenize_into(t, |t| terms.push(t.to_string()));
+                        format!("t{}", terms.join(" "))
+                    }
+                    (None, None) => String::new(),
+                };
+                format!("similar\u{1}{target}\u{1}{top}\u{1}{nprobe}")
+            }
         }
     }
 }
@@ -391,6 +460,69 @@ pub fn execute_timed(
             body.push_str("]}\n");
             Ok((body, split(t0, t1)))
         }
+        ServeRequest::Similar {
+            doc,
+            text,
+            top,
+            nprobe,
+        } => {
+            require_ann(state)?;
+            let t0 = Instant::now();
+            let query: Vec<f64> = match (doc, text) {
+                (Some(d), _) => {
+                    if state.is_deleted(*d) {
+                        return Err(RequestError::bad(format!("document {d} is deleted")));
+                    }
+                    state
+                        .doc_signature(*d)
+                        .ok_or_else(|| {
+                            RequestError::bad(format!(
+                                "unknown document {d} (0..{})",
+                                state.total_docs()
+                            ))
+                        })?
+                        .to_vec()
+                }
+                (None, Some(t)) => state
+                    .embed_text(t)
+                    .expect("ANN sections checked by require_ann"),
+                (None, None) => return Err(RequestError::bad("missing doc= or text=")),
+            };
+            let (hits, stats) = state.similar(&query, *top, *nprobe);
+            let t1 = Instant::now();
+            let mut body = String::from("{\"kind\":\"similar\",");
+            match (doc, text) {
+                (Some(d), _) => body.push_str(&format!("\"doc\":{d},")),
+                (_, Some(t)) => body.push_str(&format!("\"text\":\"{}\",", escape(t))),
+                _ => unreachable!("parse requires doc= or text="),
+            }
+            body.push_str(&format!(
+                "\"nprobe\":{},\"probed\":{},\"candidates\":{},\"hits\":[",
+                nprobe, stats.probed, stats.candidates
+            ));
+            for (i, h) in hits.iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                body.push_str(&format!("{{\"doc\":{},\"score\":{}}}", h.doc, num(h.score)));
+            }
+            body.push_str("]}\n");
+            Ok((body, split(t0, t1)))
+        }
+    }
+}
+
+fn require_ann(state: &ServeState) -> Result<(), RequestError> {
+    if state.has_ann() {
+        Ok(())
+    } else {
+        Err(RequestError {
+            status: 409,
+            message: format!(
+                "stage {:?} snapshot has no ANN sections; rebuild snapshot",
+                state.meta.stage
+            ),
+        })
     }
 }
 
@@ -476,6 +608,29 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+        assert!(matches!(
+            ok("/similar?doc=7"),
+            Ok(ServeRequest::Similar {
+                doc: Some(7),
+                text: None,
+                top: DEFAULT_TOP,
+                nprobe: DEFAULT_NPROBE
+            })
+        ));
+        assert!(matches!(
+            ok("/similar?text=heart+attack&nprobe=3&top=5"),
+            Ok(ServeRequest::Similar {
+                doc: None,
+                text: Some(_),
+                top: 5,
+                nprobe: 3
+            })
+        ));
+        assert_eq!(ok("/similar").unwrap_err().status, 400);
+        assert_eq!(ok("/similar?doc=1&text=x").unwrap_err().status, 400);
+        assert_eq!(ok("/similar?doc=abc").unwrap_err().status, 400);
+        assert_eq!(ok("/similar?text=").unwrap_err().status, 400);
+        assert_eq!(ok("/similar?doc=1&nprobe=0").unwrap_err().status, 400);
         assert_eq!(ok("/nope").unwrap_err().status, 404);
         assert_eq!(ok("/term").unwrap_err().status, 400);
         assert_eq!(ok("/term?t=").unwrap_err().status, 400);
@@ -498,7 +653,17 @@ mod tests {
         assert_ne!(key("/query?q=a&top=5"), key("/query?q=a&top=6"));
         // Search normalizes through the tokenizer (case, punctuation).
         assert_eq!(key("/search?q=Heart+Attack"), key("/search?q=heart,attack"));
+        // Similar text queries normalize the same way; nprobe is keyed.
+        assert_eq!(
+            key("/similar?text=Heart+Attack"),
+            key("/similar?text=heart,attack")
+        );
+        assert_ne!(
+            key("/similar?doc=1&nprobe=2"),
+            key("/similar?doc=1&nprobe=3")
+        );
         // Different kinds never collide.
         assert_ne!(key("/term?t=a"), key("/search?q=a"));
+        assert_ne!(key("/similar?text=a"), key("/search?q=a"));
     }
 }

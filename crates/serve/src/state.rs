@@ -15,13 +15,15 @@
 //! exact same algorithms as the CLI path via
 //! [`inspire_core::query::SearchIndex`].
 
+use inspire_core::ann::{self, AnnIndexView, SearchStats};
 use inspire_core::index::Posting;
-use inspire_core::query::SearchIndex;
+use inspire_core::query::{Hit, SearchIndex};
 use inspire_core::snapshot::{pair_to_posting, EngineMeta, PostingsDir};
 use inspire_core::{EngineSnapshot, Stage, TermId};
 use inspire_store::codec;
 use intern::TermTable;
 use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -70,6 +72,31 @@ fn decode_timed<R>(f: impl FnOnce() -> R) -> R {
     })
 }
 
+/// ANN serving state derived from the snapshot's IVF sections at load:
+/// the per-list-position code sums the affine kernel expansion needs,
+/// the major-term rows that embed free text into signature space, and —
+/// under a live overlay — reconstructed signatures for segment documents
+/// that are not in the IVF lists yet.
+struct AnnState {
+    /// Precomputed [`ann::code_sums`] over the `qsig` section, list
+    /// order.
+    sums: Vec<u32>,
+    /// Major-term string → association-matrix row index. Keyed by
+    /// string (not term id) so free-text embedding survives the live
+    /// overlay's merged vocabulary, whose ids differ from the base's.
+    rows: HashMap<String, usize>,
+    /// Global doc ids of live-segment documents, ascending (segments
+    /// cover disjoint ascending ranges above the base).
+    seg_docs: Vec<u32>,
+    /// Reconstructed `seg_docs.len() × m` signatures for those
+    /// documents: per-term frequency-weighted association rows,
+    /// L1-normalized — the same semantics as the engine's signature
+    /// stage, rebuilt from segment postings because segments carry no
+    /// signature sections. Brute-forced at query time until compaction
+    /// folds them into the IVF lists.
+    seg_sigs: Vec<f64>,
+}
+
 /// How the owned snapshot stores its postings.
 enum IndexLayout {
     /// Format v2: block-compressed lists read zero-copy from the
@@ -105,6 +132,9 @@ pub struct ServeState {
     pub cluster_labels: Vec<Vec<String>>,
     /// Documents per cluster (Final stage only).
     pub cluster_sizes: Vec<u64>,
+    /// IVF similarity-search state; `None` when the snapshot predates
+    /// the ANN sections (similarity requests then get a clear 409).
+    ann: Option<AnnState>,
     /// Merge-on-read overlay: ingest segments unioned with the base
     /// snapshot at query time. `None` for plain snapshot serving. When
     /// set, `terms` is the merged vocabulary and every [`SearchIndex`]
@@ -161,6 +191,24 @@ impl ServeState {
         } else {
             (None, None, Vec::new(), Vec::new())
         };
+        let ann = if snap.has_ann() {
+            let m = meta.m_dims;
+            let codes = snap.store().require("qsig")?.as_records(m)?;
+            let major = snap.store().require("major")?.as_u32s()?;
+            let rows = major
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| (terms.get(t as usize).to_string(), i))
+                .collect();
+            Some(AnnState {
+                sums: ann::code_sums(codes, m),
+                rows,
+                seg_docs: Vec::new(),
+                seg_sigs: Vec::new(),
+            })
+        } else {
+            None
+        };
         Ok(ServeState {
             meta,
             terms,
@@ -170,6 +218,7 @@ impl ServeState {
             cluster_labels,
             cluster_sizes,
             snap,
+            ann,
             live: None,
             generation: 0,
             last_seal_unix: 0,
@@ -209,6 +258,189 @@ impl ServeState {
             .expect("section validated at open")
             .as_packed()
             .expect("section kind validated at open")
+    }
+
+    /// Borrow an `f64` section validated at open.
+    fn f64s(&self, name: &str) -> &[f64] {
+        self.snap
+            .store()
+            .section(name)
+            .expect("section validated at open")
+            .as_f64s()
+            .expect("section kind validated at open")
+    }
+
+    /// Does this snapshot carry the IVF + quantized-signature sections
+    /// (`/similar` queries)?
+    pub fn has_ann(&self) -> bool {
+        self.ann.is_some()
+    }
+
+    /// Assemble the borrowed ANN view over the snapshot's validated
+    /// sections plus the precomputed code sums.
+    fn ann_view<'a>(&'a self, ann: &'a AnnState) -> AnnIndexView<'a> {
+        let m = self.meta.m_dims;
+        AnnIndexView {
+            k: self.meta.k,
+            m,
+            centroids: self.f64s("centroid"),
+            ivfoff: self
+                .snap
+                .store()
+                .section("ivfoff")
+                .expect("section validated at open")
+                .as_u64s()
+                .expect("section kind validated at open"),
+            ivfdoc: self
+                .snap
+                .store()
+                .section("ivfdoc")
+                .expect("section validated at open")
+                .as_u32s()
+                .expect("section kind validated at open"),
+            codes: self
+                .snap
+                .store()
+                .section("qsig")
+                .expect("section validated at open")
+                .as_records(m)
+                .expect("section record size validated at open"),
+            scale: self.f64s("qscale"),
+            offset: self.f64s("qoff"),
+            norm: self.f64s("signrm"),
+            sums: &ann.sums,
+            exact: self.f64s("sigs"),
+        }
+    }
+
+    /// Is `doc` tombstoned by the live overlay?
+    pub fn is_deleted(&self, doc: u32) -> bool {
+        self.live.as_ref().is_some_and(|l| l.is_deleted(doc))
+    }
+
+    /// Exact signature of a document: base documents read their `sigs`
+    /// row, live-segment documents their reconstructed row. `None` for
+    /// unknown doc ids or when the snapshot has no ANN sections.
+    pub fn doc_signature(&self, doc: u32) -> Option<&[f64]> {
+        let ann = self.ann.as_ref()?;
+        let m = self.meta.m_dims;
+        if (doc as usize) < self.meta.total_docs as usize {
+            let sigs = self.f64s("sigs");
+            return Some(&sigs[doc as usize * m..(doc as usize + 1) * m]);
+        }
+        let i = ann.seg_docs.binary_search(&doc).ok()?;
+        Some(&ann.seg_sigs[i * m..(i + 1) * m])
+    }
+
+    /// Embed free text into signature space: tokenize, map tokens onto
+    /// major-term association rows, and combine them exactly like the
+    /// engine's signature stage ([`ann::embed_rows`]). Rows accumulate
+    /// in ascending row order so the float sum is deterministic. `None`
+    /// when the snapshot has no ANN sections.
+    pub fn embed_text(&self, text: &str) -> Option<Vec<f64>> {
+        let ann = self.ann.as_ref()?;
+        let tokenizer = inspire_core::tokenize::Tokenizer::default();
+        let mut freqs: HashMap<usize, f64> = HashMap::new();
+        tokenizer.tokenize_into(text, |t| {
+            if let Some(&r) = ann.rows.get(t) {
+                *freqs.entry(r).or_insert(0.0) += 1.0;
+            }
+        });
+        let mut pairs: Vec<(usize, f64)> = freqs.into_iter().collect();
+        pairs.sort_unstable_by_key(|&(r, _)| r);
+        Some(ann::embed_rows(
+            pairs.into_iter(),
+            self.f64s("assoc"),
+            self.meta.m_dims,
+        ))
+    }
+
+    /// IVF similarity search over the base snapshot, merged with a
+    /// brute-force scan of any live-segment signatures and filtered for
+    /// tombstones. Returns the top hits (exact `f64` cosine, score
+    /// descending then doc ascending) plus the probe/candidate
+    /// counters. Empty when the snapshot has no ANN sections.
+    pub fn similar(&self, query: &[f64], top: usize, nprobe: usize) -> (Vec<Hit>, SearchStats) {
+        let mut stats = SearchStats::default();
+        let Some(ann) = &self.ann else {
+            return (Vec::new(), stats);
+        };
+        let tombs: &[u32] = self.live.as_ref().map_or(&[], |l| l.tombstones());
+        // Over-fetch by the tombstone count: deletions can knock at most
+        // that many hits out of any top list.
+        let fetch = top + tombs.len();
+        let view = self.ann_view(ann);
+        let mut hits = ann::search(&view, query, fetch, nprobe, &mut stats);
+        if !ann.seg_docs.is_empty() {
+            let m = self.meta.m_dims;
+            stats.candidates += ann.seg_docs.len();
+            let seg_hits = ann::exhaustive(&ann.seg_sigs, m, query, fetch);
+            hits.extend(seg_hits.into_iter().map(|h| Hit {
+                doc: ann.seg_docs[h.doc as usize],
+                score: h.score,
+            }));
+        }
+        if !tombs.is_empty() {
+            hits.retain(|h| tombs.binary_search(&h.doc).is_err());
+        }
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap()
+                .then(a.doc.cmp(&b.doc))
+        });
+        hits.truncate(top);
+        (hits, stats)
+    }
+
+    /// Reconstruct signatures for live-segment documents so `/similar`
+    /// can brute-force them (segments carry postings but no signature
+    /// sections). Called by [`crate::live::load_live_state`] once the
+    /// segments are open; a no-op when the base has no ANN sections.
+    pub(crate) fn attach_segment_signatures(&mut self, segments: &[inspire_ingest::Segment]) {
+        let Some(ann) = &self.ann else { return };
+        let m = self.meta.m_dims;
+        let assoc = self.f64s("assoc");
+        let mut seg_docs: Vec<u32> = Vec::new();
+        let mut seg_sigs: Vec<f64> = Vec::new();
+        let mut posts: Vec<Posting> = Vec::new();
+        for seg in segments {
+            let base = seg.doc_base();
+            let count = seg.doc_count() as usize;
+            let off = seg_sigs.len();
+            seg_docs.extend(base..seg.doc_end());
+            seg_sigs.resize(off + count * m, 0.0);
+            for (local, term) in seg.terms().iter().enumerate() {
+                let Some(&row) = ann.rows.get(term) else {
+                    continue;
+                };
+                let arow = &assoc[row * m..(row + 1) * m];
+                posts.clear();
+                seg.postings_into(local as u32, &mut posts);
+                // Summing per-(doc, field) postings weights each term by
+                // its doc-total frequency — the signature-stage rule.
+                for p in &posts {
+                    let d = (p.doc - base) as usize;
+                    let sig = &mut seg_sigs[off + d * m..off + (d + 1) * m];
+                    let w = p.freq as f64;
+                    for (s, &a) in sig.iter_mut().zip(arow) {
+                        *s += w * a;
+                    }
+                }
+            }
+            for d in 0..count {
+                let sig = &mut seg_sigs[off + d * m..off + (d + 1) * m];
+                let l1: f64 = sig.iter().map(|x| x.abs()).sum();
+                if l1 > 0.0 {
+                    for s in sig.iter_mut() {
+                        *s /= l1;
+                    }
+                }
+            }
+        }
+        let ann = self.ann.as_mut().expect("checked above");
+        ann.seg_docs = seg_docs;
+        ann.seg_sigs = seg_sigs;
     }
 }
 

@@ -1,0 +1,138 @@
+//! Pre-ANN compatibility: a checked-in snapshot written before the IVF and
+//! quantized-signature sections existed must still load and serve
+//! every other query kind byte-identical to a freshly built snapshot of
+//! the same corpus, while `/similar` fails with a clear rebuild hint.
+
+use corpus::CorpusSpec;
+use inspire_core::pipeline::Engine;
+use inspire_core::{EngineConfig, EngineSnapshot, Stage};
+use inspire_serve::request::split_target;
+use inspire_serve::{execute, ServeRequest, ServeState};
+use perfmodel::CostModel;
+use spmd::Runtime;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn fixture_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/data/pre_ann_final.isnap")
+}
+
+/// The exact corpus the checked-in fixture was generated from
+/// (`vaengine generate --flavour pubmed --size 96K --seed 29`),
+/// including the CLI's write-to-disk/load round trip, which fixes the
+/// on-disk source grouping.
+fn fixture_corpus() -> corpus::SourceSet {
+    let dir = std::env::temp_dir().join(format!("va-pre-ann-corpus-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let set = CorpusSpec::pubmed(96 * 1024, 29).generate();
+    corpus::load::write_dir(&set, &dir).expect("write fixture corpus");
+    let loaded = corpus::load::load_dir(&dir).expect("load fixture corpus");
+    let _ = std::fs::remove_dir_all(&dir);
+    loaded
+}
+
+/// Plain-word terms from the vocabulary, skipping boolean operators.
+fn pick_terms(state: &ServeState, n: usize) -> Vec<String> {
+    let len = state.terms.len();
+    assert!(len > 0, "empty vocabulary");
+    let mut out = Vec::new();
+    for k in 0..len * 2 {
+        let t = state.terms.get((len / 7 + k) % len);
+        if t.len() >= 2
+            && t.chars().all(|c| c.is_ascii_alphanumeric())
+            && !matches!(t, "and" | "or" | "not")
+            && !out.iter().any(|o| o == t)
+        {
+            out.push(t.to_string());
+            if out.len() == n {
+                return out;
+            }
+        }
+    }
+    panic!("not enough usable terms in vocabulary ({len} total)");
+}
+
+fn body(state: &ServeState, target: &str) -> String {
+    let (path, params) = split_target(target);
+    let req = ServeRequest::parse(path, &params).expect("parse");
+    execute(state, &req).expect("execute")
+}
+
+#[test]
+fn pre_ann_snapshot_serves_identically_and_similar_errors() {
+    let snap = EngineSnapshot::open(&fixture_path()).expect("pre-ANN fixture opens");
+    assert!(!snap.has_ann(), "fixture must predate the ANN sections");
+    assert_eq!(snap.meta().stage, Stage::Final);
+    let old = ServeState::from_snapshot(snap).expect("pre-ANN fixture loads");
+    assert!(!old.has_ann());
+
+    // Similarity queries fail loudly with the rebuild hint, both by doc
+    // and by text, before any parameter validation work.
+    for target in ["/similar?doc=0", "/similar?text=protein"] {
+        let (path, params) = split_target(target);
+        let req = ServeRequest::parse(path, &params).expect("parse");
+        let err = execute(&old, &req).expect_err("similar must fail on pre-ANN snapshot");
+        assert_eq!(err.status, 409, "{target}");
+        assert!(
+            err.message.contains("no ANN sections; rebuild snapshot"),
+            "unexpected message: {}",
+            err.message
+        );
+    }
+
+    // Rebuild the same corpus at the fixture's processor count — the
+    // fresh snapshot now carries the ANN sections.
+    let out = std::env::temp_dir().join(format!("va-pre-ann-{}.isnap", std::process::id()));
+    let _ = std::fs::remove_file(&out);
+    let src = fixture_corpus();
+    let cfg = EngineConfig {
+        n_clusters: 6,
+        snapshot_out: Some(out.clone()),
+        ..EngineConfig::default()
+    };
+    let engine = Engine::new(cfg);
+    Runtime::new(Arc::new(CostModel::zero())).run(2, |ctx| {
+        engine.run(ctx, &src);
+    });
+    let fresh_snap = EngineSnapshot::open(&out).expect("fresh snapshot opens");
+    assert!(
+        fresh_snap.has_ann(),
+        "fresh Final snapshot gains ANN sections"
+    );
+    let fresh = ServeState::from_snapshot(fresh_snap).expect("fresh snapshot loads");
+
+    // Same corpus and config ⇒ same collection shape. (corpus_fp hashes
+    // the on-disk source *paths*, so it is not comparable across
+    // directories; the byte-identical bodies below are the real check.)
+    assert_eq!(old.meta.total_docs, fresh.meta.total_docs);
+    assert_eq!(old.meta.total_tokens, fresh.meta.total_tokens);
+    assert_eq!(old.terms.len(), fresh.terms.len());
+
+    // Every pre-ANN query kind still serves byte-identical bodies.
+    let terms = pick_terms(&old, 3);
+    let targets = vec![
+        format!("/term?t={}", terms[0]),
+        format!("/query?q={}+AND+{}", terms[0], terms[1]),
+        format!("/query?q={}+OR+{}&top=7", terms[1], terms[2]),
+        format!("/search?q={}+{}&top=5", terms[1], terms[2]),
+        "/cluster?c=0".to_string(),
+        "/rect?x0=-100&y0=-100&x1=100&y1=100&top=20".to_string(),
+    ];
+    for target in &targets {
+        assert_eq!(
+            body(&old, target),
+            body(&fresh, target),
+            "served body diverges for {target}"
+        );
+    }
+
+    // The fresh snapshot answers the similarity query the fixture
+    // could not.
+    let b = body(&fresh, "/similar?doc=0&top=3");
+    assert!(
+        b.starts_with("{\"kind\":\"similar\",\"doc\":0,"),
+        "unexpected body: {b}"
+    );
+
+    let _ = std::fs::remove_file(&out);
+}

@@ -192,6 +192,11 @@ pub enum SectionKind {
     /// Skip-pointer entries (`u64`, [`codec::skip_entry`] layout) for a
     /// `Packed` section. Format version ≥ 2.
     Skip = 8,
+    /// Scalar-quantized vector codes: fixed-width records of `u8`
+    /// components, one record per vector. The record width is engine
+    /// metadata, not container metadata, so readers validate it with
+    /// [`SectionView::as_records`]. Format version ≥ 2.
+    Quant = 9,
 }
 
 impl SectionKind {
@@ -205,6 +210,7 @@ impl SectionKind {
             6 => Some(SectionKind::Str),
             7 => Some(SectionKind::Packed),
             8 => Some(SectionKind::Skip),
+            9 => Some(SectionKind::Quant),
             _ => None,
         }
     }
@@ -212,7 +218,7 @@ impl SectionKind {
     /// Element size in bytes (1 for `Bytes`/`Str`/`Packed`).
     pub fn elem_size(self) -> usize {
         match self {
-            SectionKind::Bytes | SectionKind::Str | SectionKind::Packed => 1,
+            SectionKind::Bytes | SectionKind::Str | SectionKind::Packed | SectionKind::Quant => 1,
             SectionKind::U32 => 4,
             SectionKind::U64 | SectionKind::I64 | SectionKind::F64 | SectionKind::Skip => 8,
         }
@@ -221,7 +227,7 @@ impl SectionKind {
     /// Smallest format version whose readers understand this kind.
     pub fn min_version(self) -> u32 {
         match self {
-            SectionKind::Packed | SectionKind::Skip => 2,
+            SectionKind::Packed | SectionKind::Skip | SectionKind::Quant => 2,
             _ => 1,
         }
     }
@@ -238,6 +244,7 @@ impl fmt::Display for SectionKind {
             SectionKind::Str => "str",
             SectionKind::Packed => "packed",
             SectionKind::Skip => "skip",
+            SectionKind::Quant => "quant",
         };
         f.write_str(s)
     }
@@ -393,6 +400,26 @@ impl SnapshotWriter {
     /// Append a block-compressed ([`codec`]) byte stream.
     pub fn add_packed(&mut self, name: &str, payload: &[u8]) -> io::Result<()> {
         self.add_section(name, SectionKind::Packed, payload)
+    }
+
+    /// Append scalar-quantized vector codes: `records` fixed-width rows
+    /// of `record` `u8` components each. Rejects payloads whose length
+    /// is not `records * record`, so a malformed section can never be
+    /// written in the first place.
+    pub fn add_quant(
+        &mut self,
+        name: &str,
+        payload: &[u8],
+        records: usize,
+        record: usize,
+    ) -> io::Result<()> {
+        if payload.len() != records.saturating_mul(record) {
+            return Err(bad(format!(
+                "quant section `{name}` has {} bytes, expected {records} records × {record} bytes",
+                payload.len()
+            )));
+        }
+        self.add_section(name, SectionKind::Quant, payload)
     }
 
     /// Append skip-pointer entries for a `Packed` section.
@@ -753,6 +780,29 @@ impl<'a> SectionView<'a> {
         self.typed::<u64>(SectionKind::Skip)
     }
 
+    /// The payload of a quantized-vector section as fixed-width records
+    /// of `record` bytes each. A length that is not a whole number of
+    /// records is a corrupt or truncated section and is rejected here,
+    /// by name, instead of panicking on a short slice downstream.
+    pub fn as_records(&self, record: usize) -> io::Result<&'a [u8]> {
+        self.expect_kind(SectionKind::Quant)?;
+        if record == 0 {
+            return Err(bad(format!(
+                "{}: section `{}` record size must be nonzero",
+                self.source, self.name
+            )));
+        }
+        if !self.bytes.len().is_multiple_of(record) {
+            return Err(bad(format!(
+                "{}: quant section `{}` has {} bytes, not a multiple of the {record}-byte per-doc record size",
+                self.source,
+                self.name,
+                self.bytes.len()
+            )));
+        }
+        Ok(self.bytes)
+    }
+
     /// The payload as UTF-8 text.
     pub fn as_str(&self) -> io::Result<&'a str> {
         self.expect_kind(SectionKind::Str)?;
@@ -1008,6 +1058,41 @@ mod tests {
         w.finish().unwrap();
         // Claiming version 1 while carrying a Packed section is malformed.
         assert!(Snapshot::from_bytes(&with_version(&path, 1), "v1bad").is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn quant_sections_roundtrip_and_validate_record_size() {
+        let path = tmp("quant.snap");
+        let codes: Vec<u8> = (0..5 * 7).map(|i| (i * 11 % 251) as u8).collect();
+        let mut w = SnapshotWriter::create(&path).unwrap();
+        w.add_quant("qsig", &codes, 5, 7).unwrap();
+        assert!(
+            w.add_quant("qbad", &codes, 5, 8).is_err(),
+            "writer must reject a payload that is not records × record bytes"
+        );
+        w.finish().unwrap();
+
+        let s = Snapshot::open(&path).unwrap();
+        let view = s.require("qsig").unwrap();
+        assert_eq!(view.kind(), SectionKind::Quant);
+        assert_eq!(view.as_records(7).unwrap(), &codes[..]);
+        assert!(view.as_u32s().is_err(), "quant is not a u32 view");
+        // A reader expecting a different per-doc record size gets a
+        // descriptive error naming the section, not a panic downstream.
+        let err = view.as_records(8).unwrap_err().to_string();
+        assert!(err.contains("qsig") && err.contains("8-byte"), "{err}");
+        assert!(view.as_records(0).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v1_file_with_quant_kind_is_rejected() {
+        let path = tmp("v1quant.snap");
+        let mut w = SnapshotWriter::create(&path).unwrap();
+        w.add_quant("qsig", &[1, 2, 3, 4], 2, 2).unwrap();
+        w.finish().unwrap();
+        assert!(Snapshot::from_bytes(&with_version(&path, 1), "v1q").is_err());
         std::fs::remove_file(&path).ok();
     }
 

@@ -48,7 +48,7 @@ use visual_analytics::prelude::*;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  vaengine generate --flavour <pubmed|trec|newswire> --size <bytes[K|M]> [--seed N] --out <dir>\n  vaengine analyze|run --input <dir> [--procs N] [--clusters K] [--out coords.csv]\n                   [--checkpoint-dir <dir>] [--resume] [--snapshot-out <file.isnap>]\n                   [--trace-out <trace.json>] [--report-out <report.json>]\n  vaengine snapshot --input <dir> --out <file.isnap> [--procs N] [--clusters K]\n                    [--checkpoint-dir <dir>] [--resume]\n                    [--trace-out <trace.json>] [--report-out <report.json>]\n  vaengine ingest --dir <ingest-dir> [--base <file.isnap>] [--input <file|dir>]\n                  [--delete id,id,...] [--crash-after-wal]\n  vaengine compact --dir <ingest-dir>\n  vaengine query --snapshot <file.isnap> | --ingest-dir <dir>\n                 [--search \"free text\"] [--query \"a AND NOT title:b\"]\n                 [--term <term>] [--top N] [--cluster C] [--rect x0,y0,x1,y1]\n                 [--json] [--repeat N] [--report-out <report.json>]\n  vaengine serve --snapshot <file.isnap> | --ingest-dir <dir>\n                 [--addr 127.0.0.1:7878] [--workers N] [--cache N] [--queue N]\n                 [--access-log <file>] [--slow-log-n N] [--slow-threshold-ms N]\n  vaengine themeview --coords <coords.csv> [--width N] [--height N]"
+        "usage:\n  vaengine generate --flavour <pubmed|trec|newswire> --size <bytes[K|M]> [--seed N] --out <dir>\n  vaengine analyze|run --input <dir> [--procs N] [--clusters K] [--out coords.csv]\n                   [--checkpoint-dir <dir>] [--resume] [--snapshot-out <file.isnap>]\n                   [--trace-out <trace.json>] [--report-out <report.json>]\n  vaengine snapshot --input <dir> --out <file.isnap> [--procs N] [--clusters K]\n                    [--checkpoint-dir <dir>] [--resume]\n                    [--trace-out <trace.json>] [--report-out <report.json>]\n  vaengine ingest --dir <ingest-dir> [--base <file.isnap>] [--input <file|dir>]\n                  [--delete id,id,...] [--crash-after-wal]\n  vaengine compact --dir <ingest-dir>\n  vaengine query --snapshot <file.isnap> | --ingest-dir <dir>\n                 [--search \"free text\"] [--query \"a AND NOT title:b\"]\n                 [--term <term>] [--top N] [--cluster C] [--rect x0,y0,x1,y1]\n                 [--similar <doc> | --similar-text \"free text\"] [--nprobe N]\n                 [--json] [--repeat N] [--report-out <report.json>]\n  vaengine serve --snapshot <file.isnap> | --ingest-dir <dir>\n                 [--addr 127.0.0.1:7878] [--workers N] [--cache N] [--queue N]\n                 [--access-log <file>] [--slow-log-n N] [--slow-threshold-ms N]\n  vaengine themeview --coords <coords.csv> [--width N] [--height N]"
     );
     exit(2);
 }
@@ -545,6 +545,33 @@ fn query_cmd(args: &Args) {
         let (min, max) = parse_rect(rect).unwrap_or_else(|e| fail(e));
         requests.push(ServeRequest::Rect { min, max, top });
     }
+    let nprobe: usize = match args.value("--nprobe") {
+        None => inspire_serve::request::DEFAULT_NPROBE,
+        Some(v) => v
+            .parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| fail(format!("bad --nprobe {v:?} (>= 1)"))),
+    };
+    if let Some(d) = args.value("--similar") {
+        let doc: u32 = d
+            .parse()
+            .unwrap_or_else(|_| fail(format!("bad document id {d:?}")));
+        requests.push(ServeRequest::Similar {
+            doc: Some(doc),
+            text: None,
+            top,
+            nprobe,
+        });
+    }
+    if let Some(text) = args.value("--similar-text") {
+        requests.push(ServeRequest::Similar {
+            doc: None,
+            text: Some(text.to_string()),
+            top,
+            nprobe,
+        });
+    }
 
     // Each requested query kind runs `repeat` times against the serving
     // metrics registry; results print on the first pass only.
@@ -600,6 +627,7 @@ fn metric_kind(req: &ServeRequest) -> &'static str {
         ServeRequest::Search { .. } => "search",
         ServeRequest::Cluster { .. } => "cluster",
         ServeRequest::Rect { .. } => "rect",
+        ServeRequest::Similar { .. } => "similar",
     }
 }
 
@@ -709,6 +737,49 @@ fn print_human(
                 }
             }
         }
+        ServeRequest::Similar {
+            doc,
+            text,
+            top,
+            nprobe,
+        } => {
+            if !state.has_ann() {
+                return Err(format!(
+                    "stage {:?} snapshot has no ANN sections; rebuild snapshot",
+                    state.meta.stage
+                ));
+            }
+            let query: Vec<f64> = match (doc, text) {
+                (Some(d), _) => {
+                    if state.is_deleted(*d) {
+                        return Err(format!("document {d} is deleted"));
+                    }
+                    state
+                        .doc_signature(*d)
+                        .ok_or_else(|| format!("unknown document {d}"))?
+                        .to_vec()
+                }
+                (None, Some(t)) => state.embed_text(t).expect("ANN sections checked"),
+                (None, None) => return Err("missing --similar or --similar-text".to_string()),
+            };
+            let (hits, stats) = metrics.time(name, || state.similar(&query, *top, *nprobe));
+            if first {
+                let what = match (doc, text) {
+                    (Some(d), _) => format!("doc {d}"),
+                    (_, Some(t)) => format!("{t:?}"),
+                    _ => String::new(),
+                };
+                println!(
+                    "similar to {what}: top {} (nprobe {nprobe}, {} clusters probed, {} candidates)",
+                    hits.len(),
+                    stats.probed,
+                    stats.candidates
+                );
+                for h in &hits {
+                    println!("  doc {:>7}  score {:.4}", h.doc, h.score);
+                }
+            }
+        }
     }
     Ok(())
 }
@@ -772,7 +843,9 @@ fn serve_cmd(args: &Args) {
         cfg.cache_capacity,
         cfg.queue_depth
     );
-    println!("endpoints: /term /query /search /cluster /rect /metrics /healthz /debug/slow");
+    println!(
+        "endpoints: /term /query /search /cluster /rect /similar /metrics /healthz /debug/slow"
+    );
     println!(
         "formats: /metrics?format=prom (Prometheus), /debug/slow?format=chrome (trace viewer)"
     );

@@ -2,6 +2,10 @@
 //! numeric kernels, across crate boundaries.
 
 use proptest::prelude::*;
+use visual_analytics::engine::ann::{
+    approx_dot, build_ivf, code_sums, dot_error_bound, dot_u8, dot_u8_ref, exhaustive, l2_norm,
+    quantize_into, search, AnnIndexView, SearchStats,
+};
 use visual_analytics::engine::linalg::{dist2, dot, jacobi_eigen};
 use visual_analytics::engine::scan::{pack_entry, unpack_entry};
 use visual_analytics::engine::tokenize::Tokenizer;
@@ -230,6 +234,95 @@ proptest! {
             seqs.sort_unstable();
             for (expect, &got) in seqs.iter().enumerate() {
                 prop_assert_eq!(got, expect as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn u8_dot_kernel_matches_scalar_reference(
+        pairs in prop::collection::vec((any::<u8>(), any::<u8>()), 0..400),
+    ) {
+        let a: Vec<u8> = pairs.iter().map(|p| p.0).collect();
+        let b: Vec<u8> = pairs.iter().map(|p| p.1).collect();
+        prop_assert_eq!(dot_u8(&a, &b), dot_u8_ref(&a, &b));
+    }
+
+    #[test]
+    fn quantized_dot_stays_within_error_bound(
+        pairs in prop::collection::vec((-2.0f64..2.0, -2.0f64..2.0), 1..200),
+    ) {
+        let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let m = a.len();
+        let (mut ca, mut cb) = (vec![0u8; m], vec![0u8; m]);
+        let pa = quantize_into(&a, &mut ca);
+        let pb = quantize_into(&b, &mut cb);
+        let sum_a: u32 = ca.iter().map(|&c| c as u32).sum();
+        let sum_b: u32 = cb.iter().map(|&c| c as u32).sum();
+        let approx = approx_dot(m, pa, sum_a, pb, sum_b, dot_u8(&ca, &cb));
+        let l1_a: f64 = a.iter().map(|x| x.abs()).sum();
+        let l1_b: f64 = b.iter().map(|x| x.abs()).sum();
+        let exact = dot(&a, &b);
+        prop_assert!(
+            (approx - exact).abs() <= dot_error_bound(pa, pb, l1_a, l1_b, m),
+            "approx {approx} exact {exact} bound {}",
+            dot_error_bound(pa, pb, l1_a, l1_b, m)
+        );
+    }
+
+    #[test]
+    fn ivf_full_probe_matches_exhaustive_scan(
+        rows in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 12), 1..50),
+        k in 1usize..6,
+        qpick in 0usize..4096,
+    ) {
+        let m = 12;
+        let docs = rows.len();
+        // L1-normalize each row, mirroring the engine's signatures.
+        let mut sigs = vec![0.0f64; docs * m];
+        for (d, row) in rows.iter().enumerate() {
+            let l1: f64 = row.iter().sum();
+            if l1 > 0.0 {
+                for (j, &x) in row.iter().enumerate() {
+                    sigs[d * m + j] = x / l1;
+                }
+            }
+        }
+        // Any assignment is valid IVF structure; centroid quality only
+        // affects probe *order*, and nprobe = k probes everything.
+        let assignments: Vec<u32> = (0..docs).map(|d| (d % k) as u32).collect();
+        let mut centroids = vec![0.0f64; k * m];
+        let mut counts = vec![0usize; k];
+        for (d, &c) in assignments.iter().enumerate() {
+            counts[c as usize] += 1;
+            for j in 0..m {
+                centroids[c as usize * m + j] += sigs[d * m + j];
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for j in 0..m {
+                    centroids[c * m + j] /= counts[c] as f64;
+                }
+            }
+        }
+        let ivf = build_ivf(&sigs, m, &assignments, k);
+        let sums = code_sums(&ivf.codes, m);
+        let view = AnnIndexView::of(&ivf, &centroids, &sums, &sigs);
+        let q = qpick % docs;
+        let query = sigs[q * m..(q + 1) * m].to_vec();
+        if l2_norm(&query) == 0.0 {
+            continue; // null query: cosine undefined, nothing to rank
+        }
+        for top in [1usize, 5, docs] {
+            let mut stats = SearchStats::default();
+            let got = search(&view, &query, top, k, &mut stats);
+            let want = exhaustive(&sigs, m, &query, top);
+            prop_assert_eq!(stats.probed, k);
+            prop_assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert_eq!(g.doc, w.doc);
+                prop_assert_eq!(g.score.to_bits(), w.score.to_bits());
             }
         }
     }

@@ -16,6 +16,8 @@ Usage:
       [--min-compression-ratio X]
   validate_bench.py results/BENCH_ingest_latest.json --kind ingest \
       [--max-ttv SECONDS] [--max-segments N]
+  validate_bench.py results/BENCH_ann_latest.json --kind ann \
+      [--min-recall-at-10 X] [--min-speedup X] [--min-compression-ratio X]
   validate_bench.py metrics.prom --kind prom [--require-ingest]
 
 `--kind prom` validates a Prometheus text-format scrape of
@@ -303,6 +305,79 @@ def validate_ingest(doc, args):
           f"ingest.wrong_answers: {wrong} merged bodies diverged from the rebuild")
 
 
+def validate_ann(doc, args):
+    check(get(doc, "bench", str) == "ann", "bench kind is not ann")
+    for k in ("corpus_bytes", "docs", "m_dims", "k_centroids", "queries",
+              "top", "deep", "quantized_bytes", "exact_sig_bytes"):
+        v = nonneg(doc, k, int)
+        check(v is None or v > 0, f"field {k} must be positive")
+    nonneg(doc, "exhaustive_q_per_s", float)
+
+    # Headline operating point: recall/speedup floors are the CI gates.
+    nprobe = nonneg(doc, "ann_nprobe", int)
+    k_cent = doc.get("k_centroids")
+    if nprobe is not None and isinstance(k_cent, int):
+        check(1 <= nprobe <= k_cent,
+              f"ann_nprobe out of range: {nprobe} not in [1, {k_cent}]")
+    for field in ("ann_recall_at_10", "ann_recall_at_100"):
+        r = nonneg(doc, field, float)
+        check(r is None or r <= 1.0, f"{field} above 1: {r}")
+    nonneg(doc, "ann_candidate_count", float)
+    speedup = nonneg(doc, "ann_speedup_vs_exhaustive", float)
+    recall10 = doc.get("ann_recall_at_10")
+    if args.min_recall_at_10 is not None and isinstance(recall10, (int, float)):
+        check(
+            recall10 >= args.min_recall_at_10,
+            f"ann_recall_at_10 regressed: {recall10} < floor {args.min_recall_at_10}",
+        )
+    if args.min_speedup is not None and speedup is not None:
+        check(
+            speedup >= args.min_speedup,
+            f"ann_speedup_vs_exhaustive regressed: {speedup} < floor {args.min_speedup}",
+        )
+
+    # Quantized signature store must actually shrink the f64 sections.
+    ratio = nonneg(doc, "sig_compression_ratio", float)
+    if args.min_compression_ratio is not None and ratio is not None:
+        check(
+            ratio >= args.min_compression_ratio,
+            f"sig_compression_ratio regressed: {ratio} < floor {args.min_compression_ratio}",
+        )
+
+    # The nprobe/recall curve: monotone nprobe, recall/speedup in range,
+    # ending at the exact point (nprobe = k has recall 1.0 by identity).
+    sweep = get(doc, "sweep", list)
+    if sweep is not None:
+        check(len(sweep) >= 2, "sweep has fewer than 2 points")
+        last_np = 0
+        for i, p in enumerate(sweep):
+            if not isinstance(p, dict):
+                fail(f"sweep[{i}]: not an object")
+                continue
+            np_ = p.get("nprobe")
+            if not isinstance(np_, int) or np_ <= last_np:
+                fail(f"sweep[{i}].nprobe: not strictly increasing ({np_!r} after {last_np})")
+            else:
+                last_np = np_
+            for field in ("recall_at_10", "recall_at_100"):
+                v = p.get(field)
+                if not isinstance(v, (int, float)) or isinstance(v, bool) \
+                        or not 0.0 <= v <= 1.0:
+                    fail(f"sweep[{i}].{field}: bad recall {v!r}")
+            for field in ("candidates", "q_per_s", "speedup"):
+                v = p.get(field)
+                if not isinstance(v, (int, float)) or isinstance(v, bool) or v < 0:
+                    fail(f"sweep[{i}].{field}: bad value {v!r}")
+        if sweep and isinstance(sweep[-1], dict):
+            tail = sweep[-1]
+            if isinstance(k_cent, int) and tail.get("nprobe") != k_cent:
+                fail(f"sweep does not end at nprobe = k ({tail.get('nprobe')!r} != {k_cent})")
+            for field in ("recall_at_10", "recall_at_100"):
+                v = tail.get(field)
+                if isinstance(v, (int, float)) and v != 1.0:
+                    fail(f"sweep[-1].{field}: nprobe = k must have recall 1.0, got {v}")
+
+
 # Serve-side families every scrape must expose, whatever backs the
 # server. Quantile/sum/count suffixes are derived, not listed.
 PROM_REQUIRED_SERVE = (
@@ -406,7 +481,7 @@ def validate_prom(text, args):
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("path", help="BENCH JSON file to validate")
-    ap.add_argument("--kind", choices=("scaling", "serving", "postings", "ingest", "prom"),
+    ap.add_argument("--kind", choices=("scaling", "serving", "postings", "ingest", "ann", "prom"),
                     required=True)
     ap.add_argument("--max-index-msgs", type=int, default=None,
                     help="scaling: fail if comm.index_msgs exceeds this")
@@ -425,6 +500,10 @@ def main():
     ap.add_argument("--max-trace-overhead-pct", type=float, default=None,
                     help="serving: fail if trace_overhead_pct exceeds this "
                          "(or is unmeasured)")
+    ap.add_argument("--min-recall-at-10", type=float, default=None,
+                    help="ann: fail if ann_recall_at_10 is below this")
+    ap.add_argument("--min-speedup", type=float, default=None,
+                    help="ann: fail if ann_speedup_vs_exhaustive is below this")
     ap.add_argument("--require-ingest", action="store_true",
                     help="prom: also require the WAL/seal/compaction families")
     args = ap.parse_args()
@@ -460,6 +539,8 @@ def main():
         validate_postings(doc, args)
     elif args.kind == "ingest":
         validate_ingest(doc, args)
+    elif args.kind == "ann":
+        validate_ann(doc, args)
     else:
         validate_serving(doc, args)
 
